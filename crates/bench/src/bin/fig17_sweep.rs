@@ -1,0 +1,6 @@
+//! Regenerates fig17 of the paper; pass `--quick` for a 10x smaller run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    ri_bench::figures::fig17::run(quick);
+}

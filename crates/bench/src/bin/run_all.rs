@@ -1,0 +1,20 @@
+//! Runs every table/figure experiment in sequence.
+//!
+//! Default is full (paper-sized) mode; pass `--quick` for a 10x smaller
+//! smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    eprintln!("regenerating all tables and figures ({} mode)...",
+              if quick { "quick" } else { "full" });
+    ri_bench::figures::table1::run(quick);
+    ri_bench::figures::fig10::run(quick);
+    ri_bench::figures::fig12::run(quick);
+    ri_bench::figures::fig13::run(quick);
+    ri_bench::figures::fig14::run(quick);
+    ri_bench::figures::fig15::run(quick);
+    ri_bench::figures::fig16::run(quick);
+    ri_bench::figures::fig17::run(quick);
+    ri_bench::figures::table_windowlist::run(quick);
+    ri_bench::figures::table_tindex_tuning::run(quick);
+}

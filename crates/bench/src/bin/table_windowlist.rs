@@ -1,0 +1,6 @@
+//! Regenerates table_windowlist of the paper; pass `--quick` for a 10x smaller run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    ri_bench::figures::table_windowlist::run(quick);
+}

@@ -1,0 +1,13 @@
+//! Experiment harness for regenerating the paper's evaluation (Section 6).
+//!
+//! Each binary in `src/bin/` reproduces one table or figure; this library
+//! holds the shared machinery: building access methods on the paper's
+//! server configuration (2 KB blocks, 200-block cache), running query
+//! batches, and reporting the two metrics of the paper — *physical disk
+//! block accesses* and *response time* (simulated via the disk latency
+//! model plus per-row executor cost, see `ri_pagestore::LatencyModel`).
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::*;

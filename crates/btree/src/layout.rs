@@ -1,0 +1,292 @@
+//! On-page layout of B+-tree nodes.
+//!
+//! Every node occupies exactly one page.  The layout is fixed-width: a 24
+//! byte header followed by densely packed entries.
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     node type (1 = leaf, 2 = internal, 3 = free-list page)
+//! 1       1     key arity
+//! 2       2     entry count (u16)
+//! 4       4     reserved
+//! 8       8     leaf: next-leaf page id | internal: leftmost child (child0)
+//!               | free page: next free page id
+//! 16      8     leaf: previous-leaf page id | otherwise unused
+//! 24      ...   entries
+//! ```
+//!
+//! * Leaf entry: `arity` × `i64` key columns, then the `u64` payload.
+//! * Internal entry: a full separator entry (key columns + payload) followed
+//!   by the `u64` page id of the child holding entries `>=` the separator.
+//!   Entries `<` the first separator live under `child0`.
+
+use crate::key::{Entry, Key};
+use ri_pagestore::codec::{get_i64, get_u16, get_u64, put_i64, put_u16, put_u64};
+use ri_pagestore::{Error, PageId, Result};
+
+/// Node type tag for leaves.
+pub const NODE_LEAF: u8 = 1;
+/// Node type tag for internal nodes.
+pub const NODE_INTERNAL: u8 = 2;
+/// Node type tag for pages on the free list.
+pub const NODE_FREE: u8 = 3;
+
+const OFF_TYPE: usize = 0;
+const OFF_ARITY: usize = 1;
+const OFF_COUNT: usize = 2;
+const OFF_LINK: usize = 8;
+const OFF_PREV: usize = 16;
+/// First byte of the entry area.
+pub const HEADER_SIZE: usize = 24;
+
+/// Size in bytes of a leaf entry for the given arity.
+#[inline]
+pub fn leaf_entry_size(arity: usize) -> usize {
+    arity * 8 + 8
+}
+
+/// Size in bytes of an internal entry (separator + child pointer).
+#[inline]
+pub fn internal_entry_size(arity: usize) -> usize {
+    leaf_entry_size(arity) + 8
+}
+
+/// Maximum number of entries a leaf page can hold.
+#[inline]
+pub fn leaf_capacity(page_size: usize, arity: usize) -> usize {
+    (page_size - HEADER_SIZE) / leaf_entry_size(arity)
+}
+
+/// Maximum number of separator entries an internal page can hold
+/// (an internal page with `k` entries has `k + 1` children).
+#[inline]
+pub fn internal_capacity(page_size: usize, arity: usize) -> usize {
+    (page_size - HEADER_SIZE) / internal_entry_size(arity)
+}
+
+/// Parsed form of a leaf page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeafNode {
+    /// Sorted entries.
+    pub entries: Vec<Entry>,
+    /// Next leaf in key order, or [`PageId::INVALID`].
+    pub next: PageId,
+    /// Previous leaf in key order, or [`PageId::INVALID`].
+    pub prev: PageId,
+}
+
+impl LeafNode {
+    /// An empty, unlinked leaf.
+    pub fn empty() -> LeafNode {
+        LeafNode { entries: Vec::new(), next: PageId::INVALID, prev: PageId::INVALID }
+    }
+}
+
+/// Parsed form of an internal page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InternalNode {
+    /// Child holding entries strictly below the first separator.
+    pub child0: PageId,
+    /// `(separator, child)` pairs: `child` holds entries `>= separator`
+    /// (and below the following separator, if any).
+    pub entries: Vec<(Entry, PageId)>,
+}
+
+impl InternalNode {
+    /// Returns the index of the child that must contain `target`:
+    /// `0` for `child0`, `i + 1` for `entries[i].1`.
+    pub fn route(&self, target: &Entry) -> usize {
+        // partition_point returns the number of separators <= target.
+        self.entries.partition_point(|(sep, _)| sep <= target)
+    }
+
+    /// The child page at routing slot `slot` (as returned by [`route`](Self::route)).
+    pub fn child_at(&self, slot: usize) -> PageId {
+        if slot == 0 {
+            self.child0
+        } else {
+            self.entries[slot - 1].1
+        }
+    }
+}
+
+/// Parsed form of any node page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// A leaf page.
+    Leaf(LeafNode),
+    /// An internal page.
+    Internal(InternalNode),
+}
+
+fn read_entry(buf: &[u8], off: usize, arity: usize) -> Entry {
+    let mut cols = [0i64; crate::key::MAX_ARITY];
+    for (c, slot) in cols.iter_mut().enumerate().take(arity) {
+        *slot = get_i64(buf, off + c * 8);
+    }
+    Entry { key: Key::new(&cols[..arity]), payload: get_u64(buf, off + arity * 8) }
+}
+
+fn write_entry(buf: &mut [u8], off: usize, e: &Entry) {
+    let arity = e.key.arity();
+    for (c, v) in e.key.as_slice().iter().enumerate() {
+        put_i64(buf, off + c * 8, *v);
+    }
+    put_u64(buf, off + arity * 8, e.payload);
+}
+
+/// Decodes a node page.  `arity` must match the tree's arity.
+pub fn read_node(buf: &[u8], arity: usize) -> Result<Node> {
+    let tag = buf[OFF_TYPE];
+    let stored_arity = buf[OFF_ARITY] as usize;
+    if stored_arity != arity {
+        return Err(Error::Corrupt(format!(
+            "node arity {stored_arity} does not match tree arity {arity}"
+        )));
+    }
+    let count = get_u16(buf, OFF_COUNT) as usize;
+    match tag {
+        NODE_LEAF => {
+            let esz = leaf_entry_size(arity);
+            let mut entries = Vec::with_capacity(count);
+            for i in 0..count {
+                entries.push(read_entry(buf, HEADER_SIZE + i * esz, arity));
+            }
+            Ok(Node::Leaf(LeafNode {
+                entries,
+                next: PageId(get_u64(buf, OFF_LINK)),
+                prev: PageId(get_u64(buf, OFF_PREV)),
+            }))
+        }
+        NODE_INTERNAL => {
+            let esz = internal_entry_size(arity);
+            let sep_sz = leaf_entry_size(arity);
+            let mut entries = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = HEADER_SIZE + i * esz;
+                let sep = read_entry(buf, off, arity);
+                let child = PageId(get_u64(buf, off + sep_sz));
+                entries.push((sep, child));
+            }
+            Ok(Node::Internal(InternalNode { child0: PageId(get_u64(buf, OFF_LINK)), entries }))
+        }
+        other => Err(Error::Corrupt(format!("unexpected node tag {other}"))),
+    }
+}
+
+/// Encodes a leaf page.
+pub fn write_leaf(buf: &mut [u8], node: &LeafNode, arity: usize) {
+    let cap = leaf_capacity(buf.len(), arity);
+    assert!(node.entries.len() <= cap, "leaf overflow: {} > {cap}", node.entries.len());
+    buf[OFF_TYPE] = NODE_LEAF;
+    buf[OFF_ARITY] = arity as u8;
+    put_u16(buf, OFF_COUNT, node.entries.len() as u16);
+    put_u64(buf, OFF_LINK, node.next.raw());
+    put_u64(buf, OFF_PREV, node.prev.raw());
+    let esz = leaf_entry_size(arity);
+    for (i, e) in node.entries.iter().enumerate() {
+        debug_assert_eq!(e.key.arity(), arity);
+        write_entry(buf, HEADER_SIZE + i * esz, e);
+    }
+}
+
+/// Encodes an internal page.
+pub fn write_internal(buf: &mut [u8], node: &InternalNode, arity: usize) {
+    let cap = internal_capacity(buf.len(), arity);
+    assert!(node.entries.len() <= cap, "internal overflow: {} > {cap}", node.entries.len());
+    buf[OFF_TYPE] = NODE_INTERNAL;
+    buf[OFF_ARITY] = arity as u8;
+    put_u16(buf, OFF_COUNT, node.entries.len() as u16);
+    put_u64(buf, OFF_LINK, node.child0.raw());
+    put_u64(buf, OFF_PREV, PageId::INVALID.raw());
+    let esz = internal_entry_size(arity);
+    let sep_sz = leaf_entry_size(arity);
+    for (i, (sep, child)) in node.entries.iter().enumerate() {
+        let off = HEADER_SIZE + i * esz;
+        write_entry(buf, off, sep);
+        put_u64(buf, off + sep_sz, child.raw());
+    }
+}
+
+/// Marks a page as free and links it into the free list.
+pub fn write_free(buf: &mut [u8], next_free: PageId, arity: usize) {
+    buf[OFF_TYPE] = NODE_FREE;
+    buf[OFF_ARITY] = arity as u8;
+    put_u16(buf, OFF_COUNT, 0);
+    put_u64(buf, OFF_LINK, next_free.raw());
+}
+
+/// Reads the next-free link of a free page.
+pub fn read_free_link(buf: &[u8]) -> Result<PageId> {
+    if buf[OFF_TYPE] != NODE_FREE {
+        return Err(Error::Corrupt(format!("page tag {} is not a free page", buf[OFF_TYPE])));
+    }
+    Ok(PageId(get_u64(buf, OFF_LINK)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut buf = vec![0u8; 512];
+        let node = LeafNode {
+            entries: vec![Entry::new(&[1, -2], 10), Entry::new(&[3, 4], 11)],
+            next: PageId(7),
+            prev: PageId(9),
+        };
+        write_leaf(&mut buf, &node, 2);
+        match read_node(&buf, 2).unwrap() {
+            Node::Leaf(l) => assert_eq!(l, node),
+            _ => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn internal_roundtrip_and_routing() {
+        let mut buf = vec![0u8; 512];
+        let node = InternalNode {
+            child0: PageId(1),
+            entries: vec![
+                (Entry::new(&[10], 0), PageId(2)),
+                (Entry::new(&[20], 0), PageId(3)),
+            ],
+        };
+        write_internal(&mut buf, &node, 1);
+        let parsed = match read_node(&buf, 1).unwrap() {
+            Node::Internal(n) => n,
+            _ => panic!("expected internal"),
+        };
+        assert_eq!(parsed, node);
+        assert_eq!(parsed.route(&Entry::new(&[5], 0)), 0);
+        assert_eq!(parsed.route(&Entry::new(&[10], 0)), 1); // >= separator goes right
+        assert_eq!(parsed.route(&Entry::new(&[15], 99)), 1);
+        assert_eq!(parsed.route(&Entry::new(&[20], 0)), 2);
+        assert_eq!(parsed.route(&Entry::new(&[99], 0)), 2);
+        assert_eq!(parsed.child_at(0), PageId(1));
+        assert_eq!(parsed.child_at(2), PageId(3));
+    }
+
+    #[test]
+    fn arity_mismatch_is_corrupt() {
+        let mut buf = vec![0u8; 256];
+        write_leaf(&mut buf, &LeafNode::empty(), 2);
+        assert!(matches!(read_node(&buf, 3), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn free_page_roundtrip() {
+        let mut buf = vec![0u8; 256];
+        write_free(&mut buf, PageId(42), 1);
+        assert_eq!(read_free_link(&buf).unwrap(), PageId(42));
+        assert!(read_node(&buf, 1).is_err());
+    }
+
+    #[test]
+    fn capacities_match_paper_block_size() {
+        // 2 KB blocks, arity-2 keys (node, bound) + payload = 24-byte entries.
+        assert_eq!(leaf_capacity(2048, 2), (2048 - 24) / 24);
+        assert!(internal_capacity(2048, 2) >= 60, "healthy fan-out expected");
+    }
+}

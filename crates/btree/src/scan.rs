@@ -1,0 +1,157 @@
+//! Range scan cursor over the leaf chain.
+
+use crate::key::{Entry, Key};
+use crate::tree::BTree;
+use ri_pagestore::{PageId, Result};
+
+/// Iterator over all entries whose key columns lie in `[lo, hi]`
+/// (inclusive, lexicographic).
+///
+/// The cursor materializes one leaf at a time: the search phase costs
+/// `O(log_b n)` page accesses and the scan phase one access per leaf — the
+/// cost model of the paper's Theorem in Section 4.4.
+pub struct RangeScan<'t> {
+    tree: &'t BTree,
+    hi: Key,
+    state: State,
+}
+
+enum State {
+    /// Initialization failed; the error is yielded once, then `Done`.
+    Failed(Option<ri_pagestore::Error>),
+    /// Actively scanning `buf[idx..]`, then following `next`.
+    Active { buf: Vec<Entry>, idx: usize, next: PageId },
+    /// Scan exhausted.
+    Done,
+}
+
+impl<'t> RangeScan<'t> {
+    pub(crate) fn new(tree: &'t BTree, lo: &[i64], hi: &[i64]) -> RangeScan<'t> {
+        assert_eq!(lo.len(), tree.arity(), "lo bound arity mismatch");
+        assert_eq!(hi.len(), tree.arity(), "hi bound arity mismatch");
+        let hi = Key::new(hi);
+        // Position at the first entry >= (lo, payload 0): payloads are
+        // unsigned, so payload 0 sorts before every entry with equal columns.
+        let target = Entry { key: Key::new(lo), payload: 0 };
+        let state = match Self::position(tree, &target) {
+            Ok(Some((buf, idx, next))) => State::Active { buf, idx, next },
+            Ok(None) => State::Done,
+            Err(e) => State::Failed(Some(e)),
+        };
+        RangeScan { tree, hi, state }
+    }
+
+    /// Finds the starting leaf and offset for `target`.
+    #[allow(clippy::type_complexity)]
+    fn position(tree: &BTree, target: &Entry) -> Result<Option<(Vec<Entry>, usize, PageId)>> {
+        let Some(page) = tree.descend_to_leaf(target)? else {
+            return Ok(None);
+        };
+        let leaf = tree.load_leaf(page)?;
+        let idx = leaf.entries.partition_point(|e| e < target);
+        Ok(Some((leaf.entries, idx, leaf.next)))
+    }
+
+    /// Drains the scan, panicking on I/O errors (test convenience).
+    pub fn collect_payloads(self) -> Vec<u64> {
+        self.map(|r| r.expect("scan I/O error").payload).collect()
+    }
+}
+
+impl Iterator for RangeScan<'_> {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match &mut self.state {
+                State::Failed(err) => {
+                    let e = err.take();
+                    self.state = State::Done;
+                    return e.map(Err);
+                }
+                State::Done => return None,
+                State::Active { buf, idx, next } => {
+                    if *idx < buf.len() {
+                        let entry = buf[*idx];
+                        *idx += 1;
+                        if entry.key > self.hi {
+                            self.state = State::Done;
+                            return None;
+                        }
+                        return Some(Ok(entry));
+                    }
+                    if next.is_invalid() {
+                        self.state = State::Done;
+                        return None;
+                    }
+                    match self.tree.load_leaf(*next) {
+                        Ok(leaf) => {
+                            self.state =
+                                State::Active { buf: leaf.entries, idx: 0, next: leaf.next };
+                        }
+                        Err(e) => {
+                            self.state = State::Done;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_pagestore::{BufferPool, BufferPoolConfig, MemDisk};
+    use std::sync::Arc;
+
+    fn tree_with(n: i64) -> (Arc<BufferPool>, BTree) {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(256),
+            BufferPoolConfig { capacity: 16 },
+        ));
+        let tree = BTree::create(Arc::clone(&pool), 1).unwrap();
+        for i in 0..n {
+            tree.insert(&[i], i as u64 + 1000).unwrap();
+        }
+        (pool, tree)
+    }
+
+    #[test]
+    fn empty_tree_scan_is_empty() {
+        let pool = Arc::new(BufferPool::with_defaults(MemDisk::new(256)));
+        let tree = BTree::create(pool, 1).unwrap();
+        assert_eq!(tree.scan_all().count(), 0);
+    }
+
+    #[test]
+    fn inclusive_bounds() {
+        let (_pool, tree) = tree_with(100);
+        let got: Vec<u64> = tree.scan_range(&[10], &[20]).collect_payloads();
+        assert_eq!(got, (1010..=1020).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounds_outside_data() {
+        let (_pool, tree) = tree_with(10);
+        assert_eq!(tree.scan_range(&[-100], &[-1]).count(), 0);
+        assert_eq!(tree.scan_range(&[50], &[99]).count(), 0);
+        assert_eq!(tree.scan_range(&[-5], &[200]).count(), 10);
+    }
+
+    #[test]
+    fn point_scan() {
+        let (_pool, tree) = tree_with(64);
+        let got: Vec<u64> = tree.scan_range(&[7], &[7]).collect_payloads();
+        assert_eq!(got, vec![1007]);
+    }
+
+    #[test]
+    fn scan_crosses_many_leaves_in_order() {
+        let (_pool, tree) = tree_with(2000);
+        let got: Vec<u64> = tree.scan_all().collect_payloads();
+        assert_eq!(got.len(), 2000);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+}

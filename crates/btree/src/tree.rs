@@ -1,0 +1,716 @@
+//! The B+-tree proper: create/open, insert, delete, bulk load, invariants.
+
+use crate::key::Entry;
+use crate::layout::{
+    self, InternalNode, LeafNode, Node, internal_capacity, leaf_capacity,
+};
+use crate::scan::RangeScan;
+use ri_pagestore::codec::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
+use ri_pagestore::{BufferPool, Error, PageId, Result};
+use std::sync::Arc;
+
+const META_MAGIC: u32 = 0x5249_4254; // "RIBT"
+
+const OFF_MAGIC: usize = 0;
+const OFF_ARITY: usize = 4;
+const OFF_HEIGHT: usize = 6;
+const OFF_ROOT: usize = 8;
+const OFF_COUNT: usize = 16;
+const OFF_FREE: usize = 24;
+const OFF_FIRST_LEAF: usize = 32;
+const OFF_PAGES: usize = 40;
+
+/// Persistent tree metadata, stored in the tree's meta page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Meta {
+    root: PageId,
+    /// Number of levels; 0 = empty tree, 1 = root is a leaf.
+    height: u16,
+    count: u64,
+    free_head: PageId,
+    first_leaf: PageId,
+    /// Pages currently owned by the tree (excluding the meta page and
+    /// free-listed pages).
+    pages: u64,
+}
+
+/// Size and shape statistics, used by the storage experiments (Figure 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of entries stored.
+    pub entries: u64,
+    /// Tree height in levels (0 = empty).
+    pub height: u16,
+    /// Pages in use (leaves + internal nodes).
+    pub pages: u64,
+}
+
+/// A disk-based B+-tree over a shared [`BufferPool`].
+///
+/// A tree is identified by its *meta page*; [`BTree::create`] allocates one
+/// and [`BTree::open`] re-attaches to it, which is how the relational
+/// catalog persists indexes across database restarts.
+///
+/// Writers must be externally serialized (one writer at a time, no
+/// concurrent readers during a write); the relational layer above wraps
+/// statements accordingly.  This matches the paper's setting, where all
+/// locking is delegated to the host RDBMS.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    meta_page: PageId,
+    arity: usize,
+    leaf_cap: usize,
+    internal_cap: usize,
+}
+
+impl BTree {
+    /// Creates a new empty tree with keys of `arity` columns.
+    pub fn create(pool: Arc<BufferPool>, arity: usize) -> Result<BTree> {
+        if arity == 0 || arity > crate::key::MAX_ARITY {
+            return Err(Error::InvalidArgument(format!(
+                "index arity must be 1..={}, got {arity}",
+                crate::key::MAX_ARITY
+            )));
+        }
+        let meta_page = pool.allocate_page()?;
+        let tree = BTree::attach(pool, meta_page, arity);
+        tree.write_meta(&Meta {
+            root: PageId::INVALID,
+            height: 0,
+            count: 0,
+            free_head: PageId::INVALID,
+            first_leaf: PageId::INVALID,
+            pages: 0,
+        })?;
+        Ok(tree)
+    }
+
+    /// Re-opens the tree whose metadata lives at `meta_page`.
+    pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<BTree> {
+        let (magic, arity) = pool.with_page(meta_page, |buf| {
+            (get_u32(buf, OFF_MAGIC), buf[OFF_ARITY] as usize)
+        })?;
+        if magic != META_MAGIC {
+            return Err(Error::Corrupt(format!(
+                "page {meta_page} is not a B+-tree meta page"
+            )));
+        }
+        Ok(BTree::attach(pool, meta_page, arity))
+    }
+
+    fn attach(pool: Arc<BufferPool>, meta_page: PageId, arity: usize) -> BTree {
+        let ps = pool.page_size();
+        BTree {
+            pool,
+            meta_page,
+            arity,
+            leaf_cap: leaf_capacity(ps, arity),
+            internal_cap: internal_capacity(ps, arity),
+        }
+    }
+
+    /// The page id identifying this tree (to be recorded in a catalog).
+    pub fn meta_page(&self) -> PageId {
+        self.meta_page
+    }
+
+    /// Number of key columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The buffer pool this tree performs I/O through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Number of entries currently stored.
+    pub fn entry_count(&self) -> Result<u64> {
+        Ok(self.read_meta()?.count)
+    }
+
+    /// Size and shape statistics.
+    pub fn stats(&self) -> Result<TreeStats> {
+        let meta = self.read_meta()?;
+        Ok(TreeStats { entries: meta.count, height: meta.height, pages: meta.pages })
+    }
+
+    // ------------------------------------------------------------------
+    // Meta page and page allocation
+    // ------------------------------------------------------------------
+
+    fn read_meta(&self) -> Result<Meta> {
+        self.pool.with_page(self.meta_page, |buf| {
+            if get_u32(buf, OFF_MAGIC) != META_MAGIC {
+                return Err(Error::Corrupt("meta page magic mismatch".to_string()));
+            }
+            Ok(Meta {
+                root: PageId(get_u64(buf, OFF_ROOT)),
+                height: get_u16(buf, OFF_HEIGHT),
+                count: get_u64(buf, OFF_COUNT),
+                free_head: PageId(get_u64(buf, OFF_FREE)),
+                first_leaf: PageId(get_u64(buf, OFF_FIRST_LEAF)),
+                pages: get_u64(buf, OFF_PAGES),
+            })
+        })?
+    }
+
+    fn write_meta(&self, meta: &Meta) -> Result<()> {
+        self.pool.with_page_mut(self.meta_page, |buf| {
+            put_u32(buf, OFF_MAGIC, META_MAGIC);
+            buf[OFF_ARITY] = self.arity as u8;
+            put_u16(buf, OFF_HEIGHT, meta.height);
+            put_u64(buf, OFF_ROOT, meta.root.raw());
+            put_u64(buf, OFF_COUNT, meta.count);
+            put_u64(buf, OFF_FREE, meta.free_head.raw());
+            put_u64(buf, OFF_FIRST_LEAF, meta.first_leaf.raw());
+            put_u64(buf, OFF_PAGES, meta.pages);
+        })
+    }
+
+    /// Allocates a page for this tree, preferring its free list.
+    fn alloc_page(&self, meta: &mut Meta) -> Result<PageId> {
+        let page = if meta.free_head.is_invalid() {
+            self.pool.allocate_page()?
+        } else {
+            let head = meta.free_head;
+            meta.free_head = self.pool.with_page(head, layout::read_free_link)??;
+            head
+        };
+        meta.pages += 1;
+        Ok(page)
+    }
+
+    /// Returns a page to this tree's free list.
+    fn free_page(&self, meta: &mut Meta, page: PageId) -> Result<()> {
+        let next = meta.free_head;
+        let arity = self.arity;
+        self.pool.with_page_mut(page, |buf| layout::write_free(buf, next, arity))?;
+        meta.free_head = page;
+        meta.pages -= 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Node I/O helpers
+    // ------------------------------------------------------------------
+
+    fn read_any(&self, page: PageId) -> Result<Node> {
+        let arity = self.arity;
+        self.pool.with_page(page, |buf| layout::read_node(buf, arity))?
+    }
+
+    fn read_leaf(&self, page: PageId) -> Result<LeafNode> {
+        match self.read_any(page)? {
+            Node::Leaf(l) => Ok(l),
+            Node::Internal(_) => {
+                Err(Error::Corrupt(format!("expected leaf at {page}, found internal node")))
+            }
+        }
+    }
+
+    fn read_internal(&self, page: PageId) -> Result<InternalNode> {
+        match self.read_any(page)? {
+            Node::Internal(n) => Ok(n),
+            Node::Leaf(_) => {
+                Err(Error::Corrupt(format!("expected internal node at {page}, found leaf")))
+            }
+        }
+    }
+
+    fn store_leaf(&self, page: PageId, node: &LeafNode) -> Result<()> {
+        let arity = self.arity;
+        self.pool.with_page_mut(page, |buf| layout::write_leaf(buf, node, arity))
+    }
+
+    fn store_internal(&self, page: PageId, node: &InternalNode) -> Result<()> {
+        let arity = self.arity;
+        self.pool.with_page_mut(page, |buf| layout::write_internal(buf, node, arity))
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Inserts `(cols, payload)`.
+    ///
+    /// Duplicate `(cols, payload)` pairs are permitted (the tree is a
+    /// multiset, as a relational index over a multiset table must be).
+    pub fn insert(&self, cols: &[i64], payload: u64) -> Result<()> {
+        self.check_arity(cols)?;
+        let entry = Entry::new(cols, payload);
+        let mut meta = self.read_meta()?;
+        if meta.root.is_invalid() {
+            let root = self.alloc_page(&mut meta)?;
+            let leaf = LeafNode { entries: vec![entry], ..LeafNode::empty() };
+            self.store_leaf(root, &leaf)?;
+            meta.root = root;
+            meta.first_leaf = root;
+            meta.height = 1;
+            meta.count = 1;
+            return self.write_meta(&meta);
+        }
+        let (root, height) = (meta.root, meta.height);
+        let split = self.insert_rec(&mut meta, root, height, entry)?;
+        if let Some((sep, right)) = split {
+            let new_root = self.alloc_page(&mut meta)?;
+            let node = InternalNode { child0: meta.root, entries: vec![(sep, right)] };
+            self.store_internal(new_root, &node)?;
+            meta.root = new_root;
+            meta.height += 1;
+        }
+        meta.count += 1;
+        self.write_meta(&meta)
+    }
+
+    /// Recursive insert; returns the `(separator, new right sibling)` pair
+    /// when the visited node split.
+    fn insert_rec(
+        &self,
+        meta: &mut Meta,
+        page: PageId,
+        level: u16,
+        entry: Entry,
+    ) -> Result<Option<(Entry, PageId)>> {
+        if level == 1 {
+            let mut leaf = self.read_leaf(page)?;
+            let pos = leaf.entries.partition_point(|e| e < &entry);
+            leaf.entries.insert(pos, entry);
+            if leaf.entries.len() <= self.leaf_cap {
+                self.store_leaf(page, &leaf)?;
+                return Ok(None);
+            }
+            // Split: right sibling takes the upper half.
+            let mid = leaf.entries.len() / 2;
+            let right_entries = leaf.entries.split_off(mid);
+            let right_page = self.alloc_page(meta)?;
+            let right = LeafNode { entries: right_entries, next: leaf.next, prev: page };
+            let old_next = leaf.next;
+            leaf.next = right_page;
+            let sep = right.entries[0];
+            self.store_leaf(page, &leaf)?;
+            self.store_leaf(right_page, &right)?;
+            if !old_next.is_invalid() {
+                let mut nn = self.read_leaf(old_next)?;
+                nn.prev = right_page;
+                self.store_leaf(old_next, &nn)?;
+            }
+            Ok(Some((sep, right_page)))
+        } else {
+            let node = self.read_internal(page)?;
+            let slot = node.route(&entry);
+            let child = node.child_at(slot);
+            let Some((sep, new_child)) = self.insert_rec(meta, child, level - 1, entry)? else {
+                return Ok(None);
+            };
+            // Re-read: recursion may not touch this page, but staying
+            // disciplined about read-modify-write windows keeps the code
+            // obviously correct if that ever changes.
+            let mut node = self.read_internal(page)?;
+            let pos = node.entries.partition_point(|(s, _)| s < &sep);
+            node.entries.insert(pos, (sep, new_child));
+            if node.entries.len() <= self.internal_cap {
+                self.store_internal(page, &node)?;
+                return Ok(None);
+            }
+            // Split: promote the middle separator.
+            let mid = node.entries.len() / 2;
+            let mut upper = node.entries.split_off(mid);
+            let (promoted, promoted_child) = upper.remove(0);
+            let right_page = self.alloc_page(meta)?;
+            let right = InternalNode { child0: promoted_child, entries: upper };
+            self.store_internal(page, &node)?;
+            self.store_internal(right_page, &right)?;
+            Ok(Some((promoted, right_page)))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Deletes the exact `(cols, payload)` entry.
+    ///
+    /// Returns `false` if no such entry exists.  Underflowing nodes are not
+    /// rebalanced (the common production trade-off, cf. PostgreSQL): pages
+    /// are reclaimed only once empty, which preserves all search invariants
+    /// and keeps deletion logarithmic.
+    pub fn delete(&self, cols: &[i64], payload: u64) -> Result<bool> {
+        self.check_arity(cols)?;
+        let target = Entry::new(cols, payload);
+        let mut meta = self.read_meta()?;
+        if meta.root.is_invalid() {
+            return Ok(false);
+        }
+        // Descend, recording (page, routing slot) for each internal level.
+        let mut path: Vec<(PageId, usize)> = Vec::with_capacity(meta.height as usize);
+        let mut page = meta.root;
+        for _ in 2..=meta.height {
+            let node = self.read_internal(page)?;
+            let slot = node.route(&target);
+            path.push((page, slot));
+            page = node.child_at(slot);
+        }
+        let mut leaf = self.read_leaf(page)?;
+        let Ok(pos) = leaf.entries.binary_search(&target) else {
+            return Ok(false);
+        };
+        leaf.entries.remove(pos);
+        if !leaf.entries.is_empty() || path.is_empty() {
+            // Non-empty leaf, or the leaf *is* the root (an empty root leaf
+            // is legal and keeps the metadata simple).
+            self.store_leaf(page, &leaf)?;
+        } else {
+            self.unlink_leaf(&mut meta, page, &leaf)?;
+            self.remove_child_upwards(&mut meta, &mut path)?;
+            self.collapse_root(&mut meta)?;
+        }
+        meta.count -= 1;
+        self.write_meta(&meta)?;
+        Ok(true)
+    }
+
+    /// Unlinks an emptied leaf from the leaf chain and frees its page.
+    fn unlink_leaf(&self, meta: &mut Meta, page: PageId, leaf: &LeafNode) -> Result<()> {
+        if leaf.prev.is_invalid() {
+            meta.first_leaf = leaf.next;
+        } else {
+            let mut p = self.read_leaf(leaf.prev)?;
+            p.next = leaf.next;
+            self.store_leaf(leaf.prev, &p)?;
+        }
+        if !leaf.next.is_invalid() {
+            let mut n = self.read_leaf(leaf.next)?;
+            n.prev = leaf.prev;
+            self.store_leaf(leaf.next, &n)?;
+        }
+        self.free_page(meta, page)
+    }
+
+    /// Removes the child pointer recorded at the top of `path` from its
+    /// parent, cascading if internal nodes lose their last child.
+    fn remove_child_upwards(&self, meta: &mut Meta, path: &mut Vec<(PageId, usize)>) -> Result<()> {
+        while let Some((ppage, slot)) = path.pop() {
+            let mut pnode = self.read_internal(ppage)?;
+            if slot == 0 {
+                if pnode.entries.is_empty() {
+                    // This internal node just lost its only child.
+                    if path.is_empty() {
+                        // It was the root: the tree is now empty.
+                        self.free_page(meta, ppage)?;
+                        meta.root = PageId::INVALID;
+                        meta.height = 0;
+                        meta.first_leaf = PageId::INVALID;
+                        return Ok(());
+                    }
+                    self.free_page(meta, ppage)?;
+                    continue; // cascade: remove it from *its* parent
+                }
+                let (_, first_child) = pnode.entries.remove(0);
+                pnode.child0 = first_child;
+            } else {
+                pnode.entries.remove(slot - 1);
+            }
+            self.store_internal(ppage, &pnode)?;
+            return Ok(());
+        }
+        Ok(())
+    }
+
+    /// Shrinks the tree while the root is an internal node with one child.
+    fn collapse_root(&self, meta: &mut Meta) -> Result<()> {
+        while meta.height >= 2 {
+            let root = self.read_internal(meta.root)?;
+            if !root.entries.is_empty() {
+                break;
+            }
+            let old_root = meta.root;
+            meta.root = root.child0;
+            meta.height -= 1;
+            self.free_page(meta, old_root)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup and scans
+    // ------------------------------------------------------------------
+
+    /// Returns `true` if the exact `(cols, payload)` entry is present.
+    pub fn contains(&self, cols: &[i64], payload: u64) -> Result<bool> {
+        self.check_arity(cols)?;
+        let target = Entry::new(cols, payload);
+        let meta = self.read_meta()?;
+        if meta.root.is_invalid() {
+            return Ok(false);
+        }
+        let mut page = meta.root;
+        for _ in 2..=meta.height {
+            let node = self.read_internal(page)?;
+            page = node.child_at(node.route(&target));
+        }
+        let leaf = self.read_leaf(page)?;
+        Ok(leaf.entries.binary_search(&target).is_ok())
+    }
+
+    /// Ordered scan of all entries with `lo <= key columns <= hi`
+    /// (inclusive bounds, compared lexicographically).
+    ///
+    /// This is the *index range scan* of the paper's query plans: a search
+    /// phase of `O(log_b n)` page reads followed by a contiguous leaf scan.
+    pub fn scan_range(&self, lo: &[i64], hi: &[i64]) -> RangeScan<'_> {
+        RangeScan::new(self, lo, hi)
+    }
+
+    /// Ordered scan of the entire tree.
+    pub fn scan_all(&self) -> RangeScan<'_> {
+        let lo = vec![i64::MIN; self.arity];
+        let hi = vec![i64::MAX; self.arity];
+        RangeScan::new(self, &lo, &hi)
+    }
+
+    /// Locates the leaf that must contain the first entry `>= target`,
+    /// returning its page id.  Used by the scan cursor.
+    pub(crate) fn descend_to_leaf(&self, target: &Entry) -> Result<Option<PageId>> {
+        let meta = self.read_meta()?;
+        if meta.root.is_invalid() {
+            return Ok(None);
+        }
+        let mut page = meta.root;
+        for _ in 2..=meta.height {
+            let node = self.read_internal(page)?;
+            page = node.child_at(node.route(target));
+        }
+        Ok(Some(page))
+    }
+
+    pub(crate) fn load_leaf(&self, page: PageId) -> Result<LeafNode> {
+        self.read_leaf(page)
+    }
+
+    fn check_arity(&self, cols: &[i64]) -> Result<()> {
+        if cols.len() != self.arity {
+            return Err(Error::InvalidArgument(format!(
+                "key has {} columns, index expects {}",
+                cols.len(),
+                self.arity
+            )));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading
+    // ------------------------------------------------------------------
+
+    /// Builds a tree from entries that are **already sorted** by
+    /// `(key, payload)`, packing leaves to `fill` (0 < fill <= 1).
+    ///
+    /// The paper bulk-loads the competitor indexes before the query
+    /// experiments (Section 6.3 notes their "good clustering properties of
+    /// the bulk loaded indexes"); this constructor provides the same for all
+    /// access methods in this repository.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        arity: usize,
+        entries: impl IntoIterator<Item = (Vec<i64>, u64)>,
+        fill: f64,
+    ) -> Result<BTree> {
+        if !(0.0..=1.0).contains(&fill) || fill <= 0.0 {
+            return Err(Error::InvalidArgument(format!("fill factor {fill} not in (0, 1]")));
+        }
+        let tree = BTree::create(pool, arity)?;
+        let mut meta = tree.read_meta()?;
+        let leaf_target = ((tree.leaf_cap as f64 * fill).floor() as usize).clamp(1, tree.leaf_cap);
+
+        // Phase 1: write the leaf level.
+        let mut leaves: Vec<(Entry, PageId)> = Vec::new(); // (min entry, page)
+        let mut current: Vec<Entry> = Vec::with_capacity(leaf_target);
+        let mut prev_entry: Option<Entry> = None;
+        let mut prev_leaf: Option<PageId> = None;
+        let mut total: u64 = 0;
+
+        let flush_leaf = |tree: &BTree,
+                              meta: &mut Meta,
+                              entries: Vec<Entry>,
+                              prev_leaf: &mut Option<PageId>,
+                              leaves: &mut Vec<(Entry, PageId)>|
+         -> Result<()> {
+            let page = tree.alloc_page(meta)?;
+            let node = LeafNode {
+                entries,
+                next: PageId::INVALID,
+                prev: prev_leaf.unwrap_or(PageId::INVALID),
+            };
+            if let Some(prev) = *prev_leaf {
+                let mut p = tree.read_leaf(prev)?;
+                p.next = page;
+                tree.store_leaf(prev, &p)?;
+            } else {
+                meta.first_leaf = page;
+            }
+            leaves.push((node.entries[0], page));
+            tree.store_leaf(page, &node)?;
+            *prev_leaf = Some(page);
+            Ok(())
+        };
+
+        for (cols, payload) in entries {
+            tree.check_arity(&cols)?;
+            let e = Entry::new(&cols, payload);
+            if let Some(prev) = prev_entry {
+                if e < prev {
+                    return Err(Error::InvalidArgument(
+                        "bulk_load input is not sorted by (key, payload)".to_string(),
+                    ));
+                }
+            }
+            prev_entry = Some(e);
+            current.push(e);
+            total += 1;
+            if current.len() == leaf_target {
+                flush_leaf(&tree, &mut meta, std::mem::take(&mut current), &mut prev_leaf, &mut leaves)?;
+            }
+        }
+        if !current.is_empty() {
+            flush_leaf(&tree, &mut meta, current, &mut prev_leaf, &mut leaves)?;
+        }
+        if leaves.is_empty() {
+            return Ok(tree); // empty input: tree stays empty
+        }
+
+        // Phase 2: build internal levels bottom-up.
+        let internal_target =
+            ((tree.internal_cap as f64 * fill).floor() as usize).clamp(1, tree.internal_cap);
+        let mut level: Vec<(Entry, PageId)> = leaves;
+        let mut height: u16 = 1;
+        while level.len() > 1 {
+            let mut next_level: Vec<(Entry, PageId)> = Vec::new();
+            // Each internal node takes up to internal_target + 1 children.
+            for group in level.chunks(internal_target + 1) {
+                let page = tree.alloc_page(&mut meta)?;
+                let node = InternalNode {
+                    child0: group[0].1,
+                    entries: group[1..].to_vec(),
+                };
+                tree.store_internal(page, &node)?;
+                next_level.push((group[0].0, page));
+            }
+            level = next_level;
+            height += 1;
+        }
+        meta.root = level[0].1;
+        meta.height = height;
+        meta.count = total;
+        tree.write_meta(&meta)?;
+        Ok(tree)
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests and debugging)
+    // ------------------------------------------------------------------
+
+    /// Exhaustively validates structural invariants; returns a descriptive
+    /// error naming the first violation found.
+    ///
+    /// Checked: node ordering, separator bounds, uniform leaf depth, leaf
+    /// chain consistency (forward and backward), capacity limits, and the
+    /// metadata entry count.
+    pub fn check_invariants(&self) -> Result<()> {
+        let meta = self.read_meta()?;
+        if meta.root.is_invalid() {
+            if meta.count != 0 || meta.height != 0 || !meta.first_leaf.is_invalid() {
+                return Err(Error::Corrupt("empty tree with non-empty metadata".to_string()));
+            }
+            return Ok(());
+        }
+        let mut leaves_in_order = Vec::new();
+        let counted =
+            self.check_subtree(meta.root, meta.height, None, None, &mut leaves_in_order)?;
+        if counted != meta.count {
+            return Err(Error::Corrupt(format!(
+                "meta count {} but tree holds {counted} entries",
+                meta.count
+            )));
+        }
+        // Leaf chain must enumerate exactly the in-order leaves.
+        let mut chained = Vec::new();
+        let mut page = meta.first_leaf;
+        let mut prev = PageId::INVALID;
+        while !page.is_invalid() {
+            let leaf = self.read_leaf(page)?;
+            if leaf.prev != prev {
+                return Err(Error::Corrupt(format!("leaf {page} has wrong prev pointer")));
+            }
+            chained.push(page);
+            prev = page;
+            page = leaf.next;
+        }
+        if chained != leaves_in_order {
+            return Err(Error::Corrupt(
+                "leaf chain disagrees with in-order leaf sequence".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_subtree(
+        &self,
+        page: PageId,
+        level: u16,
+        lo: Option<Entry>,
+        hi: Option<Entry>,
+        leaves: &mut Vec<PageId>,
+    ) -> Result<u64> {
+        let in_bounds = |e: &Entry| {
+            lo.is_none_or(|l| *e >= l) && hi.is_none_or(|h| *e < h)
+        };
+        match self.read_any(page)? {
+            Node::Leaf(leaf) => {
+                if level != 1 {
+                    return Err(Error::Corrupt(format!("leaf {page} at level {level}")));
+                }
+                if leaf.entries.len() > self.leaf_cap {
+                    return Err(Error::Corrupt(format!("leaf {page} over capacity")));
+                }
+                if !leaf.entries.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(Error::Corrupt(format!("leaf {page} not strictly sorted")));
+                }
+                if !leaf.entries.iter().all(in_bounds) {
+                    return Err(Error::Corrupt(format!("leaf {page} violates separator bounds")));
+                }
+                leaves.push(page);
+                Ok(leaf.entries.len() as u64)
+            }
+            Node::Internal(node) => {
+                if level < 2 {
+                    return Err(Error::Corrupt(format!("internal node {page} at leaf level")));
+                }
+                if node.entries.len() > self.internal_cap {
+                    return Err(Error::Corrupt(format!("internal {page} over capacity")));
+                }
+                let seps: Vec<Entry> = node.entries.iter().map(|(s, _)| *s).collect();
+                if !seps.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(Error::Corrupt(format!("internal {page} separators unsorted")));
+                }
+                if !seps.iter().all(in_bounds) {
+                    return Err(Error::Corrupt(format!(
+                        "internal {page} separator violates bounds"
+                    )));
+                }
+                let mut total = 0;
+                let mut child_lo = lo;
+                for i in 0..=node.entries.len() {
+                    let child = node.child_at(i);
+                    let child_hi =
+                        if i < node.entries.len() { Some(node.entries[i].0) } else { hi };
+                    total += self.check_subtree(child, level - 1, child_lo, child_hi, leaves)?;
+                    if i < node.entries.len() {
+                        child_lo = Some(node.entries[i].0);
+                    }
+                }
+                Ok(total)
+            }
+        }
+    }
+}

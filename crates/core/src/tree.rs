@@ -1,0 +1,1030 @@
+//! The Relational Interval Tree over the relational engine.
+//!
+//! An [`RiTree`] is exactly the paper's recipe: one relational table
+//! `(node, lower, upper, id)` with two composite indexes (Figure 2), the
+//! O(1) backbone parameters in the database's data dictionary (Section 5),
+//! fork-node maintenance on insert (Figures 5/6), and intersection queries
+//! compiled to the two-fold `UNION ALL` plan of Figure 9 / Figure 10.
+
+use crate::interval::Interval;
+use crate::vtree::BackboneParams;
+use ri_relstore::{
+    BoundExpr, Database, ExecStats, IndexDef, Plan, Row, RowId, Table, TableDef,
+};
+use ri_pagestore::{Error, Result};
+use std::sync::Arc;
+
+/// Artificial, exclusive `node` value for intervals ending at *infinity*
+/// (Section 4.6: "our choice to set fork∞ = MAXINT avoids any modification
+/// of the SQL statement").
+pub const FORK_INF: i64 = i64::MAX;
+/// Artificial, exclusive `node` value for *now*-relative intervals
+/// (Section 4.6: fork_now = MAXINT − 1).
+pub const FORK_NOW: i64 = i64::MAX - 1;
+/// Stored `upper` sentinel for intervals ending at infinity.
+pub const UPPER_INF: i64 = i64::MAX;
+/// Stored `upper` sentinel for now-relative intervals; the effective upper
+/// bound is the query-time `now`.
+pub const UPPER_NOW: i64 = i64::MAX - 1;
+
+/// How an open-ended (temporal) interval terminates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpenEnd {
+    /// Valid forever (`upper = ∞`).
+    Infinity,
+    /// Valid until the current time (`upper = now`), moving as time does.
+    Now,
+}
+
+/// Storage footprint of an RI-tree (drives the Figure 12 comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RiStorage {
+    /// Rows in the base table.
+    pub rows: u64,
+    /// Entries in `lowerIndex` + `upperIndex` (= 2 per interval).
+    pub index_entries: u64,
+    /// Pages used by the two indexes.
+    pub index_pages: u64,
+}
+
+/// The Relational Interval Tree.
+///
+/// ```
+/// use ritree_core::{Interval, RiTree};
+/// use ri_relstore::Database;
+/// use ri_pagestore::{BufferPool, MemDisk, DEFAULT_PAGE_SIZE};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(BufferPool::with_defaults(MemDisk::new(DEFAULT_PAGE_SIZE)));
+/// let db = Arc::new(Database::create(pool).unwrap());
+/// let tree = RiTree::create(Arc::clone(&db), "bookings").unwrap();
+/// tree.insert(Interval::new(10, 20).unwrap(), 1).unwrap();
+/// tree.insert(Interval::new(15, 40).unwrap(), 2).unwrap();
+/// tree.insert(Interval::new(50, 60).unwrap(), 3).unwrap();
+/// let hits = tree.intersection(Interval::new(18, 52).unwrap()).unwrap();
+/// assert_eq!(hits, vec![1, 2, 3]);
+/// let hits = tree.intersection(Interval::new(41, 49).unwrap()).unwrap();
+/// assert!(hits.is_empty());
+/// ```
+pub struct RiTree {
+    db: Arc<Database>,
+    name: String,
+    table_name: String,
+    lower_index: String,
+    upper_index: String,
+    table: Table,
+    /// Optional Skeleton Index extension (paper Section 7): a materialized
+    /// directory of non-empty backbone nodes used to prune query probes.
+    skeleton: Option<crate::skeleton::SkeletonDirectory>,
+}
+
+/// Creation options for [`RiTree::create_with_options`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RiOptions {
+    /// Enable the Skeleton Index extension (paper Section 7): maintain a
+    /// directory of non-empty backbone nodes and use it to drop empty-node
+    /// probes from query plans.  Costs one directory probe per insert.
+    pub skeleton: bool,
+}
+
+impl RiTree {
+    /// Creates the relational schema of Figure 2 (table plus `lowerIndex`
+    /// and `upperIndex`) and registers the backbone parameters in the data
+    /// dictionary.
+    pub fn create(db: Arc<Database>, name: &str) -> Result<RiTree> {
+        Self::create_with_options(db, name, RiOptions::default())
+    }
+
+    /// [`RiTree::create`] with explicit [`RiOptions`].
+    pub fn create_with_options(db: Arc<Database>, name: &str, opts: RiOptions) -> Result<RiTree> {
+        let table_name = format!("RI_{name}");
+        let lower_index = format!("RI_{name}_LOWER");
+        let upper_index = format!("RI_{name}_UPPER");
+        db.create_table(TableDef {
+            name: table_name.clone(),
+            columns: vec!["node".into(), "lower".into(), "upper".into(), "id".into()],
+        })?;
+        // The paper includes `id` in both indexes so intersection queries
+        // are answered from the indexes alone (Figure 10: "the attribute id
+        // was included in the indexes").
+        db.create_index(
+            &table_name,
+            IndexDef { name: lower_index.clone(), key_cols: vec![0, 1, 3] },
+        )?;
+        db.create_index(
+            &table_name,
+            IndexDef { name: upper_index.clone(), key_cols: vec![0, 2, 3] },
+        )?;
+        let skeleton = if opts.skeleton {
+            Some(crate::skeleton::SkeletonDirectory::create(Arc::clone(&db), name)?)
+        } else {
+            None
+        };
+        let table = db.table(&table_name)?;
+        let tree = RiTree {
+            db,
+            name: name.to_string(),
+            table_name,
+            lower_index,
+            upper_index,
+            table,
+            skeleton,
+        };
+        tree.db.set_param(&tree.param("skeleton"), opts.skeleton as i64)?;
+        tree.save_params(&BackboneParams::new())?;
+        Ok(tree)
+    }
+
+    /// Bulk-loads a new RI-tree from `(interval, id)` pairs.
+    ///
+    /// The backbone parameters are computed with pure arithmetic over the
+    /// whole input first; fork nodes are stable under data-space expansion,
+    /// so evaluating them against the *final* parameters yields exactly the
+    /// nodes incremental insertion would have produced.  The heap is filled
+    /// before the indexes are created, so both composite indexes are built
+    /// bottom-up at 90 % fill — the clustered build the paper grants the
+    /// bulk-loaded competitors (Section 6.3).
+    pub fn bulk_load(
+        db: Arc<Database>,
+        name: &str,
+        opts: RiOptions,
+        data: impl IntoIterator<Item = (Interval, i64)>,
+    ) -> Result<RiTree> {
+        let table_name = format!("RI_{name}");
+        let lower_index = format!("RI_{name}_LOWER");
+        let upper_index = format!("RI_{name}_UPPER");
+        db.create_table(TableDef {
+            name: table_name.clone(),
+            columns: vec!["node".into(), "lower".into(), "upper".into(), "id".into()],
+        })?;
+
+        // Phase 1: backbone parameters (arithmetic only, no I/O).
+        let data: Vec<(Interval, i64)> = data.into_iter().collect();
+        let mut p = BackboneParams::new();
+        let mut min_lower = None::<i64>;
+        let mut max_upper = None::<i64>;
+        for &(iv, _) in &data {
+            if iv.upper >= UPPER_NOW {
+                return Err(Error::InvalidArgument(format!(
+                    "upper bound {} collides with the temporal sentinels",
+                    iv.upper
+                )));
+            }
+            p.prepare_insert(iv.lower, iv.upper);
+            min_lower = Some(min_lower.map_or(iv.lower, |v: i64| v.min(iv.lower)));
+            max_upper = Some(max_upper.map_or(iv.upper, |v: i64| v.max(iv.upper)));
+        }
+
+        // Phase 2: heap rows with final-parameter fork nodes.
+        let table = db.table(&table_name)?;
+        let mut forks = Vec::with_capacity(data.len());
+        for &(iv, id) in &data {
+            let node = p.fork_of(iv.lower, iv.upper).expect("offset fixed in phase 1");
+            table.insert(&[node, iv.lower, iv.upper, id])?;
+            forks.push(node);
+        }
+
+        // Phase 3: clustered index builds.
+        db.create_index(
+            &table_name,
+            IndexDef { name: lower_index.clone(), key_cols: vec![0, 1, 3] },
+        )?;
+        db.create_index(
+            &table_name,
+            IndexDef { name: upper_index.clone(), key_cols: vec![0, 2, 3] },
+        )?;
+        let skeleton = if opts.skeleton {
+            let dir = crate::skeleton::SkeletonDirectory::create(Arc::clone(&db), name)?;
+            forks.sort_unstable();
+            forks.dedup();
+            for node in forks {
+                dir.add(node)?;
+            }
+            Some(dir)
+        } else {
+            None
+        };
+
+        let table = db.table(&table_name)?;
+        let tree = RiTree {
+            db,
+            name: name.to_string(),
+            table_name,
+            lower_index,
+            upper_index,
+            table,
+            skeleton,
+        };
+        tree.db.set_param(&tree.param("skeleton"), opts.skeleton as i64)?;
+        tree.save_params(&p)?;
+        if let Some(v) = min_lower {
+            tree.db.set_param(&tree.param("min_lower"), v)?;
+        }
+        if let Some(v) = max_upper {
+            tree.db.set_param(&tree.param("max_upper"), v)?;
+        }
+        Ok(tree)
+    }
+
+    /// Re-attaches to an RI-tree previously created under `name`,
+    /// restoring its options from the data dictionary.
+    pub fn open(db: Arc<Database>, name: &str) -> Result<RiTree> {
+        let table_name = format!("RI_{name}");
+        let lower_index = format!("RI_{name}_LOWER");
+        let upper_index = format!("RI_{name}_UPPER");
+        let table = db.table(&table_name)?; // errors if absent
+        table.index(&lower_index)?;
+        table.index(&upper_index)?;
+        let has_skeleton = db.get_param(&format!("{name}.skeleton")) == Some(1);
+        let skeleton = if has_skeleton {
+            Some(crate::skeleton::SkeletonDirectory::open(Arc::clone(&db), name)?)
+        } else {
+            None
+        };
+        Ok(RiTree {
+            db,
+            name: name.to_string(),
+            table_name,
+            lower_index,
+            upper_index,
+            table,
+            skeleton,
+        })
+    }
+
+    /// The logical name this tree was created under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying database (for I/O statistics and checkpointing).
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Base table name (`RI_<name>`).
+    pub fn table_name(&self) -> &str {
+        &self.table_name
+    }
+
+    // ------------------------------------------------------------------
+    // Parameter dictionary (Section 5)
+    // ------------------------------------------------------------------
+
+    fn param(&self, key: &str) -> String {
+        format!("{}.{key}", self.name)
+    }
+
+    /// Loads the backbone parameters from the data dictionary.
+    pub fn load_params(&self) -> Result<BackboneParams> {
+        Ok(BackboneParams {
+            offset: self.db.get_param(&self.param("offset")),
+            left_root: self.db.get_param(&self.param("left_root")).unwrap_or(0),
+            right_root: self.db.get_param(&self.param("right_root")).unwrap_or(0),
+            minstep2: self.db.get_param(&self.param("minstep2")).unwrap_or(i64::MAX),
+        })
+    }
+
+    fn save_params(&self, p: &BackboneParams) -> Result<()> {
+        let mut entries: Vec<(String, i64)> = vec![
+            (self.param("left_root"), p.left_root),
+            (self.param("right_root"), p.right_root),
+            (self.param("minstep2"), p.minstep2),
+        ];
+        if let Some(off) = p.offset {
+            entries.push((self.param("offset"), off));
+        }
+        let borrowed: Vec<(&str, i64)> =
+            entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        self.db.set_params(&borrowed)
+    }
+
+    fn bump_counter(&self, key: &str, delta: i64) -> Result<()> {
+        let k = self.param(key);
+        let v = self.db.get_param(&k).unwrap_or(0) + delta;
+        self.db.set_param(&k, v)
+    }
+
+    fn counter(&self, key: &str) -> i64 {
+        self.db.get_param(&self.param(key)).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (Section 3.3 / 3.4)
+    // ------------------------------------------------------------------
+
+    /// Inserts an interval with an application-supplied `id`.
+    ///
+    /// This is Figure 6 followed by Figure 5: O(height) arithmetic to find
+    /// the fork node and maintain the parameters, then a single relational
+    /// insert costing O(log_b n) I/Os.
+    pub fn insert(&self, iv: Interval, id: i64) -> Result<()> {
+        if iv.upper >= UPPER_NOW {
+            return Err(Error::InvalidArgument(format!(
+                "upper bound {} collides with the temporal sentinels",
+                iv.upper
+            )));
+        }
+        let mut p = self.load_params()?;
+        let before = p;
+        let node = p.prepare_insert(iv.lower, iv.upper);
+        if p != before {
+            self.save_params(&p)?;
+        }
+        self.table.insert(&[node, iv.lower, iv.upper, id])?;
+        if let Some(dir) = &self.skeleton {
+            dir.add(node)?;
+        }
+        self.track_bounds(iv.lower, Some(iv.upper))
+    }
+
+    /// Maintains the `min_lower` / `max_upper` dictionary entries used by
+    /// the one-sided Allen queries (*before* / *after*).
+    fn track_bounds(&self, lower: i64, upper: Option<i64>) -> Result<()> {
+        let kl = self.param("min_lower");
+        if self.db.get_param(&kl).is_none_or(|v| lower < v) {
+            self.db.set_param(&kl, lower)?;
+        }
+        if let Some(u) = upper {
+            let ku = self.param("max_upper");
+            if self.db.get_param(&ku).is_none_or(|v| u > v) {
+                self.db.set_param(&ku, u)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts an open-ended temporal interval `[lower, now]` or
+    /// `[lower, ∞)` (Section 4.6).
+    ///
+    /// Open intervals are registered at the artificial fork nodes
+    /// [`FORK_NOW`] / [`FORK_INF`], outside the virtual backbone; no
+    /// backbone parameter changes.
+    pub fn insert_open(&self, lower: i64, end: OpenEnd, id: i64) -> Result<()> {
+        let (node, upper, counter) = match end {
+            OpenEnd::Infinity => (FORK_INF, UPPER_INF, "n_inf"),
+            OpenEnd::Now => (FORK_NOW, UPPER_NOW, "n_now"),
+        };
+        self.table.insert(&[node, lower, upper, id])?;
+        self.bump_counter(counter, 1)?;
+        self.track_bounds(lower, None)
+    }
+
+    /// Deletes the interval `(iv, id)`; returns `false` if not present.
+    ///
+    /// The fork node is recomputed from the current parameters — fork nodes
+    /// are stable under data-space expansion, so this finds the row
+    /// regardless of how the tree grew since the insert.
+    pub fn delete(&self, iv: Interval, id: i64) -> Result<bool> {
+        let p = self.load_params()?;
+        let Some(node) = p.fork_of(iv.lower, iv.upper) else {
+            return Ok(false);
+        };
+        self.delete_exact(node, iv.lower, Some(iv.upper), id)
+    }
+
+    /// Deletes an open-ended interval inserted with [`RiTree::insert_open`].
+    pub fn delete_open(&self, lower: i64, end: OpenEnd, id: i64) -> Result<bool> {
+        let (node, counter) = match end {
+            OpenEnd::Infinity => (FORK_INF, "n_inf"),
+            OpenEnd::Now => (FORK_NOW, "n_now"),
+        };
+        let deleted = self.delete_exact(node, lower, None, id)?;
+        if deleted {
+            self.bump_counter(counter, -1)?;
+        }
+        Ok(deleted)
+    }
+
+    fn delete_exact(&self, node: i64, lower: i64, upper: Option<i64>, id: i64) -> Result<bool> {
+        let index = self.table.index(&self.lower_index)?;
+        let key = [node, lower, id];
+        let mut deleted = false;
+        for entry in index.scan_range(&key, &key) {
+            let entry = entry?;
+            let rid = RowId::from_raw(entry.payload);
+            let Some(row) = self.table.fetch(rid)? else {
+                continue;
+            };
+            if upper.is_none_or(|u| row[2] == u) {
+                deleted = self.table.delete(rid)?;
+                break;
+            }
+        }
+        if deleted {
+            if let Some(dir) = &self.skeleton {
+                // If the node just lost its last interval, retire it from
+                // the directory.
+                let index = self.table.index(&self.lower_index)?;
+                let still_used = index
+                    .scan_range(&[node, i64::MIN, i64::MIN], &[node, i64::MAX, i64::MAX])
+                    .next()
+                    .is_some();
+                if !still_used {
+                    dir.remove(node)?;
+                }
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Number of stored intervals (including open-ended ones).
+    pub fn count(&self) -> Result<u64> {
+        self.table.row_count()
+    }
+
+    /// Backbone height per the Section 3.5 analysis.
+    pub fn height(&self) -> Result<u32> {
+        Ok(self.load_params()?.height())
+    }
+
+    /// Storage footprint (Figure 12's metric: number of index entries).
+    pub fn storage(&self) -> Result<RiStorage> {
+        let lower = self.db.index_stats(&self.table_name, &self.lower_index)?;
+        let upper = self.db.index_stats(&self.table_name, &self.upper_index)?;
+        Ok(RiStorage {
+            rows: self.table.row_count()?,
+            index_entries: lower.entries + upper.entries,
+            index_pages: lower.pages + upper.pages,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (Section 4)
+    // ------------------------------------------------------------------
+
+    /// Compiles the intersection query `q` into the two-fold plan of
+    /// Figure 9: `leftNodes ⋈ upperIndex UNION ALL rightNodes ⋈ lowerIndex`.
+    ///
+    /// `now` resolves now-relative intervals (Section 4.6); pass anything
+    /// when the tree holds none.
+    pub fn intersection_plan(&self, q: Interval, now: i64) -> Result<Plan> {
+        let p = self.load_params()?;
+        let mut nodes = p.query_nodes(q.lower, q.upper);
+        if let Some(dir) = &self.skeleton {
+            // Skeleton Index extension: drop transient entries whose node
+            // holds no intervals (the final `left` element is the BETWEEN
+            // range pair and always stays — it is one scan regardless).
+            let pair = nodes.left.pop();
+            let singles: Vec<i64> = nodes.left.iter().map(|&(w, _)| w).collect();
+            let (left, right) = Self::skeleton_filter(dir, singles, nodes.right)?;
+            nodes.left = left.into_iter().map(|w| (w, w)).collect();
+            nodes.left.extend(pair);
+            nodes.right = right;
+        }
+        let left_rows: Vec<Row> = nodes.left.iter().map(|&(a, b)| vec![a, b]).collect();
+        let mut right_rows: Vec<Row> = nodes.right.iter().map(|&w| vec![w]).collect();
+        // Temporal sentinels: fork∞ always participates; fork_now exactly
+        // if the query begins in the past (Section 4.6).  To keep the I/O
+        // counts of the non-temporal experiments exact, the sentinels are
+        // only added when open intervals actually exist.
+        if self.counter("n_inf") > 0 {
+            right_rows.push(vec![FORK_INF]);
+        }
+        if self.counter("n_now") > 0 && q.lower <= now {
+            right_rows.push(vec![FORK_NOW]);
+        }
+        Ok(Plan::UnionAll(vec![
+            Plan::NestedLoops {
+                outer: Box::new(Plan::CollectionIterator {
+                    name: "LEFT_NODES".into(),
+                    rows: left_rows,
+                }),
+                // i.node BETWEEN left.min AND left.max AND i.upper >= :lower
+                inner: Box::new(Plan::IndexRangeScan {
+                    table: self.table_name.clone(),
+                    index: self.upper_index.clone(),
+                    lo: vec![BoundExpr::Outer(0), BoundExpr::Const(q.lower), BoundExpr::NegInf],
+                    hi: vec![BoundExpr::Outer(1), BoundExpr::PosInf, BoundExpr::PosInf],
+                }),
+            },
+            Plan::NestedLoops {
+                outer: Box::new(Plan::CollectionIterator {
+                    name: "RIGHT_NODES".into(),
+                    rows: right_rows,
+                }),
+                // i.node = right.node AND i.lower <= :upper
+                inner: Box::new(Plan::IndexRangeScan {
+                    table: self.table_name.clone(),
+                    index: self.lower_index.clone(),
+                    lo: vec![BoundExpr::Outer(0), BoundExpr::NegInf, BoundExpr::NegInf],
+                    hi: vec![BoundExpr::Outer(0), BoundExpr::Const(q.upper), BoundExpr::PosInf],
+                }),
+            },
+        ]))
+    }
+
+    /// The *preliminary* three-fold plan of Figure 8, before the
+    /// Section 4.3 transformation: exact-node branches for `leftNodes` and
+    /// `rightNodes` plus a separate BETWEEN branch on the covered node
+    /// range.  Produces the same (duplicate-free) result as
+    /// [`RiTree::intersection_plan`]; kept as an ablation target for the
+    /// two-fold optimization.
+    pub fn intersection_plan_fig8(&self, q: Interval, now: i64) -> Result<Plan> {
+        let p = self.load_params()?;
+        let nodes = p.query_nodes(q.lower, q.upper);
+        // Strip the Section 4.3 range pair back off: left side becomes the
+        // exact node list again, the BETWEEN condition becomes its own
+        // branch.
+        let left_rows: Vec<Row> = nodes
+            .left
+            .iter()
+            .filter(|(a, b)| a == b)
+            .map(|&(w, _)| vec![w])
+            .collect();
+        let mut right_rows: Vec<Row> = nodes.right.iter().map(|&w| vec![w]).collect();
+        if self.counter("n_inf") > 0 {
+            right_rows.push(vec![FORK_INF]);
+        }
+        if self.counter("n_now") > 0 && q.lower <= now {
+            right_rows.push(vec![FORK_NOW]);
+        }
+        let mut branches = vec![
+            Plan::NestedLoops {
+                outer: Box::new(Plan::CollectionIterator {
+                    name: "LEFT_NODES".into(),
+                    rows: left_rows,
+                }),
+                inner: Box::new(Plan::IndexRangeScan {
+                    table: self.table_name.clone(),
+                    index: self.upper_index.clone(),
+                    lo: vec![BoundExpr::Outer(0), BoundExpr::Const(q.lower), BoundExpr::NegInf],
+                    hi: vec![BoundExpr::Outer(0), BoundExpr::PosInf, BoundExpr::PosInf],
+                }),
+            },
+            Plan::NestedLoops {
+                outer: Box::new(Plan::CollectionIterator {
+                    name: "RIGHT_NODES".into(),
+                    rows: right_rows,
+                }),
+                inner: Box::new(Plan::IndexRangeScan {
+                    table: self.table_name.clone(),
+                    index: self.lower_index.clone(),
+                    lo: vec![BoundExpr::Outer(0), BoundExpr::NegInf, BoundExpr::NegInf],
+                    hi: vec![BoundExpr::Outer(0), BoundExpr::Const(q.upper), BoundExpr::PosInf],
+                }),
+            },
+        ];
+        if let (Some(l), Some(u)) = (p.shift(q.lower), p.shift(q.upper)) {
+            // i.node BETWEEN :lower − offset AND :upper − offset.
+            branches.push(Plan::IndexRangeScan {
+                table: self.table_name.clone(),
+                index: self.lower_index.clone(),
+                lo: vec![BoundExpr::Const(l), BoundExpr::NegInf, BoundExpr::NegInf],
+                hi: vec![BoundExpr::Const(u), BoundExpr::PosInf, BoundExpr::PosInf],
+            });
+        }
+        Ok(Plan::UnionAll(branches))
+    }
+
+    /// Intersection plan with the Section 3.4 granularity pruning
+    /// disabled (`minstep` treated as 1): descents always reach the leaf
+    /// level.  Ablation target for the `minstep` optimization.
+    pub fn intersection_plan_unpruned(&self, q: Interval, now: i64) -> Result<Plan> {
+        let mut p = self.load_params()?;
+        if p.offset.is_some() {
+            p.minstep2 = 1;
+        }
+        let nodes = p.query_nodes(q.lower, q.upper);
+        let left_rows: Vec<Row> = nodes.left.iter().map(|&(a, b)| vec![a, b]).collect();
+        let mut right_rows: Vec<Row> = nodes.right.iter().map(|&w| vec![w]).collect();
+        if self.counter("n_inf") > 0 {
+            right_rows.push(vec![FORK_INF]);
+        }
+        if self.counter("n_now") > 0 && q.lower <= now {
+            right_rows.push(vec![FORK_NOW]);
+        }
+        Ok(Plan::UnionAll(vec![
+            Plan::NestedLoops {
+                outer: Box::new(Plan::CollectionIterator {
+                    name: "LEFT_NODES".into(),
+                    rows: left_rows,
+                }),
+                inner: Box::new(Plan::IndexRangeScan {
+                    table: self.table_name.clone(),
+                    index: self.upper_index.clone(),
+                    lo: vec![BoundExpr::Outer(0), BoundExpr::Const(q.lower), BoundExpr::NegInf],
+                    hi: vec![BoundExpr::Outer(1), BoundExpr::PosInf, BoundExpr::PosInf],
+                }),
+            },
+            Plan::NestedLoops {
+                outer: Box::new(Plan::CollectionIterator {
+                    name: "RIGHT_NODES".into(),
+                    rows: right_rows,
+                }),
+                inner: Box::new(Plan::IndexRangeScan {
+                    table: self.table_name.clone(),
+                    index: self.lower_index.clone(),
+                    lo: vec![BoundExpr::Outer(0), BoundExpr::NegInf, BoundExpr::NegInf],
+                    hi: vec![BoundExpr::Outer(0), BoundExpr::Const(q.upper), BoundExpr::PosInf],
+                }),
+            },
+        ]))
+    }
+
+    /// Executes an arbitrary plan built by one of the plan constructors and
+    /// extracts sorted result ids (used by the ablation benchmarks).
+    pub fn execute_id_plan(&self, plan: &Plan) -> Result<(Vec<i64>, ExecStats)> {
+        let mut stats = ExecStats::default();
+        let rows = self.db.execute(plan, &mut stats)?;
+        let mut ids: Vec<i64> = rows.iter().map(|r| r[2]).collect();
+        ids.sort_unstable();
+        Ok((ids, stats))
+    }
+
+    /// Reports the ids of all stored intervals intersecting `q`, treating
+    /// now-relative intervals as ending at `now`.
+    ///
+    /// Results are distinct by construction (the paper's Section 4.2: the
+    /// three conditions address disjoint interval sets) and returned in
+    /// ascending id order for deterministic comparisons.
+    pub fn intersection_at(&self, q: Interval, now: i64) -> Result<Vec<i64>> {
+        Ok(self.intersection_with_stats(q, now)?.0)
+    }
+
+    /// Like [`RiTree::intersection_at`] with `now = UPPER_NOW − 1`, i.e.
+    /// now-relative intervals are always considered current.
+    pub fn intersection(&self, q: Interval) -> Result<Vec<i64>> {
+        self.intersection_at(q, UPPER_NOW - 1)
+    }
+
+    /// Intersection query returning executor statistics alongside the ids.
+    pub fn intersection_with_stats(
+        &self,
+        q: Interval,
+        now: i64,
+    ) -> Result<(Vec<i64>, ExecStats)> {
+        let plan = self.intersection_plan(q, now)?;
+        let mut stats = ExecStats::default();
+        let rows = self.db.execute(&plan, &mut stats)?;
+        let mut ids: Vec<i64> = rows.iter().map(|r| r[2]).collect();
+        ids.sort_unstable();
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] != w[1]),
+            "intersection branches must be disjoint (Section 4.2)"
+        );
+        Ok((ids, stats))
+    }
+
+    /// Stabbing (point) query: all intervals containing `p` — "supporting
+    /// point queries as efficient as interval queries" (Section 4.1).
+    pub fn stab(&self, p: i64) -> Result<Vec<i64>> {
+        self.intersection(Interval::point(p))
+    }
+
+    /// Renders the Figure 10 execution plan for `q`.
+    pub fn explain(&self, q: Interval) -> Result<String> {
+        Ok(ri_relstore::explain::explain(&self.intersection_plan(q, UPPER_NOW - 1)?))
+    }
+
+    /// Fetches `(interval, id)` rows for candidate result rows; used by the
+    /// Allen-relation queries to apply exact predicates.
+    pub(crate) fn fetch_bounds(&self, rows: &[Row], now: i64) -> Result<Vec<(Interval, i64)>> {
+        let mut out = Vec::with_capacity(rows.len());
+        for r in rows {
+            let rid = RowId::from_raw(r[3] as u64);
+            let Some(full) = self.table.fetch(rid)? else {
+                continue;
+            };
+            let upper = match full[2] {
+                UPPER_INF => i64::MAX,
+                UPPER_NOW => now,
+                u => u,
+            };
+            if upper < full[1] {
+                // A now-interval whose start lies in the future of `now`
+                // is not yet valid.
+                continue;
+            }
+            out.push((Interval { lower: full[1], upper }, full[3]));
+        }
+        Ok(out)
+    }
+
+    /// Executes an intersection plan and returns the raw result rows
+    /// (key columns + rowid), for callers that post-process candidates.
+    pub(crate) fn intersection_rows(&self, q: Interval, now: i64) -> Result<Vec<Row>> {
+        let plan = self.intersection_plan(q, now)?;
+        let mut stats = ExecStats::default();
+        self.db.execute(&plan, &mut stats)
+    }
+
+    /// Whether any open-ended (`now`/∞) intervals are currently stored.
+    pub fn has_open_intervals(&self) -> bool {
+        self.counter("n_inf") > 0 || self.counter("n_now") > 0
+    }
+
+    /// Smallest stored lower bound (tracked for the one-sided Allen
+    /// queries); `None` while empty.
+    pub fn min_lower(&self) -> Option<i64> {
+        self.db.get_param(&self.param("min_lower"))
+    }
+
+    /// Largest stored finite upper bound; `None` while empty.
+    pub fn max_upper(&self) -> Option<i64> {
+        self.db.get_param(&self.param("max_upper"))
+    }
+}
+
+impl ri_relstore::IntervalAccessMethod for RiTree {
+    fn method_name(&self) -> &'static str {
+        "RI-tree"
+    }
+
+    fn am_insert(&self, lower: i64, upper: i64, id: i64) -> Result<()> {
+        self.insert(Interval::new(lower, upper)?, id)
+    }
+
+    fn am_delete(&self, lower: i64, upper: i64, id: i64) -> Result<bool> {
+        self.delete(Interval::new(lower, upper)?, id)
+    }
+
+    fn am_intersection(&self, lower: i64, upper: i64) -> Result<Vec<i64>> {
+        self.intersection(Interval::new(lower, upper)?)
+    }
+
+    fn am_intersection_with_stats(
+        &self,
+        lower: i64,
+        upper: i64,
+    ) -> Result<(Vec<i64>, ri_relstore::ExecStats)> {
+        self.intersection_with_stats(Interval::new(lower, upper)?, UPPER_NOW - 1)
+    }
+
+    fn am_index_entries(&self) -> Result<u64> {
+        Ok(self.storage()?.index_entries)
+    }
+
+    fn am_count(&self) -> Result<u64> {
+        self.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_pagestore::{BufferPool, BufferPoolConfig, MemDisk, DEFAULT_PAGE_SIZE};
+
+    fn fresh() -> (Arc<Database>, RiTree) {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(DEFAULT_PAGE_SIZE),
+            BufferPoolConfig { capacity: 200 },
+        ));
+        let db = Arc::new(Database::create(pool).unwrap());
+        let tree = RiTree::create(Arc::clone(&db), "t").unwrap();
+        (db, tree)
+    }
+
+    #[test]
+    fn quickstart_roundtrip() {
+        let (_db, tree) = fresh();
+        tree.insert(Interval::new(10, 20).unwrap(), 1).unwrap();
+        tree.insert(Interval::new(15, 40).unwrap(), 2).unwrap();
+        tree.insert(Interval::new(50, 60).unwrap(), 3).unwrap();
+        assert_eq!(tree.count().unwrap(), 3);
+        assert_eq!(tree.intersection(Interval::new(18, 52).unwrap()).unwrap(), vec![1, 2, 3]);
+        assert_eq!(tree.intersection(Interval::new(41, 49).unwrap()).unwrap(), Vec::<i64>::new());
+        assert_eq!(tree.stab(12).unwrap(), vec![1]);
+        assert_eq!(tree.stab(20).unwrap(), vec![1, 2], "closed bounds intersect");
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_pseudorandom_data() {
+        let (_db, tree) = fresh();
+        let mut data: Vec<(Interval, i64)> = Vec::new();
+        let mut x = 0xDEADBEEFu64;
+        for id in 0..800 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let l = (x % 10_000) as i64;
+            let len = ((x >> 40) % 500) as i64;
+            let iv = Interval::new(l, l + len).unwrap();
+            tree.insert(iv, id).unwrap();
+            data.push((iv, id));
+        }
+        for qi in 0..50 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let ql = (x % 11_000) as i64 - 500;
+            let qlen = ((x >> 33) % 800) as i64;
+            let q = Interval::new(ql, ql + qlen).unwrap();
+            let got = tree.intersection(q).unwrap();
+            let mut want: Vec<i64> =
+                data.iter().filter(|(iv, _)| iv.intersects(&q)).map(|&(_, id)| id).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi}: {q}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_exactly_one_row() {
+        let (_db, tree) = fresh();
+        let iv = Interval::new(5, 9).unwrap();
+        tree.insert(iv, 1).unwrap();
+        tree.insert(iv, 2).unwrap(); // same bounds, different id
+        assert!(tree.delete(iv, 1).unwrap());
+        assert!(!tree.delete(iv, 1).unwrap(), "double delete reports false");
+        assert_eq!(tree.intersection(iv).unwrap(), vec![2]);
+        assert_eq!(tree.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn delete_after_data_space_expansion() {
+        let (_db, tree) = fresh();
+        let early = Interval::new(3, 4).unwrap();
+        tree.insert(early, 1).unwrap();
+        // Expand the space far beyond the original root.
+        tree.insert(Interval::new(1 << 20, (1 << 20) + 5).unwrap(), 2).unwrap();
+        tree.insert(Interval::new(-5000, -4000).unwrap(), 3).unwrap();
+        assert!(tree.delete(early, 1).unwrap(), "fork must be stable under expansion");
+        assert_eq!(tree.intersection(Interval::new(0, 10).unwrap()).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn negative_bounds_and_late_left_expansion() {
+        let (_db, tree) = fresh();
+        tree.insert(Interval::new(1000, 1100).unwrap(), 1).unwrap();
+        tree.insert(Interval::new(-800, -700).unwrap(), 2).unwrap();
+        tree.insert(Interval::new(-100, 1500).unwrap(), 3).unwrap();
+        assert_eq!(tree.intersection(Interval::new(-750, -720).unwrap()).unwrap(), vec![2]);
+        assert_eq!(tree.intersection(Interval::new(-1000, 2000).unwrap()).unwrap(), vec![1, 2, 3]);
+        assert_eq!(tree.intersection(Interval::new(-699, 999).unwrap()).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn points_as_degenerate_intervals() {
+        let (_db, tree) = fresh();
+        for p in 0..100 {
+            tree.insert(Interval::point(p * 2), p).unwrap();
+        }
+        assert_eq!(tree.intersection(Interval::new(10, 14).unwrap()).unwrap(), vec![5, 6, 7]);
+        assert_eq!(tree.stab(11).unwrap(), Vec::<i64>::new());
+        assert_eq!(tree.stab(12).unwrap(), vec![6]);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let (_db, tree) = fresh();
+        assert_eq!(tree.intersection(Interval::new(0, 100).unwrap()).unwrap(), Vec::<i64>::new());
+        assert_eq!(tree.count().unwrap(), 0);
+        assert_eq!(tree.height().unwrap(), 0);
+    }
+
+    #[test]
+    fn open_infinity_intervals() {
+        let (_db, tree) = fresh();
+        tree.insert(Interval::new(0, 10).unwrap(), 1).unwrap();
+        tree.insert_open(100, OpenEnd::Infinity, 2).unwrap();
+        // Intersects any query at or after its start.
+        assert_eq!(tree.intersection(Interval::new(500, 600).unwrap()).unwrap(), vec![2]);
+        assert_eq!(tree.intersection(Interval::new(0, 99).unwrap()).unwrap(), vec![1]);
+        assert_eq!(tree.intersection(Interval::new(0, 100).unwrap()).unwrap(), vec![1, 2]);
+        assert!(tree.delete_open(100, OpenEnd::Infinity, 2).unwrap());
+        assert_eq!(tree.intersection(Interval::new(500, 600).unwrap()).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn open_now_intervals_follow_query_time() {
+        let (_db, tree) = fresh();
+        tree.insert_open(100, OpenEnd::Now, 7).unwrap();
+        // now = 150: the interval is [100, 150].
+        assert_eq!(tree.intersection_at(Interval::new(120, 130).unwrap(), 150).unwrap(), vec![7]);
+        assert_eq!(
+            tree.intersection_at(Interval::new(160, 170).unwrap(), 150).unwrap(),
+            Vec::<i64>::new(),
+            "query entirely after now must miss"
+        );
+        // now = 165: the same interval now reaches the query.
+        assert_eq!(tree.intersection_at(Interval::new(160, 170).unwrap(), 165).unwrap(), vec![7]);
+        // A query before the start never matches.
+        assert_eq!(
+            tree.intersection_at(Interval::new(0, 99).unwrap(), 150).unwrap(),
+            Vec::<i64>::new()
+        );
+    }
+
+    #[test]
+    fn sentinel_collision_rejected() {
+        let (_db, tree) = fresh();
+        assert!(tree.insert(Interval::new(0, i64::MAX - 1).unwrap(), 1).is_err());
+    }
+
+    #[test]
+    fn reopen_preserves_everything() {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(DEFAULT_PAGE_SIZE),
+            BufferPoolConfig { capacity: 200 },
+        ));
+        let db = Arc::new(Database::create(Arc::clone(&pool)).unwrap());
+        {
+            let tree = RiTree::create(Arc::clone(&db), "t").unwrap();
+            for i in 0..100 {
+                tree.insert(Interval::new(i * 10, i * 10 + 25).unwrap(), i).unwrap();
+            }
+        }
+        let tree = RiTree::open(Arc::clone(&db), "t").unwrap();
+        assert_eq!(tree.count().unwrap(), 100);
+        let hits = tree.intersection(Interval::new(95, 105).unwrap()).unwrap();
+        // Intervals [i·10, i·10 + 25] intersect [95, 105] for i in 7..=10.
+        assert_eq!(hits, vec![7, 8, 9, 10]);
+        assert!(RiTree::open(db, "missing").is_err());
+    }
+
+    #[test]
+    fn explain_matches_figure_10() {
+        let (_db, tree) = fresh();
+        tree.insert(Interval::new(0, 100).unwrap(), 1).unwrap();
+        let text = tree.explain(Interval::new(10, 20).unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "SELECT STATEMENT");
+        assert_eq!(lines[1], "  UNION-ALL");
+        assert_eq!(lines[2], "    NESTED LOOPS");
+        assert!(lines[3].trim_start().starts_with("COLLECTION ITERATOR LEFT_NODES"));
+        assert!(lines[4].trim_start().starts_with("INDEX RANGE SCAN RI_t_UPPER"));
+        assert_eq!(lines[5], "    NESTED LOOPS");
+        assert!(lines[6].trim_start().starts_with("COLLECTION ITERATOR RIGHT_NODES"));
+        assert!(lines[7].trim_start().starts_with("INDEX RANGE SCAN RI_t_LOWER"));
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        let mk_db = || {
+            let pool = Arc::new(BufferPool::new(
+                MemDisk::new(DEFAULT_PAGE_SIZE),
+                BufferPoolConfig { capacity: 200 },
+            ));
+            Arc::new(Database::create(pool).unwrap())
+        };
+        let mut data = Vec::new();
+        let mut x = 0x60_0Du64;
+        for id in 0..3000i64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let l = (x % 200_000) as i64 - 50_000; // negatives included
+            let len = ((x >> 40) % 3000) as i64;
+            data.push((Interval::new(l, l + len).unwrap(), id));
+        }
+        let bulk = RiTree::bulk_load(mk_db(), "t", RiOptions::default(), data.clone()).unwrap();
+        let incr = RiTree::create(mk_db(), "t").unwrap();
+        for &(iv, id) in &data {
+            incr.insert(iv, id).unwrap();
+        }
+        // Identical backbone parameters: bulk must reproduce the exact
+        // incremental state, not just equivalent answers.
+        assert_eq!(bulk.load_params().unwrap(), incr.load_params().unwrap());
+        assert_eq!(bulk.count().unwrap(), incr.count().unwrap());
+        for q in [(-60_000i64, 300_000i64), (0, 1000), (100_000, 100_500), (7, 7)] {
+            let q = Interval::new(q.0, q.1).unwrap();
+            assert_eq!(bulk.intersection(q).unwrap(), incr.intersection(q).unwrap(), "{q}");
+        }
+        // Deletions work on bulk-loaded trees (forks recomputed correctly).
+        let (iv, id) = data[1234];
+        assert!(bulk.delete(iv, id).unwrap());
+        assert!(!bulk.delete(iv, id).unwrap());
+        // Bulk-loaded indexes are denser.
+        assert!(
+            bulk.storage().unwrap().index_pages <= incr.storage().unwrap().index_pages,
+        );
+    }
+
+    #[test]
+    fn bulk_load_empty_and_with_skeleton() {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(DEFAULT_PAGE_SIZE),
+            BufferPoolConfig { capacity: 200 },
+        ));
+        let db = Arc::new(Database::create(pool).unwrap());
+        let empty = RiTree::bulk_load(Arc::clone(&db), "e", RiOptions::default(), []).unwrap();
+        assert_eq!(empty.count().unwrap(), 0);
+        assert_eq!(empty.intersection(Interval::new(0, 10).unwrap()).unwrap(), Vec::<i64>::new());
+
+        let data: Vec<(Interval, i64)> =
+            (0..500).map(|i| (Interval::new(i * 3, i * 3 + 10).unwrap(), i)).collect();
+        let skel =
+            RiTree::bulk_load(Arc::clone(&db), "s", RiOptions { skeleton: true }, data.clone())
+                .unwrap();
+        for &(iv, id) in data.iter().step_by(97) {
+            assert!(skel.intersection(iv).unwrap().contains(&id));
+        }
+        // Reopen restores the skeleton automatically.
+        let reopened = RiTree::open(db, "s").unwrap();
+        assert_eq!(
+            reopened.intersection(Interval::new(0, 2000).unwrap()).unwrap().len(),
+            skel.intersection(Interval::new(0, 2000).unwrap()).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn storage_is_two_entries_per_interval() {
+        let (_db, tree) = fresh();
+        for i in 0..500 {
+            tree.insert(Interval::new(i, i + 3).unwrap(), i).unwrap();
+        }
+        let s = tree.storage().unwrap();
+        assert_eq!(s.rows, 500);
+        assert_eq!(s.index_entries, 1000, "RI-tree stores exactly 2 index entries per interval");
+    }
+}

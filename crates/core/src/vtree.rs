@@ -1,0 +1,499 @@
+//! The virtual backbone: pure arithmetic, no I/O.
+//!
+//! This module implements the paper's primary structure *without
+//! materializing it* — the central idea of Section 3.  Four persistent
+//! parameters (`offset`, `leftRoot`, `rightRoot`, `minstep`) describe a
+//! virtual binary tree over the shifted data space; fork-node computation
+//! (Figure 4), insertion-time parameter maintenance (Figure 6) and the
+//! query-time traversal that fills the transient `leftNodes` / `rightNodes`
+//! tables (Sections 4.1–4.3) are all integer arithmetic.
+//!
+//! # minstep representation
+//!
+//! The paper tracks the lowest backbone level at which intervals were
+//! registered; conceptually the value can be 0.5 ("the minimum value of 0.5
+//! for minstep will not be stored and, thus, the implementation by an
+//! integer works well", Section 3.4).  We store `minstep2 = 2 · minstep`:
+//! a fork found while descending with step `s` contributes `2·s`, and a fork
+//! at a leaf (the conceptual 0.5) contributes 1 — which is why the stored
+//! minimum is 1, matching the value the paper reports in Section 6.1.
+
+/// The four persistent parameters of the virtual primary structure, plus
+/// whether the offset has been fixed yet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackboneParams {
+    /// Shift applied to bounds so the data space starts near 0; fixed by the
+    /// first insertion (Section 3.4, "offset is fixed after having inserted
+    /// the first interval").
+    pub offset: Option<i64>,
+    /// Root of the subtree of negative node values (`<= 0`, a negated power
+    /// of two once set).
+    pub left_root: i64,
+    /// Root of the subtree of positive node values (`>= 0`, a power of two
+    /// once set).
+    pub right_root: i64,
+    /// Twice the smallest registration step observed (see module docs);
+    /// `i64::MAX` while no interval has been inserted ("initialized by
+    /// infinity").
+    pub minstep2: i64,
+}
+
+impl Default for BackboneParams {
+    fn default() -> Self {
+        BackboneParams { offset: None, left_root: 0, right_root: 0, minstep2: i64::MAX }
+    }
+}
+
+/// The transient node collections a query traversal produces.
+///
+/// `left` rows are `(min, max)` node ranges joined against the *upper*
+/// index with the additional condition `upper >= query.lower`; `right` rows
+/// are single nodes joined against the *lower* index with
+/// `lower <= query.upper` — exactly the two-fold query of Figure 9.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryNodes {
+    /// `(min, max)` node ranges for the upper-index branch (shifted space).
+    pub left: Vec<(i64, i64)>,
+    /// Single nodes for the lower-index branch (shifted space).
+    pub right: Vec<i64>,
+}
+
+/// `floor(log2(x))` for `x >= 1`.
+#[inline]
+pub fn floor_log2(x: i64) -> u32 {
+    debug_assert!(x >= 1);
+    63 - x.leading_zeros()
+}
+
+/// The paper's Figure 4: fork node of `(lower, upper)` in a *static* tree
+/// rooted at `root` (no dynamic expansion).  Kept verbatim as a reference
+/// implementation for tests and documentation.
+pub fn fork_node_fig4(root: i64, lower: i64, upper: i64) -> i64 {
+    debug_assert!(lower <= upper);
+    let mut node = root;
+    let mut step = node / 2;
+    while step >= 1 {
+        if upper < node {
+            node -= step;
+        } else if node < lower {
+            node += step;
+        } else {
+            break;
+        }
+        step /= 2;
+    }
+    node
+}
+
+/// Result of a fork-node search in the dynamic (two-rooted) backbone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Fork {
+    /// The fork node, in shifted coordinates.
+    node: i64,
+    /// `minstep2` candidate: `2·step` at the break, or 1 at a leaf.
+    minstep2_candidate: i64,
+}
+
+impl BackboneParams {
+    /// Fresh parameters (empty tree).
+    pub fn new() -> BackboneParams {
+        BackboneParams::default()
+    }
+
+    /// Shifts a raw bound into backbone coordinates.
+    ///
+    /// Returns `None` while no interval has fixed the offset.
+    pub fn shift(&self, raw: i64) -> Option<i64> {
+        self.offset.map(|off| raw - off)
+    }
+
+    /// Figure 6: computes the fork node for inserting `[lower, upper]`
+    /// (raw coordinates) and updates `offset`, `leftRoot`, `rightRoot` and
+    /// `minstep` — all in O(height) integer operations, no I/O.
+    ///
+    /// Returns the (shifted) node value to store in the `node` column.
+    pub fn prepare_insert(&mut self, lower: i64, upper: i64) -> i64 {
+        debug_assert!(lower <= upper);
+        // "if (offset = NULL) offset = lower" — fixed by the first interval.
+        let offset = *self.offset.get_or_insert(lower);
+        let l = lower - offset;
+        let u = upper - offset;
+        // Expansion at the lower bound: leftRoot doubles (Section 3.4).
+        if u < 0 && l <= 2 * self.left_root {
+            self.left_root = -(1i64 << floor_log2(-l));
+        }
+        // Expansion at the upper bound: rightRoot doubles.
+        if 0 < l && u >= 2 * self.right_root {
+            self.right_root = 1i64 << floor_log2(u);
+        }
+        let fork = self.fork_search(l, u);
+        // "if (node != 0 and step < minstep) minstep = step" — the global
+        // root never contributes.
+        if fork.node != 0 {
+            self.minstep2 = self.minstep2.min(fork.minstep2_candidate);
+        }
+        fork.node
+    }
+
+    /// Pure fork-node computation for `[lower, upper]` with the *current*
+    /// parameters (used by deletion; no parameters are modified).
+    ///
+    /// Fork nodes are stable under root expansion — doubling a root `R` to
+    /// `2R` prepends one step that leads straight back to `R` — so the value
+    /// computed at deletion time equals the one stored at insertion time.
+    /// Returns `None` while the tree has no offset (nothing was inserted).
+    pub fn fork_of(&self, lower: i64, upper: i64) -> Option<i64> {
+        debug_assert!(lower <= upper);
+        let offset = self.offset?;
+        Some(self.fork_search(lower - offset, upper - offset).node)
+    }
+
+    /// Shared descent: Figure 6's loop over the two-rooted virtual tree.
+    /// `l` and `u` are shifted coordinates.
+    fn fork_search(&self, l: i64, u: i64) -> Fork {
+        let mut node = if u < 0 {
+            self.left_root
+        } else if 0 < l {
+            self.right_root
+        } else {
+            // The global root 0 overlaps [l, u].
+            return Fork { node: 0, minstep2_candidate: i64::MAX };
+        };
+        let mut step = (node / 2).abs();
+        while step >= 1 {
+            if u < node {
+                node -= step;
+            } else if node < l {
+                node += step;
+            } else {
+                return Fork { node, minstep2_candidate: 2 * step };
+            }
+            step /= 2;
+        }
+        // Loop exhausted: the fork is a leaf of the virtual tree (this is
+        // the conceptual minstep of 0.5, stored as 1 — see module docs).
+        Fork { node, minstep2_candidate: 1 }
+    }
+
+    /// Query traversal (Sections 4.1–4.3): computes the transient node
+    /// collections for an intersection query `[lower, upper]` in raw
+    /// coordinates.
+    ///
+    /// The returned `left` list already contains the `(lower−offset,
+    /// upper−offset)` range pair of the Section 4.3 transformation, so the
+    /// caller needs exactly the two-fold query of Figure 9.  Traversal
+    /// descends at most to the level recorded in `minstep` (Section 3.4's
+    /// granularity pruning) and costs no I/O.
+    pub fn query_nodes(&self, lower: i64, upper: i64) -> QueryNodes {
+        debug_assert!(lower <= upper);
+        let Some(offset) = self.offset else {
+            // Empty tree: no nodes to visit, no range pair needed.
+            return QueryNodes::default();
+        };
+        // Saturating shift: queries may carry open-ended bounds near the
+        // i64 extremes (e.g. the Allen `after` probe); no backbone node
+        // lives out there, so clamping is lossless.
+        let l = lower.saturating_sub(offset);
+        let u = upper.saturating_sub(offset);
+        let mut nodes = NodeCollector { l, u, left: Vec::new(), right: Vec::new() };
+
+        // The global root 0 lies on every search path.  It never updates
+        // minstep (Figure 6), so it is always eligible to hold intervals.
+        nodes.visit(0);
+        if l < 0 && self.left_root != 0 {
+            self.walk(self.left_root, l, &mut nodes);
+            if u < 0 {
+                self.walk(self.left_root, u, &mut nodes);
+            }
+        }
+        if u > 0 && self.right_root != 0 {
+            self.walk(self.right_root, u, &mut nodes);
+            if l > 0 {
+                self.walk(self.right_root, l, &mut nodes);
+            }
+        }
+        // Shared path prefixes visit nodes twice; deduplicate.
+        nodes.left.sort_unstable();
+        nodes.left.dedup();
+        nodes.right.sort_unstable();
+        nodes.right.dedup();
+
+        let mut left: Vec<(i64, i64)> = nodes.left.into_iter().map(|w| (w, w)).collect();
+        // Section 4.3: the BETWEEN subquery becomes one more (min, max) pair
+        // in leftNodes; by the Lemma, adding `upper >= :lower` to it loses
+        // no results.
+        left.push((l, u));
+        QueryNodes { left, right: nodes.right }
+    }
+
+    /// Walks the point-search path from `root` towards `target`, visiting
+    /// every node on it that may hold registered intervals.
+    ///
+    /// The union of the paths towards `lower` and `upper` is exactly the
+    /// node set the paper's three-phase algorithm (Section 4.1) inspects:
+    /// the shared prefix is phase (1), the divergent suffixes are phases
+    /// (2) and (3).
+    fn walk(&self, root: i64, target: i64, nodes: &mut NodeCollector) {
+        let mut node = root;
+        // Check-step of `node`: the step value Figure 6's loop would carry
+        // when testing it.  `2*c >= minstep2` ⇔ the node can hold intervals.
+        let mut c = (node / 2).abs();
+        loop {
+            let eligible = if c >= 1 { 2 * c >= self.minstep2 } else { self.minstep2 <= 1 };
+            if eligible {
+                nodes.visit(node);
+            } else {
+                // Deeper nodes have even smaller check-steps: prune.
+                return;
+            }
+            if node == target || c < 1 {
+                return;
+            }
+            if target < node {
+                node -= c;
+            } else {
+                node += c;
+            }
+            c /= 2;
+        }
+    }
+
+    /// Tree height per Section 3.5: `log2(m) + 1` with
+    /// `m = max(|leftRoot|, rightRoot) / minstep` (conceptual minstep, i.e.
+    /// `2·max/minstep2` in our representation).  Returns 0 for an empty
+    /// tree.  The height depends only on data-space expansion and
+    /// granularity, never on the number of intervals.
+    pub fn height(&self) -> u32 {
+        let spread = self.left_root.abs().max(self.right_root);
+        if spread == 0 {
+            return if self.offset.is_some() { 1 } else { 0 };
+        }
+        let m = (2 * spread) / self.minstep2.max(1);
+        floor_log2(m.max(1)) + 1
+    }
+}
+
+/// Classifies visited nodes relative to the (shifted) query interval.
+struct NodeCollector {
+    l: i64,
+    u: i64,
+    left: Vec<i64>,
+    right: Vec<i64>,
+}
+
+impl NodeCollector {
+    fn visit(&mut self, w: i64) {
+        if w < self.l {
+            // Left of the query: scan U(w) for upper >= query.lower.
+            self.left.push(w);
+        } else if w > self.u {
+            // Right of the query: scan L(w) for lower <= query.upper.
+            self.right.push(w);
+        }
+        // l <= w <= u: covered by the BETWEEN range pair — nothing to do.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_reference_examples() {
+        // Tree over [1, 15], root 8.
+        assert_eq!(fork_node_fig4(8, 8, 8), 8);
+        assert_eq!(fork_node_fig4(8, 3, 5), 4);
+        assert_eq!(fork_node_fig4(8, 5, 7), 6);
+        assert_eq!(fork_node_fig4(8, 5, 5), 5);
+        assert_eq!(fork_node_fig4(8, 3, 9), 8, "spans the root");
+        assert_eq!(fork_node_fig4(8, 13, 13), 13);
+        // The fork node is the highest node inside the interval.
+        for l in 1..=15 {
+            for u in l..=15 {
+                let f = fork_node_fig4(8, l, u);
+                assert!((l..=u).contains(&f), "fork {f} outside [{l}, {u}]");
+            }
+        }
+    }
+
+    #[test]
+    fn first_insert_fixes_offset_and_forks_at_zero() {
+        let mut p = BackboneParams::new();
+        let node = p.prepare_insert(1000, 1010);
+        assert_eq!(p.offset, Some(1000));
+        // Shifted interval [0, 10] contains 0, so the fork is the global root.
+        assert_eq!(node, 0);
+        assert_eq!(p.minstep2, i64::MAX, "root registrations never update minstep");
+    }
+
+    #[test]
+    fn right_root_doubles_with_data_space() {
+        let mut p = BackboneParams::new();
+        p.prepare_insert(0, 0); // offset = 0
+        p.prepare_insert(3, 3);
+        assert_eq!(p.right_root, 2);
+        p.prepare_insert(5, 6);
+        assert_eq!(p.right_root, 4);
+        p.prepare_insert(1000, 1000);
+        assert_eq!(p.right_root, 512);
+        // Expanding the space must not move existing forks.
+        assert_eq!(p.fork_of(3, 3), Some(3));
+        assert_eq!(p.fork_of(5, 6), Some(6));
+    }
+
+    #[test]
+    fn left_root_expansion_for_late_low_intervals() {
+        let mut p = BackboneParams::new();
+        p.prepare_insert(100, 110); // offset = 100
+        let node = p.prepare_insert(40, 50); // shifted [-60, -50]
+        assert!(node < 0);
+        assert_eq!(p.left_root, -(1 << floor_log2(60)));
+        assert_eq!(p.fork_of(40, 50), Some(node));
+    }
+
+    #[test]
+    fn fork_is_stable_under_later_expansion() {
+        let mut p = BackboneParams::new();
+        p.prepare_insert(0, 0);
+        let mut stored = Vec::new();
+        let data: Vec<(i64, i64)> = (1..200).map(|i| (i * 3, i * 3 + (i % 7))).collect();
+        for &(l, u) in &data {
+            stored.push(p.prepare_insert(l, u));
+        }
+        for (i, &(l, u)) in data.iter().enumerate() {
+            assert_eq!(p.fork_of(l, u), Some(stored[i]), "fork moved for [{l}, {u}]");
+        }
+    }
+
+    #[test]
+    fn fork_lemma_interval_not_below_its_length_level() {
+        // Section 3.4 Lemma: an interval (l, u) is never registered below
+        // level floor(log2(u - l)); with our minstep2 = 2*step encoding the
+        // registration step satisfies 2*step >= 2^floor(log2(u-l)).
+        let mut p = BackboneParams::new();
+        p.prepare_insert(0, 1 << 20);
+        let mut x = 0x243F6A8885A308D3u64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let l = (x % (1 << 20)) as i64;
+            let len = ((x >> 32) % 4096) as i64;
+            let u = (l + len).min((1 << 20) - 1);
+            let before = p.minstep2;
+            p.prepare_insert(l, u);
+            if u > l && p.minstep2 < before {
+                let level = floor_log2(u - l);
+                assert!(
+                    p.minstep2 >= (1 << level),
+                    "interval [{l},{u}] registered below level {level}: minstep2 {}",
+                    p.minstep2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_inserts_drive_minstep_to_one() {
+        let mut p = BackboneParams::new();
+        p.prepare_insert(0, 1 << 12);
+        assert_eq!(p.minstep2, i64::MAX);
+        p.prepare_insert(41, 41); // odd point: leaf registration
+        assert_eq!(p.minstep2, 1, "Section 6.1: minstep reaches its minimum value");
+    }
+
+    #[test]
+    fn query_nodes_empty_tree() {
+        let p = BackboneParams::new();
+        assert_eq!(p.query_nodes(5, 10), QueryNodes::default());
+    }
+
+    #[test]
+    fn query_nodes_contain_between_pair() {
+        let mut p = BackboneParams::new();
+        p.prepare_insert(100, 200);
+        let q = p.query_nodes(150, 160);
+        // Shifted query is [50, 60].
+        assert!(q.left.contains(&(50, 60)), "missing BETWEEN pair: {q:?}");
+    }
+
+    #[test]
+    fn query_node_lists_are_disjoint_from_covered_range() {
+        let mut p = BackboneParams::new();
+        for i in 0..500i64 {
+            p.prepare_insert(i * 7, i * 7 + i % 13);
+        }
+        let (lo, hi) = (777, 1234);
+        let q = p.query_nodes(lo, hi);
+        let (l, u) = (lo - p.offset.unwrap(), hi - p.offset.unwrap());
+        for &(a, b) in &q.left[..q.left.len() - 1] {
+            assert_eq!(a, b, "side entries are single nodes");
+            assert!(a < l, "left node {a} not strictly left of query");
+        }
+        for &w in &q.right {
+            assert!(w > u, "right node {w} not strictly right of query");
+        }
+        // No duplicates.
+        let mut seen = std::collections::BTreeSet::new();
+        for &(a, _) in &q.left[..q.left.len() - 1] {
+            assert!(seen.insert(a));
+        }
+        for &w in &q.right {
+            assert!(seen.insert(w));
+        }
+    }
+
+    #[test]
+    fn traversal_length_is_logarithmic() {
+        let mut p = BackboneParams::new();
+        p.prepare_insert(0, 0);
+        p.prepare_insert(1 << 20, (1 << 20) + 1); // expand to 2^20
+        p.prepare_insert(17, 17); // minstep 1: full-depth descents
+        let q = p.query_nodes(123_456, 234_567);
+        let h = p.height() as usize;
+        assert!(
+            q.left.len() + q.right.len() <= 2 * h + 3,
+            "{} + {} node entries exceeds 2h+3 with h = {h}",
+            q.left.len(),
+            q.right.len()
+        );
+    }
+
+    #[test]
+    fn minstep_prunes_deep_levels() {
+        let mut p = BackboneParams::new();
+        // Only long intervals: registrations stay at high levels.
+        p.prepare_insert(0, 1 << 16);
+        for i in 0..100i64 {
+            let l = i * 512;
+            p.prepare_insert(l, l + 2048);
+        }
+        let coarse = p.query_nodes(10_000, 10_001);
+        let coarse_nodes = coarse.left.len() + coarse.right.len();
+        // Now add a point: minstep collapses to 1 and descents deepen.
+        p.prepare_insert(33_333, 33_333);
+        let fine = p.query_nodes(10_000, 10_001);
+        let fine_nodes = fine.left.len() + fine.right.len();
+        assert!(
+            coarse_nodes < fine_nodes,
+            "granularity pruning had no effect: {coarse_nodes} vs {fine_nodes}"
+        );
+    }
+
+    #[test]
+    fn height_tracks_expansion_not_cardinality() {
+        let mut p = BackboneParams::new();
+        p.prepare_insert(0, 1);
+        p.prepare_insert(5, 5);
+        let h_small = p.height();
+        // Ten thousand more intervals in the same space: height unchanged.
+        for i in 0..10_000i64 {
+            p.prepare_insert(i % 7, i % 7 + 1);
+        }
+        assert_eq!(p.height(), h_small);
+        // Expanding the space grows the height logarithmically.
+        p.prepare_insert(1 << 19, 1 << 19);
+        assert!(p.height() >= 19);
+        assert!(p.height() <= 21);
+    }
+}

@@ -1,0 +1,26 @@
+//! Main-memory interval structures (paper Section 2.1).
+//!
+//! The paper's related-work survey starts from the classical main-memory
+//! structures: the *Interval Tree* of Edelsbrunner, the *Segment Tree* of
+//! Bentley, and brute force.  This crate implements them for two purposes:
+//!
+//! 1. **Correctness oracles** — every relational access method in this
+//!    repository (RI-tree, Tile Index, IST, MAP21, Window-List) is checked
+//!    against [`NaiveIntervalSet`] on randomized workloads;
+//! 2. **Reference semantics** — [`IntervalTree`] is the very structure the
+//!    RI-tree virtualizes, so its three-phase query algorithm documents
+//!    what Sections 3–4 of the paper translate into SQL.
+//!
+//! All structures store `(lower, upper, id)` triples of `i64` with closed
+//! interval semantics (`lower <= upper`, intersection includes shared
+//! endpoints), matching `ritree_core::Interval`.
+
+pub mod interval_tree;
+pub mod naive;
+pub mod segment_tree;
+pub mod skiplist;
+
+pub use interval_tree::IntervalTree;
+pub use naive::NaiveIntervalSet;
+pub use segment_tree::SegmentTree;
+pub use skiplist::IntervalSkipList;

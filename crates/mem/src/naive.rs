@@ -1,0 +1,119 @@
+//! Brute-force interval multiset: the correctness oracle.
+
+/// A brute-force interval collection with linear-time queries.
+///
+/// Every query method is a straightforward filter over a `Vec`, making this
+/// the ground truth the property tests compare all indexed access methods
+/// against.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveIntervalSet {
+    items: Vec<(i64, i64, i64)>,
+}
+
+impl NaiveIntervalSet {
+    /// An empty set.
+    pub fn new() -> NaiveIntervalSet {
+        NaiveIntervalSet::default()
+    }
+
+    /// Builds from `(lower, upper, id)` triples.
+    pub fn from_triples(items: impl IntoIterator<Item = (i64, i64, i64)>) -> NaiveIntervalSet {
+        NaiveIntervalSet { items: items.into_iter().collect() }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts `(lower, upper, id)`.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper`.
+    pub fn insert(&mut self, lower: i64, upper: i64, id: i64) {
+        assert!(lower <= upper, "invalid interval [{lower}, {upper}]");
+        self.items.push((lower, upper, id));
+    }
+
+    /// Removes the first exact `(lower, upper, id)` occurrence.
+    pub fn delete(&mut self, lower: i64, upper: i64, id: i64) -> bool {
+        if let Some(pos) = self.items.iter().position(|&t| t == (lower, upper, id)) {
+            self.items.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sorted ids of intervals intersecting `[ql, qu]` (closed semantics).
+    pub fn intersection(&self, ql: i64, qu: i64) -> Vec<i64> {
+        let mut ids: Vec<i64> = self
+            .items
+            .iter()
+            .filter(|&&(l, u, _)| l <= qu && ql <= u)
+            .map(|&(_, _, id)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Sorted ids of intervals containing the point `p`.
+    pub fn stab(&self, p: i64) -> Vec<i64> {
+        self.intersection(p, p)
+    }
+
+    /// Sorted ids of intervals satisfying an arbitrary predicate on
+    /// `(lower, upper)` — used to cross-check the Allen relations.
+    pub fn filter(&self, mut pred: impl FnMut(i64, i64) -> bool) -> Vec<i64> {
+        let mut ids: Vec<i64> =
+            self.items.iter().filter(|&&(l, u, _)| pred(l, u)).map(|&(_, _, id)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// All stored triples (unordered).
+    pub fn triples(&self) -> &[(i64, i64, i64)] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_lifecycle() {
+        let mut s = NaiveIntervalSet::new();
+        assert!(s.is_empty());
+        s.insert(1, 5, 10);
+        s.insert(3, 8, 11);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.intersection(5, 6), vec![10, 11]);
+        assert_eq!(s.intersection(6, 9), vec![11]);
+        assert_eq!(s.stab(1), vec![10]);
+        assert!(s.delete(1, 5, 10));
+        assert!(!s.delete(1, 5, 10));
+        assert_eq!(s.intersection(0, 100), vec![11]);
+    }
+
+    #[test]
+    fn duplicates_are_a_multiset() {
+        let mut s = NaiveIntervalSet::new();
+        s.insert(0, 1, 7);
+        s.insert(0, 1, 7);
+        assert_eq!(s.stab(0), vec![7, 7]);
+        assert!(s.delete(0, 1, 7));
+        assert_eq!(s.stab(0), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn rejects_reversed_bounds() {
+        NaiveIntervalSet::new().insert(2, 1, 0);
+    }
+}

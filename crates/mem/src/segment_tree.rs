@@ -1,0 +1,152 @@
+//! Bentley's segment tree (static, main-memory).
+//!
+//! Included from the paper's Section 2.1 survey as the classic structure
+//! that — unlike the interval tree — *decomposes* intervals into canonical
+//! segments and therefore pays O(n log n) space.  The contrast motivates
+//! the paper's choice of Edelsbrunner's tree ("the registered intervals
+//! are not decomposed as in the segment tree, no redundancy is produced").
+
+/// Static segment tree over the elementary intervals of its input.
+#[derive(Debug)]
+pub struct SegmentTree {
+    /// Sorted distinct endpoints defining the elementary intervals.
+    coords: Vec<i64>,
+    /// Binary tree over elementary intervals, 1-based heap layout; each
+    /// node lists the ids whose canonical cover includes it.
+    node_ids: Vec<Vec<i64>>,
+    leaves: usize,
+    len: usize,
+    /// Total id registrations — the redundancy the paper avoids.
+    registrations: usize,
+}
+
+impl SegmentTree {
+    /// Builds from `(lower, upper, id)` triples (closed intervals).
+    pub fn build(items: &[(i64, i64, i64)]) -> SegmentTree {
+        let mut coords: Vec<i64> = items.iter().flat_map(|&(l, u, _)| [l, u + 1]).collect();
+        coords.sort_unstable();
+        coords.dedup();
+        let leaves = coords.len().next_power_of_two().max(1);
+        let mut tree = SegmentTree {
+            coords,
+            node_ids: vec![Vec::new(); 2 * leaves],
+            leaves,
+            len: items.len(),
+            registrations: 0,
+        };
+        for &(l, u, id) in items {
+            assert!(l <= u, "invalid interval [{l}, {u}]");
+            let lo = tree.coords.binary_search(&l).expect("endpoint present");
+            let hi = tree.coords.binary_search(&(u + 1)).expect("endpoint present");
+            tree.insert_canonical(1, 0, tree.leaves, lo, hi, id);
+        }
+        tree
+    }
+
+    /// Standard canonical-cover insertion: O(log n) nodes per interval.
+    fn insert_canonical(&mut self, node: usize, nl: usize, nr: usize, lo: usize, hi: usize, id: i64) {
+        if hi <= nl || nr <= lo {
+            return;
+        }
+        if lo <= nl && nr <= hi {
+            self.node_ids[node].push(id);
+            self.registrations += 1;
+            return;
+        }
+        let mid = (nl + nr) / 2;
+        self.insert_canonical(2 * node, nl, mid, lo, hi, id);
+        self.insert_canonical(2 * node + 1, mid, nr, lo, hi, id);
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total node registrations; `registrations / len` is the redundancy
+    /// factor (Θ(log n) worst case).
+    pub fn registrations(&self) -> usize {
+        self.registrations
+    }
+
+    /// Sorted ids of intervals containing `p` (the segment tree's native
+    /// query).
+    pub fn stab(&self, p: i64) -> Vec<i64> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        // Elementary interval index containing p: last coord <= p.
+        let slot = match self.coords.binary_search(&p) {
+            Ok(i) => i,
+            Err(0) => return Vec::new(), // before all intervals
+            Err(i) => i - 1,
+        };
+        let mut out = Vec::new();
+        let mut node = self.leaves + slot;
+        while node >= 1 {
+            out.extend(self.node_ids[node].iter().copied());
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveIntervalSet;
+
+    #[test]
+    fn empty() {
+        let t = SegmentTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.stab(5), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn stab_matches_naive() {
+        let mut x = 77u64;
+        let items: Vec<(i64, i64, i64)> = (0..800)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let l = (x % 2000) as i64;
+                let len = ((x >> 30) % 100) as i64;
+                (l, l + len, i)
+            })
+            .collect();
+        let tree = SegmentTree::build(&items);
+        let naive = NaiveIntervalSet::from_triples(items);
+        for p in (-10..2150).step_by(13) {
+            assert_eq!(tree.stab(p), naive.stab(p), "stab {p}");
+        }
+    }
+
+    #[test]
+    fn closed_endpoints_included() {
+        let t = SegmentTree::build(&[(5, 10, 1)]);
+        assert_eq!(t.stab(5), vec![1]);
+        assert_eq!(t.stab(10), vec![1]);
+        assert_eq!(t.stab(11), Vec::<i64>::new());
+        assert_eq!(t.stab(4), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn decomposition_produces_redundancy() {
+        // Many long overlapping intervals: registrations must exceed n,
+        // demonstrating the segment tree's space blow-up the paper avoids.
+        let items: Vec<(i64, i64, i64)> = (0..100).map(|i| (i, 200 - i, i)).collect();
+        let t = SegmentTree::build(&items);
+        assert!(t.registrations() > t.len(), "expected decomposition redundancy");
+    }
+}

@@ -1,0 +1,285 @@
+//! Interval Skip List (Hanson & Johnson [HJ 96]), static variant.
+//!
+//! The paper's Section 2.1 lists the IS-list among the "more recent
+//! developments" in main-memory interval structures.  A skip list is built
+//! over all interval endpoints; each interval marks the *maximal* forward
+//! edges its span covers (the skip-list analogue of a segment tree's
+//! canonical cover) plus the nodes where its marked edges meet.  A stabbing
+//! query walks the ordinary skip-list search path and collects the markers
+//! of the one edge per level that spans the query point, giving
+//! O(log n + r) expected time.
+//!
+//! This implementation is *static* (built once from a snapshot): it keeps
+//! Hanson's marker-placement discipline but sidesteps the intricate marker
+//! repair that dynamic endpoint insertion requires — the part of the
+//! structure that motivated the authors' IBS-tree follow-up.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_LEVEL: usize = 24;
+
+/// Static interval skip list over `(lower, upper, id)` triples.
+#[derive(Debug)]
+pub struct IntervalSkipList {
+    /// Sorted distinct endpoint values.
+    values: Vec<i64>,
+    /// Height (number of levels) of each node.
+    heights: Vec<usize>,
+    /// `forward[level][node] = next node index at that level` (or usize::MAX).
+    forward: Vec<Vec<usize>>,
+    /// Markers per `(level, node)` edge: interval ids covering the edge span.
+    edge_markers: std::collections::HashMap<(usize, usize), Vec<i64>>,
+    /// Markers per node: ids of intervals whose marked tiling touches it.
+    node_markers: Vec<Vec<i64>>,
+    /// `(lower, id)` sorted — for the range part of intersection queries.
+    starts: Vec<(i64, i64)>,
+    len: usize,
+}
+
+impl IntervalSkipList {
+    /// Builds the list from `(lower, upper, id)` triples.
+    ///
+    /// # Panics
+    /// Panics if any triple has `lower > upper`.
+    pub fn build(items: &[(i64, i64, i64)]) -> IntervalSkipList {
+        Self::build_seeded(items, 0x15_1157)
+    }
+
+    /// [`IntervalSkipList::build`] with an explicit level-coin seed.
+    pub fn build_seeded(items: &[(i64, i64, i64)], seed: u64) -> IntervalSkipList {
+        let mut values: Vec<i64> = items.iter().flat_map(|&(l, u, _)| [l, u]).collect();
+        values.sort_unstable();
+        values.dedup();
+        let n = values.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let heights: Vec<usize> = (0..n)
+            .map(|_| {
+                let mut h = 1;
+                while h < MAX_LEVEL && rng.gen_bool(0.5) {
+                    h += 1;
+                }
+                h
+            })
+            .collect();
+        let top = heights.iter().copied().max().unwrap_or(1);
+        // forward[lvl][i]: next node at level lvl after node i.
+        let mut forward = vec![vec![usize::MAX; n]; top];
+        for (lvl, fwd) in forward.iter_mut().enumerate() {
+            let mut prev: Option<usize> = None;
+            for (i, &h) in heights.iter().enumerate() {
+                if h > lvl {
+                    if let Some(p) = prev {
+                        fwd[p] = i;
+                    }
+                    prev = Some(i);
+                }
+            }
+        }
+        let mut list = IntervalSkipList {
+            values,
+            heights,
+            forward,
+            edge_markers: Default::default(),
+            node_markers: vec![Vec::new(); n],
+            starts: items.iter().map(|&(l, _, id)| (l, id)).collect(),
+            len: items.len(),
+        };
+        list.starts.sort_unstable();
+        for &(l, u, id) in items {
+            assert!(l <= u, "invalid interval [{l}, {u}]");
+            list.place(l, u, id);
+        }
+        list
+    }
+
+    /// Hanson's placement: tile `[l, u]` with maximal edges (always taking
+    /// the highest forward edge that stays within the interval), marking
+    /// each edge and every node the tiling touches.
+    fn place(&mut self, l: i64, u: i64, id: i64) {
+        let mut x = self.values.binary_search(&l).expect("endpoints are nodes");
+        self.node_markers[x].push(id);
+        while self.values[x] < u {
+            // Highest level whose forward edge from x lands within [l, u].
+            let mut lvl = 0;
+            for cand in (0..self.heights[x]).rev() {
+                let f = self.forward[cand][x];
+                if f != usize::MAX && self.values[f] <= u {
+                    lvl = cand;
+                    break;
+                }
+            }
+            let f = self.forward[lvl][x];
+            debug_assert!(f != usize::MAX && self.values[f] <= u, "u is a node");
+            self.edge_markers.entry((lvl, x)).or_default().push(id);
+            self.node_markers[f].push(id);
+            x = f;
+        }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total markers placed — O(n log n) expected, the structure's space
+    /// overhead over the redundancy-free interval tree.
+    pub fn marker_count(&self) -> usize {
+        self.edge_markers.values().map(Vec::len).sum::<usize>()
+            + self.node_markers.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Sorted ids of intervals containing `p`.
+    ///
+    /// Walks the ordinary skip-list search path from the (virtual) header.
+    /// At each level exactly one edge either *spans* `p` (collect its edge
+    /// markers — every marked interval covers the span, hence `p`) or lands
+    /// exactly on the node with value `p` (collect its node markers — the
+    /// tilings passing through it — and stop: lower levels route through
+    /// the node itself, so no further edge can span `p`).
+    pub fn stab(&self, p: i64) -> Vec<i64> {
+        if self.values.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let top = self.forward.len();
+        let mut x: Option<usize> = None; // None = header, before all nodes
+        'levels: for lvl in (0..top).rev() {
+            loop {
+                let next = match x {
+                    None => self.first_at_level(lvl),
+                    Some(i) => normalize(self.forward[lvl][i]),
+                };
+                let Some(nx) = next else { break }; // p beyond this level's chain
+                if self.values[nx] < p {
+                    x = Some(nx);
+                    continue;
+                }
+                if self.values[nx] == p {
+                    out.extend(self.node_markers[nx].iter().copied());
+                    break 'levels;
+                }
+                // x < p < nx: the level's spanning edge.
+                if let Some(xi) = x {
+                    if let Some(marks) = self.edge_markers.get(&(lvl, xi)) {
+                        out.extend(marks.iter().copied());
+                    }
+                }
+                break;
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn first_at_level(&self, lvl: usize) -> Option<usize> {
+        self.heights.iter().position(|&h| h > lvl)
+    }
+
+    /// Sorted ids of intervals intersecting `[ql, qu]`: a stab at `ql` plus
+    /// every interval starting inside `(ql, qu]`.
+    pub fn intersection(&self, ql: i64, qu: i64) -> Vec<i64> {
+        assert!(ql <= qu);
+        let mut out = self.stab(ql);
+        let from = self.starts.partition_point(|&(l, _)| l <= ql);
+        let to = self.starts.partition_point(|&(l, _)| l <= qu);
+        out.extend(self.starts[from..to].iter().map(|&(_, id)| id));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[inline]
+fn normalize(i: usize) -> Option<usize> {
+    if i == usize::MAX {
+        None
+    } else {
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveIntervalSet;
+
+    fn pseudo_items(n: usize, seed: u64) -> Vec<(i64, i64, i64)> {
+        let mut x = seed;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let l = (x % 3000) as i64;
+                let len = ((x >> 33) % 250) as i64;
+                (l, l + len, i as i64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_list() {
+        let sl = IntervalSkipList::build(&[]);
+        assert!(sl.is_empty());
+        assert_eq!(sl.stab(0), Vec::<i64>::new());
+        assert_eq!(sl.intersection(-5, 5), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn stab_matches_naive_exhaustively() {
+        let items = pseudo_items(600, 0xF00D);
+        let sl = IntervalSkipList::build(&items);
+        let naive = NaiveIntervalSet::from_triples(items);
+        for p in -10..3300 {
+            assert_eq!(sl.stab(p), naive.stab(p), "stab {p}");
+        }
+    }
+
+    #[test]
+    fn intersection_matches_naive() {
+        let items = pseudo_items(800, 0xCAFE);
+        let sl = IntervalSkipList::build(&items);
+        let naive = NaiveIntervalSet::from_triples(items);
+        for (ql, qu) in [(0, 3300), (100, 150), (1500, 1500), (2900, 5000), (-100, -1)] {
+            assert_eq!(sl.intersection(ql, qu), naive.intersection(ql, qu), "[{ql}, {qu}]");
+        }
+    }
+
+    #[test]
+    fn different_coin_seeds_agree() {
+        let items = pseudo_items(400, 0xBEE);
+        let naive = NaiveIntervalSet::from_triples(items.clone());
+        for seed in [1, 2, 3, 4, 5] {
+            let sl = IntervalSkipList::build_seeded(&items, seed);
+            for p in (0..3300).step_by(37) {
+                assert_eq!(sl.stab(p), naive.stab(p), "seed {seed}, stab {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_intervals() {
+        let sl = IntervalSkipList::build(&[(5, 5, 1), (5, 5, 2), (7, 9, 3)]);
+        assert_eq!(sl.stab(5), vec![1, 2]);
+        assert_eq!(sl.stab(6), Vec::<i64>::new());
+        assert_eq!(sl.stab(8), vec![3]);
+    }
+
+    #[test]
+    fn marker_count_is_quasilinear() {
+        let items = pseudo_items(2000, 0xD1CE);
+        let sl = IntervalSkipList::build(&items);
+        let per_interval = sl.marker_count() as f64 / items.len() as f64;
+        assert!(
+            per_interval < 32.0,
+            "markers per interval {per_interval} should be O(log n)"
+        );
+    }
+}

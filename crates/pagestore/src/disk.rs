@@ -1,0 +1,242 @@
+//! Block devices: the trait plus in-memory and file-backed implementations.
+
+use crate::error::{Error, Result};
+use crate::page::PageId;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A device of fixed-size blocks addressed by dense [`PageId`]s.
+///
+/// Implementations must be internally synchronized; the buffer pool calls
+/// them from behind its own lock but tests may not.
+pub trait DiskManager: Send + Sync {
+    /// Size in bytes of every block on this device.
+    fn page_size(&self) -> usize;
+
+    /// Number of allocated pages; valid ids are `0..num_pages()`.
+    fn num_pages(&self) -> u64;
+
+    /// Reads page `id` into `buf` (`buf.len() == page_size()`).
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf` to page `id` (`buf.len() == page_size()`).
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()>;
+
+    /// Appends a zeroed page and returns its id.
+    fn allocate_page(&self) -> Result<PageId>;
+
+    /// Durably flushes device buffers (no-op for the in-memory disk).
+    fn sync(&self) -> Result<()>;
+}
+
+/// Volatile block device backed by a `Vec` of boxed pages.
+///
+/// This is what the experiments run on: physical I/O is counted by the
+/// buffer pool, while the device itself is deliberately simple and fast so
+/// figure regeneration stays laptop-scale.
+pub struct MemDisk {
+    page_size: usize,
+    pages: Mutex<Vec<Box<[u8]>>>,
+}
+
+impl MemDisk {
+    /// Creates an empty in-memory device with the given page size.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size >= 64, "page size too small to be useful");
+        MemDisk { page_size, pages: Mutex::new(Vec::new()) }
+    }
+}
+
+impl DiskManager for MemDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let pages = self.pages.lock();
+        let page = pages
+            .get(id.raw() as usize)
+            .ok_or(Error::PageOutOfBounds { page: id.raw(), num_pages: pages.len() as u64 })?;
+        buf.copy_from_slice(page);
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let mut pages = self.pages.lock();
+        let n = pages.len() as u64;
+        let page = pages
+            .get_mut(id.raw() as usize)
+            .ok_or(Error::PageOutOfBounds { page: id.raw(), num_pages: n })?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        let mut pages = self.pages.lock();
+        pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(PageId(pages.len() as u64 - 1))
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Persistent block device backed by a single file.
+///
+/// Used by the persistence integration tests to show that an RI-tree
+/// database survives a close/reopen cycle, as any relational database would.
+pub struct FileDisk {
+    page_size: usize,
+    inner: Mutex<FileDiskInner>,
+}
+
+struct FileDiskInner {
+    file: File,
+    num_pages: u64,
+}
+
+impl FileDisk {
+    /// Opens (or creates) the file at `path` as a block device.
+    ///
+    /// An existing file must contain a whole number of pages of the given
+    /// size, otherwise [`Error::Corrupt`] is returned.
+    pub fn open(path: &Path, page_size: usize) -> Result<Self> {
+        assert!(page_size >= 64, "page size too small to be useful");
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(Error::Corrupt(format!(
+                "file length {len} is not a multiple of page size {page_size}"
+            )));
+        }
+        Ok(FileDisk {
+            page_size,
+            inner: Mutex::new(FileDiskInner { file, num_pages: len / page_size as u64 }),
+        })
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.lock().num_pages
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let mut inner = self.inner.lock();
+        if id.raw() >= inner.num_pages {
+            return Err(Error::PageOutOfBounds { page: id.raw(), num_pages: inner.num_pages });
+        }
+        inner.file.seek(SeekFrom::Start(id.raw() * self.page_size as u64))?;
+        inner.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let mut inner = self.inner.lock();
+        if id.raw() >= inner.num_pages {
+            return Err(Error::PageOutOfBounds { page: id.raw(), num_pages: inner.num_pages });
+        }
+        inner.file.seek(SeekFrom::Start(id.raw() * self.page_size as u64))?;
+        inner.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        let mut inner = self.inner.lock();
+        let id = inner.num_pages;
+        let zeroes = vec![0u8; self.page_size];
+        inner.file.seek(SeekFrom::Start(id * self.page_size as u64))?;
+        inner.file.write_all(&zeroes)?;
+        inner.num_pages += 1;
+        Ok(PageId(id))
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.lock().file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(disk: &dyn DiskManager) {
+        let a = disk.allocate_page().unwrap();
+        let b = disk.allocate_page().unwrap();
+        assert_ne!(a, b);
+        let ps = disk.page_size();
+        let mut buf = vec![7u8; ps];
+        disk.write_page(b, &buf).unwrap();
+        buf.fill(0);
+        disk.read_page(b, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 7));
+        // Page `a` stays zeroed.
+        disk.read_page(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn mem_disk_roundtrip() {
+        let disk = MemDisk::new(256);
+        roundtrip(&disk);
+        assert_eq!(disk.num_pages(), 2);
+    }
+
+    #[test]
+    fn mem_disk_out_of_bounds() {
+        let disk = MemDisk::new(128);
+        let mut buf = vec![0u8; 128];
+        assert!(matches!(
+            disk.read_page(PageId(0), &mut buf),
+            Err(Error::PageOutOfBounds { .. })
+        ));
+        assert!(matches!(disk.write_page(PageId(5), &buf), Err(Error::PageOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn file_disk_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("ri-pagestore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let disk = FileDisk::open(&path, 256).unwrap();
+            roundtrip(&disk);
+            disk.sync().unwrap();
+        }
+        // Reopen: data persisted.
+        let disk = FileDisk::open(&path, 256).unwrap();
+        assert_eq!(disk.num_pages(), 2);
+        let mut buf = vec![0u8; 256];
+        disk.read_page(PageId(1), &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 7));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_disk_rejects_torn_file() {
+        let dir = std::env::temp_dir().join(format!("ri-pagestore-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.db");
+        std::fs::write(&path, vec![0u8; 300]).unwrap();
+        assert!(matches!(FileDisk::open(&path, 256), Err(Error::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

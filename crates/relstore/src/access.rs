@@ -1,0 +1,39 @@
+//! The extensible-indexing contract (paper Section 5 / Section 2.4).
+//!
+//! Commercial ORDBMSs let developers package an access method behind a
+//! uniform *indextype* interface so that "end users can use the Relational
+//! Interval Tree just like a built-in index".  This trait is that contract
+//! for the reproduction: the RI-tree and every competitor (Tile Index,
+//! IST, MAP21, Window-List) implement it, and the experiment harness
+//! drives all of them through it — guaranteeing identical measurement
+//! conditions, as in the paper's evaluation.
+
+use crate::exec::ExecStats;
+use crate::Result;
+
+/// A dynamic interval access method over the relational engine.
+pub trait IntervalAccessMethod {
+    /// Short display name for reports (e.g. `"RI-tree"`).
+    fn method_name(&self) -> &'static str;
+
+    /// Inserts the interval `[lower, upper]` under `id`.
+    fn am_insert(&self, lower: i64, upper: i64, id: i64) -> Result<()>;
+
+    /// Deletes the exact `(interval, id)`; `false` if absent.
+    fn am_delete(&self, lower: i64, upper: i64, id: i64) -> Result<bool>;
+
+    /// Sorted ids of stored intervals intersecting `[lower, upper]`
+    /// (closed-interval semantics).
+    fn am_intersection(&self, lower: i64, upper: i64) -> Result<Vec<i64>>;
+
+    /// Intersection query that also reports executor statistics, which the
+    /// experiment harness feeds into the response-time model.
+    fn am_intersection_with_stats(&self, lower: i64, upper: i64)
+        -> Result<(Vec<i64>, ExecStats)>;
+
+    /// Total index entries maintained (Figure 12's storage metric).
+    fn am_index_entries(&self) -> Result<u64>;
+
+    /// Number of stored intervals.
+    fn am_count(&self) -> Result<u64>;
+}

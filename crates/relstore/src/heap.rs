@@ -1,0 +1,340 @@
+//! Heap file: fixed-width row storage with stable row ids.
+//!
+//! Rows are arrays of `i64` column values.  Pages are chained for full
+//! scans; deletes tombstone their slot (space is reclaimed only when a whole
+//! page empties — the usual trade-off in slotted storage, irrelevant to the
+//! paper's insert/query workloads).
+
+use ri_pagestore::codec::{get_i64, get_u16, get_u32, get_u64, put_i64, put_u16, put_u32, put_u64};
+use ri_pagestore::{BufferPool, Error, PageId, Result};
+use std::sync::Arc;
+
+const HEAP_MAGIC: u32 = 0x5249_4850; // "RIHP"
+const PAGE_HEADER: usize = 16; // tag u8, pad, count u16, pad u32, next u64
+
+// Heap meta page offsets.
+const OFF_MAGIC: usize = 0;
+const OFF_ARITY: usize = 4;
+const OFF_FIRST: usize = 8;
+const OFF_LAST: usize = 16;
+const OFF_COUNT: usize = 24;
+
+// Data page offsets.
+const OFF_TAG: usize = 0;
+const OFF_SLOTS: usize = 2;
+const OFF_NEXT: usize = 8;
+const TAG_DATA: u8 = 0x11;
+
+/// Bits used for the slot number inside a [`RowId`].
+const SLOT_BITS: u32 = 12;
+
+/// Stable identifier of a heap row: `(page id << 12) | slot`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    fn new(page: PageId, slot: usize) -> RowId {
+        debug_assert!(slot < (1 << SLOT_BITS));
+        RowId((page.raw() << SLOT_BITS) | slot as u64)
+    }
+
+    fn page(self) -> PageId {
+        PageId(self.0 >> SLOT_BITS)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & ((1 << SLOT_BITS) - 1)) as usize
+    }
+
+    /// The raw 64-bit representation (used as index payload).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a row id from its raw representation.
+    pub fn from_raw(raw: u64) -> RowId {
+        RowId(raw)
+    }
+}
+
+/// A heap file storing rows of `arity` columns.
+pub struct Heap {
+    pool: Arc<BufferPool>,
+    meta_page: PageId,
+    arity: usize,
+    slots_per_page: usize,
+}
+
+struct HeapMeta {
+    first: PageId,
+    last: PageId,
+    count: u64,
+}
+
+impl Heap {
+    fn slot_size(arity: usize) -> usize {
+        arity * 8 + 1 // columns + live flag
+    }
+
+    fn slots_per_page(page_size: usize, arity: usize) -> usize {
+        ((page_size - PAGE_HEADER) / Self::slot_size(arity)).min(1 << SLOT_BITS)
+    }
+
+    /// Creates an empty heap for rows of `arity` columns.
+    pub fn create(pool: Arc<BufferPool>, arity: usize) -> Result<Heap> {
+        if arity == 0 || arity > 64 {
+            return Err(Error::InvalidArgument(format!("heap arity {arity} out of range")));
+        }
+        let meta_page = pool.allocate_page()?;
+        pool.with_page_mut(meta_page, |buf| {
+            put_u32(buf, OFF_MAGIC, HEAP_MAGIC);
+            put_u32(buf, OFF_ARITY, arity as u32);
+            put_u64(buf, OFF_FIRST, PageId::INVALID.raw());
+            put_u64(buf, OFF_LAST, PageId::INVALID.raw());
+            put_u64(buf, OFF_COUNT, 0);
+        })?;
+        let slots = Self::slots_per_page(pool.page_size(), arity);
+        Ok(Heap { pool, meta_page, arity, slots_per_page: slots })
+    }
+
+    /// Re-opens a heap from its meta page.
+    pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<Heap> {
+        let arity = pool.with_page(meta_page, |buf| {
+            if get_u32(buf, OFF_MAGIC) != HEAP_MAGIC {
+                return Err(Error::Corrupt(format!("page {meta_page} is not a heap meta page")));
+            }
+            Ok(get_u32(buf, OFF_ARITY) as usize)
+        })??;
+        let slots = Self::slots_per_page(pool.page_size(), arity);
+        Ok(Heap { pool, meta_page, arity, slots_per_page: slots })
+    }
+
+    /// The page identifying this heap in the catalog.
+    pub fn meta_page(&self) -> PageId {
+        self.meta_page
+    }
+
+    /// Number of columns per row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> Result<u64> {
+        Ok(self.read_meta()?.count)
+    }
+
+    fn read_meta(&self) -> Result<HeapMeta> {
+        self.pool.with_page(self.meta_page, |buf| HeapMeta {
+            first: PageId(get_u64(buf, OFF_FIRST)),
+            last: PageId(get_u64(buf, OFF_LAST)),
+            count: get_u64(buf, OFF_COUNT),
+        })
+    }
+
+    fn write_meta(&self, meta: &HeapMeta) -> Result<()> {
+        self.pool.with_page_mut(self.meta_page, |buf| {
+            put_u64(buf, OFF_FIRST, meta.first.raw());
+            put_u64(buf, OFF_LAST, meta.last.raw());
+            put_u64(buf, OFF_COUNT, meta.count);
+        })
+    }
+
+    fn slot_offset(&self, slot: usize) -> usize {
+        PAGE_HEADER + slot * Self::slot_size(self.arity)
+    }
+
+    /// Appends a row, returning its stable id.
+    pub fn insert(&self, row: &[i64]) -> Result<RowId> {
+        if row.len() != self.arity {
+            return Err(Error::InvalidArgument(format!(
+                "row has {} columns, heap expects {}",
+                row.len(),
+                self.arity
+            )));
+        }
+        let mut meta = self.read_meta()?;
+        // Find the insertion page: the chain tail, or a fresh page.
+        let (page, slot) = if meta.last.is_invalid() {
+            let page = self.pool.allocate_page()?;
+            self.init_data_page(page)?;
+            meta.first = page;
+            meta.last = page;
+            (page, 0)
+        } else {
+            let used = self.pool.with_page(meta.last, |buf| get_u16(buf, OFF_SLOTS) as usize)?;
+            if used < self.slots_per_page {
+                (meta.last, used)
+            } else {
+                let page = self.pool.allocate_page()?;
+                self.init_data_page(page)?;
+                self.pool
+                    .with_page_mut(meta.last, |buf| put_u64(buf, OFF_NEXT, page.raw()))?;
+                meta.last = page;
+                (page, 0)
+            }
+        };
+        let off = self.slot_offset(slot);
+        self.pool.with_page_mut(page, |buf| {
+            put_u16(buf, OFF_SLOTS, slot as u16 + 1);
+            buf[off] = 1; // live
+            for (c, v) in row.iter().enumerate() {
+                put_i64(buf, off + 1 + c * 8, *v);
+            }
+        })?;
+        meta.count += 1;
+        self.write_meta(&meta)?;
+        Ok(RowId::new(page, slot))
+    }
+
+    fn init_data_page(&self, page: PageId) -> Result<()> {
+        self.pool.with_page_mut(page, |buf| {
+            buf[OFF_TAG] = TAG_DATA;
+            put_u16(buf, OFF_SLOTS, 0);
+            put_u64(buf, OFF_NEXT, PageId::INVALID.raw());
+        })
+    }
+
+    /// Fetches a live row; `Ok(None)` if the row was deleted.
+    pub fn fetch(&self, id: RowId) -> Result<Option<Vec<i64>>> {
+        let off = self.slot_offset(id.slot());
+        self.pool.with_page(id.page(), |buf| {
+            if buf[OFF_TAG] != TAG_DATA {
+                return Err(Error::Corrupt(format!("row id {} points at a non-heap page", id.0)));
+            }
+            if id.slot() >= get_u16(buf, OFF_SLOTS) as usize {
+                return Err(Error::InvalidArgument(format!("row id {} slot out of range", id.0)));
+            }
+            if buf[off] == 0 {
+                return Ok(None);
+            }
+            let mut row = Vec::with_capacity(self.arity);
+            for c in 0..self.arity {
+                row.push(get_i64(buf, off + 1 + c * 8));
+            }
+            Ok(Some(row))
+        })?
+    }
+
+    /// Tombstones a row.  Returns `false` if it was already deleted.
+    pub fn delete(&self, id: RowId) -> Result<bool> {
+        let off = self.slot_offset(id.slot());
+        let was_live = self.pool.with_page_mut(id.page(), |buf| {
+            let live = buf[off] == 1;
+            buf[off] = 0;
+            live
+        })?;
+        if was_live {
+            let mut meta = self.read_meta()?;
+            meta.count -= 1;
+            self.write_meta(&meta)?;
+        }
+        Ok(was_live)
+    }
+
+    /// Full scan of all live rows in insertion order.
+    pub fn scan(&self) -> Result<Vec<(RowId, Vec<i64>)>> {
+        let meta = self.read_meta()?;
+        let mut out = Vec::with_capacity(meta.count as usize);
+        let mut page = meta.first;
+        while !page.is_invalid() {
+            let next = self.pool.with_page(page, |buf| {
+                let used = get_u16(buf, OFF_SLOTS) as usize;
+                for slot in 0..used {
+                    let off = self.slot_offset(slot);
+                    if buf[off] == 1 {
+                        let mut row = Vec::with_capacity(self.arity);
+                        for c in 0..self.arity {
+                            row.push(get_i64(buf, off + 1 + c * 8));
+                        }
+                        out.push((RowId::new(page, slot), row));
+                    }
+                }
+                PageId(get_u64(buf, OFF_NEXT))
+            })?;
+            page = next;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_pagestore::{BufferPoolConfig, MemDisk};
+
+    fn heap(arity: usize) -> Heap {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(256),
+            BufferPoolConfig { capacity: 8 },
+        ));
+        Heap::create(pool, arity).unwrap()
+    }
+
+    #[test]
+    fn insert_fetch_roundtrip() {
+        let h = heap(3);
+        let id = h.insert(&[1, -2, 3]).unwrap();
+        assert_eq!(h.fetch(id).unwrap(), Some(vec![1, -2, 3]));
+        assert_eq!(h.row_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn rows_span_many_pages() {
+        let h = heap(4);
+        let ids: Vec<RowId> = (0..500).map(|i| h.insert(&[i, i + 1, i + 2, i + 3]).unwrap()).collect();
+        assert_eq!(h.row_count().unwrap(), 500);
+        for (i, id) in ids.iter().enumerate() {
+            let i = i as i64;
+            assert_eq!(h.fetch(*id).unwrap(), Some(vec![i, i + 1, i + 2, i + 3]));
+        }
+        let scanned = h.scan().unwrap();
+        assert_eq!(scanned.len(), 500);
+        assert_eq!(scanned.iter().map(|(id, _)| *id).collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let h = heap(1);
+        let a = h.insert(&[10]).unwrap();
+        let b = h.insert(&[20]).unwrap();
+        assert!(h.delete(a).unwrap());
+        assert!(!h.delete(a).unwrap(), "double delete must report false");
+        assert_eq!(h.fetch(a).unwrap(), None);
+        assert_eq!(h.fetch(b).unwrap(), Some(vec![20]));
+        assert_eq!(h.row_count().unwrap(), 1);
+        assert_eq!(h.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let h = heap(2);
+        assert!(h.insert(&[1]).is_err());
+        assert!(h.insert(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn reopen_preserves_rows() {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(256),
+            BufferPoolConfig { capacity: 8 },
+        ));
+        let h = Heap::create(Arc::clone(&pool), 2).unwrap();
+        let meta = h.meta_page();
+        let id = h.insert(&[5, 6]).unwrap();
+        drop(h);
+        let h2 = Heap::open(pool, meta).unwrap();
+        assert_eq!(h2.arity(), 2);
+        assert_eq!(h2.fetch(id).unwrap(), Some(vec![5, 6]));
+    }
+
+    #[test]
+    fn open_rejects_wrong_page() {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(256),
+            BufferPoolConfig { capacity: 8 },
+        ));
+        let junk = pool.allocate_page().unwrap();
+        assert!(Heap::open(pool, junk).is_err());
+    }
+}

@@ -1,0 +1,616 @@
+//! A small SQL front-end.
+//!
+//! The paper presents everything through SQL — the DDL of Figure 2, the
+//! `INSERT` of Figure 5, the queries of Figures 8/9/11.  This module lets
+//! those statements run literally against the engine:
+//!
+//! * `CREATE TABLE t (a int, b int, ...)`
+//! * `CREATE INDEX i ON t (a, b, ...)`
+//! * `INSERT INTO t VALUES (1, 2, ...)`
+//! * `SELECT a, b | * FROM t [WHERE <predicate>]`
+//! * `DELETE FROM t [WHERE <predicate>]`
+//!
+//! Predicates are boolean combinations (`AND`, `OR`, parentheses) of
+//! column/constant comparisons (`=`, `<`, `<=`, `>`, `>=`), plus `BETWEEN`.
+//! Keywords are case-insensitive; table and index identifiers are
+//! case-sensitive (they name catalog objects verbatim), while column names
+//! match case-insensitively.  `SELECT` compiles to `TABLE ACCESS FULL` +
+//! `FILTER` + `PROJECTION`;
+//! there is deliberately **no optimizer** — the paper's point is precisely
+//! that the RI-tree builds its plans itself (Section 4.2) and hands the
+//! host engine only index range scans, so the SQL layer here serves DDL,
+//! data loading and inspection.
+
+use crate::catalog::{Database, IndexDef, TableDef};
+use crate::exec::{CmpOp, ExecStats, Plan, Predicate, Row};
+use ri_pagestore::{Error, Result};
+
+/// Result of executing one SQL statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqlResult {
+    /// DDL succeeded.
+    Created,
+    /// Number of rows inserted or deleted.
+    RowsAffected(u64),
+    /// Query result: column names and rows.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Output rows.
+        rows: Vec<Row>,
+    },
+}
+
+impl Database {
+    /// Parses and executes one SQL statement.
+    pub fn execute_sql(&self, sql: &str) -> Result<SqlResult> {
+        let tokens = tokenize(sql)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let stmt = p.statement()?;
+        p.expect_end()?;
+        self.run(stmt)
+    }
+
+    fn run(&self, stmt: Stmt) -> Result<SqlResult> {
+        match stmt {
+            Stmt::CreateTable { name, columns } => {
+                self.create_table(TableDef { name, columns })?;
+                Ok(SqlResult::Created)
+            }
+            Stmt::CreateIndex { name, table, columns } => {
+                let meta = self.table_meta(&table)?;
+                let key_cols = columns
+                    .iter()
+                    .map(|c| column_position(&meta.columns, c))
+                    .collect::<Result<Vec<_>>>()?;
+                self.create_index(&table, IndexDef { name, key_cols })?;
+                Ok(SqlResult::Created)
+            }
+            Stmt::Insert { table, values } => {
+                let t = self.table(&table)?;
+                t.insert(&values)?;
+                Ok(SqlResult::RowsAffected(1))
+            }
+            Stmt::Select { columns, table, predicate } => {
+                let meta = self.table_meta(&table)?;
+                let pred = predicate
+                    .map(|p| p.bind(&meta.columns))
+                    .transpose()?
+                    .unwrap_or(Predicate::True);
+                let out_cols: Vec<usize> = match &columns {
+                    Projection::Star => (0..meta.columns.len()).collect(),
+                    Projection::Columns(names) => names
+                        .iter()
+                        .map(|c| column_position(&meta.columns, c))
+                        .collect::<Result<Vec<_>>>()?,
+                };
+                let names: Vec<String> =
+                    out_cols.iter().map(|&i| meta.columns[i].clone()).collect();
+                let plan = Plan::Project {
+                    input: Box::new(Plan::Filter {
+                        input: Box::new(Plan::TableScan { table }),
+                        pred,
+                    }),
+                    cols: out_cols,
+                };
+                let mut stats = ExecStats::default();
+                let rows = self.execute(&plan, &mut stats)?;
+                Ok(SqlResult::Rows { columns: names, rows })
+            }
+            Stmt::Delete { table, predicate } => {
+                let meta = self.table_meta(&table)?;
+                let pred = predicate
+                    .map(|p| p.bind(&meta.columns))
+                    .transpose()?
+                    .unwrap_or(Predicate::True);
+                let t = self.table(&table)?;
+                let victims: Vec<_> = t
+                    .scan()?
+                    .into_iter()
+                    .filter(|(_, row)| pred.matches(row))
+                    .map(|(rid, _)| rid)
+                    .collect();
+                let mut n = 0;
+                for rid in victims {
+                    if t.delete(rid)? {
+                        n += 1;
+                    }
+                }
+                Ok(SqlResult::RowsAffected(n))
+            }
+        }
+    }
+}
+
+fn column_position(columns: &[String], name: &str) -> Result<usize> {
+    columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case(name))
+        .ok_or_else(|| Error::InvalidArgument(format!("unknown column {name}")))
+}
+
+// ----------------------------------------------------------------------
+// AST
+// ----------------------------------------------------------------------
+
+enum Stmt {
+    CreateTable { name: String, columns: Vec<String> },
+    CreateIndex { name: String, table: String, columns: Vec<String> },
+    Insert { table: String, values: Vec<i64> },
+    Select { columns: Projection, table: String, predicate: Option<PredAst> },
+    Delete { table: String, predicate: Option<PredAst> },
+}
+
+enum Projection {
+    Star,
+    Columns(Vec<String>),
+}
+
+enum PredAst {
+    Cmp { column: String, op: CmpOp, value: i64 },
+    Between { column: String, lo: i64, hi: i64 },
+    And(Vec<PredAst>),
+    Or(Vec<PredAst>),
+}
+
+impl PredAst {
+    /// Resolves column names to positions.
+    fn bind(&self, columns: &[String]) -> Result<Predicate> {
+        Ok(match self {
+            PredAst::Cmp { column, op, value } => Predicate::CmpConst {
+                col: column_position(columns, column)?,
+                op: *op,
+                value: *value,
+            },
+            PredAst::Between { column, lo, hi } => {
+                let col = column_position(columns, column)?;
+                Predicate::And(vec![
+                    Predicate::CmpConst { col, op: CmpOp::Ge, value: *lo },
+                    Predicate::CmpConst { col, op: CmpOp::Le, value: *hi },
+                ])
+            }
+            PredAst::And(ps) => {
+                Predicate::And(ps.iter().map(|p| p.bind(columns)).collect::<Result<_>>()?)
+            }
+            PredAst::Or(ps) => {
+                Predicate::Or(ps.iter().map(|p| p.bind(columns)).collect::<Result<_>>()?)
+            }
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(i64),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Op(CmpOp),
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let b = sql.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ';' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CmpOp::Le));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let v = text.parse::<i64>().map_err(|_| {
+                    Error::InvalidArgument(format!("bad number {text:?} in SQL"))
+                })?;
+                out.push(Tok::Number(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(sql[start..i].to_string()));
+            }
+            other => {
+                return Err(Error::InvalidArgument(format!(
+                    "unexpected character {other:?} in SQL"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::InvalidArgument("unexpected end of SQL".to_string()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos != self.tokens.len() {
+            return Err(Error::InvalidArgument(format!(
+                "trailing tokens after statement: {:?}",
+                &self.tokens[self.pos..]
+            )));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            t => Err(Error::InvalidArgument(format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        let s = self.ident()?;
+        if s.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(Error::InvalidArgument(format!("expected {kw}, got {s}")))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn number(&mut self) -> Result<i64> {
+        match self.next()? {
+            Tok::Number(v) => Ok(v),
+            t => Err(Error::InvalidArgument(format!("expected number, got {t:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<()> {
+        let t = self.next()?;
+        if t == tok {
+            Ok(())
+        } else {
+            Err(Error::InvalidArgument(format!("expected {tok:?}, got {t:?}")))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        let head = self.ident()?;
+        match head.to_ascii_uppercase().as_str() {
+            "CREATE" => {
+                let what = self.ident()?;
+                if what.eq_ignore_ascii_case("TABLE") {
+                    let name = self.ident()?;
+                    self.expect(Tok::LParen)?;
+                    let mut columns = Vec::new();
+                    loop {
+                        let col = self.ident()?;
+                        // Optional type name (e.g. "int"), ignored like a
+                        // single-typed engine should.
+                        if matches!(self.peek(), Some(Tok::Ident(_))) {
+                            let _ = self.ident()?;
+                        }
+                        columns.push(col);
+                        match self.next()? {
+                            Tok::Comma => continue,
+                            Tok::RParen => break,
+                            t => {
+                                return Err(Error::InvalidArgument(format!(
+                                    "expected , or ) in column list, got {t:?}"
+                                )))
+                            }
+                        }
+                    }
+                    Ok(Stmt::CreateTable { name, columns })
+                } else if what.eq_ignore_ascii_case("INDEX") {
+                    let name = self.ident()?;
+                    self.keyword("ON")?;
+                    let table = self.ident()?;
+                    self.expect(Tok::LParen)?;
+                    let mut columns = Vec::new();
+                    loop {
+                        columns.push(self.ident()?);
+                        match self.next()? {
+                            Tok::Comma => continue,
+                            Tok::RParen => break,
+                            t => {
+                                return Err(Error::InvalidArgument(format!(
+                                    "expected , or ) in key list, got {t:?}"
+                                )))
+                            }
+                        }
+                    }
+                    Ok(Stmt::CreateIndex { name, table, columns })
+                } else {
+                    Err(Error::InvalidArgument(format!("CREATE {what} not supported")))
+                }
+            }
+            "INSERT" => {
+                self.keyword("INTO")?;
+                let table = self.ident()?;
+                self.keyword("VALUES")?;
+                self.expect(Tok::LParen)?;
+                let mut values = Vec::new();
+                loop {
+                    values.push(self.number()?);
+                    match self.next()? {
+                        Tok::Comma => continue,
+                        Tok::RParen => break,
+                        t => {
+                            return Err(Error::InvalidArgument(format!(
+                                "expected , or ) in VALUES, got {t:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Stmt::Insert { table, values })
+            }
+            "SELECT" => {
+                let columns = if matches!(self.peek(), Some(Tok::Star)) {
+                    self.next()?;
+                    Projection::Star
+                } else {
+                    let mut cols = vec![self.ident()?];
+                    while matches!(self.peek(), Some(Tok::Comma)) {
+                        self.next()?;
+                        cols.push(self.ident()?);
+                    }
+                    Projection::Columns(cols)
+                };
+                self.keyword("FROM")?;
+                let table = self.ident()?;
+                let predicate = if self.peek_keyword("WHERE") {
+                    self.next()?;
+                    Some(self.or_expr()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::Select { columns, table, predicate })
+            }
+            "DELETE" => {
+                self.keyword("FROM")?;
+                let table = self.ident()?;
+                let predicate = if self.peek_keyword("WHERE") {
+                    self.next()?;
+                    Some(self.or_expr()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::Delete { table, predicate })
+            }
+            other => Err(Error::InvalidArgument(format!("unsupported statement {other}"))),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<PredAst> {
+        let mut terms = vec![self.and_expr()?];
+        while self.peek_keyword("OR") {
+            self.next()?;
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { PredAst::Or(terms) })
+    }
+
+    fn and_expr(&mut self) -> Result<PredAst> {
+        let mut terms = vec![self.atom()?];
+        while self.peek_keyword("AND") {
+            self.next()?;
+            terms.push(self.atom()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { PredAst::And(terms) })
+    }
+
+    fn atom(&mut self) -> Result<PredAst> {
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.next()?;
+            let inner = self.or_expr()?;
+            self.expect(Tok::RParen)?;
+            return Ok(inner);
+        }
+        let column = self.ident()?;
+        if self.peek_keyword("BETWEEN") {
+            self.next()?;
+            let lo = self.number()?;
+            self.keyword("AND")?;
+            let hi = self.number()?;
+            return Ok(PredAst::Between { column, lo, hi });
+        }
+        let op = match self.next()? {
+            Tok::Op(op) => op,
+            t => return Err(Error::InvalidArgument(format!("expected operator, got {t:?}"))),
+        };
+        let value = self.number()?;
+        Ok(PredAst::Cmp { column, op, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_pagestore::{BufferPool, BufferPoolConfig, MemDisk, DEFAULT_PAGE_SIZE};
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(DEFAULT_PAGE_SIZE),
+            BufferPoolConfig { capacity: 64 },
+        ));
+        Database::create(pool).unwrap()
+    }
+
+    #[test]
+    fn figure_2_ddl_runs_verbatim() {
+        let db = db();
+        // The paper's Figure 2, verbatim (modulo whitespace).
+        db.execute_sql(
+            "CREATE TABLE Intervals (node int, lower int, upper int, id int);",
+        )
+        .unwrap();
+        db.execute_sql("CREATE INDEX lowerIndex ON Intervals (node, lower);").unwrap();
+        db.execute_sql("CREATE INDEX upperIndex ON Intervals (node, upper);").unwrap();
+        assert_eq!(db.table_names(), vec!["Intervals".to_string()]);
+        assert_eq!(db.index_stats("Intervals", "lowerIndex").unwrap().entries, 0);
+    }
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let db = db();
+        db.execute_sql("CREATE TABLE T (a int, b int)").unwrap();
+        for i in 0..10 {
+            let r = db
+                .execute_sql(&format!("INSERT INTO T VALUES ({i}, {})", i * 10))
+                .unwrap();
+            assert_eq!(r, SqlResult::RowsAffected(1));
+        }
+        let r = db.execute_sql("SELECT b FROM T WHERE a >= 3 AND a < 6").unwrap();
+        match r {
+            SqlResult::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["b".to_string()]);
+                assert_eq!(rows, vec![vec![30], vec![40], vec![50]]);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star_and_between_and_or() {
+        let db = db();
+        db.execute_sql("CREATE TABLE T (x int)").unwrap();
+        for v in [-5, 0, 5, 10, 15] {
+            db.execute_sql(&format!("INSERT INTO T VALUES ({v})")).unwrap();
+        }
+        let r = db
+            .execute_sql("SELECT * FROM T WHERE x BETWEEN 0 AND 10 OR (x = -5)")
+            .unwrap();
+        match r {
+            SqlResult::Rows { rows, .. } => {
+                let mut vals: Vec<i64> = rows.into_iter().map(|r| r[0]).collect();
+                vals.sort_unstable();
+                assert_eq!(vals, vec![-5, 0, 5, 10]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let db = db();
+        db.execute_sql("CREATE TABLE T (x int)").unwrap();
+        for v in 0..10 {
+            db.execute_sql(&format!("INSERT INTO T VALUES ({v})")).unwrap();
+        }
+        let r = db.execute_sql("DELETE FROM T WHERE x >= 5").unwrap();
+        assert_eq!(r, SqlResult::RowsAffected(5));
+        let r = db.execute_sql("SELECT * FROM T").unwrap();
+        match r {
+            SqlResult::Rows { rows, .. } => assert_eq!(rows.len(), 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers_and_case_insensitivity() {
+        let db = db();
+        // Keywords and column names are case-insensitive; table names are
+        // catalog objects and match verbatim.
+        db.execute_sql("create table t (A int, B int)").unwrap();
+        db.execute_sql("insert into t values (-7, -8)").unwrap();
+        let r = db.execute_sql("select a from t where b <= -8").unwrap();
+        match r {
+            SqlResult::Rows { rows, .. } => assert_eq!(rows, vec![vec![-7]]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sql_errors_are_informative() {
+        let db = db();
+        assert!(db.execute_sql("DROP TABLE x").is_err());
+        assert!(db.execute_sql("SELECT FROM").is_err());
+        assert!(db.execute_sql("CREATE TABLE T (a int").is_err());
+        db.execute_sql("CREATE TABLE T (a int)").unwrap();
+        assert!(db.execute_sql("SELECT nope FROM T").is_err());
+        assert!(db.execute_sql("SELECT a FROM T WHERE a ? 3").is_err());
+        assert!(db.execute_sql("SELECT a FROM T extra junk").is_err());
+    }
+
+    #[test]
+    fn index_maintained_through_sql_dml() {
+        let db = db();
+        db.execute_sql("CREATE TABLE T (k int, v int)").unwrap();
+        db.execute_sql("CREATE INDEX KI ON T (k)").unwrap();
+        for i in 0..50 {
+            db.execute_sql(&format!("INSERT INTO T VALUES ({}, {i})", i % 5)).unwrap();
+        }
+        assert_eq!(db.index_stats("T", "KI").unwrap().entries, 50);
+        db.execute_sql("DELETE FROM T WHERE k = 2").unwrap();
+        assert_eq!(db.index_stats("T", "KI").unwrap().entries, 40);
+    }
+}

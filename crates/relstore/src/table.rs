@@ -1,0 +1,199 @@
+//! Table handles: DML that maintains all secondary indexes.
+
+use crate::catalog::TableMeta;
+use crate::heap::{Heap, RowId};
+use ri_btree::BTree;
+use ri_pagestore::{BufferPool, Error, Result};
+use std::sync::Arc;
+
+/// A handle on a table and its secondary indexes.
+///
+/// `insert` is the engine-level equivalent of the paper's single SQL
+/// statement in Figure 5: one heap append plus one B+-tree insertion per
+/// index, each `O(log_b n)` I/Os.
+pub struct Table {
+    columns: Vec<String>,
+    heap: Heap,
+    indexes: Vec<OpenIndex>,
+}
+
+struct OpenIndex {
+    name: String,
+    key_cols: Vec<usize>,
+    tree: BTree,
+}
+
+impl Table {
+    pub(crate) fn from_meta(pool: Arc<BufferPool>, meta: &TableMeta) -> Result<Table> {
+        let heap = Heap::open(Arc::clone(&pool), meta.heap_meta)?;
+        let mut indexes = Vec::with_capacity(meta.indexes.len());
+        for idx in &meta.indexes {
+            indexes.push(OpenIndex {
+                name: idx.name.clone(),
+                key_cols: idx.key_cols.clone(),
+                tree: BTree::open(Arc::clone(&pool), idx.btree_meta)?,
+            });
+        }
+        Ok(Table { columns: meta.columns.clone(), heap, indexes })
+    }
+
+    /// Column names, in storage order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> Result<u64> {
+        self.heap.row_count()
+    }
+
+    /// Inserts a row, maintaining every index.
+    pub fn insert(&self, row: &[i64]) -> Result<RowId> {
+        if row.len() != self.columns.len() {
+            return Err(Error::InvalidArgument(format!(
+                "row has {} columns, table has {}",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        let rid = self.heap.insert(row)?;
+        for idx in &self.indexes {
+            let key: Vec<i64> = idx.key_cols.iter().map(|&c| row[c]).collect();
+            idx.tree.insert(&key, rid.raw())?;
+        }
+        Ok(rid)
+    }
+
+    /// Deletes a row by id, maintaining every index.
+    ///
+    /// Returns `false` if the row no longer exists.
+    pub fn delete(&self, rid: RowId) -> Result<bool> {
+        let Some(row) = self.heap.fetch(rid)? else {
+            return Ok(false);
+        };
+        for idx in &self.indexes {
+            let key: Vec<i64> = idx.key_cols.iter().map(|&c| row[c]).collect();
+            let removed = idx.tree.delete(&key, rid.raw())?;
+            if !removed {
+                return Err(Error::Corrupt(format!(
+                    "index {} out of sync: missing entry for row {}",
+                    idx.name,
+                    rid.raw()
+                )));
+            }
+        }
+        self.heap.delete(rid)?;
+        Ok(true)
+    }
+
+    /// Fetches a row by id.
+    pub fn fetch(&self, rid: RowId) -> Result<Option<Vec<i64>>> {
+        self.heap.fetch(rid)
+    }
+
+    /// Full scan of all live rows.
+    pub fn scan(&self) -> Result<Vec<(RowId, Vec<i64>)>> {
+        self.heap.scan()
+    }
+
+    /// Direct access to an index B+-tree (for hand-written access methods).
+    pub fn index(&self, name: &str) -> Result<&BTree> {
+        self.indexes
+            .iter()
+            .find(|i| i.name == name)
+            .map(|i| &i.tree)
+            .ok_or_else(|| Error::InvalidArgument(format!("no such index {name}")))
+    }
+
+    /// Key column positions of an index.
+    pub fn index_key_cols(&self, name: &str) -> Result<&[usize]> {
+        self.indexes
+            .iter()
+            .find(|i| i.name == name)
+            .map(|i| i.key_cols.as_slice())
+            .ok_or_else(|| Error::InvalidArgument(format!("no such index {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog::{Database, IndexDef, TableDef};
+    use ri_pagestore::{BufferPool, BufferPoolConfig, MemDisk};
+    use std::sync::Arc;
+
+    fn db_with_indexed_table() -> Database {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(2048),
+            BufferPoolConfig { capacity: 64 },
+        ));
+        let db = Database::create(pool).unwrap();
+        db.create_table(TableDef {
+            name: "T".into(),
+            columns: vec!["a".into(), "b".into(), "c".into()],
+        })
+        .unwrap();
+        db.create_index("T", IndexDef { name: "AB".into(), key_cols: vec![0, 1] }).unwrap();
+        db.create_index("T", IndexDef { name: "C".into(), key_cols: vec![2] }).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_maintains_all_indexes() {
+        let db = db_with_indexed_table();
+        let t = db.table("T").unwrap();
+        for i in 0..200i64 {
+            t.insert(&[i % 10, i, -i]).unwrap();
+        }
+        assert_eq!(db.index_stats("T", "AB").unwrap().entries, 200);
+        assert_eq!(db.index_stats("T", "C").unwrap().entries, 200);
+        // Key extraction respects column order.
+        let hits = t.index("AB").unwrap().scan_range(&[3, i64::MIN], &[3, i64::MAX]).count();
+        assert_eq!(hits, 20);
+    }
+
+    #[test]
+    fn delete_maintains_all_indexes() {
+        let db = db_with_indexed_table();
+        let t = db.table("T").unwrap();
+        let rid = t.insert(&[1, 2, 3]).unwrap();
+        let keep = t.insert(&[1, 5, 9]).unwrap();
+        assert!(t.delete(rid).unwrap());
+        assert!(!t.delete(rid).unwrap());
+        assert_eq!(db.index_stats("T", "AB").unwrap().entries, 1);
+        assert_eq!(db.index_stats("T", "C").unwrap().entries, 1);
+        assert_eq!(t.fetch(keep).unwrap(), Some(vec![1, 5, 9]));
+        assert_eq!(t.fetch(rid).unwrap(), None);
+    }
+
+    #[test]
+    fn index_payloads_are_row_ids() {
+        let db = db_with_indexed_table();
+        let t = db.table("T").unwrap();
+        let rid = t.insert(&[7, 8, 9]).unwrap();
+        let entry = t
+            .index("C")
+            .unwrap()
+            .scan_range(&[9], &[9])
+            .next()
+            .unwrap()
+            .unwrap();
+        assert_eq!(entry.payload, rid.raw());
+        let row = t.fetch(crate::heap::RowId::from_raw(entry.payload)).unwrap();
+        assert_eq!(row, Some(vec![7, 8, 9]));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let db = db_with_indexed_table();
+        let t = db.table("T").unwrap();
+        assert!(t.insert(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn unknown_index_name_errors() {
+        let db = db_with_indexed_table();
+        let t = db.table("T").unwrap();
+        assert!(t.index("NOPE").is_err());
+        assert!(t.index_key_cols("NOPE").is_err());
+    }
+}

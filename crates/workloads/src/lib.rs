@@ -1,0 +1,26 @@
+//! Table 1 workloads: the paper's interval data distributions D1–D4.
+//!
+//! | Name | Starting point | Duration |
+//! |------|----------------|----------|
+//! | D1(n,d) | uniform in [0, 2^20 − 1] | uniform in [0, 2d] |
+//! | D2(n,d) | uniform in [0, 2^20 − 1] | exponential, mean d |
+//! | D3(n,d) | Poisson process over [0, 2^20 − 1] | uniform in [0, 2d] |
+//! | D4(n,d) | Poisson process over [0, 2^20 − 1] | exponential, mean d |
+//!
+//! "For the distributions D3 and D4, we assume transaction time or valid
+//! time intervals where the arrival of temporal tuples follows a Poisson
+//! process.  Thus the inter-arrival time is distributed exponentially."
+//! (Section 6.1.)  All bounding points are clamped into `[0, 2^20 − 1]`.
+//!
+//! Queries are generated "following a distribution which is compatible to
+//! the respective interval database" (Section 6.3): query starting points
+//! use the dataset's start distribution and query durations are sized for a
+//! target *selectivity* — the fraction of the database a query intersects.
+
+pub mod query;
+pub mod spec;
+
+pub use query::{queries_for_selectivity, query_length_for_selectivity, sweep_points};
+pub use spec::{DurationDist, StartDist, WorkloadSpec, DOMAIN_MAX};
+
+pub use spec::{d1, d2, d3, d4, restricted_d3};

@@ -1,0 +1,99 @@
+//! Selectivity-calibrated query workloads.
+
+use crate::spec::{WorkloadSpec, DOMAIN_MAX};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Query length that yields an expected selectivity `sel` against `spec`.
+///
+/// A query `[q, q + L]` intersects an interval of length `len` starting
+/// uniformly in the domain with probability `(L + len + 1) / domain`;
+/// solving `E[hits] = sel · n` for `L` gives
+/// `L = sel · domain − mean_duration − 1`, floored at 0 (at that point the
+/// selectivity is dominated by the data's own durations and only point
+/// queries are possible).
+pub fn query_length_for_selectivity(spec: &WorkloadSpec, sel: f64) -> i64 {
+    let domain = (DOMAIN_MAX + 1) as f64;
+    ((sel * domain - spec.mean_duration() - 1.0).round() as i64).max(0)
+}
+
+/// Generates `count` query intervals with expected selectivity `sel`,
+/// start-compatible with `spec` (Section 6.3's methodology).
+pub fn queries_for_selectivity(
+    spec: &WorkloadSpec,
+    sel: f64,
+    count: usize,
+    seed: u64,
+) -> Vec<(i64, i64)> {
+    let len = query_length_for_selectivity(spec, sel);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let start = spec.sample_start(&mut rng).min(DOMAIN_MAX - len);
+            (start.max(0), (start.max(0) + len).min(DOMAIN_MAX))
+        })
+        .collect()
+}
+
+/// The Figure 17 "sweeping point query": point queries at increasing
+/// distance from the upper bound of the data space.
+pub fn sweep_points(count: usize, max_distance: i64) -> Vec<i64> {
+    let step = max_distance / count.max(1) as i64;
+    (0..count as i64).map(|i| DOMAIN_MAX - i * step).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{d1, d4};
+
+    #[test]
+    fn length_scales_with_selectivity() {
+        let spec = d1(100_000, 2000);
+        let l1 = query_length_for_selectivity(&spec, 0.005);
+        let l2 = query_length_for_selectivity(&spec, 0.03);
+        assert!(l1 > 0 && l2 > l1);
+        // 3% of 2^20 is ~31k; minus the mean duration of 2000.
+        assert!((l2 - (0.03 * 1_048_576.0 - 2001.0) as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn achieved_selectivity_is_close_to_target() {
+        let spec = d4(30_000, 2000);
+        let data = spec.generate(11);
+        let queries = queries_for_selectivity(&spec, 0.01, 50, 12);
+        let mut total_hits = 0usize;
+        for &(ql, qu) in &queries {
+            total_hits += data.iter().filter(|&&(l, u)| l <= qu && ql <= u).count();
+        }
+        let achieved = total_hits as f64 / (queries.len() * data.len()) as f64;
+        assert!(
+            (achieved - 0.01).abs() < 0.004,
+            "achieved selectivity {achieved:.4} too far from 1%"
+        );
+    }
+
+    #[test]
+    fn queries_stay_in_domain() {
+        let spec = d1(1000, 2000);
+        for (l, u) in queries_for_selectivity(&spec, 0.03, 200, 5) {
+            assert!(l >= 0 && u <= DOMAIN_MAX && l <= u);
+        }
+    }
+
+    #[test]
+    fn sweep_descends_from_domain_top() {
+        let pts = sweep_points(5, 200_000);
+        assert_eq!(pts[0], DOMAIN_MAX);
+        assert!(pts.windows(2).all(|w| w[0] > w[1]));
+        assert!(*pts.last().unwrap() >= DOMAIN_MAX - 200_000);
+    }
+
+    #[test]
+    fn zero_selectivity_gives_point_queries() {
+        let spec = d1(1000, 2000);
+        assert_eq!(query_length_for_selectivity(&spec, 0.0), 0);
+        let qs = queries_for_selectivity(&spec, 0.0, 10, 3);
+        assert!(qs.iter().all(|(l, u)| l == u));
+    }
+}

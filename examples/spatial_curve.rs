@@ -1,0 +1,96 @@
+//! Spatial scenario: 2D window queries via space-filling-curve intervals.
+//!
+//! The paper's introduction motivates interval management with "line
+//! segments on a space-filling curve in spatial applications" [FR 89]:
+//! a 2D region decomposes into runs of consecutive cells along a Z-order
+//! curve, each run being a 1D interval.  Indexing those runs with an
+//! RI-tree turns 2D window queries into interval intersection queries.
+//!
+//! ```sh
+//! cargo run --example spatial_curve
+//! ```
+
+use ri_tree::prelude::*;
+
+/// Interleaves the bits of (x, y) into a Z-order curve position (16 bits
+/// per axis is plenty for the demo grid).
+fn z_order(x: u32, y: u32) -> i64 {
+    let mut z = 0i64;
+    for bit in 0..16 {
+        z |= (((x >> bit) & 1) as i64) << (2 * bit);
+        z |= (((y >> bit) & 1) as i64) << (2 * bit + 1);
+    }
+    z
+}
+
+/// Decomposes the axis-aligned rectangle into maximal runs of consecutive
+/// Z-order positions (the curve "segments" of [FR 89]).
+fn z_runs(x0: u32, y0: u32, x1: u32, y1: u32) -> Vec<(i64, i64)> {
+    let mut cells: Vec<i64> =
+        (y0..=y1).flat_map(|y| (x0..=x1).map(move |x| z_order(x, y))).collect();
+    cells.sort_unstable();
+    let mut runs = Vec::new();
+    let mut start = cells[0];
+    let mut prev = cells[0];
+    for &c in &cells[1..] {
+        if c != prev + 1 {
+            runs.push((start, prev));
+            start = c;
+        }
+        prev = c;
+    }
+    runs.push((start, prev));
+    runs
+}
+
+fn main() {
+    let pool = Arc::new(BufferPool::with_defaults(MemDisk::new(DEFAULT_PAGE_SIZE)));
+    let db = Arc::new(Database::create(pool).unwrap());
+    let index = RiTree::create(db, "zcurve").unwrap();
+
+    /// A building footprint: id plus grid rectangle (x0, y0, x1, y1).
+    type Building = (i64, (u32, u32, u32, u32));
+
+    // Three buildings on a 256x256 grid, decomposed into curve runs.  Every
+    // run is stored under its building id (ids may repeat across runs).
+    let buildings: &[Building] = &[
+        (1, (10, 10, 40, 30)),   // warehouse
+        (2, (60, 20, 90, 60)),   // office block
+        (3, (35, 55, 55, 75)),   // lab
+    ];
+    let mut total_runs = 0;
+    for &(id, (x0, y0, x1, y1)) in buildings {
+        for (lo, hi) in z_runs(x0, y0, x1, y1) {
+            index.insert(Interval::new(lo, hi).unwrap(), id).unwrap();
+            total_runs += 1;
+        }
+    }
+    println!("indexed {total_runs} curve runs for {} buildings", buildings.len());
+    println!("backbone height: {}", index.height().unwrap());
+
+    // A 2D window query becomes: decompose the window into runs, run one
+    // intersection query per run, union the ids.
+    let window = (30u32, 25u32, 70u32, 65u32);
+    let mut hits: Vec<i64> = Vec::new();
+    let runs = z_runs(window.0, window.1, window.2, window.3);
+    for &(lo, hi) in &runs {
+        hits.extend(index.intersection(Interval::new(lo, hi).unwrap()).unwrap());
+    }
+    hits.sort_unstable();
+    hits.dedup();
+    println!(
+        "window ({}, {})..({}, {}) decomposes into {} runs; intersecting buildings: {hits:?}",
+        window.0, window.1, window.2, window.3, runs.len()
+    );
+    assert_eq!(hits, vec![1, 2, 3], "all three buildings overlap the window");
+
+    // A small window inside the warehouse only.
+    let mut hits2: Vec<i64> = Vec::new();
+    for (lo, hi) in z_runs(12, 12, 14, 14) {
+        hits2.extend(index.intersection(Interval::new(lo, hi).unwrap()).unwrap());
+    }
+    hits2.sort_unstable();
+    hits2.dedup();
+    println!("window (12,12)..(14,14): {hits2:?}");
+    assert_eq!(hits2, vec![1]);
+}

@@ -1,0 +1,75 @@
+//! # ri-tree: the Relational Interval Tree, reproduced in Rust
+//!
+//! A complete, from-scratch reproduction of **"Managing Intervals
+//! Efficiently in Object-Relational Databases"** (Hans-Peter Kriegel,
+//! Marco Pötke, Thomas Seidl; VLDB 2000) — the RI-tree — including the
+//! relational storage engine it runs on, the competing access methods it
+//! was evaluated against, and the full experiment harness regenerating
+//! every table and figure of the paper's evaluation.
+//!
+//! This facade re-exports the public API of all member crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `ritree-core` | the RI-tree: [`core::RiTree`], [`core::Interval`], Allen relations, `now`/∞ endpoints |
+//! | [`relstore`] | `ri-relstore` | the relational engine: [`relstore::Database`], tables, indexes, plans, EXPLAIN |
+//! | [`btree`] | `ri-btree` | the disk-based composite-key B+-tree |
+//! | [`pagestore`] | `ri-pagestore` | buffer pool, block devices, I/O statistics, latency model |
+//! | [`baselines`] | `ri-baselines` | T-index, IST, MAP21, Window-List |
+//! | [`mem`] | `ri-mem` | main-memory interval tree / segment tree / naive oracle |
+//! | [`workloads`] | `ri-workloads` | the paper's Table 1 data distributions and query generators |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ri_tree::prelude::*;
+//!
+//! // An in-memory database with the paper's server configuration
+//! // (2 KB blocks, 200-block cache).
+//! let pool = Arc::new(BufferPool::with_defaults(MemDisk::new(DEFAULT_PAGE_SIZE)));
+//! let db = Arc::new(Database::create(pool).unwrap());
+//!
+//! // CREATE TABLE Intervals (node, lower, upper, id) + the two composite
+//! // indexes of the paper's Figure 2 — all in one call:
+//! let tree = RiTree::create(db, "demo").unwrap();
+//!
+//! tree.insert(Interval::new(10, 20).unwrap(), 1).unwrap();
+//! tree.insert(Interval::new(15, 40).unwrap(), 2).unwrap();
+//!
+//! assert_eq!(tree.intersection(Interval::new(18, 30).unwrap()).unwrap(),
+//!            vec![1, 2]);
+//! ```
+//!
+//! See `examples/` for runnable scenarios (temporal reservations with
+//! `now`/∞, spatial curve segments, engineering tolerances) and
+//! `crates/bench/src/bin/` for the per-figure experiment binaries.
+
+pub use ri_baselines as baselines;
+pub use ri_btree as btree;
+pub use ri_mem as mem;
+pub use ri_pagestore as pagestore;
+pub use ri_relstore as relstore;
+pub use ri_workloads as workloads;
+pub use ritree_core as core;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use ri_pagestore::{BufferPool, BufferPoolConfig, FileDisk, MemDisk, DEFAULT_PAGE_SIZE};
+    pub use ri_relstore::{Database, IntervalAccessMethod};
+    pub use ritree_core::{AllenRelation, Interval, OpenEnd, RiTree};
+    pub use std::sync::Arc;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn facade_quickstart() {
+        let pool = Arc::new(BufferPool::with_defaults(MemDisk::new(DEFAULT_PAGE_SIZE)));
+        let db = Arc::new(Database::create(pool).unwrap());
+        let tree = RiTree::create(db, "demo").unwrap();
+        tree.insert(Interval::new(1, 2).unwrap(), 7).unwrap();
+        assert_eq!(tree.stab(1).unwrap(), vec![7]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Failure injection through the whole stack: injected device faults must
+//! surface as errors (never panics or silent corruption), and the database
+//! must remain usable once the fault clears.
+
+use ri_tree::pagestore::{BufferPool, BufferPoolConfig, FaultPlan, FaultyDisk, MemDisk, PageId};
+use ri_tree::prelude::*;
+
+/// Builds a database on a shared fault-injectable disk.  The `FaultyDisk`
+/// handle is kept through an `Arc` so the plan can be changed mid-test.
+struct FaultyEnv {
+    faulty: Arc<FaultyDisk<MemDisk>>,
+    pool: Arc<BufferPool>,
+}
+
+/// `DiskManager` pass-through so the pool can own an `Arc`d disk.
+struct SharedDisk(Arc<FaultyDisk<MemDisk>>);
+
+impl ri_tree::pagestore::DiskManager for SharedDisk {
+    fn page_size(&self) -> usize {
+        self.0.page_size()
+    }
+    fn num_pages(&self) -> u64 {
+        self.0.num_pages()
+    }
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> ri_tree::pagestore::Result<()> {
+        self.0.read_page(id, buf)
+    }
+    fn write_page(&self, id: PageId, buf: &[u8]) -> ri_tree::pagestore::Result<()> {
+        self.0.write_page(id, buf)
+    }
+    fn allocate_page(&self) -> ri_tree::pagestore::Result<PageId> {
+        self.0.allocate_page()
+    }
+    fn sync(&self) -> ri_tree::pagestore::Result<()> {
+        self.0.sync()
+    }
+}
+
+fn faulty_env() -> FaultyEnv {
+    let faulty = Arc::new(FaultyDisk::new(MemDisk::new(DEFAULT_PAGE_SIZE), FaultPlan::default()));
+    let pool = Arc::new(BufferPool::new(
+        SharedDisk(Arc::clone(&faulty)),
+        BufferPoolConfig { capacity: 8 }, // tiny: faults trigger quickly
+    ));
+    FaultyEnv { faulty, pool }
+}
+
+#[test]
+fn read_fault_surfaces_as_error_then_recovers() {
+    let env = faulty_env();
+    let db = Arc::new(Database::create(Arc::clone(&env.pool)).unwrap());
+    let tree = RiTree::create(Arc::clone(&db), "t").unwrap();
+    for i in 0..2000i64 {
+        tree.insert(Interval::new(i * 3, i * 3 + 40).unwrap(), i).unwrap();
+    }
+    env.pool.clear_cache().unwrap();
+
+    // Fail the next read: the cold-cache query must error, not panic.
+    let reads_so_far = env.faulty.reads_attempted();
+    env.faulty.set_plan(FaultPlan { fail_read_at: Some(reads_so_far), ..Default::default() });
+    let err = tree.intersection(Interval::new(0, 100).unwrap()).unwrap_err();
+    assert!(err.to_string().contains("injected"), "unexpected error: {err}");
+
+    // Lift the fault: identical query now succeeds with correct results.
+    env.faulty.set_plan(FaultPlan::default());
+    let hits = tree.intersection(Interval::new(0, 100).unwrap()).unwrap();
+    assert_eq!(hits.len(), 34); // intervals with 3i <= 100 && 3i+40 >= 0
+}
+
+#[test]
+fn write_fault_during_insert_is_reported() {
+    let env = faulty_env();
+    let db = Arc::new(Database::create(Arc::clone(&env.pool)).unwrap());
+    let tree = RiTree::create(Arc::clone(&db), "t").unwrap();
+    for i in 0..500i64 {
+        tree.insert(Interval::new(i, i + 5).unwrap(), i).unwrap();
+    }
+    // Fail the next write-back: some insert soon must fail when the tiny
+    // pool evicts a dirty page.
+    let writes = env.faulty.writes_attempted();
+    env.faulty.set_plan(FaultPlan { fail_write_at: Some(writes), ..Default::default() });
+    let mut failed = false;
+    for i in 500..1500i64 {
+        if tree.insert(Interval::new(i, i + 5).unwrap(), i).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "expected some insert to hit the injected write fault");
+
+    // After the (one-shot) fault, the database continues to work, and all
+    // successfully inserted intervals are queryable.
+    env.faulty.set_plan(FaultPlan::default());
+    tree.insert(Interval::new(10_000, 10_010).unwrap(), 9999).unwrap();
+    assert!(tree.stab(10_005).unwrap().contains(&9999));
+    let all = tree.intersection(Interval::new(0, 20_000).unwrap()).unwrap();
+    assert!(all.len() >= 501, "previously inserted intervals must survive");
+}
+
+#[test]
+fn deep_failure_leaves_prior_data_intact() {
+    let env = faulty_env();
+    let db = Arc::new(Database::create(Arc::clone(&env.pool)).unwrap());
+    let tree = RiTree::create(Arc::clone(&db), "t").unwrap();
+    let baseline: Vec<i64> = (0..300).collect();
+    for &i in &baseline {
+        tree.insert(Interval::new(i * 10, i * 10 + 100).unwrap(), i).unwrap();
+    }
+    let before = tree.intersection(Interval::new(0, 5000).unwrap()).unwrap();
+
+    // Poison reads of a page that belongs to the lower index tree; queries
+    // fail while poisoned.
+    env.pool.clear_cache().unwrap();
+    env.faulty.set_plan(FaultPlan { poison_page_reads: Some(PageId(3)), ..Default::default() });
+    let _ = tree.intersection(Interval::new(0, 5000).unwrap()); // may fail
+    env.faulty.set_plan(FaultPlan::default());
+
+    let after = tree.intersection(Interval::new(0, 5000).unwrap()).unwrap();
+    assert_eq!(before, after, "read faults must not corrupt state");
+}
