@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the `criterion_group!` / `criterion_main!` macros and the
+//! `Criterion` / `Bencher` / `BatchSize` surface used by this
+//! workspace's benches. Measurement is a plain wall-clock median over
+//! `sample_size` samples — smoke-level numbers, not statistics. When
+//! invoked with `--test` (as `cargo test` does for bench targets) each
+//! benchmark body runs exactly once and nothing is measured.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim treats every variant
+/// as "one setup per measured batch".
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // As in real criterion, the bench closure runs once; the
+        // iteration loop lives inside `Bencher::iter`, so state the
+        // closure captures (cursors, counters) persists across
+        // iterations and per-bench setup is not repeated.
+        let mut b = Bencher {
+            samples: Vec::new(),
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test bench {id} ... ok (ran once, --test mode)");
+        } else {
+            b.report(id);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let outer_sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, name: name.to_string(), outer_sample_size }
+    }
+}
+
+/// Named group of related benchmarks; ids are printed as `group/id`.
+/// A `sample_size` set on the group lasts until the group is dropped,
+/// matching real criterion's group-scoped configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    outer_sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.criterion.sample_size = self.outer_sample_size;
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` for one untimed warm-up call plus `sample_size`
+    /// timed iterations (exactly once under `--test`).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// `iter` with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        // Warm-up: drop the chronologically-first 10% of samples, then
+        // order the remainder for the percentile picks.
+        let discard = self.samples.len() / 10;
+        self.samples.drain(..discard);
+        self.samples.sort();
+        let kept = &self.samples[..];
+        let median = kept[kept.len() / 2];
+        let best = kept[0];
+        println!(
+            "{id:<40} median {:>12} ns/iter   best {:>12} ns/iter   ({} samples)",
+            median.as_nanos(),
+            best.as_nanos(),
+            kept.len(),
+        );
+        self.samples.clear();
+    }
+}
+
+/// Declares a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        c.test_mode = false;
+        let mut runs = 0u32;
+        c.bench_function("shim/self_test", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 6, "1 warm-up + 5 timed iterations");
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_to_later_benches() {
+        let mut c = Criterion::default().sample_size(7);
+        c.test_mode = false;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            let mut runs = 0u32;
+            g.bench_function("scoped", |b| b.iter(|| runs += 1));
+            assert_eq!(runs, 4, "1 warm-up + 3 timed iterations");
+        }
+        let mut runs = 0u32;
+        c.bench_function("shim/after_group", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 8, "group sample_size leaked past the group");
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_batched_setup_is_untimed() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = false;
+        let mut g = c.benchmark_group("shim");
+        let mut setups = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 4, "1 warm-up + 3 timed iterations, each with fresh setup");
+    }
+}

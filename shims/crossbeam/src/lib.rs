@@ -1,0 +1,65 @@
+//! Offline stand-in for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope`, built on `std::thread::scope` (stable
+//! since Rust 1.63). Matches the crossbeam calling convention — the
+//! spawn closure receives the scope, and `scope` returns a `Result`
+//! that is `Err` if any spawned thread panicked.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Wrapper over [`std::thread::Scope`] exposing crossbeam's
+    /// closure-takes-the-scope spawn signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned;
+    /// joins them all before returning. Returns `Err` with the panic
+    /// payload if `f` or any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_can_borrow_locals() {
+        let data = vec![1, 2, 3, 4];
+        let data = &data;
+        let total = thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..2).map(|t| s.spawn(move |_| data[t * 2] + data[t * 2 + 1])).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

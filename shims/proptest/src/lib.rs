@@ -1,0 +1,374 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] and [`prop_oneof!`] macros, `prop_assert*!`, the
+//! [`Strategy`] trait with `prop_map`/`boxed`, strategies for numeric
+//! ranges, tuples, `prop::collection::vec`, and `any::<T>()`, plus
+//! [`ProptestConfig`]. Test inputs are generated from a deterministic
+//! per-test seed (derived from the test name), so failures reproduce
+//! exactly. There is **no shrinking**: a failure reports the case index
+//! and panics with the normal assertion message.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::Rng;
+
+/// Per-`proptest!` block configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; ignored (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Derive a stable 64-bit seed from a test's module path and name, so
+/// every test runs a distinct but reproducible sequence.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of test inputs. Unlike real proptest there is no value
+/// tree: `new_value` directly produces a value from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// `any::<T>()` — the canonical strategy for a whole type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Output of [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Map, Strategy};
+
+    /// Weighted choice among boxed strategies of a common value type —
+    /// what [`crate::prop_oneof!`] builds.
+    pub struct Union<V> {
+        arms: Vec<(u32, super::BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        pub fn new_weighted(arms: Vec<(u32, super::BoxedStrategy<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut super::TestRng) -> V {
+            let mut pick = rand::Rng::gen_range(rng, 0..self.total_weight);
+            for (w, strat) in &self.arms {
+                if pick < *w as u64 {
+                    return strat.new_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of bounds")
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The `proptest! { ... }` block: expands each contained
+/// `#[test] fn name(pat in strategy, ...) { body }` into a plain
+/// `#[test]` that runs `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut __rng =
+                    <$crate::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                for __case in 0..__config.cases {
+                    let __run = || {
+                        $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)*
+                        $body
+                    };
+                    if let Err(payload) =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run))
+                    {
+                        eprintln!(
+                            "proptest shim: {} failed on case {}/{} (seed {:#x}); no shrinking",
+                            stringify!($name), __case + 1, __config.cases, __seed,
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tri {
+        A(i64),
+        B(i64),
+        C,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Doc comments and `mut` bindings must both parse.
+        #[test]
+        fn vec_and_map_strategies_work(mut xs in prop::collection::vec((0i64..10, 0i64..10).prop_map(|(a, b)| a + b), 1..30)) {
+            xs.sort();
+            prop_assert!(!xs.is_empty() && xs.len() < 30);
+            prop_assert!(xs.iter().all(|&x| (0..19).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_hits_every_weighted_arm(vals in prop::collection::vec(prop_oneof![
+            3 => (0i64..5).prop_map(Tri::A),
+            2 => (5i64..10).prop_map(Tri::B),
+            1 => (0i64..1).prop_map(|_| Tri::C),
+        ], 40..60), flag in any::<bool>()) {
+            prop_assert!(vals.iter().any(|v| matches!(v, Tri::A(_))));
+            let _ = flag;
+            for v in &vals {
+                match *v {
+                    Tri::A(x) => prop_assert!((0..5).contains(&x)),
+                    Tri::B(x) => prop_assert!((5..10).contains(&x)),
+                    Tri::C => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_name_same_sequence() {
+        let mut a = <crate::TestRng as rand::SeedableRng>::seed_from_u64(crate::seed_for("x"));
+        let mut b = <crate::TestRng as rand::SeedableRng>::seed_from_u64(crate::seed_for("x"));
+        let s = 0i64..1000;
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}

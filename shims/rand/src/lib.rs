@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements only the surface this workspace uses: a seedable
+//! deterministic generator ([`rngs::StdRng`], SplitMix64), the
+//! [`Rng`] extension methods `gen_range` / `gen_bool`, and the
+//! [`distributions::Distribution`] trait. The real crate's type and
+//! module paths are preserved so the crates.io version can be swapped
+//! back in without source changes.
+
+/// Core generator trait: everything is derived from `next_u64`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a `Range` or `RangeInclusive`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with probability `p` of returning `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding interface; only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Map a `u64` to the unit interval `[0, 1)` using the top 53 bits.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64). Not the real
+    /// `StdRng`'s ChaCha12, but statistically fine for workload
+    /// generation and property tests, and much simpler.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Ranges that can be sampled uniformly. Implemented for half-open and
+/// inclusive ranges of the integer types the workspace uses, plus `f64`.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough uniform draw in `[0, span)` via 128-bit widening
+/// multiply (Lemire's method without the rejection step; bias is
+/// < 2^-64 per draw, irrelevant for tests and benchmarks).
+fn below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    // Degenerate full-width range: a raw draw is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let x = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // start + u*(end-start) can round up to exactly `end` for very
+        // narrow ranges; keep the half-open contract (a slight excess
+        // of `start` beats returning the excluded endpoint).
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    /// Types that can produce samples of `T` given a generator.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.gen_range(-50i64..=50);
+            assert_eq!(x, b.gen_range(-50i64..=50));
+            assert!((-50..=50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4500..5500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn f64_upper_bound_stays_exclusive_even_for_one_ulp_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lo = 1.0f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(lo..hi);
+            assert!(x >= lo && x < hi, "{x} escaped [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+        }
+    }
+}
