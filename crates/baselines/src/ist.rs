@@ -20,12 +20,12 @@
 //! intersection queries at all (full scan) but answers *length* queries
 //! with one tight range scan — see [`Ist::length_with_stats`].
 
+use ri_pagestore::Result;
 use ri_relstore::exec::CmpOp;
 use ri_relstore::{
     BoundExpr, Database, ExecStats, IndexDef, IntervalAccessMethod, Plan, Predicate, RowId,
     TableDef,
 };
-use ri_pagestore::Result;
 use std::sync::Arc;
 
 /// Which space-filling ordering backs the index.
@@ -178,11 +178,7 @@ impl Ist {
     /// Length query: ids of intervals with `min_len <= length <= max_len` —
     /// the query class the H-ordering exists for.  One tight range scan
     /// under H; a full scan with a residual length predicate under D/V.
-    pub fn length_with_stats(
-        &self,
-        min_len: i64,
-        max_len: i64,
-    ) -> Result<(Vec<i64>, ExecStats)> {
+    pub fn length_with_stats(&self, min_len: i64, max_len: i64) -> Result<(Vec<i64>, ExecStats)> {
         let full_scan = || Plan::IndexRangeScan {
             table: self.table_name.clone(),
             index: self.index_name.clone(),
@@ -274,7 +270,7 @@ mod tests {
     fn fresh(order: IstOrder) -> Ist {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         Ist::create(db, "t", order).unwrap()
@@ -338,7 +334,7 @@ mod tests {
         let data: Vec<(i64, i64)> = (0..300).map(|i| (i * 11 % 997, i * 11 % 997 + 30)).collect();
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         let bulk = Ist::build_bulk(db, "b", IstOrder::D, &data).unwrap();

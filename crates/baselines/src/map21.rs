@@ -12,12 +12,12 @@
 //! With many long intervals the widest partitions still degenerate towards
 //! O(n/b), the weakness the RI-tree paper points out in Section 2.3.
 
+use ri_pagestore::Result;
+use ri_relstore::exec::CmpOp;
 use ri_relstore::{
     BoundExpr, Database, ExecStats, IndexDef, IntervalAccessMethod, Plan, Predicate, RowId,
     TableDef,
 };
-use ri_relstore::exec::CmpOp;
-use ri_pagestore::Result;
 use std::sync::Arc;
 
 /// Number of length partitions (lengths up to 2^21 − 2 in the paper's
@@ -167,7 +167,7 @@ mod tests {
     fn fresh() -> Map21 {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         Map21::create(db, "t").unwrap()

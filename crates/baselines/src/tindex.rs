@@ -17,12 +17,12 @@
 //! crucial"; [`TileIndex::tune_fixed_level`] reproduces the paper's
 //! sample-based calibration.
 
+use ri_pagestore::{Error, Result};
+use ri_relstore::exec::CmpOp;
 use ri_relstore::{
     BoundExpr, Database, ExecStats, IndexDef, IntervalAccessMethod, Plan, Predicate, RowId,
     TableDef,
 };
-use ri_relstore::exec::CmpOp;
-use ri_pagestore::{Error, Result};
 use std::sync::Arc;
 
 /// The T-index access method.
@@ -260,7 +260,7 @@ mod tests {
     fn fresh(level: u32) -> TileIndex {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         TileIndex::create(db, "t", level).unwrap()
@@ -367,7 +367,7 @@ mod tests {
         let data: Vec<(i64, i64)> = (0..150).map(|i| (i * 37, i * 37 + 500)).collect();
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         let bulk = TileIndex::build_bulk(db, "b", 8, &data).unwrap();

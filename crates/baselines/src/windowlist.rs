@@ -23,11 +23,11 @@
 //! index over `(ql, qu]`.  Updates are unsupported: the structure is
 //! static, which is exactly the paper's complaint about it.
 
+use ri_pagestore::{Error, Result};
+use ri_relstore::exec::CmpOp;
 use ri_relstore::{
     BoundExpr, Database, ExecStats, IndexDef, IntervalAccessMethod, Plan, Predicate, TableDef,
 };
-use ri_relstore::exec::CmpOp;
-use ri_pagestore::{Error, Result};
 use std::sync::Arc;
 
 /// The static Window-List access method.
@@ -213,7 +213,7 @@ mod tests {
     fn build(data: &[(i64, i64)]) -> WindowList {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         WindowList::build(db, "t", data).unwrap()
@@ -249,7 +249,11 @@ mod tests {
         );
         for q in [(0i64, 60_000i64), (25_000, 25_000), (10_000, 11_000), (49_999, 80_000), (-10, 5)]
         {
-            assert_eq!(wl.am_intersection(q.0, q.1).unwrap(), naive.intersection(q.0, q.1), "{q:?}");
+            assert_eq!(
+                wl.am_intersection(q.0, q.1).unwrap(),
+                naive.intersection(q.0, q.1),
+                "{q:?}"
+            );
         }
     }
 
@@ -258,10 +262,7 @@ mod tests {
         let data = pseudo_data(5000, 0xBEEF, 4000);
         let wl = build(&data);
         let f = wl.duplication_factor().unwrap();
-        assert!(
-            (1.0..4.0).contains(&f),
-            "duplication factor {f} outside the ~2x design target"
-        );
+        assert!((1.0..4.0).contains(&f), "duplication factor {f} outside the ~2x design target");
     }
 
     #[test]

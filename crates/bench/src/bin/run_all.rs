@@ -5,8 +5,10 @@
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    eprintln!("regenerating all tables and figures ({} mode)...",
-              if quick { "quick" } else { "full" });
+    eprintln!(
+        "regenerating all tables and figures ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
     ri_bench::figures::table1::run(quick);
     ri_bench::figures::fig10::run(quick);
     ri_bench::figures::fig12::run(quick);

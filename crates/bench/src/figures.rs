@@ -8,8 +8,7 @@ use crate::harness::*;
 use ri_baselines::{TileIndex, WindowList};
 use ri_relstore::IntervalAccessMethod;
 use ri_workloads::{
-    d1, d2, d3, d4, queries_for_selectivity, restricted_d3, sweep_points, WorkloadSpec,
-    DOMAIN_MAX,
+    d1, d2, d3, d4, queries_for_selectivity, restricted_d3, sweep_points, WorkloadSpec, DOMAIN_MAX,
 };
 use ritree_core::Interval;
 use std::sync::Arc;
@@ -67,20 +66,15 @@ pub mod fig12 {
                 .sum();
             let ist = n as u64;
             let ri = 2 * n as u64;
-            println!(
-                "{n},{tindex},{ist},{ri},{}",
-                f(tindex as f64 / n as f64)
-            );
+            println!("{n},{tindex},{ist},{ri},{}", f(tindex as f64 / n as f64));
         }
         // Verification build at a small size: arithmetic == physical build.
         let n = sizes[0].min(20_000);
         let data = d4(n, 2000).generate(1);
         let env = fresh_env();
         let ti = build_tindex(&env, &data);
-        let expected: u64 = data
-            .iter()
-            .map(|&(l, u)| (u.div_euclid(width) - l.div_euclid(width) + 1) as u64)
-            .sum();
+        let expected: u64 =
+            data.iter().map(|&(l, u)| (u.div_euclid(width) - l.div_euclid(width) + 1) as u64).sum();
         assert_eq!(ti.am_index_entries().unwrap(), expected, "arithmetic vs build mismatch");
         let env2 = fresh_env();
         let ri = build_ritree(&env2, &data);
@@ -112,7 +106,8 @@ pub mod fig13 {
 
         println!("sel%,phys_io RI,phys_io T-index,phys_io IST,time RI,time T-index,time IST,measured_sel%");
         for sel_pct in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
-            let queries = queries_for_selectivity(&spec, sel_pct / 100.0, nq, 1300 + sel_pct as u64);
+            let queries =
+                queries_for_selectivity(&spec, sel_pct / 100.0, nq, 1300 + sel_pct as u64);
             let m_ri = run_queries(&env_ri, &ri, &queries);
             let m_ti = run_queries(&env_ti, &ti, &queries);
             let m_ist = run_queries(&env_ist, &ist, &queries);
@@ -140,11 +135,8 @@ pub mod fig14 {
     /// Runs the scale-up sweep from 1k to 1M intervals.
     pub fn run(quick: bool) {
         section("Figure 14: scale-up 1k..1M, D4(*,2k), selectivity 0.6%");
-        let sizes: &[usize] = if quick {
-            &[1_000, 10_000, 100_000]
-        } else {
-            &[1_000, 10_000, 100_000, 1_000_000]
-        };
+        let sizes: &[usize] =
+            if quick { &[1_000, 10_000, 100_000] } else { &[1_000, 10_000, 100_000, 1_000_000] };
         let nq = 20;
         println!("n,phys_io RI,phys_io T-index,phys_io IST,time RI,time T-index,time IST");
         for &n in sizes {
@@ -211,12 +203,7 @@ pub mod fig15 {
                 let m = run_queries(&env, &ri, &queries);
                 cells.push(f(m.sim_seconds));
             }
-            println!(
-                "{min_len},{},{},{}",
-                p.minstep2,
-                p.height(),
-                cells.join(",")
-            );
+            println!("{min_len},{},{},{}", p.minstep2, p.height(), cells.join(","));
         }
         println!("# paper: response time almost independent of the minimum interval length;");
         println!("# larger minstep prunes deeper levels of the virtual backbone");
@@ -282,8 +269,7 @@ pub mod fig17 {
         for &p in &sweep_points(9, 200_000) {
             let d = DOMAIN_MAX - p;
             // A handful of nearby points for a stable average.
-            let queries: Vec<(i64, i64)> =
-                (0..5).map(|j| (p - j * 17, p - j * 17)).collect();
+            let queries: Vec<(i64, i64)> = (0..5).map(|j| (p - j * 17, p - j * 17)).collect();
             let m_ri = run_queries(&env_ri, &ri, &queries);
             let m_ti = run_queries(&env_ti, &ti, &queries);
             let m_ist = run_queries(&env_ist, &ist, &queries);
@@ -323,10 +309,7 @@ pub mod table_windowlist {
 
         // Sanity: identical answers.
         for &(ql, qu) in queries.iter().take(5) {
-            assert_eq!(
-                ri.am_intersection(ql, qu).unwrap(),
-                wl.am_intersection(ql, qu).unwrap()
-            );
+            assert_eq!(ri.am_intersection(ql, qu).unwrap(), wl.am_intersection(ql, qu).unwrap());
         }
         println!("method,phys_io,time,rows/interval");
         println!("RI-tree,{},{},2.00", f(m_ri.phys_reads), f(m_ri.sim_seconds));
@@ -336,10 +319,7 @@ pub mod table_windowlist {
             f(m_wl.sim_seconds),
             f(wl.duplication_factor().unwrap())
         );
-        println!(
-            "io_ratio,{}",
-            f(m_wl.phys_reads / m_ri.phys_reads.max(1e-9))
-        );
+        println!("io_ratio,{}", f(m_wl.phys_reads / m_ri.phys_reads.max(1e-9)));
         println!("# paper: Window-List produced twice as many I/Os as the RI-tree");
     }
 }
@@ -360,8 +340,7 @@ pub mod table_tindex_tuning {
         ] {
             let sample = spec.generate(100);
             let queries = queries_for_selectivity(&spec, 0.01, 20, 101);
-            let level =
-                TileIndex::tune_fixed_level(&sample, &queries, 4..=16, 100_000).unwrap();
+            let level = TileIndex::tune_fixed_level(&sample, &queries, 4..=16, 100_000).unwrap();
             let redundancy_at = |lv: u32| {
                 let w = 1i64 << lv;
                 sample
@@ -370,11 +349,7 @@ pub mod table_tindex_tuning {
                     .sum::<f64>()
                     / sample.len() as f64
             };
-            println!(
-                "{name},{level},{},{}",
-                f(redundancy_at(level)),
-                f(redundancy_at(8))
-            );
+            println!("{name},{level},{},{}", f(redundancy_at(level)), f(redundancy_at(8)));
         }
         println!("# paper: optimum found at level 7, 8 or 9 (their cost surface includes");
         println!("# per-variable-tile overhead; ours is flatter, hence higher optima)");

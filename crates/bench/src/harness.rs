@@ -30,9 +30,15 @@ pub fn fresh_env() -> Env {
 
 /// Creates a fresh environment with a custom cache size (in frames).
 pub fn fresh_env_with_cache(frames: usize) -> Env {
+    fresh_env_sharded(frames, 1)
+}
+
+/// Creates a fresh environment with a lock-striped buffer pool: `frames`
+/// total cache frames over `shards` shards (1 = the paper's global cache).
+pub fn fresh_env_sharded(frames: usize, shards: usize) -> Env {
     let pool = Arc::new(BufferPool::new(
         MemDisk::new(DEFAULT_PAGE_SIZE),
-        BufferPoolConfig { capacity: frames },
+        BufferPoolConfig::sharded(frames, shards),
     ));
     let db = Arc::new(Database::create(Arc::clone(&pool)).expect("fresh database"));
     Env { pool, db }
@@ -43,8 +49,7 @@ pub fn fresh_env_with_cache(frames: usize) -> Env {
 pub fn build_ritree(env: &Env, data: &[(i64, i64)]) -> RiTree {
     let tree = RiTree::create(Arc::clone(&env.db), "bench").expect("create RI-tree");
     for (id, &(l, u)) in data.iter().enumerate() {
-        tree.insert(Interval::new(l, u).expect("valid interval"), id as i64)
-            .expect("insert");
+        tree.insert(Interval::new(l, u).expect("valid interval"), id as i64).expect("insert");
     }
     tree
 }
@@ -101,8 +106,7 @@ pub fn run_queries(
     let mut rows = 0u64;
     let wall = Instant::now();
     for &(ql, qu) in queries {
-        let (ids, stats) =
-            method.am_intersection_with_stats(ql, qu).expect("query");
+        let (ids, stats) = method.am_intersection_with_stats(ql, qu).expect("query");
         results += ids.len() as u64;
         rows += stats.rows_examined;
     }

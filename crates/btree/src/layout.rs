@@ -248,10 +248,7 @@ mod tests {
         let mut buf = vec![0u8; 512];
         let node = InternalNode {
             child0: PageId(1),
-            entries: vec![
-                (Entry::new(&[10], 0), PageId(2)),
-                (Entry::new(&[20], 0), PageId(3)),
-            ],
+            entries: vec![(Entry::new(&[10], 0), PageId(2)), (Entry::new(&[20], 0), PageId(3))],
         };
         write_internal(&mut buf, &node, 1);
         let parsed = match read_node(&buf, 1).unwrap() {

@@ -22,6 +22,17 @@
 //!
 //! All I/O goes through [`ri_pagestore::BufferPool`], so every page this
 //! tree touches is visible in the experiment I/O counters.
+//!
+//! # Concurrency contract
+//!
+//! A [`BTree`] handle is `Send + Sync` (asserted at compile time below):
+//! any number of threads may *descend and scan* one tree concurrently.
+//! Reads hold no tree-level lock — each page access synchronizes only on
+//! its buffer-pool shard, so concurrent range scans scale with the pool's
+//! lock striping.  Writers must be externally serialized **by the caller**
+//! (one writer, no concurrent readers during a write) — neither this crate
+//! nor the relational layer above takes a write lock, matching the paper's
+//! setting where all locking is delegated to the host RDBMS.
 
 pub mod key;
 pub mod layout;
@@ -33,6 +44,14 @@ pub use scan::RangeScan;
 pub use tree::{BTree, TreeStats};
 
 pub use ri_pagestore::{Error, Result};
+
+/// Compile-time proof of the concurrency contract: a `BTree` (and its
+/// borrowing scan cursor) can be shared across reader threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BTree>();
+    assert_send_sync::<RangeScan<'_>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -47,12 +66,44 @@ mod tests {
         for i in 0..500i64 {
             tree.insert(&[i % 10, i], i as u64).unwrap();
         }
-        let hits: Vec<_> = tree
-            .scan_range(&[3, i64::MIN], &[3, i64::MAX])
-            .map(|e| e.unwrap().payload)
-            .collect();
+        let hits: Vec<_> =
+            tree.scan_range(&[3, i64::MIN], &[3, i64::MAX]).map(|e| e.unwrap().payload).collect();
         assert_eq!(hits.len(), 50);
         assert!(hits.windows(2).all(|w| w[0] < w[1]));
         tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_descents_over_sharded_pool() {
+        use ri_pagestore::BufferPoolConfig;
+        let pool = Arc::new(BufferPool::new(MemDisk::new(512), BufferPoolConfig::sharded(64, 8)));
+        let tree = BTree::create(Arc::clone(&pool), 2).unwrap();
+        for i in 0..2000i64 {
+            tree.insert(&[i % 16, i], i as u64).unwrap();
+        }
+        let expected: Vec<Vec<u64>> = (0..16)
+            .map(|k| {
+                tree.scan_range(&[k, i64::MIN], &[k, i64::MAX])
+                    .map(|e| e.unwrap().payload)
+                    .collect()
+            })
+            .collect();
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let tree = &tree;
+                let expected = &expected;
+                s.spawn(move |_| {
+                    for round in 0..20 {
+                        let k = (t + round) % 16;
+                        let got: Vec<u64> = tree
+                            .scan_range(&[k, i64::MIN], &[k, i64::MAX])
+                            .map(|e| e.unwrap().payload)
+                            .collect();
+                        assert_eq!(&got, &expected[k as usize]);
+                    }
+                });
+            }
+        })
+        .unwrap();
     }
 }

@@ -107,10 +107,8 @@ mod tests {
     use std::sync::Arc;
 
     fn tree_with(n: i64) -> (Arc<BufferPool>, BTree) {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(256),
-            BufferPoolConfig { capacity: 16 },
-        ));
+        let pool =
+            Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig::with_capacity(16)));
         let tree = BTree::create(Arc::clone(&pool), 1).unwrap();
         for i in 0..n {
             tree.insert(&[i], i as u64 + 1000).unwrap();

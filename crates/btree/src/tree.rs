@@ -1,9 +1,7 @@
 //! The B+-tree proper: create/open, insert, delete, bulk load, invariants.
 
 use crate::key::Entry;
-use crate::layout::{
-    self, InternalNode, LeafNode, Node, internal_capacity, leaf_capacity,
-};
+use crate::layout::{self, internal_capacity, leaf_capacity, InternalNode, LeafNode, Node};
 use crate::scan::RangeScan;
 use ri_pagestore::codec::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
 use ri_pagestore::{BufferPool, Error, PageId, Result};
@@ -87,13 +85,10 @@ impl BTree {
 
     /// Re-opens the tree whose metadata lives at `meta_page`.
     pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<BTree> {
-        let (magic, arity) = pool.with_page(meta_page, |buf| {
-            (get_u32(buf, OFF_MAGIC), buf[OFF_ARITY] as usize)
-        })?;
+        let (magic, arity) =
+            pool.with_page(meta_page, |buf| (get_u32(buf, OFF_MAGIC), buf[OFF_ARITY] as usize))?;
         if magic != META_MAGIC {
-            return Err(Error::Corrupt(format!(
-                "page {meta_page} is not a B+-tree meta page"
-            )));
+            return Err(Error::Corrupt(format!("page {meta_page} is not a B+-tree meta page")));
         }
         Ok(BTree::attach(pool, meta_page, arity))
     }
@@ -531,10 +526,10 @@ impl BTree {
         let mut total: u64 = 0;
 
         let flush_leaf = |tree: &BTree,
-                              meta: &mut Meta,
-                              entries: Vec<Entry>,
-                              prev_leaf: &mut Option<PageId>,
-                              leaves: &mut Vec<(Entry, PageId)>|
+                          meta: &mut Meta,
+                          entries: Vec<Entry>,
+                          prev_leaf: &mut Option<PageId>,
+                          leaves: &mut Vec<(Entry, PageId)>|
          -> Result<()> {
             let page = tree.alloc_page(meta)?;
             let node = LeafNode {
@@ -569,7 +564,13 @@ impl BTree {
             current.push(e);
             total += 1;
             if current.len() == leaf_target {
-                flush_leaf(&tree, &mut meta, std::mem::take(&mut current), &mut prev_leaf, &mut leaves)?;
+                flush_leaf(
+                    &tree,
+                    &mut meta,
+                    std::mem::take(&mut current),
+                    &mut prev_leaf,
+                    &mut leaves,
+                )?;
             }
         }
         if !current.is_empty() {
@@ -589,10 +590,7 @@ impl BTree {
             // Each internal node takes up to internal_target + 1 children.
             for group in level.chunks(internal_target + 1) {
                 let page = tree.alloc_page(&mut meta)?;
-                let node = InternalNode {
-                    child0: group[0].1,
-                    entries: group[1..].to_vec(),
-                };
+                let node = InternalNode { child0: group[0].1, entries: group[1..].to_vec() };
                 tree.store_internal(page, &node)?;
                 next_level.push((group[0].0, page));
             }
@@ -662,9 +660,7 @@ impl BTree {
         hi: Option<Entry>,
         leaves: &mut Vec<PageId>,
     ) -> Result<u64> {
-        let in_bounds = |e: &Entry| {
-            lo.is_none_or(|l| *e >= l) && hi.is_none_or(|h| *e < h)
-        };
+        let in_bounds = |e: &Entry| lo.is_none_or(|l| *e >= l) && hi.is_none_or(|h| *e < h);
         match self.read_any(page)? {
             Node::Leaf(leaf) => {
                 if level != 1 {

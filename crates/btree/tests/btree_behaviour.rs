@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 fn pool_with(page_size: usize, frames: usize) -> Arc<BufferPool> {
-    Arc::new(BufferPool::new(MemDisk::new(page_size), BufferPoolConfig { capacity: frames }))
+    Arc::new(BufferPool::new(MemDisk::new(page_size), BufferPoolConfig::with_capacity(frames)))
 }
 
 #[test]
@@ -115,8 +115,11 @@ fn mirror_btreeset_under_mixed_ops() {
         }
     }
     tree.check_invariants().unwrap();
-    let got: Vec<(i64, i64, u64)> =
-        tree.scan_all().map(|r| r.unwrap()).map(|e| (e.key.col(0), e.key.col(1), e.payload)).collect();
+    let got: Vec<(i64, i64, u64)> = tree
+        .scan_all()
+        .map(|r| r.unwrap())
+        .map(|e| (e.key.col(0), e.key.col(1), e.payload))
+        .collect();
     let want: Vec<(i64, i64, u64)> = model.into_iter().collect();
     assert_eq!(got, want);
 }
@@ -148,8 +151,7 @@ fn range_scan_matches_model_on_random_data() {
 #[test]
 fn bulk_load_equals_incremental_build() {
     let pool = pool_with(512, 64);
-    let entries: Vec<(Vec<i64>, u64)> =
-        (0..5000i64).map(|i| (vec![i / 3, i], i as u64)).collect();
+    let entries: Vec<(Vec<i64>, u64)> = (0..5000i64).map(|i| (vec![i / 3, i], i as u64)).collect();
     let bulk = BTree::bulk_load(Arc::clone(&pool), 2, entries.iter().cloned(), 0.9).unwrap();
     bulk.check_invariants().unwrap();
     let incr = BTree::create(pool, 2).unwrap();
@@ -217,7 +219,7 @@ fn persists_across_file_reopen() {
     let meta: PageId;
     {
         let disk = FileDisk::open(&path, 512).unwrap();
-        let pool = Arc::new(BufferPool::new(disk, BufferPoolConfig { capacity: 16 }));
+        let pool = Arc::new(BufferPool::new(disk, BufferPoolConfig::with_capacity(16)));
         let tree = BTree::create(Arc::clone(&pool), 1).unwrap();
         meta = tree.meta_page();
         for i in 0..500i64 {
@@ -226,7 +228,7 @@ fn persists_across_file_reopen() {
         pool.flush_all().unwrap();
     }
     let disk = FileDisk::open(&path, 512).unwrap();
-    let pool = Arc::new(BufferPool::new(disk, BufferPoolConfig { capacity: 16 }));
+    let pool = Arc::new(BufferPool::new(disk, BufferPoolConfig::with_capacity(16)));
     let tree = BTree::open(pool, meta).unwrap();
     assert_eq!(tree.entry_count().unwrap(), 500);
     tree.check_invariants().unwrap();

@@ -34,7 +34,7 @@ proptest! {
         // evictions — the most hostile configuration for structural bugs.
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(128),
-            BufferPoolConfig { capacity: 4 },
+            BufferPoolConfig::with_capacity(4),
         ));
         let tree = BTree::create(pool, 2).unwrap();
         let mut model: BTreeSet<(i64, i64, u64)> = BTreeSet::new();
@@ -79,10 +79,10 @@ proptest! {
         keys.sort();
         keys.dedup();
         let sorted: Vec<(Vec<i64>, u64)> = keys.iter().map(|&(k, p)| (vec![k], p)).collect();
-        let pool_a = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig { capacity: 8 }));
+        let pool_a = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig::with_capacity(8)));
         let bulk = BTree::bulk_load(pool_a, 1, sorted.clone(), fill).unwrap();
         bulk.check_invariants().unwrap();
-        let pool_b = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig { capacity: 8 }));
+        let pool_b = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig::with_capacity(8)));
         let incr = BTree::create(pool_b, 1).unwrap();
         for (cols, p) in &sorted {
             incr.insert(cols, *p).unwrap();
@@ -94,7 +94,7 @@ proptest! {
 
     #[test]
     fn contains_agrees_with_scan(keys in prop::collection::vec(-100i64..100, 0..200), probe in -110i64..110) {
-        let pool = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig { capacity: 8 }));
+        let pool = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig::with_capacity(8)));
         let tree = BTree::create(pool, 1).unwrap();
         for (i, &k) in keys.iter().enumerate() {
             tree.insert(&[k], i as u64).unwrap();

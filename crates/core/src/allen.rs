@@ -116,7 +116,10 @@ impl AllenRelation {
     pub fn is_one_sided(&self) -> bool {
         matches!(
             self,
-            AllenRelation::Before | AllenRelation::Meets | AllenRelation::MetBy | AllenRelation::After
+            AllenRelation::Before
+                | AllenRelation::Meets
+                | AllenRelation::MetBy
+                | AllenRelation::After
         )
     }
 }
@@ -186,14 +189,14 @@ impl RiTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ri_relstore::Database;
     use ri_pagestore::{BufferPool, BufferPoolConfig, MemDisk, DEFAULT_PAGE_SIZE};
+    use ri_relstore::Database;
     use std::sync::Arc;
 
     fn tree_with(data: &[(i64, i64)]) -> RiTree {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         let tree = RiTree::create(db, "t").unwrap();
@@ -291,9 +294,7 @@ mod tests {
                 let mut want: Vec<i64> = data
                     .iter()
                     .enumerate()
-                    .filter(|(_, &(l, u))| {
-                        rel.matches(&Interval::new(l, u).unwrap(), &q)
-                    })
+                    .filter(|(_, &(l, u))| rel.matches(&Interval::new(l, u).unwrap(), &q))
                     .map(|(id, _)| id as i64)
                     .collect();
                 want.sort_unstable();

@@ -19,8 +19,8 @@
 //! maintenance and probe costs are measured like everything else.
 
 use crate::tree::RiTree;
-use ri_relstore::{Database, IndexDef, RowId, Table, TableDef};
 use ri_pagestore::Result;
+use ri_relstore::{Database, IndexDef, RowId, Table, TableDef};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -86,10 +86,7 @@ impl SkeletonDirectory {
     /// All non-empty nodes within `[lo, hi]`, via a single range scan.
     pub fn nonempty_in(&self, lo: i64, hi: i64) -> Result<BTreeSet<i64>> {
         let index = self.table.index(&self.index_name)?;
-        index
-            .scan_range(&[lo], &[hi])
-            .map(|e| e.map(|e| e.key.col(0)))
-            .collect()
+        index.scan_range(&[lo], &[hi]).map(|e| e.map(|e| e.key.col(0))).collect()
     }
 
     /// Number of materialized (non-empty) nodes.
@@ -113,18 +110,8 @@ impl RiTree {
         left_single: Vec<i64>,
         right: Vec<i64>,
     ) -> Result<(Vec<i64>, Vec<i64>)> {
-        let lo = left_single
-            .iter()
-            .chain(right.iter())
-            .copied()
-            .min()
-            .unwrap_or(0);
-        let hi = left_single
-            .iter()
-            .chain(right.iter())
-            .copied()
-            .max()
-            .unwrap_or(-1);
+        let lo = left_single.iter().chain(right.iter()).copied().min().unwrap_or(0);
+        let hi = left_single.iter().chain(right.iter()).copied().max().unwrap_or(-1);
         if lo > hi {
             return Ok((left_single, right));
         }
@@ -144,7 +131,7 @@ mod tests {
     fn dir() -> SkeletonDirectory {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 50 },
+            BufferPoolConfig::with_capacity(50),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         SkeletonDirectory::create(db, "t").unwrap()

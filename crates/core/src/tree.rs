@@ -8,10 +8,8 @@
 
 use crate::interval::Interval;
 use crate::vtree::BackboneParams;
-use ri_relstore::{
-    BoundExpr, Database, ExecStats, IndexDef, Plan, Row, RowId, Table, TableDef,
-};
 use ri_pagestore::{Error, Result};
+use ri_relstore::{BoundExpr, Database, ExecStats, IndexDef, Plan, Row, RowId, Table, TableDef};
 use std::sync::Arc;
 
 /// Artificial, exclusive `node` value for intervals ending at *infinity*
@@ -294,8 +292,7 @@ impl RiTree {
         if let Some(off) = p.offset {
             entries.push((self.param("offset"), off));
         }
-        let borrowed: Vec<(&str, i64)> =
-            entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let borrowed: Vec<(&str, i64)> = entries.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         self.db.set_params(&borrowed)
     }
 
@@ -526,12 +523,8 @@ impl RiTree {
         // Strip the Section 4.3 range pair back off: left side becomes the
         // exact node list again, the BETWEEN condition becomes its own
         // branch.
-        let left_rows: Vec<Row> = nodes
-            .left
-            .iter()
-            .filter(|(a, b)| a == b)
-            .map(|&(w, _)| vec![w])
-            .collect();
+        let left_rows: Vec<Row> =
+            nodes.left.iter().filter(|(a, b)| a == b).map(|&(w, _)| vec![w]).collect();
         let mut right_rows: Vec<Row> = nodes.right.iter().map(|&w| vec![w]).collect();
         if self.counter("n_inf") > 0 {
             right_rows.push(vec![FORK_INF]);
@@ -622,14 +615,21 @@ impl RiTree {
         ]))
     }
 
+    /// Extracts the `id` column (position 2 in every id-plan's output
+    /// rows: `node, lower-or-upper, id, rowid`) sorted ascending — the one
+    /// place that knows the result-row layout.
+    fn rows_to_ids(rows: &[Row]) -> Vec<i64> {
+        let mut ids: Vec<i64> = rows.iter().map(|r| r[2]).collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Executes an arbitrary plan built by one of the plan constructors and
     /// extracts sorted result ids (used by the ablation benchmarks).
     pub fn execute_id_plan(&self, plan: &Plan) -> Result<(Vec<i64>, ExecStats)> {
         let mut stats = ExecStats::default();
         let rows = self.db.execute(plan, &mut stats)?;
-        let mut ids: Vec<i64> = rows.iter().map(|r| r[2]).collect();
-        ids.sort_unstable();
-        Ok((ids, stats))
+        Ok((Self::rows_to_ids(&rows), stats))
     }
 
     /// Reports the ids of all stored intervals intersecting `q`, treating
@@ -649,16 +649,11 @@ impl RiTree {
     }
 
     /// Intersection query returning executor statistics alongside the ids.
-    pub fn intersection_with_stats(
-        &self,
-        q: Interval,
-        now: i64,
-    ) -> Result<(Vec<i64>, ExecStats)> {
+    pub fn intersection_with_stats(&self, q: Interval, now: i64) -> Result<(Vec<i64>, ExecStats)> {
         let plan = self.intersection_plan(q, now)?;
         let mut stats = ExecStats::default();
         let rows = self.db.execute(&plan, &mut stats)?;
-        let mut ids: Vec<i64> = rows.iter().map(|r| r[2]).collect();
-        ids.sort_unstable();
+        let ids = Self::rows_to_ids(&rows);
         debug_assert!(
             ids.windows(2).all(|w| w[0] != w[1]),
             "intersection branches must be disjoint (Section 4.2)"
@@ -670,6 +665,40 @@ impl RiTree {
     /// point queries as efficient as interval queries" (Section 4.1).
     pub fn stab(&self, p: i64) -> Result<Vec<i64>> {
         self.intersection(Interval::point(p))
+    }
+
+    /// Answers a batch of intersection queries concurrently, fanning the
+    /// batch over at most `threads` worker threads via
+    /// [`Database::execute_parallel`].
+    ///
+    /// Results are returned in query order and are identical to calling
+    /// [`RiTree::intersection`] once per query: plan compilation is
+    /// deterministic, the executor reads a frozen tree, and the buffer
+    /// pool's lock striping makes concurrent descents safe.  Writers must
+    /// not run during the batch (the usual readers-scale/writers-serialize
+    /// contract).
+    pub fn intersection_batch(
+        &self,
+        queries: &[Interval],
+        threads: usize,
+    ) -> Result<Vec<Vec<i64>>> {
+        self.intersection_batch_at(queries, UPPER_NOW - 1, threads)
+    }
+
+    /// [`RiTree::intersection_batch`] with an explicit `now` for
+    /// now-relative intervals (Section 4.6).
+    pub fn intersection_batch_at(
+        &self,
+        queries: &[Interval],
+        now: i64,
+        threads: usize,
+    ) -> Result<Vec<Vec<i64>>> {
+        let plans = queries
+            .iter()
+            .map(|&q| self.intersection_plan(q, now))
+            .collect::<Result<Vec<Plan>>>()?;
+        let results = self.db.execute_parallel(&plans, threads)?;
+        Ok(results.into_iter().map(|(rows, _)| Self::rows_to_ids(&rows)).collect())
     }
 
     /// Renders the Figure 10 execution plan for `q`.
@@ -768,7 +797,7 @@ mod tests {
     fn fresh() -> (Arc<Database>, RiTree) {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         let tree = RiTree::create(Arc::clone(&db), "t").unwrap();
@@ -786,6 +815,31 @@ mod tests {
         assert_eq!(tree.intersection(Interval::new(41, 49).unwrap()).unwrap(), Vec::<i64>::new());
         assert_eq!(tree.stab(12).unwrap(), vec![1]);
         assert_eq!(tree.stab(20).unwrap(), vec![1, 2], "closed bounds intersect");
+    }
+
+    #[test]
+    fn batch_intersection_matches_single_queries() {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(DEFAULT_PAGE_SIZE),
+            BufferPoolConfig::sharded(200, 4),
+        ));
+        let db = Arc::new(Database::create(pool).unwrap());
+        let tree = RiTree::create(Arc::clone(&db), "t").unwrap();
+        for id in 0..1500i64 {
+            let l = (id * 37) % 40_000;
+            tree.insert(Interval::new(l, l + 600).unwrap(), id).unwrap();
+        }
+        let queries: Vec<Interval> =
+            (0..16).map(|i| Interval::new(i * 2500, i * 2500 + 900).unwrap()).collect();
+        let singles: Vec<Vec<i64>> =
+            queries.iter().map(|&q| tree.intersection(q).unwrap()).collect();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                tree.intersection_batch(&queries, threads).unwrap(),
+                singles,
+                "batch at {threads} threads diverged from single queries"
+            );
+        }
     }
 
     #[test]
@@ -915,7 +969,7 @@ mod tests {
     fn reopen_preserves_everything() {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(Arc::clone(&pool)).unwrap());
         {
@@ -953,7 +1007,7 @@ mod tests {
         let mk_db = || {
             let pool = Arc::new(BufferPool::new(
                 MemDisk::new(DEFAULT_PAGE_SIZE),
-                BufferPoolConfig { capacity: 200 },
+                BufferPoolConfig::with_capacity(200),
             ));
             Arc::new(Database::create(pool).unwrap())
         };
@@ -985,16 +1039,14 @@ mod tests {
         assert!(bulk.delete(iv, id).unwrap());
         assert!(!bulk.delete(iv, id).unwrap());
         // Bulk-loaded indexes are denser.
-        assert!(
-            bulk.storage().unwrap().index_pages <= incr.storage().unwrap().index_pages,
-        );
+        assert!(bulk.storage().unwrap().index_pages <= incr.storage().unwrap().index_pages,);
     }
 
     #[test]
     fn bulk_load_empty_and_with_skeleton() {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 200 },
+            BufferPoolConfig::with_capacity(200),
         ));
         let db = Arc::new(Database::create(pool).unwrap());
         let empty = RiTree::bulk_load(Arc::clone(&db), "e", RiOptions::default(), []).unwrap();

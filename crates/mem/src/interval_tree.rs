@@ -202,8 +202,7 @@ mod tests {
         let items = pseudo_random_items(1500, 0xABCDEF);
         let tree = IntervalTree::build(&items);
         let naive = NaiveIntervalSet::from_triples(items.iter().copied());
-        let queries =
-            [(0, 5500), (100, 150), (2500, 2500), (-50, 10), (5200, 9000), (4999, 5001)];
+        let queries = [(0, 5500), (100, 150), (2500, 2500), (-50, 10), (5200, 9000), (4999, 5001)];
         for (ql, qu) in queries {
             assert_eq!(tree.intersection(ql, qu), naive.intersection(ql, qu), "[{ql}, {qu}]");
         }

@@ -44,7 +44,15 @@ impl SegmentTree {
     }
 
     /// Standard canonical-cover insertion: O(log n) nodes per interval.
-    fn insert_canonical(&mut self, node: usize, nl: usize, nr: usize, lo: usize, hi: usize, id: i64) {
+    fn insert_canonical(
+        &mut self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        lo: usize,
+        hi: usize,
+        id: i64,
+    ) {
         if hi <= nl || nr <= lo {
             return;
         }

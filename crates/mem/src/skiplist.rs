@@ -277,9 +277,6 @@ mod tests {
         let items = pseudo_items(2000, 0xD1CE);
         let sl = IntervalSkipList::build(&items);
         let per_interval = sl.marker_count() as f64 / items.len() as f64;
-        assert!(
-            per_interval < 32.0,
-            "markers per interval {per_interval} should be O(log n)"
-        );
+        assert!(per_interval < 32.0, "markers per interval {per_interval} should be O(log n)");
     }
 }

@@ -6,22 +6,41 @@
 //! every page access is counted in [`IoStats`], which is how the experiments
 //! obtain the "physical disk block accesses" series of Figures 13 and 14.
 //!
+//! # Sharding
+//!
+//! The pool is **lock-striped**: pages hash to one of `shards` independent
+//! shards (a power of two, default **1**), each owning its frames, LRU
+//! clock, hash table, and [`IoStats`] counters.  Concurrent accesses to
+//! pages in different shards never contend; aggregate counters are read
+//! losslessly by summing the per-shard counters (see
+//! [`PoolStats`]).
+//!
+//! With the default `shards = 1` the pool is a *single* LRU over a single
+//! lock — bit-for-bit the behavior the paper experiments were calibrated
+//! against (one global cache of 200 blocks), which keeps every figure
+//! binary deterministic.  `tests/pool_determinism.rs` pins this.  Larger
+//! shard counts trade exact global LRU for concurrency, the same trade
+//! made by any production block cache (PostgreSQL buffer mapping
+//! partitions, InnoDB buffer pool instances).
+//!
 //! # Access model
 //!
 //! Access is closure-based and *copy-in/copy-out*: [`BufferPool::with_page`]
-//! copies the cached page into a scratch buffer under the pool lock, then
+//! copies the cached page into a scratch buffer under the shard lock, then
 //! runs the caller's closure on the copy with the lock released.  This keeps
 //! the implementation entirely safe Rust, allows closures to issue nested
-//! page accesses (a B+-tree descent reads a parent, then its children), and
-//! costs one 2 KB memcpy per logical access — irrelevant next to the
-//! simulated physical I/O the experiments measure.  Callers must not access
-//! the *same* page from two nested closures when either access is mutable;
-//! the B+-tree and heap layers are structured to never do so.
+//! page accesses (a B+-tree descent reads a parent, then its children, which
+//! may live in *any* shard — no lock is held while a closure runs, so no
+//! lock ordering issues arise), and costs one 2 KB memcpy per logical
+//! access — irrelevant next to the simulated physical I/O the experiments
+//! measure.  Callers must not access the *same* page from two nested
+//! closures when either access is mutable; the B+-tree and heap layers are
+//! structured to never do so.
 
 use crate::disk::DiskManager;
 use crate::error::Result;
 use crate::page::PageId;
-use crate::stats::IoStats;
+use crate::stats::{IoStats, PoolStats};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -30,15 +49,32 @@ use std::sync::Arc;
 /// Sizing knobs for [`BufferPool`].
 #[derive(Clone, Copy, Debug)]
 pub struct BufferPoolConfig {
-    /// Number of page frames the cache holds.
+    /// Number of page frames the cache holds (summed across all shards).
     pub capacity: usize,
+    /// Number of lock-striped shards; must be a power of two and at most
+    /// `capacity`.  The default of 1 reproduces the paper's single global
+    /// cache exactly.
+    pub shards: usize,
 }
 
 impl Default for BufferPoolConfig {
     fn default() -> Self {
         // The paper: "The database block cache was set to the default value
         // of 200 database blocks with a block size of 2 KB."
-        BufferPoolConfig { capacity: 200 }
+        BufferPoolConfig { capacity: 200, shards: 1 }
+    }
+}
+
+impl BufferPoolConfig {
+    /// A single-shard pool with `capacity` frames — the paper's
+    /// deterministic global-LRU cache at a custom size.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BufferPoolConfig { capacity, shards: 1 }
+    }
+
+    /// A lock-striped pool: `capacity` total frames over `shards` shards.
+    pub fn sharded(capacity: usize, shards: usize) -> Self {
+        BufferPoolConfig { capacity, shards }
     }
 }
 
@@ -56,6 +92,15 @@ struct PoolInner {
     /// Maps a cached page id to its frame index.
     table: HashMap<PageId, usize>,
     clock: u64,
+}
+
+/// One lock stripe: its own frame set, LRU clock, and I/O counters.
+struct Shard {
+    inner: Mutex<PoolInner>,
+    stats: Arc<IoStats>,
+    /// Frames this shard may hold (the pool capacity is split across
+    /// shards, remainder to the lowest-numbered ones).
+    capacity: usize,
 }
 
 thread_local! {
@@ -82,7 +127,8 @@ fn return_scratch(buf: Vec<u8>) {
     })
 }
 
-/// Write-back page cache with LRU replacement.
+/// Write-back page cache with LRU replacement, lock-striped over `shards`
+/// independent shards.
 ///
 /// All structures in this repository (B+-trees, heap tables, catalogs)
 /// access pages exclusively through this type, so the physical I/O of the
@@ -90,31 +136,64 @@ fn return_scratch(buf: Vec<u8>) {
 /// caching rules — the methodology of the paper's Section 6.
 pub struct BufferPool {
     disk: Box<dyn DiskManager>,
-    inner: Mutex<PoolInner>,
-    stats: Arc<IoStats>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard routing is `page & mask` (power of two).
+    mask: u64,
+    stats: PoolStats,
     page_size: usize,
     capacity: usize,
 }
 
 impl BufferPool {
     /// Creates a pool over `disk` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity == 0`, `shards` is not a power of two, or
+    /// `shards > capacity` (every shard needs at least one frame).
     pub fn new<D: DiskManager + 'static>(disk: D, config: BufferPoolConfig) -> Self {
         assert!(config.capacity >= 1, "buffer pool needs at least one frame");
+        assert!(
+            config.shards >= 1 && config.shards.is_power_of_two(),
+            "shard count must be a power of two, got {}",
+            config.shards
+        );
+        assert!(
+            config.shards <= config.capacity,
+            "{} shards need at least {} frames, pool has {}",
+            config.shards,
+            config.shards,
+            config.capacity
+        );
         let page_size = disk.page_size();
+        let base = config.capacity / config.shards;
+        let rem = config.capacity % config.shards;
+        let shards: Box<[Shard]> = (0..config.shards)
+            .map(|i| {
+                let capacity = base + usize::from(i < rem);
+                Shard {
+                    inner: Mutex::new(PoolInner {
+                        frames: Vec::new(),
+                        table: HashMap::with_capacity(capacity),
+                        clock: 0,
+                    }),
+                    stats: IoStats::new_shared(),
+                    capacity,
+                }
+            })
+            .collect();
+        let stats = PoolStats::new(shards.iter().map(|s| Arc::clone(&s.stats)).collect());
         BufferPool {
             disk: Box::new(disk),
-            inner: Mutex::new(PoolInner {
-                frames: Vec::new(),
-                table: HashMap::with_capacity(config.capacity),
-                clock: 0,
-            }),
-            stats: IoStats::new_shared(),
+            mask: shards.len() as u64 - 1,
+            shards,
+            stats,
             page_size,
             capacity: config.capacity,
         }
     }
 
-    /// Creates a pool with the paper's default cache (200 frames).
+    /// Creates a pool with the paper's default cache (200 frames, 1 shard).
     pub fn with_defaults<D: DiskManager + 'static>(disk: D) -> Self {
         Self::new(disk, BufferPoolConfig::default())
     }
@@ -124,14 +203,24 @@ impl BufferPool {
         self.page_size
     }
 
-    /// Number of frames in the cache.
+    /// Total number of frames in the cache (across all shards).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Shared I/O counters for this pool.
-    pub fn stats(&self) -> Arc<IoStats> {
-        Arc::clone(&self.stats)
+    /// Number of lock-striped shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index page `id` is routed to.
+    pub fn shard_of(&self, id: PageId) -> usize {
+        (id.raw() & self.mask) as usize
+    }
+
+    /// Aggregating handle over this pool's per-shard I/O counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats.clone()
     }
 
     /// Number of pages allocated on the underlying device.
@@ -148,13 +237,19 @@ impl BufferPool {
         self.disk.allocate_page()
     }
 
+    #[inline]
+    fn shard(&self, id: PageId) -> &Shard {
+        &self.shards[(id.raw() & self.mask) as usize]
+    }
+
     /// Runs `f` over an immutable snapshot of page `id`.
     pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
-        self.stats.record_logical_read();
+        let shard = self.shard(id);
+        shard.stats.record_logical_read();
         let mut buf = take_scratch(self.page_size);
         {
-            let mut inner = self.inner.lock();
-            let idx = self.ensure_resident(&mut inner, id)?;
+            let mut inner = shard.inner.lock();
+            let idx = self.ensure_resident(shard, &mut inner, id)?;
             buf.copy_from_slice(&inner.frames[idx].data);
         }
         let result = f(&buf);
@@ -165,19 +260,20 @@ impl BufferPool {
     /// Runs `f` over a mutable copy of page `id`, then installs the modified
     /// copy in the cache and marks the page dirty.
     pub fn with_page_mut<T>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> T) -> Result<T> {
-        self.stats.record_logical_write();
+        let shard = self.shard(id);
+        shard.stats.record_logical_write();
         let mut buf = take_scratch(self.page_size);
         {
-            let mut inner = self.inner.lock();
-            let idx = self.ensure_resident(&mut inner, id)?;
+            let mut inner = shard.inner.lock();
+            let idx = self.ensure_resident(shard, &mut inner, id)?;
             buf.copy_from_slice(&inner.frames[idx].data);
         }
         let result = f(&mut buf);
         {
-            let mut inner = self.inner.lock();
+            let mut inner = shard.inner.lock();
             // The page may have been evicted by nested accesses inside `f`;
             // fault it back in before installing the modified copy.
-            let idx = self.ensure_resident(&mut inner, id)?;
+            let idx = self.ensure_resident(shard, &mut inner, id)?;
             inner.frames[idx].data.copy_from_slice(&buf);
             inner.frames[idx].dirty = true;
         }
@@ -186,14 +282,19 @@ impl BufferPool {
     }
 
     /// Writes every dirty cached page back to the device and syncs it.
+    ///
+    /// Shards are flushed in index order, frames in slot order — the same
+    /// deterministic write-back order as the seed pool when `shards = 1`.
     pub fn flush_all(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for idx in 0..inner.frames.len() {
-            if inner.frames[idx].dirty {
-                let page = inner.frames[idx].page;
-                self.disk.write_page(page, &inner.frames[idx].data)?;
-                self.stats.record_physical_write();
-                inner.frames[idx].dirty = false;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            for idx in 0..inner.frames.len() {
+                if inner.frames[idx].dirty {
+                    let page = inner.frames[idx].page;
+                    self.disk.write_page(page, &inner.frames[idx].data)?;
+                    shard.stats.record_physical_write();
+                    inner.frames[idx].dirty = false;
+                }
             }
         }
         self.disk.sync()
@@ -205,22 +306,28 @@ impl BufferPool {
     /// queries start from a cold cache, as after the paper's bulk loads.
     pub fn clear_cache(&self) -> Result<()> {
         self.flush_all()?;
-        let mut inner = self.inner.lock();
-        inner.table.clear();
-        inner.frames.clear();
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            inner.table.clear();
+            inner.frames.clear();
+        }
         Ok(())
     }
 
-    /// Makes page `id` resident and returns its frame index.
-    fn ensure_resident(&self, inner: &mut PoolInner, id: PageId) -> Result<usize> {
+    /// Makes page `id` resident in `shard` and returns its frame index.
+    ///
+    /// Runs entirely under the shard lock; with `shards = 1` this is the
+    /// seed pool's algorithm verbatim (global LRU clock, min-`last_used`
+    /// victim, write-back of dirty victims).
+    fn ensure_resident(&self, shard: &Shard, inner: &mut PoolInner, id: PageId) -> Result<usize> {
         inner.clock += 1;
         let now = inner.clock;
         if let Some(&idx) = inner.table.get(&id) {
             inner.frames[idx].last_used = now;
             return Ok(idx);
         }
-        // Miss: grow up to capacity, then evict the LRU frame.
-        let idx = if inner.frames.len() < self.capacity {
+        // Miss: grow up to the shard's capacity, then evict the LRU frame.
+        let idx = if inner.frames.len() < shard.capacity {
             inner.frames.push(Frame {
                 page: PageId::INVALID,
                 data: vec![0u8; self.page_size].into_boxed_slice(),
@@ -239,7 +346,7 @@ impl BufferPool {
             if inner.frames[victim].dirty {
                 let page = inner.frames[victim].page;
                 self.disk.write_page(page, &inner.frames[victim].data)?;
-                self.stats.record_physical_write();
+                shard.stats.record_physical_write();
                 inner.frames[victim].dirty = false;
             }
             let old = inner.frames[victim].page;
@@ -249,7 +356,7 @@ impl BufferPool {
         // Fault the page in.
         let frame = &mut inner.frames[idx];
         self.disk.read_page(id, &mut frame.data)?;
-        self.stats.record_physical_read();
+        shard.stats.record_physical_read();
         frame.page = id;
         frame.dirty = false;
         frame.last_used = now;
@@ -272,7 +379,11 @@ mod tests {
     use crate::disk::MemDisk;
 
     fn small_pool(frames: usize) -> BufferPool {
-        BufferPool::new(MemDisk::new(128), BufferPoolConfig { capacity: frames })
+        BufferPool::new(MemDisk::new(128), BufferPoolConfig::with_capacity(frames))
+    }
+
+    fn sharded_pool(frames: usize, shards: usize) -> BufferPool {
+        BufferPool::new(MemDisk::new(128), BufferPoolConfig::sharded(frames, shards))
     }
 
     #[test]
@@ -411,6 +522,85 @@ mod tests {
             .collect();
         for h in handles {
             h.join().unwrap();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn default_config_is_one_shard_of_200() {
+        let cfg = BufferPoolConfig::default();
+        assert_eq!((cfg.capacity, cfg.shards), (200, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = sharded_pool(16, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn more_shards_than_frames_rejected() {
+        let _ = sharded_pool(2, 4);
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_stable() {
+        let pool = sharded_pool(16, 4);
+        for raw in 0..64u64 {
+            let s = pool.shard_of(PageId(raw));
+            assert!(s < 4);
+            assert_eq!(s, (raw % 4) as usize, "dense page ids round-robin over shards");
+        }
+    }
+
+    #[test]
+    fn capacity_splits_across_shards_without_loss() {
+        // 10 frames over 4 shards: 3 + 3 + 2 + 2.
+        let pool = sharded_pool(10, 4);
+        assert_eq!(pool.capacity(), 10);
+        assert_eq!(pool.shards(), 4);
+        // Fill every shard past its share; the pool must still serve all
+        // pages correctly (evictions happen per shard).
+        let pages: Vec<_> = (0..32).map(|_| pool.allocate_page().unwrap()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            pool.with_page_mut(p, |d| d[0] = i as u8).unwrap();
+        }
+        for (i, &p) in pages.iter().enumerate() {
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), i as u8);
+        }
+    }
+
+    #[test]
+    fn per_shard_counters_aggregate_losslessly() {
+        let pool = sharded_pool(8, 4);
+        let pages: Vec<_> = (0..16).map(|_| pool.allocate_page().unwrap()).collect();
+        for &p in &pages {
+            pool.with_page(p, |_| {}).unwrap();
+        }
+        let total = pool.stats().snapshot();
+        let per_shard = pool.stats().per_shard();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().map(|s| s.logical_reads).sum::<u64>(), total.logical_reads);
+        assert_eq!(per_shard.iter().map(|s| s.physical_reads).sum::<u64>(), total.physical_reads);
+        assert_eq!(total.logical_reads, 16);
+        // Dense ids spread evenly: 4 logical reads per shard.
+        assert!(per_shard.iter().all(|s| s.logical_reads == 4), "{per_shard:?}");
+    }
+
+    #[test]
+    fn sharded_pool_preserves_data_across_flush_and_clear() {
+        let pool = sharded_pool(8, 4);
+        let pages: Vec<_> = (0..24).map(|_| pool.allocate_page().unwrap()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            pool.with_page_mut(p, |d| d[0] = i as u8).unwrap();
+        }
+        pool.clear_cache().unwrap();
+        for (i, &p) in pages.iter().enumerate() {
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), i as u8);
         }
     }
 }

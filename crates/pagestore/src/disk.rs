@@ -203,10 +203,7 @@ mod tests {
     fn mem_disk_out_of_bounds() {
         let disk = MemDisk::new(128);
         let mut buf = vec![0u8; 128];
-        assert!(matches!(
-            disk.read_page(PageId(0), &mut buf),
-            Err(Error::PageOutOfBounds { .. })
-        ));
+        assert!(matches!(disk.read_page(PageId(0), &mut buf), Err(Error::PageOutOfBounds { .. })));
         assert!(matches!(disk.write_page(PageId(5), &buf), Err(Error::PageOutOfBounds { .. })));
     }
 

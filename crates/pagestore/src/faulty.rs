@@ -38,7 +38,11 @@ pub struct FaultyDisk<D: DiskManager> {
 impl<D: DiskManager> FaultyDisk<D> {
     /// Wraps `inner` with the given fault schedule.
     pub fn new(inner: D, plan: FaultPlan) -> Self {
-        FaultyDisk { inner, plan: Mutex::new(plan), counters: Mutex::new(Counters { reads: 0, writes: 0 }) }
+        FaultyDisk {
+            inner,
+            plan: Mutex::new(plan),
+            counters: Mutex::new(Counters { reads: 0, writes: 0 }),
+        }
     }
 
     /// Replaces the fault schedule (e.g. to lift all faults).
@@ -114,8 +118,9 @@ mod tests {
     #[test]
     fn scheduled_read_fault_fires_once() {
         let disk = MemDisk::new(128);
-        let faulty = FaultyDisk::new(disk, FaultPlan { fail_read_at: Some(1), ..Default::default() });
-        let pool = BufferPool::new(faulty, BufferPoolConfig { capacity: 1 });
+        let faulty =
+            FaultyDisk::new(disk, FaultPlan { fail_read_at: Some(1), ..Default::default() });
+        let pool = BufferPool::new(faulty, BufferPoolConfig::with_capacity(1));
         let a = pool.allocate_page().unwrap();
         let b = pool.allocate_page().unwrap();
         pool.with_page(a, |_| {}).unwrap(); // read #0 ok
@@ -129,7 +134,7 @@ mod tests {
     fn poisoned_page_write_blocks_eviction() {
         let disk = MemDisk::new(128);
         let faulty = FaultyDisk::new(disk, FaultPlan::default());
-        let pool = BufferPool::new(faulty, BufferPoolConfig { capacity: 1 });
+        let pool = BufferPool::new(faulty, BufferPoolConfig::with_capacity(1));
         let a = pool.allocate_page().unwrap();
         let b = pool.allocate_page().unwrap();
         pool.with_page_mut(a, |d| d[0] = 1).unwrap();
@@ -144,7 +149,7 @@ mod tests {
             disk2,
             FaultPlan { poison_page_writes: Some(PageId(0)), ..Default::default() },
         );
-        let pool2 = BufferPool::new(faulty2, BufferPoolConfig { capacity: 1 });
+        let pool2 = BufferPool::new(faulty2, BufferPoolConfig::with_capacity(1));
         let p0 = pool2.allocate_page().unwrap();
         let p1 = pool2.allocate_page().unwrap();
         pool2.with_page_mut(p0, |d| d[0] = 9).unwrap();

@@ -9,8 +9,9 @@
 //! * [`disk`] — a block device abstraction with an in-memory implementation
 //!   ([`MemDisk`]) used by the experiments and a file-backed implementation
 //!   ([`FileDisk`]) used by the persistence tests,
-//! * [`buffer`] — a buffer pool with LRU replacement, pin counting and
-//!   write-back caching (the "database block cache"),
+//! * [`buffer`] — a lock-striped buffer pool with per-shard LRU replacement
+//!   and write-back caching (the "database block cache"; the default single
+//!   shard reproduces the paper's global 200-block cache exactly),
 //! * [`stats`] — shared counters for logical/physical reads and writes plus a
 //!   late-1990s disk [`LatencyModel`] that converts physical I/O volume into
 //!   a *simulated response time*, making the paper's seconds-scale response
@@ -35,7 +36,7 @@ pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{Error, Result};
 pub use faulty::{FaultPlan, FaultyDisk};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
-pub use stats::{IoSnapshot, IoStats, LatencyModel};
+pub use stats::{IoSnapshot, IoStats, LatencyModel, PoolStats};
 
 #[cfg(test)]
 mod tests {
@@ -51,9 +52,7 @@ mod tests {
         })
         .unwrap();
         pool.flush_all().unwrap();
-        let (a, b) = pool
-            .with_page(pid, |data| (data[0], data[DEFAULT_PAGE_SIZE - 1]))
-            .unwrap();
+        let (a, b) = pool.with_page(pid, |data| (data[0], data[DEFAULT_PAGE_SIZE - 1])).unwrap();
         assert_eq!((a, b), (0xAB, 0xCD));
     }
 }

@@ -74,6 +74,60 @@ impl IoStats {
     }
 }
 
+/// Aggregating handle over a sharded pool's per-shard [`IoStats`].
+///
+/// The buffer pool keeps one counter set *per shard* so that concurrent
+/// accesses to different shards never contend on a shared cache line.
+/// This handle sums them on demand: every event is recorded in exactly one
+/// shard's counters, so the aggregate is lossless — in a quiesced pool,
+/// [`PoolStats::snapshot`] equals the counters a single global [`IoStats`]
+/// would have accumulated.
+///
+/// Cloning is cheap and shares the underlying counters, so a handle taken
+/// before a workload observes everything the pool does afterwards.
+#[derive(Clone, Debug)]
+pub struct PoolStats {
+    shards: Arc<[Arc<IoStats>]>,
+}
+
+impl PoolStats {
+    /// Wraps one counter set per shard.
+    pub fn new(shards: Vec<Arc<IoStats>>) -> Self {
+        assert!(!shards.is_empty(), "a pool has at least one shard");
+        PoolStats { shards: shards.into() }
+    }
+
+    /// Number of shards contributing counters.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lossless aggregate of all shards' counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        let mut total = IoSnapshot::default();
+        for s in self.shards.iter() {
+            total.accumulate(&s.snapshot());
+        }
+        total
+    }
+
+    /// Point-in-time copy of each shard's own counters, in shard order.
+    ///
+    /// This is what the concurrency benchmark feeds its contention model:
+    /// accesses counted against one shard serialize behind that shard's
+    /// lock, accesses in different shards proceed in parallel.
+    pub fn per_shard(&self) -> Vec<IoSnapshot> {
+        self.shards.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Resets every shard's counters to zero.
+    pub fn reset(&self) {
+        for s in self.shards.iter() {
+            s.reset();
+        }
+    }
+}
+
 /// Point-in-time copy of [`IoStats`], with arithmetic for diffing.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
@@ -88,6 +142,15 @@ pub struct IoSnapshot {
 }
 
 impl IoSnapshot {
+    /// Counter-wise accumulation `self += other` — the one place that
+    /// knows how to sum snapshots, shared by every aggregation site.
+    pub fn accumulate(&mut self, other: &IoSnapshot) {
+        self.logical_reads += other.logical_reads;
+        self.logical_writes += other.logical_writes;
+        self.physical_reads += other.physical_reads;
+        self.physical_writes += other.physical_writes;
+    }
+
     /// Counter-wise difference `self - earlier`; saturates at zero.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
@@ -132,11 +195,7 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel {
-            seconds_per_read: 0.0125,
-            seconds_per_write: 0.010,
-            seconds_per_row: 4.0e-6,
-        }
+        LatencyModel { seconds_per_read: 0.0125, seconds_per_write: 0.010, seconds_per_row: 4.0e-6 }
     }
 }
 

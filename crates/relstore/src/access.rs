@@ -28,8 +28,7 @@ pub trait IntervalAccessMethod {
 
     /// Intersection query that also reports executor statistics, which the
     /// experiment harness feeds into the response-time model.
-    fn am_intersection_with_stats(&self, lower: i64, upper: i64)
-        -> Result<(Vec<i64>, ExecStats)>;
+    fn am_intersection_with_stats(&self, lower: i64, upper: i64) -> Result<(Vec<i64>, ExecStats)>;
 
     /// Total index entries maintained (Figure 12's storage metric).
     fn am_index_entries(&self) -> Result<u64>;

@@ -9,10 +9,10 @@
 
 use crate::heap::Heap;
 use crate::table::Table;
+use parking_lot::Mutex;
 use ri_btree::BTree;
 use ri_pagestore::codec::{get_i64, get_u16, get_u32, get_u64, put_i64, put_u16, put_u32, put_u64};
 use ri_pagestore::{BufferPool, Error, PageId, Result};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const DB_MAGIC: u32 = 0x5249_4442; // "RIDB"
@@ -290,9 +290,7 @@ impl Database {
 
 fn check_name(name: &str) -> Result<()> {
     if name.is_empty() || name.len() > MAX_NAME {
-        return Err(Error::InvalidArgument(format!(
-            "name {name:?} must be 1..={MAX_NAME} bytes"
-        )));
+        return Err(Error::InvalidArgument(format!("name {name:?} must be 1..={MAX_NAME} bytes")));
     }
     Ok(())
 }
@@ -310,8 +308,7 @@ impl Cursor<'_> {
     fn need(&self, n: usize) -> Result<()> {
         if self.pos + n > self.buf.len() {
             return Err(Error::InvalidArgument(
-                "catalog overflows the header page; use shorter names or fewer objects"
-                    .to_string(),
+                "catalog overflows the header page; use shorter names or fewer objects".to_string(),
             ));
         }
         Ok(())
@@ -442,36 +439,27 @@ mod tests {
     use ri_pagestore::{BufferPoolConfig, MemDisk};
 
     fn fresh_db() -> Database {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(2048),
-            BufferPoolConfig { capacity: 32 },
-        ));
+        let pool =
+            Arc::new(BufferPool::new(MemDisk::new(2048), BufferPoolConfig::with_capacity(32)));
         Database::create(pool).unwrap()
     }
 
     #[test]
     fn create_requires_empty_device() {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(2048),
-            BufferPoolConfig { capacity: 8 },
-        ));
+        let pool =
+            Arc::new(BufferPool::new(MemDisk::new(2048), BufferPoolConfig::with_capacity(8)));
         pool.allocate_page().unwrap();
         assert!(Database::create(pool).is_err());
     }
 
     #[test]
     fn ddl_roundtrips_through_reopen() {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(2048),
-            BufferPoolConfig { capacity: 32 },
-        ));
+        let pool =
+            Arc::new(BufferPool::new(MemDisk::new(2048), BufferPoolConfig::with_capacity(32)));
         {
             let db = Database::create(Arc::clone(&pool)).unwrap();
-            db.create_table(TableDef {
-                name: "T".into(),
-                columns: vec!["a".into(), "b".into()],
-            })
-            .unwrap();
+            db.create_table(TableDef { name: "T".into(), columns: vec!["a".into(), "b".into()] })
+                .unwrap();
             db.create_index("T", IndexDef { name: "IA".into(), key_cols: vec![0] }).unwrap();
             db.set_param("offset", -17).unwrap();
             let t = db.table("T").unwrap();
@@ -495,10 +483,10 @@ mod tests {
         let idef = IndexDef { name: "I".into(), key_cols: vec![0] };
         db.create_index("T", idef.clone()).unwrap();
         assert!(db.create_index("T", idef).is_err());
+        assert!(db.create_index("T", IndexDef { name: "J".into(), key_cols: vec![5] }).is_err());
         assert!(db
-            .create_index("T", IndexDef { name: "J".into(), key_cols: vec![5] })
+            .create_index("MISSING", IndexDef { name: "K".into(), key_cols: vec![0] })
             .is_err());
-        assert!(db.create_index("MISSING", IndexDef { name: "K".into(), key_cols: vec![0] }).is_err());
     }
 
     #[test]
@@ -528,10 +516,8 @@ mod tests {
 
     #[test]
     fn open_rejects_non_database() {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(2048),
-            BufferPoolConfig { capacity: 8 },
-        ));
+        let pool =
+            Arc::new(BufferPool::new(MemDisk::new(2048), BufferPoolConfig::with_capacity(8)));
         pool.allocate_page().unwrap();
         assert!(Database::open(pool).is_err());
     }

@@ -269,10 +269,8 @@ impl ExecCtx<'_> {
                         hi.len()
                     )));
                 }
-                let lo_vals =
-                    lo.iter().map(|b| b.eval(outer)).collect::<Result<Vec<i64>>>()?;
-                let hi_vals =
-                    hi.iter().map(|b| b.eval(outer)).collect::<Result<Vec<i64>>>()?;
+                let lo_vals = lo.iter().map(|b| b.eval(outer)).collect::<Result<Vec<i64>>>()?;
+                let hi_vals = hi.iter().map(|b| b.eval(outer)).collect::<Result<Vec<i64>>>()?;
                 stats.index_searches += 1;
                 for entry in tree.scan_range(&lo_vals, &hi_vals) {
                     let entry = entry?;
@@ -340,10 +338,8 @@ mod tests {
     use ri_pagestore::{BufferPool, BufferPoolConfig, MemDisk};
 
     fn setup() -> Database {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(2048),
-            BufferPoolConfig { capacity: 64 },
-        ));
+        let pool =
+            Arc::new(BufferPool::new(MemDisk::new(2048), BufferPoolConfig::with_capacity(64)));
         let db = Database::create(pool).unwrap();
         db.create_table(TableDef {
             name: "T".into(),

@@ -168,8 +168,7 @@ impl Heap {
             } else {
                 let page = self.pool.allocate_page()?;
                 self.init_data_page(page)?;
-                self.pool
-                    .with_page_mut(meta.last, |buf| put_u64(buf, OFF_NEXT, page.raw()))?;
+                self.pool.with_page_mut(meta.last, |buf| put_u64(buf, OFF_NEXT, page.raw()))?;
                 meta.last = page;
                 (page, 0)
             }
@@ -264,10 +263,7 @@ mod tests {
     use ri_pagestore::{BufferPoolConfig, MemDisk};
 
     fn heap(arity: usize) -> Heap {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(256),
-            BufferPoolConfig { capacity: 8 },
-        ));
+        let pool = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig::with_capacity(8)));
         Heap::create(pool, arity).unwrap()
     }
 
@@ -282,7 +278,8 @@ mod tests {
     #[test]
     fn rows_span_many_pages() {
         let h = heap(4);
-        let ids: Vec<RowId> = (0..500).map(|i| h.insert(&[i, i + 1, i + 2, i + 3]).unwrap()).collect();
+        let ids: Vec<RowId> =
+            (0..500).map(|i| h.insert(&[i, i + 1, i + 2, i + 3]).unwrap()).collect();
         assert_eq!(h.row_count().unwrap(), 500);
         for (i, id) in ids.iter().enumerate() {
             let i = i as i64;
@@ -315,10 +312,7 @@ mod tests {
 
     #[test]
     fn reopen_preserves_rows() {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(256),
-            BufferPoolConfig { capacity: 8 },
-        ));
+        let pool = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig::with_capacity(8)));
         let h = Heap::create(Arc::clone(&pool), 2).unwrap();
         let meta = h.meta_page();
         let id = h.insert(&[5, 6]).unwrap();
@@ -330,10 +324,7 @@ mod tests {
 
     #[test]
     fn open_rejects_wrong_page() {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(256),
-            BufferPoolConfig { capacity: 8 },
-        ));
+        let pool = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig::with_capacity(8)));
         let junk = pool.allocate_page().unwrap();
         assert!(Heap::open(pool, junk).is_err());
     }

@@ -17,6 +17,9 @@
 //!   transient tables, `INDEX RANGE SCAN`, `NESTED LOOPS`, `UNION-ALL`,
 //!   `FILTER` and `TABLE ACCESS FULL`, which is sufficient to express every
 //!   query plan in the paper (RI-tree, Tile Index, IST, MAP21);
+//! * [`par`] — the concurrent query façade: independent read plans fan out
+//!   over scoped worker threads ([`Database::execute_parallel`]), scaling
+//!   with the buffer pool's lock striping;
 //! * [`explain`] — renders plans in the style of the paper's Figure 10.
 //!
 //! Everything is measured: each operator run reports rows examined, and all
@@ -27,6 +30,7 @@ pub mod catalog;
 pub mod exec;
 pub mod explain;
 pub mod heap;
+pub mod par;
 pub mod sql;
 pub mod table;
 

@@ -247,16 +247,14 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>> {
                     i += 1;
                 }
                 let text = &sql[start..i];
-                let v = text.parse::<i64>().map_err(|_| {
-                    Error::InvalidArgument(format!("bad number {text:?} in SQL"))
-                })?;
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|_| Error::InvalidArgument(format!("bad number {text:?} in SQL")))?;
                 out.push(Tok::Number(v));
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 out.push(Tok::Ident(sql[start..i].to_string()));
@@ -500,7 +498,7 @@ mod tests {
     fn db() -> Database {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: 64 },
+            BufferPoolConfig::with_capacity(64),
         ));
         Database::create(pool).unwrap()
     }
@@ -509,10 +507,7 @@ mod tests {
     fn figure_2_ddl_runs_verbatim() {
         let db = db();
         // The paper's Figure 2, verbatim (modulo whitespace).
-        db.execute_sql(
-            "CREATE TABLE Intervals (node int, lower int, upper int, id int);",
-        )
-        .unwrap();
+        db.execute_sql("CREATE TABLE Intervals (node int, lower int, upper int, id int);").unwrap();
         db.execute_sql("CREATE INDEX lowerIndex ON Intervals (node, lower);").unwrap();
         db.execute_sql("CREATE INDEX upperIndex ON Intervals (node, upper);").unwrap();
         assert_eq!(db.table_names(), vec!["Intervals".to_string()]);
@@ -524,9 +519,7 @@ mod tests {
         let db = db();
         db.execute_sql("CREATE TABLE T (a int, b int)").unwrap();
         for i in 0..10 {
-            let r = db
-                .execute_sql(&format!("INSERT INTO T VALUES ({i}, {})", i * 10))
-                .unwrap();
+            let r = db.execute_sql(&format!("INSERT INTO T VALUES ({i}, {})", i * 10)).unwrap();
             assert_eq!(r, SqlResult::RowsAffected(1));
         }
         let r = db.execute_sql("SELECT b FROM T WHERE a >= 3 AND a < 6").unwrap();
@@ -546,9 +539,7 @@ mod tests {
         for v in [-5, 0, 5, 10, 15] {
             db.execute_sql(&format!("INSERT INTO T VALUES ({v})")).unwrap();
         }
-        let r = db
-            .execute_sql("SELECT * FROM T WHERE x BETWEEN 0 AND 10 OR (x = -5)")
-            .unwrap();
+        let r = db.execute_sql("SELECT * FROM T WHERE x BETWEEN 0 AND 10 OR (x = -5)").unwrap();
         match r {
             SqlResult::Rows { rows, .. } => {
                 let mut vals: Vec<i64> = rows.into_iter().map(|r| r[0]).collect();

@@ -122,10 +122,8 @@ mod tests {
     use std::sync::Arc;
 
     fn db_with_indexed_table() -> Database {
-        let pool = Arc::new(BufferPool::new(
-            MemDisk::new(2048),
-            BufferPoolConfig { capacity: 64 },
-        ));
+        let pool =
+            Arc::new(BufferPool::new(MemDisk::new(2048), BufferPoolConfig::with_capacity(64)));
         let db = Database::create(pool).unwrap();
         db.create_table(TableDef {
             name: "T".into(),
@@ -170,13 +168,7 @@ mod tests {
         let db = db_with_indexed_table();
         let t = db.table("T").unwrap();
         let rid = t.insert(&[7, 8, 9]).unwrap();
-        let entry = t
-            .index("C")
-            .unwrap()
-            .scan_range(&[9], &[9])
-            .next()
-            .unwrap()
-            .unwrap();
+        let entry = t.index("C").unwrap().scan_range(&[9], &[9]).next().unwrap().unwrap();
         assert_eq!(entry.payload, rid.raw());
         let row = t.fetch(crate::heap::RowId::from_raw(entry.payload)).unwrap();
         assert_eq!(row, Some(vec![7, 8, 9]));

@@ -51,22 +51,42 @@ pub struct WorkloadSpec {
 
 /// `D1(n, d)`: uniform starts, uniform durations in `[0, 2d]`.
 pub fn d1(n: usize, d: i64) -> WorkloadSpec {
-    WorkloadSpec { name: "D1", n, start: StartDist::Uniform, duration: DurationDist::Uniform { lo: 0, hi: 2 * d } }
+    WorkloadSpec {
+        name: "D1",
+        n,
+        start: StartDist::Uniform,
+        duration: DurationDist::Uniform { lo: 0, hi: 2 * d },
+    }
 }
 
 /// `D2(n, d)`: uniform starts, exponential durations with mean `d`.
 pub fn d2(n: usize, d: i64) -> WorkloadSpec {
-    WorkloadSpec { name: "D2", n, start: StartDist::Uniform, duration: DurationDist::Exponential { mean: d as f64 } }
+    WorkloadSpec {
+        name: "D2",
+        n,
+        start: StartDist::Uniform,
+        duration: DurationDist::Exponential { mean: d as f64 },
+    }
 }
 
 /// `D3(n, d)`: Poisson-process starts, uniform durations in `[0, 2d]`.
 pub fn d3(n: usize, d: i64) -> WorkloadSpec {
-    WorkloadSpec { name: "D3", n, start: StartDist::Poisson, duration: DurationDist::Uniform { lo: 0, hi: 2 * d } }
+    WorkloadSpec {
+        name: "D3",
+        n,
+        start: StartDist::Poisson,
+        duration: DurationDist::Uniform { lo: 0, hi: 2 * d },
+    }
 }
 
 /// `D4(n, d)`: Poisson-process starts, exponential durations with mean `d`.
 pub fn d4(n: usize, d: i64) -> WorkloadSpec {
-    WorkloadSpec { name: "D4", n, start: StartDist::Poisson, duration: DurationDist::Exponential { mean: d as f64 } }
+    WorkloadSpec {
+        name: "D4",
+        n,
+        start: StartDist::Poisson,
+        duration: DurationDist::Exponential { mean: d as f64 },
+    }
 }
 
 /// The Figure 15 variant: `D3(n, 2k)` with the duration domain restricted
@@ -107,9 +127,7 @@ impl WorkloadSpec {
 
     fn generate_starts(&self, rng: &mut StdRng) -> Vec<i64> {
         match self.start {
-            StartDist::Uniform => {
-                (0..self.n).map(|_| rng.gen_range(0..=DOMAIN_MAX)).collect()
-            }
+            StartDist::Uniform => (0..self.n).map(|_| rng.gen_range(0..=DOMAIN_MAX)).collect(),
             StartDist::Poisson => {
                 // Exponential inter-arrival times with mean chosen so the
                 // expected n-th arrival lands at DOMAIN_MAX.
@@ -190,8 +208,7 @@ mod tests {
     fn uniform_duration_mean_is_d() {
         let spec = d1(20_000, 2000);
         let data = spec.generate(1);
-        let mean: f64 =
-            data.iter().map(|(l, u)| (u - l) as f64).sum::<f64>() / data.len() as f64;
+        let mean: f64 = data.iter().map(|(l, u)| (u - l) as f64).sum::<f64>() / data.len() as f64;
         assert!((mean - 2000.0).abs() < 100.0, "mean duration {mean} != ~2000");
     }
 
@@ -199,8 +216,7 @@ mod tests {
     fn exponential_duration_mean_is_d() {
         let spec = d2(40_000, 2000);
         let data = spec.generate(2);
-        let mean: f64 =
-            data.iter().map(|(l, u)| (u - l) as f64).sum::<f64>() / data.len() as f64;
+        let mean: f64 = data.iter().map(|(l, u)| (u - l) as f64).sum::<f64>() / data.len() as f64;
         // Clamping at the domain edge biases slightly low.
         assert!((mean - 2000.0).abs() < 150.0, "mean duration {mean} != ~2000");
     }

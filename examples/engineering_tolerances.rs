@@ -70,9 +70,7 @@ fn main() {
         x ^= x << 17;
         let value = 20 * MM + (x % (10 * MM as u64)) as i64;
         let tol = 5 + (x >> 40) as i64 % 95;
-        shafts
-            .insert(Interval::new(value - tol, value + tol).unwrap(), 10_000 + i)
-            .unwrap();
+        shafts.insert(Interval::new(value - tol, value + tol).unwrap(), 10_000 + i).unwrap();
     }
     let before = pool.stats().snapshot();
     let hits = shafts.stab(spec).unwrap();

@@ -24,8 +24,11 @@ fn main() {
     for (id, &(from, to)) in periods.iter().enumerate() {
         tree.insert(Interval::new(from, to).unwrap(), id as i64).unwrap();
     }
-    println!("inserted {} intervals; backbone height = {}", tree.count().unwrap(),
-             tree.height().unwrap());
+    println!(
+        "inserted {} intervals; backbone height = {}",
+        tree.count().unwrap(),
+        tree.height().unwrap()
+    );
 
     // Intersection query: which versions were valid during [2000, 2002]?
     let q = Interval::new(2000, 2002).unwrap();
@@ -40,8 +43,10 @@ fn main() {
 
     // I/O accounting, the paper's primary metric.
     let stats = pool.stats().snapshot();
-    println!("physical I/O so far: {} block reads, {} block writes",
-             stats.physical_reads, stats.physical_writes);
+    println!(
+        "physical I/O so far: {} block reads, {} block writes",
+        stats.physical_reads, stats.physical_writes
+    );
 
     // Deletion is symmetric to insertion.
     assert!(tree.delete(Interval::new(1995, 1999).unwrap(), 0).unwrap());

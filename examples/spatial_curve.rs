@@ -54,9 +54,9 @@ fn main() {
     // Three buildings on a 256x256 grid, decomposed into curve runs.  Every
     // run is stored under its building id (ids may repeat across runs).
     let buildings: &[Building] = &[
-        (1, (10, 10, 40, 30)),   // warehouse
-        (2, (60, 20, 90, 60)),   // office block
-        (3, (35, 55, 55, 75)),   // lab
+        (1, (10, 10, 40, 30)), // warehouse
+        (2, (60, 20, 90, 60)), // office block
+        (3, (35, 55, 55, 75)), // lab
     ];
     let mut total_runs = 0;
     for &(id, (x0, y0, x1, y1)) in buildings {
@@ -80,7 +80,11 @@ fn main() {
     hits.dedup();
     println!(
         "window ({}, {})..({}, {}) decomposes into {} runs; intersecting buildings: {hits:?}",
-        window.0, window.1, window.2, window.3, runs.len()
+        window.0,
+        window.1,
+        window.2,
+        window.3,
+        runs.len()
     );
     assert_eq!(hits, vec![1, 2, 3], "all three buildings overlap the window");
 

@@ -62,17 +62,11 @@ fn main() {
     }
 
     // "meets": checkout exactly at window start (id 1 ends on day 14).
-    assert!(bookings
-        .allen_at(AllenRelation::Meets, staff_window, now)
-        .unwrap()
-        .contains(&1));
+    assert!(bookings.allen_at(AllenRelation::Meets, staff_window, now).unwrap().contains(&1));
     // "met-by": check-in exactly at window end (id 4 starts on day 21? no —
     // met-by means lower == window.upper, i.e. day 20; nobody qualifies).
     // "after": bookings strictly after the window (id 4).
-    assert!(bookings
-        .allen_at(AllenRelation::After, staff_window, now)
-        .unwrap()
-        .contains(&4));
+    assert!(bookings.allen_at(AllenRelation::After, staff_window, now).unwrap().contains(&4));
 
     // Close out the now-booking: the guest checks out on day 19, giving the
     // stay a fixed upper bound.

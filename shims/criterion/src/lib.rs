@@ -29,10 +29,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            sample_size: 100,
-            test_mode: std::env::args().any(|a| a == "--test"),
-        }
+        Criterion { sample_size: 100, test_mode: std::env::args().any(|a| a == "--test") }
     }
 }
 

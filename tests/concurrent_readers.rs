@@ -23,8 +23,7 @@ fn parallel_readers_get_identical_answers() {
         tree.insert(Interval::new(l, l + len).unwrap(), id).unwrap();
         naive.insert(l, l + len, id);
     }
-    let queries: Vec<(i64, i64)> =
-        (0..40).map(|i| (i * 12_000, i * 12_000 + 4000)).collect();
+    let queries: Vec<(i64, i64)> = (0..40).map(|i| (i * 12_000, i * 12_000 + 4000)).collect();
     let expected: Vec<Vec<i64>> =
         queries.iter().map(|&(ql, qu)| naive.intersection(ql, qu)).collect();
 
@@ -36,8 +35,7 @@ fn parallel_readers_get_identical_answers() {
             s.spawn(move |_| {
                 for round in 0..5 {
                     for (i, &(ql, qu)) in queries.iter().enumerate() {
-                        let got =
-                            tree.intersection(Interval::new(ql, qu).unwrap()).unwrap();
+                        let got = tree.intersection(Interval::new(ql, qu).unwrap()).unwrap();
                         assert_eq!(
                             got, expected[i],
                             "thread {t}, round {round}, query {i} diverged"
@@ -56,7 +54,7 @@ fn readers_race_against_cache_pressure() {
     // each other's pages; answers must stay exact.
     let pool = Arc::new(BufferPool::new(
         MemDisk::new(DEFAULT_PAGE_SIZE),
-        ri_tree::pagestore::BufferPoolConfig { capacity: 8 },
+        ri_tree::pagestore::BufferPoolConfig::with_capacity(8),
     ));
     let db = Arc::new(Database::create(pool).unwrap());
     let tree = Arc::new(RiTree::create(db, "t").unwrap());
@@ -71,8 +69,7 @@ fn readers_race_against_cache_pressure() {
             let expected = expected.clone();
             s.spawn(move |_| {
                 for _ in 0..50 {
-                    let got =
-                        tree.intersection(Interval::new(10_000, 10_400).unwrap()).unwrap();
+                    let got = tree.intersection(Interval::new(10_000, 10_400).unwrap()).unwrap();
                     assert_eq!(got, expected);
                 }
             });

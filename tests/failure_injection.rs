@@ -40,7 +40,7 @@ fn faulty_env() -> FaultyEnv {
     let faulty = Arc::new(FaultyDisk::new(MemDisk::new(DEFAULT_PAGE_SIZE), FaultPlan::default()));
     let pool = Arc::new(BufferPool::new(
         SharedDisk(Arc::clone(&faulty)),
-        BufferPoolConfig { capacity: 8 }, // tiny: faults trigger quickly
+        BufferPoolConfig::with_capacity(8), // tiny: faults trigger quickly
     ));
     FaultyEnv { faulty, pool }
 }

@@ -94,10 +94,7 @@ fn explain_matches_figure_10_operator_tree() {
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), expected_ops.len());
     for (line, op) in lines.iter().zip(expected_ops) {
-        assert!(
-            line.trim_start().starts_with(op),
-            "line {line:?} does not start with {op:?}"
-        );
+        assert!(line.trim_start().starts_with(op), "line {line:?} does not start with {op:?}");
     }
 }
 

@@ -1,0 +1,226 @@
+//! Determinism regression: a `shards = 1` buffer pool must reproduce the
+//! seed (single-`Mutex`) pool's behavior *byte for byte* — same hits, same
+//! misses, same eviction victims, same write-backs, same counters after
+//! every single operation.
+//!
+//! Figures 13 and 14 report exact physical block access counts; any drift
+//! in LRU victim selection or counter accounting would silently change
+//! those figures.  This suite pins the behavior two ways:
+//!
+//! 1. an in-test **reference model** — a direct reimplementation of the
+//!    seed pool's LRU algorithm over a plain `Vec` disk — is stepped in
+//!    lockstep with the real pool through a scripted operation sequence,
+//!    comparing all four [`IoStats`] counters after every operation;
+//! 2. **golden constants** captured from the seed implementation pin the
+//!    final counters and a fingerprint of the whole counter trace, so the
+//!    reference model itself cannot drift along with the code under test.
+
+use ri_tree::pagestore::{BufferPool, BufferPoolConfig, IoSnapshot, MemDisk, PageId};
+use std::collections::HashMap;
+
+const PAGE_SIZE: usize = 256;
+const CAPACITY: usize = 8;
+const NUM_PAGES: u64 = 24;
+const OPS: u64 = 600;
+
+/// Golden values captured from the seed implementation (single global
+/// `Mutex`, pre-sharding). `shards = 1` must reproduce them exactly.
+const GOLDEN_FINAL: IoSnapshot = IoSnapshot {
+    logical_reads: 362,
+    logical_writes: 253,
+    physical_reads: 415,
+    physical_writes: 213,
+};
+const GOLDEN_TRACE_HASH: u64 = 0x1532_5ee0_cd08_3d4e;
+
+/// Reference reimplementation of the seed pool: LRU over `capacity`
+/// frames, write-back on eviction, logical/physical counters bumped at
+/// exactly the same points as `pagestore::buffer`.
+struct RefPool {
+    disk: Vec<Vec<u8>>,
+    frames: Vec<RefFrame>,
+    table: HashMap<u64, usize>,
+    clock: u64,
+    capacity: usize,
+    stats: IoSnapshot,
+}
+
+struct RefFrame {
+    page: u64,
+    data: Vec<u8>,
+    dirty: bool,
+    last_used: u64,
+}
+
+impl RefPool {
+    fn new(num_pages: u64, capacity: usize) -> Self {
+        RefPool {
+            disk: (0..num_pages).map(|_| vec![0u8; PAGE_SIZE]).collect(),
+            frames: Vec::new(),
+            table: HashMap::new(),
+            clock: 0,
+            capacity,
+            stats: IoSnapshot::default(),
+        }
+    }
+
+    fn ensure_resident(&mut self, id: u64) -> usize {
+        self.clock += 1;
+        let now = self.clock;
+        if let Some(&idx) = self.table.get(&id) {
+            self.frames[idx].last_used = now;
+            return idx;
+        }
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(RefFrame {
+                page: u64::MAX,
+                data: vec![0u8; PAGE_SIZE],
+                dirty: false,
+                last_used: 0,
+            });
+            self.frames.len() - 1
+        } else {
+            let victim = self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, fr)| fr.last_used)
+                .map(|(i, _)| i)
+                .unwrap();
+            if self.frames[victim].dirty {
+                let page = self.frames[victim].page;
+                self.disk[page as usize].copy_from_slice(&self.frames[victim].data);
+                self.stats.physical_writes += 1;
+                self.frames[victim].dirty = false;
+            }
+            let old = self.frames[victim].page;
+            self.table.remove(&old);
+            victim
+        };
+        let fr = &mut self.frames[idx];
+        fr.data.copy_from_slice(&self.disk[id as usize]);
+        self.stats.physical_reads += 1;
+        fr.page = id;
+        fr.dirty = false;
+        fr.last_used = now;
+        self.table.insert(id, idx);
+        idx
+    }
+
+    fn read(&mut self, id: u64) -> Vec<u8> {
+        self.stats.logical_reads += 1;
+        let idx = self.ensure_resident(id);
+        self.frames[idx].data.clone()
+    }
+
+    fn write(&mut self, id: u64, f: impl FnOnce(&mut [u8])) {
+        self.stats.logical_writes += 1;
+        let idx = self.ensure_resident(id);
+        let mut buf = self.frames[idx].data.clone();
+        f(&mut buf);
+        let idx = self.ensure_resident(id);
+        self.frames[idx].data.copy_from_slice(&buf);
+        self.frames[idx].dirty = true;
+    }
+
+    fn flush_all(&mut self) {
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].dirty {
+                let page = self.frames[idx].page;
+                self.disk[page as usize].copy_from_slice(&self.frames[idx].data);
+                self.stats.physical_writes += 1;
+                self.frames[idx].dirty = false;
+            }
+        }
+    }
+
+    fn clear_cache(&mut self) {
+        self.flush_all();
+        self.table.clear();
+        self.frames.clear();
+    }
+}
+
+/// xorshift64 — fixed seed, fully deterministic op sequence.
+fn next(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn fnv1a(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100_0000_01b3)
+}
+
+#[test]
+fn shards_1_reproduces_seed_pool_byte_for_byte() {
+    let pool = BufferPool::new(MemDisk::new(PAGE_SIZE), BufferPoolConfig::with_capacity(CAPACITY));
+    let pages: Vec<PageId> = (0..NUM_PAGES).map(|_| pool.allocate_page().unwrap()).collect();
+    let mut model = RefPool::new(NUM_PAGES, CAPACITY);
+
+    let mut x = 0x5EED_CAFE_u64;
+    let mut trace_hash = 0xcbf2_9ce4_8422_2325_u64;
+    for op in 1..=OPS {
+        let r = next(&mut x);
+        let id = r % NUM_PAGES;
+        if op % 151 == 0 {
+            pool.clear_cache().unwrap();
+            model.clear_cache();
+        } else if op % 97 == 0 {
+            pool.flush_all().unwrap();
+            model.flush_all();
+        } else if r % 100 < 60 {
+            let got = pool.with_page(pages[id as usize], |d| d.to_vec()).unwrap();
+            let want = model.read(id);
+            assert_eq!(got, want, "op {op}: page {id} contents diverged");
+        } else {
+            let stamp = (r >> 32) as u8;
+            let off = (r >> 24) as usize % PAGE_SIZE;
+            pool.with_page_mut(pages[id as usize], |d| {
+                d[off] = stamp;
+                d[0] = d[0].wrapping_add(1);
+            })
+            .unwrap();
+            model.write(id, |d| {
+                d[off] = stamp;
+                d[0] = d[0].wrapping_add(1);
+            });
+        }
+        let snap = pool.stats().snapshot();
+        assert_eq!(
+            (snap.logical_reads, snap.logical_writes, snap.physical_reads, snap.physical_writes),
+            (
+                model.stats.logical_reads,
+                model.stats.logical_writes,
+                model.stats.physical_reads,
+                model.stats.physical_writes
+            ),
+            "op {op}: counters diverged from the seed LRU model"
+        );
+        trace_hash = fnv1a(trace_hash, snap.logical_reads);
+        trace_hash = fnv1a(trace_hash, snap.logical_writes);
+        trace_hash = fnv1a(trace_hash, snap.physical_reads);
+        trace_hash = fnv1a(trace_hash, snap.physical_writes);
+    }
+
+    // Final state: every page byte-identical between pool and model.
+    pool.flush_all().unwrap();
+    model.flush_all();
+    for (id, &pid) in pages.iter().enumerate() {
+        let got = pool.with_page(pid, |d| d.to_vec()).unwrap();
+        assert_eq!(got, model.disk[id], "page {id} final contents diverged");
+    }
+
+    let final_snap = pool.stats().snapshot();
+    eprintln!(
+        "GOLDEN logical_reads: {}, logical_writes: {}, physical_reads: {}, physical_writes: {}, trace_hash: {:#x}",
+        final_snap.logical_reads,
+        final_snap.logical_writes,
+        final_snap.physical_reads,
+        final_snap.physical_writes,
+        trace_hash
+    );
+    assert_eq!(final_snap, GOLDEN_FINAL, "final counters drifted from the seed pool");
+    assert_eq!(trace_hash, GOLDEN_TRACE_HASH, "counter trace drifted from the seed pool");
+}

@@ -1,9 +1,9 @@
 //! The Skeleton Index extension (paper Section 7) must change costs, never
 //! answers.
 
+use ri_tree::core::RiOptions;
 use ri_tree::mem::NaiveIntervalSet;
 use ri_tree::prelude::*;
-use ri_tree::core::RiOptions;
 
 fn envs() -> (Arc<Database>, Arc<Database>) {
     let mk = || {
@@ -35,8 +35,7 @@ fn clustered_data() -> Vec<(i64, i64)> {
 fn skeleton_results_identical_to_plain() {
     let (db_a, db_b) = envs();
     let plain = RiTree::create(db_a, "t").unwrap();
-    let skel =
-        RiTree::create_with_options(db_b, "t", RiOptions { skeleton: true }).unwrap();
+    let skel = RiTree::create_with_options(db_b, "t", RiOptions { skeleton: true }).unwrap();
     let data = clustered_data();
     let mut naive = NaiveIntervalSet::new();
     for (id, &(l, u)) in data.iter().enumerate() {
@@ -67,8 +66,7 @@ fn skeleton_results_identical_to_plain() {
 fn skeleton_prunes_empty_node_probes() {
     let (db_a, db_b) = envs();
     let plain = RiTree::create(db_a, "t").unwrap();
-    let skel =
-        RiTree::create_with_options(db_b, "t", RiOptions { skeleton: true }).unwrap();
+    let skel = RiTree::create_with_options(db_b, "t", RiOptions { skeleton: true }).unwrap();
     for (id, &(l, u)) in clustered_data().iter().enumerate() {
         plain.insert(Interval::new(l, u).unwrap(), id as i64).unwrap();
         skel.insert(Interval::new(l, u).unwrap(), id as i64).unwrap();
@@ -76,12 +74,10 @@ fn skeleton_prunes_empty_node_probes() {
     // A query far from the data cluster in a deep (2^30) space: the plain
     // tree probes ~2·30 nodes, nearly all empty.
     let q = Interval::new(100_000_000, 100_002_000).unwrap();
-    let (_, s_plain) = plain
-        .execute_id_plan(&plain.intersection_plan(q, i64::MAX - 2).unwrap())
-        .unwrap();
-    let (_, s_skel) = skel
-        .execute_id_plan(&skel.intersection_plan(q, i64::MAX - 2).unwrap())
-        .unwrap();
+    let (_, s_plain) =
+        plain.execute_id_plan(&plain.intersection_plan(q, i64::MAX - 2).unwrap()).unwrap();
+    let (_, s_skel) =
+        skel.execute_id_plan(&skel.intersection_plan(q, i64::MAX - 2).unwrap()).unwrap();
     assert!(
         s_skel.index_searches * 2 <= s_plain.index_searches,
         "skeleton should at least halve probes on sparse paths: {} vs {}",
@@ -95,9 +91,8 @@ fn skeleton_survives_delete_and_reopen() {
     let pool = Arc::new(BufferPool::with_defaults(MemDisk::new(DEFAULT_PAGE_SIZE)));
     let db = Arc::new(Database::create(pool).unwrap());
     {
-        let tree =
-            RiTree::create_with_options(Arc::clone(&db), "t", RiOptions { skeleton: true })
-                .unwrap();
+        let tree = RiTree::create_with_options(Arc::clone(&db), "t", RiOptions { skeleton: true })
+            .unwrap();
         for i in 0..200i64 {
             tree.insert(Interval::new(i * 100, i * 100 + 50).unwrap(), i).unwrap();
         }

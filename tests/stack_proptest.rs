@@ -10,7 +10,7 @@ use ri_tree::prelude::*;
 fn tree_env(frames: usize) -> RiTree {
     let pool = Arc::new(BufferPool::new(
         MemDisk::new(DEFAULT_PAGE_SIZE),
-        BufferPoolConfig { capacity: frames },
+        BufferPoolConfig::with_capacity(frames),
     ));
     let db = Arc::new(Database::create(pool).unwrap());
     RiTree::create(db, "p").unwrap()

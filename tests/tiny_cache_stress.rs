@@ -9,7 +9,7 @@ use ri_tree::prelude::*;
 fn env(frames: usize) -> Arc<Database> {
     let pool = Arc::new(BufferPool::new(
         MemDisk::new(DEFAULT_PAGE_SIZE),
-        BufferPoolConfig { capacity: frames },
+        BufferPoolConfig::with_capacity(frames),
     ));
     Arc::new(Database::create(pool).unwrap())
 }
@@ -91,13 +91,14 @@ fn small_pool_baselines_agree() {
 
 #[test]
 fn cache_size_changes_io_but_not_results() {
-    let data: Vec<(i64, i64)> = (0..3000).map(|i| (i * 17 % 50_000, i * 17 % 50_000 + 800)).collect();
+    let data: Vec<(i64, i64)> =
+        (0..3000).map(|i| (i * 17 % 50_000, i * 17 % 50_000 + 800)).collect();
     let mut io_by_cache = Vec::new();
     let mut results = Vec::new();
     for frames in [4, 40, 400] {
         let pool = Arc::new(BufferPool::new(
             MemDisk::new(DEFAULT_PAGE_SIZE),
-            BufferPoolConfig { capacity: frames },
+            BufferPoolConfig::with_capacity(frames),
         ));
         let db = Arc::new(Database::create(Arc::clone(&pool)).unwrap());
         let tree = RiTree::create(db, "t").unwrap();
