@@ -7,19 +7,7 @@
 //! `--json PATH` additionally writes the deterministic snapshot consumed
 //! by CI's `bench-snapshot` step (conventionally `BENCH_concurrency.json`).
 
-use std::path::PathBuf;
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json: Option<PathBuf> = args.iter().position(|a| a == "--json").map(|i| {
-        // The value is optional; a following flag means "use the default".
-        let path = args
-            .get(i + 1)
-            .map(String::as_str)
-            .filter(|a| !a.starts_with('-'))
-            .unwrap_or("BENCH_concurrency.json");
-        PathBuf::from(path)
-    });
+    let (quick, json) = ri_bench::snapshot_args("BENCH_concurrency.json");
     ri_bench::concurrency::run(quick, json.as_deref());
 }

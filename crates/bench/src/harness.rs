@@ -122,6 +122,24 @@ pub fn run_queries(
     }
 }
 
+/// Parses the concurrency snapshot bins' common CLI:
+/// `[--quick] [--json [PATH]]`.  The `--json` value is optional — a
+/// following flag (or nothing) means "use `default_json`".  Unknown
+/// flags are ignored, like every figure binary.
+pub fn snapshot_args(default_json: &str) -> (bool, Option<std::path::PathBuf>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().position(|a| a == "--json").map(|i| {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .filter(|a| !a.starts_with('-'))
+            .unwrap_or(default_json);
+        std::path::PathBuf::from(path)
+    });
+    (quick, json)
+}
+
 /// Prints a CSV header followed by a blank-line-separated block marker so
 /// figures can be extracted from `run_all` output.
 pub fn section(title: &str) {

@@ -10,5 +10,6 @@
 pub mod concurrency;
 pub mod figures;
 pub mod harness;
+pub mod write_concurrency;
 
 pub use harness::*;

@@ -1,0 +1,455 @@
+//! The write-concurrency experiment (ours, not the paper's): modelled
+//! insert throughput versus writer threads, latch-crabbing writers against
+//! the global-writer baseline the engine enforced before PR 3.
+//!
+//! # Methodology
+//!
+//! Like `fig18` (`crate::concurrency`), this experiment prices concurrency
+//! *deterministically*: the insert workload runs once, single-threaded,
+//! and every insert's page accesses are read off the pool's per-shard
+//! counters, with the pool's latch statistics flagging which inserts
+//! performed a structure modification (a leaf or inner-node split).  The
+//! [`WriteContentionModel`] then prices two writer protocols over the
+//! identical trace:
+//!
+//! * **global writer** — the pre-PR 3 contract: every insert holds the
+//!   one writer slot, so the batch's makespan is the *sum* of all
+//!   per-insert costs no matter how many threads submit work;
+//! * **latch crabbing** — leaf-disjoint inserts overlap: aggregate work
+//!   spreads over `T` threads, floored by the serial components that
+//!   remain: (1) each pool shard's lock admits one page access at a time
+//!   and faults misses under it (the fig18 floor), (2) splits run under
+//!   the exclusive tree latch, so all SMO inserts form one serial
+//!   timeline, (3) every insert bumps the entry count under the meta-page
+//!   latch, one latch hold per insert.
+//!
+//! Charging identical total work to both protocols isolates exactly the
+//! effect under study — which serial floor binds.  Wall-clock numbers are
+//! printed for reference but excluded from the JSON snapshot
+//! (`BENCH_write_concurrency.json`), which must stay byte-stable across
+//! runs and machines.
+//!
+//! Alongside the model, the experiment *actually runs* concurrent
+//! writers: disjoint insert batches through raw [`ri_btree::BTree`]
+//! handles and [`RiTree::insert_batch`] at every thread count, asserting
+//! the final trees are identical to their sequentially built twins — the
+//! latching protocol's correctness is exercised even where its speed
+//! cannot be observed on a 1-CPU runner.
+
+use crate::concurrency::ContentionModel;
+use crate::harness::{f, fresh_env_sharded, section};
+use ri_btree::BTree;
+use ri_pagestore::{BufferPool, BufferPoolConfig, IoSnapshot, MemDisk, DEFAULT_PAGE_SIZE};
+use ritree_core::{Interval, RiTree};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pool shard counts compared by the experiment.
+pub const SHARD_COUNTS: [usize; 2] = [1, 16];
+/// Writer thread counts evaluated per shard count.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Deterministic cost model for concurrent insert batches (see the module
+/// docs for the derivation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteContentionModel {
+    /// Per-access and per-I/O prices, shared with the fig18 model.
+    pub base: ContentionModel,
+}
+
+/// The single-threaded insert trace the model prices.
+pub struct WriteTrace {
+    /// Number of inserts.
+    pub inserts: usize,
+    /// Simulated seconds of every insert summed (I/O + latch + CPU).
+    pub total_work: f64,
+    /// Simulated seconds of the structure-modifying inserts only.
+    pub smo_work: f64,
+    /// Inserts that split a leaf or inner node.
+    pub smo_count: u64,
+    /// Pessimistic restarts observed (always 0 single-threaded).
+    pub restarts: u64,
+    /// Aggregate per-shard access counts over the whole batch.
+    pub per_shard: Vec<IoSnapshot>,
+    /// Total physical block accesses.
+    pub phys_total: u64,
+}
+
+impl WriteContentionModel {
+    /// Simulated seconds one insert costs given its access counts.
+    fn insert_work(&self, io: &IoSnapshot) -> f64 {
+        let accesses = (io.logical_reads + io.logical_writes) as f64;
+        self.base.latency.simulate(io, 0)
+            + accesses * (self.base.seconds_per_latch + self.base.seconds_per_access_cpu)
+    }
+
+    /// Makespan under the global-writer protocol: all inserts serialize,
+    /// regardless of the submitting thread count.
+    pub fn makespan_global(&self, trace: &WriteTrace) -> f64 {
+        trace.total_work
+    }
+
+    /// Makespan under latch crabbing: work spreads over `threads`, floored
+    /// by the per-shard lock timelines, the serial SMO timeline, and the
+    /// per-insert meta-latch hold.
+    pub fn makespan_crabbing(&self, trace: &WriteTrace, threads: usize) -> f64 {
+        let shard_floor = trace
+            .per_shard
+            .iter()
+            .map(|s| self.base.shard_serial_seconds(s))
+            .fold(0.0f64, f64::max);
+        let meta_floor = trace.inserts as f64 * self.base.seconds_per_latch;
+        (trace.total_work / threads.max(1) as f64)
+            .max(shard_floor)
+            .max(trace.smo_work)
+            .max(meta_floor)
+    }
+}
+
+/// One measured configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteThroughput {
+    /// Buffer pool shard count.
+    pub shards: usize,
+    /// Writer thread count.
+    pub threads: usize,
+    /// Modelled inserts/second under the global-writer baseline.
+    pub inserts_per_sec_global: f64,
+    /// Modelled inserts/second under latch crabbing.
+    pub inserts_per_sec_crabbing: f64,
+    /// Crabbing over global at this thread count.
+    pub speedup: f64,
+}
+
+/// Deterministic summary of one traced configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSummary {
+    /// Buffer pool shard count of this trace.
+    pub shards: usize,
+    /// Fraction of inserts that modified structure.
+    pub smo_fraction: f64,
+    /// Physical block accesses per insert.
+    pub phys_io_per_insert: f64,
+}
+
+/// Everything the experiment produced, ready for printing / JSON.
+pub struct WriteReport {
+    /// Inserts in the traced batch.
+    pub inserts: usize,
+    /// One summary per traced shard count (eviction patterns differ, so
+    /// the I/O profile is per configuration, not global).
+    pub traces: Vec<TraceSummary>,
+    /// The cost model used.
+    pub model: WriteContentionModel,
+    /// One entry per (shards, threads) pair, shards-major.
+    pub rows: Vec<WriteThroughput>,
+}
+
+/// The insert workload: pseudorandom 3-column keys shaped like the
+/// RI-tree's `lowerIndex` entries `(node, lower, id)`.
+fn workload(n: usize) -> Vec<[i64; 3]> {
+    let mut x = 0x0F19_5EEDu64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            [(x % 512) as i64, (x >> 20) as i64 % 100_000, i as i64]
+        })
+        .collect()
+}
+
+/// Runs the insert batch once, single-threaded, recording per-insert
+/// access counts and SMO flags.
+///
+/// The pool is deliberately undersized (64 frames) relative to the tree
+/// the batch builds: an append-heavy index in production outgrows RAM,
+/// and it is exactly the per-insert leaf *misses* — each faulting under
+/// its shard's lock — that writer concurrency must overlap.  With a
+/// fully cached tree the only physical I/O left is the page allocations
+/// of splits, which serialize under the tree latch by design, and the
+/// model would (correctly, but uninterestingly) report that nothing
+/// scales.
+fn trace_inserts(shards: usize, keys: &[[i64; 3]], model: &WriteContentionModel) -> WriteTrace {
+    let env = fresh_env_sharded(64, shards);
+    let tree = BTree::create(Arc::clone(&env.pool), 3).expect("create tree");
+    let stats = env.pool.stats();
+    let latches = env.pool.latches();
+
+    let mut total_work = 0.0f64;
+    let mut smo_work = 0.0f64;
+    let mut smo_count = 0u64;
+    let mut before_shards = stats.per_shard();
+    let mut before_latches = latches.stats();
+    for key in keys {
+        tree.insert(&key[..], key[2] as u64).expect("insert");
+        let after_shards = stats.per_shard();
+        let after_latches = latches.stats();
+        let mut io = IoSnapshot::default();
+        for (a, b) in after_shards.iter().zip(&before_shards) {
+            io.accumulate(&a.since(b));
+        }
+        let work = model.insert_work(&io);
+        total_work += work;
+        if after_latches.since(&before_latches).upgrades > 0 {
+            smo_work += work;
+            smo_count += 1;
+        }
+        before_shards = after_shards;
+        before_latches = after_latches;
+    }
+    let per_shard = stats.per_shard();
+    let phys_total = per_shard.iter().map(IoSnapshot::physical_total).sum();
+    WriteTrace {
+        inserts: keys.len(),
+        total_work,
+        smo_work,
+        smo_count,
+        restarts: latches.stats().restarts,
+        per_shard,
+        phys_total,
+    }
+}
+
+/// Real concurrent writers through raw B+-tree handles: every thread
+/// inserts a disjoint slice; the result must equal the sequentially built
+/// tree entry for entry.
+fn verify_concurrent_btree(keys: &[[i64; 3]], threads: usize) -> f64 {
+    let pool = Arc::new(BufferPool::new(
+        MemDisk::new(DEFAULT_PAGE_SIZE),
+        BufferPoolConfig::sharded(200, 16),
+    ));
+    let tree = BTree::create(Arc::clone(&pool), 3).expect("create tree");
+    let chunk = keys.len().div_ceil(threads);
+    let wall = Instant::now();
+    crossbeam::thread::scope(|s| {
+        for slice in keys.chunks(chunk) {
+            let tree = &tree;
+            s.spawn(move |_| {
+                for key in slice {
+                    tree.insert(&key[..], key[2] as u64).expect("insert");
+                }
+            });
+        }
+    })
+    .expect("no writer panicked");
+    let elapsed = wall.elapsed().as_secs_f64() * 1000.0;
+    tree.check_invariants().expect("invariants after concurrent inserts");
+    let mut expected: Vec<([i64; 3], u64)> = keys.iter().map(|&k| (k, k[2] as u64)).collect();
+    expected.sort();
+    let got: Vec<([i64; 3], u64)> = tree
+        .scan_all()
+        .map(|e| e.expect("scan"))
+        .map(|e| ([e.key.col(0), e.key.col(1), e.key.col(2)], e.payload))
+        .collect();
+    assert_eq!(got, expected, "concurrent insert batch diverged at {threads} threads");
+    elapsed
+}
+
+/// Runs the experiment; when `json_path` is set, also writes the
+/// deterministic snapshot there (the CI artifact).
+pub fn run(quick: bool, json_path: Option<&std::path::Path>) -> WriteReport {
+    section("Figure 19: insert throughput vs writer threads, latch crabbing vs global writer");
+    let n = if quick { 20_000 } else { 100_000 };
+    let keys = workload(n);
+    let model = WriteContentionModel::default();
+
+    let mut rows: Vec<WriteThroughput> = Vec::new();
+    let mut traces: Vec<TraceSummary> = Vec::new();
+    println!("shards,threads,ips_global,ips_crabbing,speedup");
+    for &shards in &SHARD_COUNTS {
+        let trace = trace_inserts(shards, &keys, &model);
+        assert_eq!(trace.restarts, 0, "single-threaded trace cannot restart");
+        traces.push(TraceSummary {
+            shards,
+            smo_fraction: trace.smo_count as f64 / trace.inserts as f64,
+            phys_io_per_insert: trace.phys_total as f64 / trace.inserts as f64,
+        });
+        for &threads in &THREAD_COUNTS {
+            let global = n as f64 / model.makespan_global(&trace);
+            let crabbing = n as f64 / model.makespan_crabbing(&trace, threads);
+            let speedup = crabbing / global;
+            println!("{shards},{threads},{},{},{}", f(global), f(crabbing), f(speedup));
+            rows.push(WriteThroughput {
+                shards,
+                threads,
+                inserts_per_sec_global: global,
+                inserts_per_sec_crabbing: crabbing,
+                speedup,
+            });
+        }
+    }
+
+    // Correctness of the real concurrent write paths (wall-clock numbers
+    // are informational; scaling is unobservable on 1-CPU runners).
+    for &threads in &THREAD_COUNTS {
+        let wall_ms = verify_concurrent_btree(&keys, threads);
+        println!(
+            "# btree: {threads}-thread concurrent batch equals sequential ({} ms)",
+            f(wall_ms)
+        );
+    }
+    verify_ritree_batch(quick);
+
+    println!("# model: the global writer serializes every insert; latch crabbing");
+    println!("# overlaps leaf-disjoint inserts and serializes only splits + counter bumps");
+    let report = WriteReport { inserts: n, traces, model, rows };
+    if let Some(path) = json_path {
+        write_json(&report, path, quick).expect("write bench snapshot");
+        println!("# wrote {}", path.display());
+    }
+    report
+}
+
+/// `RiTree::insert_batch` against per-interval inserts: identical query
+/// answers at every thread count.
+fn verify_ritree_batch(quick: bool) {
+    let n = if quick { 3_000 } else { 20_000 };
+    let data: Vec<(Interval, i64)> = (0..n as i64)
+        .map(|id| {
+            let l = (id * 37) % 40_000;
+            (Interval::new(l, l + 600).unwrap(), id)
+        })
+        .collect();
+    let env = fresh_env_sharded(200, 16);
+    let sequential = RiTree::create(Arc::clone(&env.db), "seq").expect("create");
+    for &(iv, id) in &data {
+        sequential.insert(iv, id).expect("insert");
+    }
+    let queries: Vec<Interval> =
+        (0..16).map(|i| Interval::new(i * 2500, i * 2500 + 900).unwrap()).collect();
+    let answers: Vec<Vec<i64>> =
+        queries.iter().map(|&q| sequential.intersection(q).expect("query")).collect();
+    for &threads in &THREAD_COUNTS {
+        let env = fresh_env_sharded(200, 16);
+        let tree = RiTree::create(Arc::clone(&env.db), "batch").expect("create");
+        let wall = Instant::now();
+        tree.insert_batch(&data, threads).expect("insert_batch");
+        let wall_ms = wall.elapsed().as_secs_f64() * 1000.0;
+        for (q, want) in queries.iter().zip(&answers) {
+            assert_eq!(
+                &tree.intersection(*q).expect("query"),
+                want,
+                "insert_batch diverged at {threads} threads"
+            );
+        }
+        println!("# ritree: insert_batch({threads}) equals sequential inserts ({} ms)", f(wall_ms));
+    }
+}
+
+/// Serializes the deterministic part of the report as JSON (hand-rolled,
+/// like the fig18 snapshot; the workspace is offline and needs no serde).
+fn write_json(report: &WriteReport, path: &std::path::Path, quick: bool) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"fig19_write_concurrency\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(&format!("  \"inserts\": {},\n", report.inserts));
+    out.push_str("  \"traces\": [\n");
+    for (i, t) in report.traces.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"smo_fraction\": {:.5}, \"phys_io_per_insert\": {:.3}}}{}\n",
+            t.shards,
+            t.smo_fraction,
+            t.phys_io_per_insert,
+            if i + 1 == report.traces.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"model\": {\n");
+    out.push_str(&format!(
+        "    \"seconds_per_read\": {},\n    \"seconds_per_write\": {},\n    \"seconds_per_latch\": {},\n    \"seconds_per_access_cpu\": {}\n  }},\n",
+        report.model.base.latency.seconds_per_read,
+        report.model.base.latency.seconds_per_write,
+        report.model.base.seconds_per_latch,
+        report.model.base.seconds_per_access_cpu
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"threads\": {}, \"inserts_per_sec_global\": {:.3}, \"inserts_per_sec_crabbing\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.shards,
+            r.threads,
+            r.inserts_per_sec_global,
+            r.inserts_per_sec_crabbing,
+            r.speedup,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> WriteTrace {
+        let shard = IoSnapshot {
+            logical_reads: 1000,
+            logical_writes: 500,
+            physical_reads: 100,
+            physical_writes: 0,
+        };
+        WriteTrace {
+            inserts: 250,
+            total_work: 2.0,
+            smo_work: 0.05,
+            smo_count: 5,
+            restarts: 0,
+            per_shard: vec![shard; 16],
+            phys_total: 1600,
+        }
+    }
+
+    #[test]
+    fn global_writer_never_scales() {
+        let m = WriteContentionModel::default();
+        let t = toy_trace();
+        assert_eq!(m.makespan_global(&t), m.makespan_global(&t));
+        assert!(
+            (m.makespan_global(&t) - t.total_work).abs() < 1e-12,
+            "the global writer pays the full serial sum"
+        );
+    }
+
+    #[test]
+    fn crabbing_bottoms_out_at_the_binding_floor() {
+        let m = WriteContentionModel::default();
+        let t = toy_trace();
+        let m1 = m.makespan_crabbing(&t, 1);
+        let m64 = m.makespan_crabbing(&t, 64);
+        assert!(m1 >= m64);
+        let shard_floor = m.base.shard_serial_seconds(&t.per_shard[0]);
+        let meta_floor = t.inserts as f64 * m.base.seconds_per_latch;
+        let floor = shard_floor.max(t.smo_work).max(meta_floor);
+        assert!((m64 - floor).abs() < 1e-12, "64 threads bottom out at the binding floor");
+    }
+
+    #[test]
+    fn quick_run_meets_the_scaling_bar() {
+        let report = run(true, None);
+        let row = |shards: usize, threads: usize| {
+            *report
+                .rows
+                .iter()
+                .find(|r| r.shards == shards && r.threads == threads)
+                .expect("configuration measured")
+        };
+        // The acceptance bar: >= 2x the global-writer baseline at 4
+        // writer threads (on the sharded pool; one shard shows how the
+        // pool lock, not the writer path, then binds).
+        assert!(
+            row(16, 4).speedup >= 2.0,
+            "expected >= 2x at 4 threads, got {}",
+            row(16, 4).speedup
+        );
+        assert!(row(16, 8).inserts_per_sec_crabbing >= row(16, 4).inserts_per_sec_crabbing);
+        // The baseline is thread-count-invariant by construction.
+        assert!(
+            (row(16, 1).inserts_per_sec_global - row(16, 8).inserts_per_sec_global).abs() < 1e-9
+        );
+    }
+}

@@ -26,13 +26,18 @@
 //! # Concurrency contract
 //!
 //! A [`BTree`] handle is `Send + Sync` (asserted at compile time below):
-//! any number of threads may *descend and scan* one tree concurrently.
-//! Reads hold no tree-level lock — each page access synchronizes only on
-//! its buffer-pool shard, so concurrent range scans scale with the pool's
-//! lock striping.  Writers must be externally serialized **by the caller**
-//! (one writer, no concurrent readers during a write) — neither this crate
-//! nor the relational layer above takes a write lock, matching the paper's
-//! setting where all locking is delegated to the host RDBMS.
+//! any number of threads may read **and write** one tree concurrently —
+//! the paper delegates locking to the host RDBMS, and since PR 3 this
+//! crate plays that host: writers synchronize through the buffer pool's
+//! latch manager with *optimistic latch crabbing* (shared latches down
+//! the inner nodes, exclusive on the leaf, an epoch-validated upgrade to
+//! the exclusive tree latch for splits and merges — see `tree`'s module
+//! docs and ARCHITECTURE.md).  Readers hold the tree latch shared, so
+//! leaf-only writers overlap them freely while structure modifications
+//! wait.  Two caller-side rules remain: a thread must not write through
+//! a tree while holding one of that tree's scan cursors, and
+//! single-threaded workloads pay no new I/O — the page-access sequence
+//! is bit-for-bit the pre-latching one (`tests/pool_determinism.rs`).
 
 pub mod key;
 pub mod layout;

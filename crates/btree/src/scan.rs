@@ -2,7 +2,7 @@
 
 use crate::key::{Entry, Key};
 use crate::tree::BTree;
-use ri_pagestore::{PageId, Result};
+use ri_pagestore::{LatchGuard, PageId, Result};
 
 /// Iterator over all entries whose key columns lie in `[lo, hi]`
 /// (inclusive, lexicographic).
@@ -10,8 +10,16 @@ use ri_pagestore::{PageId, Result};
 /// The cursor materializes one leaf at a time: the search phase costs
 /// `O(log_b n)` page accesses and the scan phase one access per leaf — the
 /// cost model of the paper's Theorem in Section 4.4.
+///
+/// A live cursor holds the tree latch *shared*, so the structure it walks
+/// cannot be split, merged, or freed underneath it; concurrent leaf-only
+/// writers proceed (each leaf load is copy-atomic).  Consequently the
+/// owning thread must drop the cursor before writing through the same
+/// tree — a structure modification would wait on its own cursor.
 pub struct RangeScan<'t> {
     tree: &'t BTree,
+    /// Shared tree latch pinning the structure for the cursor's lifetime.
+    _latch: LatchGuard<'t>,
     hi: Key,
     state: State,
 }
@@ -29,6 +37,7 @@ impl<'t> RangeScan<'t> {
     pub(crate) fn new(tree: &'t BTree, lo: &[i64], hi: &[i64]) -> RangeScan<'t> {
         assert_eq!(lo.len(), tree.arity(), "lo bound arity mismatch");
         assert_eq!(hi.len(), tree.arity(), "hi bound arity mismatch");
+        let latch = tree.reader_latch();
         let hi = Key::new(hi);
         // Position at the first entry >= (lo, payload 0): payloads are
         // unsigned, so payload 0 sorts before every entry with equal columns.
@@ -38,7 +47,7 @@ impl<'t> RangeScan<'t> {
             Ok(None) => State::Done,
             Err(e) => State::Failed(Some(e)),
         };
-        RangeScan { tree, hi, state }
+        RangeScan { tree, _latch: latch, hi, state }
     }
 
     /// Finds the starting leaf and offset for `target`.

@@ -1,10 +1,36 @@
 //! The B+-tree proper: create/open, insert, delete, bulk load, invariants.
+//!
+//! # Write concurrency: optimistic latch crabbing
+//!
+//! Writers synchronize through the pool's [`ri_pagestore::LatchManager`]
+//! with a two-level protocol (see ARCHITECTURE.md for the full argument):
+//!
+//! 1. **Optimistic path** (the common case): take the *tree latch* shared,
+//!    crab *shared page latches* down the inner nodes (acquire child,
+//!    release parent), take the leaf latch *exclusive*.  If the leaf is
+//!    *safe* — the insert fits, or the delete leaves it non-empty — the
+//!    write is a single in-place leaf store plus an entry-count bump on
+//!    the meta page.  Leaf-disjoint writers proceed fully in parallel.
+//! 2. **Structure modifications** (split, merge, root change): release
+//!    everything, take the tree latch *exclusive*, and — if the tree's
+//!    modification epoch and the leaf's version counter prove the cached
+//!    descent is still exact — replay the seed algorithm from the cached
+//!    path with no repeated page reads.  A concurrent change forces the
+//!    *pessimistic retry*: a fresh descent under exclusive page latches
+//!    that releases all latches above the deepest *safe* node.
+//!
+//! Readers hold the tree latch shared for the duration of a scan and take
+//! no page latches (page accesses are copy-atomic in the pool; structure
+//! cannot change while any shared holder exists).  Single-threaded, the
+//! page-access sequence of every operation is bit-for-bit identical to
+//! the pre-latching implementation — pinned by `tests/pool_determinism.rs`.
 
 use crate::key::Entry;
 use crate::layout::{self, internal_capacity, leaf_capacity, InternalNode, LeafNode, Node};
 use crate::scan::RangeScan;
 use ri_pagestore::codec::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
-use ri_pagestore::{BufferPool, Error, PageId, Result};
+use ri_pagestore::{BufferPool, Error, LatchGuard, LatchManager, PageId, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const META_MAGIC: u32 = 0x5249_4254; // "RIBT"
@@ -49,16 +75,48 @@ pub struct TreeStats {
 /// and [`BTree::open`] re-attaches to it, which is how the relational
 /// catalog persists indexes across database restarts.
 ///
-/// Writers must be externally serialized (one writer at a time, no
-/// concurrent readers during a write); the relational layer above wraps
-/// statements accordingly.  This matches the paper's setting, where all
-/// locking is delegated to the host RDBMS.
+/// Any number of threads may read and write one tree concurrently — even
+/// through *different* handles opened on the same meta page, since all
+/// synchronization state lives in the shared pool's latch manager.  The
+/// one caller-side rule: a thread must not write through a tree while
+/// holding one of that tree's scan cursors (a cursor pins the tree latch
+/// shared; a structure modification would self-deadlock) — the classic
+/// "no DML under an open cursor" contract.
 pub struct BTree {
     pool: Arc<BufferPool>,
     meta_page: PageId,
     arity: usize,
     leaf_cap: usize,
     internal_cap: usize,
+    /// Structure-modification epoch, shared across all handles on this
+    /// meta page via the pool's latch manager.
+    epoch: Arc<AtomicU64>,
+}
+
+/// A write descent's findings: routing path, the target leaf (with its
+/// version-counter handle), and the guard keeping it exclusively latched.
+struct WritePath<'m> {
+    /// Internal pages on the root→leaf path with the routing slot taken.
+    path: Vec<(PageId, usize)>,
+    leaf_page: PageId,
+    leaf: LeafNode,
+    /// The leaf's content version counter and the value seen at read time.
+    leaf_version: Arc<AtomicU64>,
+    leaf_version_seen: u64,
+    leaf_guard: LatchGuard<'m>,
+}
+
+/// What an optimistic descent saw, cached for a latch upgrade: enough to
+/// replay a structure modification without repeating any page read.
+struct Descent {
+    epoch: u64,
+    meta: Meta,
+    /// Internal pages on the root→leaf path with the routing slot taken.
+    path: Vec<(PageId, usize)>,
+    leaf_page: PageId,
+    leaf: LeafNode,
+    /// Leaf version handle and value seen; `None` for the empty tree.
+    leaf_version: Option<(Arc<AtomicU64>, u64)>,
 }
 
 impl BTree {
@@ -95,13 +153,20 @@ impl BTree {
 
     fn attach(pool: Arc<BufferPool>, meta_page: PageId, arity: usize) -> BTree {
         let ps = pool.page_size();
+        let epoch = pool.latches().epoch(meta_page);
         BTree {
             pool,
             meta_page,
             arity,
             leaf_cap: leaf_capacity(ps, arity),
             internal_cap: internal_capacity(ps, arity),
+            epoch,
         }
+    }
+
+    #[inline]
+    fn latches(&self) -> &LatchManager {
+        self.pool.latches()
     }
 
     /// The page id identifying this tree (to be recorded in a catalog).
@@ -223,6 +288,79 @@ impl BTree {
         self.pool.with_page_mut(page, |buf| layout::write_internal(buf, node, arity))
     }
 
+    /// Applies `count += delta` to the meta page in place.  The caller
+    /// must hold either the meta-page latch exclusive (optimistic writers)
+    /// or the tree latch exclusive (structure modifications); the count is
+    /// read from the page rather than from any cached `Meta` because
+    /// concurrent leaf writers bump it without bumping the epoch.
+    fn bump_count(&self, delta: i64) -> Result<()> {
+        self.pool.with_page_mut(self.meta_page, |buf| {
+            let count = get_u64(buf, OFF_COUNT);
+            put_u64(buf, OFF_COUNT, (count as i64 + delta) as u64);
+        })
+    }
+
+    /// Writes every *structural* meta field from `meta` and applies
+    /// `count += delta` from the page's current value, in one page write.
+    /// Caller must hold the tree latch exclusive.  Single-threaded this
+    /// produces byte-identical pages to the seed's full `write_meta`.
+    fn write_meta_smo(&self, meta: &Meta, delta: i64) -> Result<()> {
+        self.pool.with_page_mut(self.meta_page, |buf| {
+            put_u32(buf, OFF_MAGIC, META_MAGIC);
+            buf[OFF_ARITY] = self.arity as u8;
+            put_u16(buf, OFF_HEIGHT, meta.height);
+            put_u64(buf, OFF_ROOT, meta.root.raw());
+            let count = get_u64(buf, OFF_COUNT);
+            put_u64(buf, OFF_COUNT, (count as i64 + delta) as u64);
+            put_u64(buf, OFF_FREE, meta.free_head.raw());
+            put_u64(buf, OFF_FIRST_LEAF, meta.first_leaf.raw());
+            put_u64(buf, OFF_PAGES, meta.pages);
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic descent (shared crabbing, exclusive leaf)
+    // ------------------------------------------------------------------
+
+    /// Descends to the leaf responsible for `target`, crabbing shared page
+    /// latches down the inner nodes and taking the leaf latch exclusive.
+    /// Returns the routing path, the latched leaf, and its guard; the
+    /// caller must hold the tree latch (shared) for the whole call.
+    fn descend_for_write(&self, meta: &Meta, target: &Entry) -> Result<WritePath<'_>> {
+        let mut page = meta.root;
+        let mut guard = if meta.height == 1 {
+            self.latches().page_exclusive(page)
+        } else {
+            self.latches().page_shared(page)
+        };
+        let mut path = Vec::with_capacity(meta.height as usize);
+        for level in (2..=meta.height).rev() {
+            let node = self.read_internal(page)?;
+            let slot = node.route(target);
+            let child = node.child_at(slot);
+            // Crab: latch the child before releasing the parent (the
+            // assignment drops the parent guard).
+            guard = if level == 2 {
+                self.latches().page_exclusive(child)
+            } else {
+                self.latches().page_shared(child)
+            };
+            path.push((page, slot));
+            page = child;
+        }
+        let leaf_version = self.latches().page_version(page);
+        let leaf_version_seen = leaf_version.load(Ordering::Acquire);
+        let leaf = self.read_leaf(page)?;
+        Ok(WritePath {
+            path,
+            leaf_page: page,
+            leaf,
+            leaf_version,
+            leaf_version_seen,
+            leaf_guard: guard,
+        })
+    }
+
     // ------------------------------------------------------------------
     // Insert
     // ------------------------------------------------------------------
@@ -231,93 +369,191 @@ impl BTree {
     ///
     /// Duplicate `(cols, payload)` pairs are permitted (the tree is a
     /// multiset, as a relational index over a multiset table must be).
+    ///
+    /// Concurrency: leaf-only inserts run under the shared tree latch and
+    /// an exclusive leaf latch; an insert that must split upgrades to the
+    /// exclusive tree latch (see the module docs).
     pub fn insert(&self, cols: &[i64], payload: u64) -> Result<()> {
         self.check_arity(cols)?;
         let entry = Entry::new(cols, payload);
-        let mut meta = self.read_meta()?;
+        let descent = {
+            let _tree = self.latches().tree_shared(self.meta_page);
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let meta = self.read_meta()?;
+            if meta.root.is_invalid() {
+                Descent {
+                    epoch,
+                    meta,
+                    path: Vec::new(),
+                    leaf_page: PageId::INVALID,
+                    leaf: LeafNode::empty(),
+                    leaf_version: None,
+                }
+            } else {
+                let mut wp = self.descend_for_write(&meta, &entry)?;
+                if wp.leaf.entries.len() < self.leaf_cap {
+                    // Safe leaf: the whole insert is one latched in-place
+                    // store plus a count bump.  This is the parallel path.
+                    let pos = wp.leaf.entries.partition_point(|e| e < &entry);
+                    wp.leaf.entries.insert(pos, entry);
+                    self.store_leaf(wp.leaf_page, &wp.leaf)?;
+                    wp.leaf_version.fetch_add(1, Ordering::Release);
+                    drop(wp.leaf_guard);
+                    let _meta_latch = self.latches().page_exclusive(self.meta_page);
+                    return self.bump_count(1);
+                }
+                Descent {
+                    epoch,
+                    meta,
+                    path: wp.path,
+                    leaf_page: wp.leaf_page,
+                    leaf: wp.leaf,
+                    leaf_version: Some((wp.leaf_version, wp.leaf_version_seen)),
+                }
+            }
+        };
+        // The leaf must split (or the tree is empty): upgrade.  All
+        // latches are released before the exclusive acquisition — holding
+        // the leaf latch across it would deadlock against a writer that
+        // holds the tree latch shared and wants this leaf.
+        self.latches().record_upgrade();
+        let _tree = self.latches().tree_exclusive(self.meta_page);
+        if self.descent_still_valid(&descent) {
+            self.insert_smo(entry, descent.meta, &descent.path, descent.leaf_page, descent.leaf)?;
+        } else {
+            // A concurrent writer changed the structure or the leaf while
+            // we were between latches: pessimistic retry from the root.
+            self.latches().record_restart();
+            self.insert_pessimistic(entry)?;
+        }
+        self.epoch.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// `true` when a cached descent can be replayed verbatim: no structure
+    /// modification happened since (epoch) and the target leaf's content
+    /// was not touched by a concurrent leaf-only writer (version).
+    fn descent_still_valid(&self, d: &Descent) -> bool {
+        self.epoch.load(Ordering::Acquire) == d.epoch
+            && d.leaf_version
+                .as_ref()
+                .is_none_or(|(handle, seen)| handle.load(Ordering::Acquire) == *seen)
+    }
+
+    /// Pessimistic insert under the exclusive tree latch: re-descend with
+    /// exclusive page latches, releasing every latch above the deepest
+    /// *insert-safe* node (one whose separator array still has room), then
+    /// run the same structure-modification code.
+    ///
+    /// Today the exclusive tree latch makes these page latches
+    /// uncontended by construction; they exist because they are the part
+    /// of the protocol that becomes load-bearing the day the tree latch
+    /// is relaxed (B-link-style SMOs, see ROADMAP), and keeping the
+    /// retry path honest about its latch footprint costs microseconds on
+    /// a path that is already a restart.
+    fn insert_pessimistic(&self, entry: Entry) -> Result<()> {
+        let meta = self.read_meta()?;
+        if meta.root.is_invalid() {
+            return self.insert_smo(entry, meta, &[], PageId::INVALID, LeafNode::empty());
+        }
+        let mut held: Vec<LatchGuard<'_>> = Vec::new();
+        let mut path = Vec::with_capacity(meta.height as usize);
+        let mut page = meta.root;
+        for _ in 2..=meta.height {
+            held.push(self.latches().page_exclusive(page));
+            let node = self.read_internal(page)?;
+            if node.entries.len() < self.internal_cap {
+                // Safe node: a child split is absorbed here, so no
+                // ancestor can be touched — release their latches.
+                held.drain(..held.len() - 1);
+            }
+            let slot = node.route(&entry);
+            path.push((page, slot));
+            page = node.child_at(slot);
+        }
+        held.push(self.latches().page_exclusive(page));
+        let leaf = self.read_leaf(page)?;
+        self.insert_smo(entry, meta, &path, page, leaf)
+    }
+
+    /// The structural insert, shared by the epoch-validated replay and the
+    /// pessimistic retry.  Caller holds the tree latch exclusive; `meta`,
+    /// `path` and `leaf` come from a descent that is known exact, so no
+    /// page is read twice — the page-access sequence is the seed
+    /// algorithm's, bit for bit.
+    fn insert_smo(
+        &self,
+        entry: Entry,
+        mut meta: Meta,
+        path: &[(PageId, usize)],
+        leaf_page: PageId,
+        mut leaf: LeafNode,
+    ) -> Result<()> {
         if meta.root.is_invalid() {
             let root = self.alloc_page(&mut meta)?;
-            let leaf = LeafNode { entries: vec![entry], ..LeafNode::empty() };
-            self.store_leaf(root, &leaf)?;
+            let node = LeafNode { entries: vec![entry], ..LeafNode::empty() };
+            self.store_leaf(root, &node)?;
             meta.root = root;
             meta.first_leaf = root;
             meta.height = 1;
-            meta.count = 1;
-            return self.write_meta(&meta);
+            return self.write_meta_smo(&meta, 1);
         }
-        let (root, height) = (meta.root, meta.height);
-        let split = self.insert_rec(&mut meta, root, height, entry)?;
-        if let Some((sep, right)) = split {
-            let new_root = self.alloc_page(&mut meta)?;
-            let node = InternalNode { child0: meta.root, entries: vec![(sep, right)] };
-            self.store_internal(new_root, &node)?;
-            meta.root = new_root;
-            meta.height += 1;
+        let pos = leaf.entries.partition_point(|e| e < &entry);
+        leaf.entries.insert(pos, entry);
+        if leaf.entries.len() <= self.leaf_cap {
+            // Only reachable from the pessimistic retry: a concurrent
+            // split made room while we were between latches.
+            self.store_leaf(leaf_page, &leaf)?;
+            return self.write_meta_smo(&meta, 1);
         }
-        meta.count += 1;
-        self.write_meta(&meta)
-    }
-
-    /// Recursive insert; returns the `(separator, new right sibling)` pair
-    /// when the visited node split.
-    fn insert_rec(
-        &self,
-        meta: &mut Meta,
-        page: PageId,
-        level: u16,
-        entry: Entry,
-    ) -> Result<Option<(Entry, PageId)>> {
-        if level == 1 {
-            let mut leaf = self.read_leaf(page)?;
-            let pos = leaf.entries.partition_point(|e| e < &entry);
-            leaf.entries.insert(pos, entry);
-            if leaf.entries.len() <= self.leaf_cap {
-                self.store_leaf(page, &leaf)?;
-                return Ok(None);
-            }
-            // Split: right sibling takes the upper half.
-            let mid = leaf.entries.len() / 2;
-            let right_entries = leaf.entries.split_off(mid);
-            let right_page = self.alloc_page(meta)?;
-            let right = LeafNode { entries: right_entries, next: leaf.next, prev: page };
-            let old_next = leaf.next;
-            leaf.next = right_page;
-            let sep = right.entries[0];
-            self.store_leaf(page, &leaf)?;
-            self.store_leaf(right_page, &right)?;
-            if !old_next.is_invalid() {
-                let mut nn = self.read_leaf(old_next)?;
-                nn.prev = right_page;
-                self.store_leaf(old_next, &nn)?;
-            }
-            Ok(Some((sep, right_page)))
-        } else {
-            let node = self.read_internal(page)?;
-            let slot = node.route(&entry);
-            let child = node.child_at(slot);
-            let Some((sep, new_child)) = self.insert_rec(meta, child, level - 1, entry)? else {
-                return Ok(None);
-            };
-            // Re-read: recursion may not touch this page, but staying
-            // disciplined about read-modify-write windows keeps the code
-            // obviously correct if that ever changes.
+        // Leaf split: right sibling takes the upper half.
+        let mid = leaf.entries.len() / 2;
+        let right_entries = leaf.entries.split_off(mid);
+        let right_page = self.alloc_page(&mut meta)?;
+        let right = LeafNode { entries: right_entries, next: leaf.next, prev: leaf_page };
+        let old_next = leaf.next;
+        leaf.next = right_page;
+        let mut sep = right.entries[0];
+        self.store_leaf(leaf_page, &leaf)?;
+        self.store_leaf(right_page, &right)?;
+        if !old_next.is_invalid() {
+            let mut nn = self.read_leaf(old_next)?;
+            nn.prev = right_page;
+            self.store_leaf(old_next, &nn)?;
+        }
+        // Propagate the separator up the cached path, splitting internal
+        // nodes as needed.  Each parent is re-read here — the same
+        // "second read" the seed's recursive unwinding performed.
+        let mut right_child = right_page;
+        let mut pending = true;
+        for &(page, _) in path.iter().rev() {
             let mut node = self.read_internal(page)?;
             let pos = node.entries.partition_point(|(s, _)| s < &sep);
-            node.entries.insert(pos, (sep, new_child));
+            node.entries.insert(pos, (sep, right_child));
             if node.entries.len() <= self.internal_cap {
                 self.store_internal(page, &node)?;
-                return Ok(None);
+                pending = false;
+                break;
             }
             // Split: promote the middle separator.
             let mid = node.entries.len() / 2;
             let mut upper = node.entries.split_off(mid);
             let (promoted, promoted_child) = upper.remove(0);
-            let right_page = self.alloc_page(meta)?;
-            let right = InternalNode { child0: promoted_child, entries: upper };
+            let new_right = self.alloc_page(&mut meta)?;
+            let rnode = InternalNode { child0: promoted_child, entries: upper };
             self.store_internal(page, &node)?;
-            self.store_internal(right_page, &right)?;
-            Ok(Some((promoted, right_page)))
+            self.store_internal(new_right, &rnode)?;
+            sep = promoted;
+            right_child = new_right;
         }
+        if pending {
+            let new_root = self.alloc_page(&mut meta)?;
+            let node = InternalNode { child0: meta.root, entries: vec![(sep, right_child)] };
+            self.store_internal(new_root, &node)?;
+            meta.root = new_root;
+            meta.height += 1;
+        }
+        self.write_meta_smo(&meta, 1)
     }
 
     // ------------------------------------------------------------------
@@ -330,39 +566,117 @@ impl BTree {
     /// rebalanced (the common production trade-off, cf. PostgreSQL): pages
     /// are reclaimed only once empty, which preserves all search invariants
     /// and keeps deletion logarithmic.
+    ///
+    /// Concurrency mirrors [`BTree::insert`]: a delete that leaves its
+    /// leaf non-empty (or empties the root leaf) runs under the shared
+    /// tree latch; one that empties a non-root leaf upgrades to the
+    /// exclusive tree latch to unlink and free pages.
     pub fn delete(&self, cols: &[i64], payload: u64) -> Result<bool> {
         self.check_arity(cols)?;
         let target = Entry::new(cols, payload);
-        let mut meta = self.read_meta()?;
+        let (descent, pos) = {
+            let _tree = self.latches().tree_shared(self.meta_page);
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let meta = self.read_meta()?;
+            if meta.root.is_invalid() {
+                return Ok(false);
+            }
+            let mut wp = self.descend_for_write(&meta, &target)?;
+            let Ok(pos) = wp.leaf.entries.binary_search(&target) else {
+                return Ok(false);
+            };
+            if wp.leaf.entries.len() > 1 || wp.path.is_empty() {
+                // Non-empty leaf after removal, or the leaf *is* the root
+                // (an empty root leaf is legal): one in-place store.
+                wp.leaf.entries.remove(pos);
+                self.store_leaf(wp.leaf_page, &wp.leaf)?;
+                wp.leaf_version.fetch_add(1, Ordering::Release);
+                drop(wp.leaf_guard);
+                let _meta_latch = self.latches().page_exclusive(self.meta_page);
+                self.bump_count(-1)?;
+                return Ok(true);
+            }
+            (
+                Descent {
+                    epoch,
+                    meta,
+                    path: wp.path,
+                    leaf_page: wp.leaf_page,
+                    leaf: wp.leaf,
+                    leaf_version: Some((wp.leaf_version, wp.leaf_version_seen)),
+                },
+                pos,
+            )
+        };
+        // The leaf empties: the page must be unlinked and freed — upgrade.
+        self.latches().record_upgrade();
+        let _tree = self.latches().tree_exclusive(self.meta_page);
+        let deleted = if self.descent_still_valid(&descent) {
+            self.delete_smo(descent.meta, descent.path, descent.leaf_page, descent.leaf, pos)?;
+            true
+        } else {
+            self.latches().record_restart();
+            self.delete_pessimistic(&target)?
+        };
+        self.epoch.fetch_add(1, Ordering::Release);
+        Ok(deleted)
+    }
+
+    /// Pessimistic delete under the exclusive tree latch: fresh descent
+    /// with exclusive page latches, releasing every latch above the
+    /// deepest *delete-safe* node (one that keeps ≥ 1 separator after a
+    /// child removal, so no cascade can pass it).
+    fn delete_pessimistic(&self, target: &Entry) -> Result<bool> {
+        let meta = self.read_meta()?;
         if meta.root.is_invalid() {
             return Ok(false);
         }
-        // Descend, recording (page, routing slot) for each internal level.
-        let mut path: Vec<(PageId, usize)> = Vec::with_capacity(meta.height as usize);
+        let mut held: Vec<LatchGuard<'_>> = Vec::new();
+        let mut path = Vec::with_capacity(meta.height as usize);
         let mut page = meta.root;
         for _ in 2..=meta.height {
+            held.push(self.latches().page_exclusive(page));
             let node = self.read_internal(page)?;
-            let slot = node.route(&target);
+            if !node.entries.is_empty() {
+                held.drain(..held.len() - 1);
+            }
+            let slot = node.route(target);
             path.push((page, slot));
             page = node.child_at(slot);
         }
+        held.push(self.latches().page_exclusive(page));
         let mut leaf = self.read_leaf(page)?;
-        let Ok(pos) = leaf.entries.binary_search(&target) else {
+        let Ok(pos) = leaf.entries.binary_search(target) else {
             return Ok(false);
         };
-        leaf.entries.remove(pos);
-        if !leaf.entries.is_empty() || path.is_empty() {
-            // Non-empty leaf, or the leaf *is* the root (an empty root leaf
-            // is legal and keeps the metadata simple).
+        if leaf.entries.len() > 1 || path.is_empty() {
+            leaf.entries.remove(pos);
             self.store_leaf(page, &leaf)?;
-        } else {
-            self.unlink_leaf(&mut meta, page, &leaf)?;
-            self.remove_child_upwards(&mut meta, &mut path)?;
-            self.collapse_root(&mut meta)?;
+            self.bump_count(-1)?;
+            return Ok(true);
         }
-        meta.count -= 1;
-        self.write_meta(&meta)?;
+        self.delete_smo(meta, path, page, leaf, pos)?;
         Ok(true)
+    }
+
+    /// The structural delete (leaf empties): unlink from the leaf chain,
+    /// free the page, cascade the child removal upward, collapse the root.
+    /// Caller holds the tree latch exclusive; the page-access sequence is
+    /// the seed algorithm's, bit for bit.
+    fn delete_smo(
+        &self,
+        mut meta: Meta,
+        mut path: Vec<(PageId, usize)>,
+        leaf_page: PageId,
+        mut leaf: LeafNode,
+        pos: usize,
+    ) -> Result<()> {
+        leaf.entries.remove(pos);
+        debug_assert!(leaf.entries.is_empty() && !path.is_empty());
+        self.unlink_leaf(&mut meta, leaf_page, &leaf)?;
+        self.remove_child_upwards(&mut meta, &mut path)?;
+        self.collapse_root(&mut meta)?;
+        self.write_meta_smo(&meta, -1)
     }
 
     /// Unlinks an emptied leaf from the leaf chain and frees its page.
@@ -435,6 +749,10 @@ impl BTree {
     pub fn contains(&self, cols: &[i64], payload: u64) -> Result<bool> {
         self.check_arity(cols)?;
         let target = Entry::new(cols, payload);
+        // Readers pin the structure with the shared tree latch and take no
+        // page latches: page accesses are copy-atomic in the pool, and no
+        // split/merge/free can run while any shared holder exists.
+        let _tree = self.latches().tree_shared(self.meta_page);
         let meta = self.read_meta()?;
         if meta.root.is_invalid() {
             return Ok(false);
@@ -464,8 +782,16 @@ impl BTree {
         RangeScan::new(self, &lo, &hi)
     }
 
+    /// Acquires the shared tree latch for a reader; scan cursors hold the
+    /// returned guard for their whole lifetime so the structure they walk
+    /// cannot be modified underneath them.
+    pub(crate) fn reader_latch(&self) -> LatchGuard<'_> {
+        self.latches().tree_shared(self.meta_page)
+    }
+
     /// Locates the leaf that must contain the first entry `>= target`,
-    /// returning its page id.  Used by the scan cursor.
+    /// returning its page id.  Used by the scan cursor, which holds the
+    /// [`BTree::reader_latch`] across this call and all leaf loads.
     pub(crate) fn descend_to_leaf(&self, target: &Entry) -> Result<Option<PageId>> {
         let meta = self.read_meta()?;
         if meta.root.is_invalid() {
@@ -515,6 +841,12 @@ impl BTree {
             return Err(Error::InvalidArgument(format!("fill factor {fill} not in (0, 1]")));
         }
         let tree = BTree::create(pool, arity)?;
+        // The whole build is one big structure modification.  The guard
+        // borrows a pool handle rather than `tree` so the finished tree
+        // can be moved out while the latch is still held.
+        let pool_handle = Arc::clone(&tree.pool);
+        let _tree_latch = pool_handle.latches().tree_exclusive(tree.meta_page);
+        tree.epoch.fetch_add(1, Ordering::Release);
         let mut meta = tree.read_meta()?;
         let leaf_target = ((tree.leaf_cap as f64 * fill).floor() as usize).clamp(1, tree.leaf_cap);
 
@@ -615,6 +947,7 @@ impl BTree {
     /// chain consistency (forward and backward), capacity limits, and the
     /// metadata entry count.
     pub fn check_invariants(&self) -> Result<()> {
+        let _tree = self.latches().tree_shared(self.meta_page);
         let meta = self.read_meta()?;
         if meta.root.is_invalid() {
             if meta.count != 0 || meta.height != 0 || !meta.first_leaf.is_invalid() {

@@ -92,6 +92,64 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// PR 3 satellite: after any *concurrent* batch, the structural
+    /// invariants hold and `entry_count` equals the oracle's cardinality.
+    /// Each worker owns a disjoint payload space and deletes only its own
+    /// earlier inserts, so every interleaving nets the same entry set.
+    #[test]
+    fn concurrent_batches_preserve_invariants(per_thread in prop::collection::vec(
+        prop::collection::vec((-20i64..20, -20i64..20, 0u64..3), 4..40),
+        2..5,
+    )) {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(128),
+            BufferPoolConfig::sharded(8, 2),
+        ));
+        let tree = BTree::create(Arc::clone(&pool), 2).unwrap();
+        // Worker t turns its triples into inserts with unique payloads,
+        // deleting every third one again.
+        let scripts: Vec<Vec<(i64, i64, u64, bool)>> = per_thread
+            .iter()
+            .enumerate()
+            .map(|(t, keys)| {
+                keys.iter()
+                    .enumerate()
+                    .map(|(i, &(a, b, _))| {
+                        (a, b, (t as u64) * 100_000 + i as u64, i % 3 == 2)
+                    })
+                    .collect()
+            })
+            .collect();
+        crossbeam::thread::scope(|s| {
+            for script in &scripts {
+                let tree = &tree;
+                s.spawn(move |_| {
+                    for &(a, b, p, delete_again) in script {
+                        tree.insert(&[a, b], p).unwrap();
+                        if delete_again {
+                            assert!(tree.delete(&[a, b], p).unwrap());
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let oracle: BTreeSet<(i64, i64, u64)> = scripts
+            .iter()
+            .flatten()
+            .filter(|&&(_, _, _, deleted)| !deleted)
+            .map(|&(a, b, p, _)| (a, b, p))
+            .collect();
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.entry_count().unwrap(), oracle.len() as u64);
+        let got: Vec<(i64, i64, u64)> = tree
+            .scan_all()
+            .map(|r| r.unwrap())
+            .map(|e| (e.key.col(0), e.key.col(1), e.payload))
+            .collect();
+        prop_assert_eq!(got, oracle.into_iter().collect::<Vec<_>>());
+    }
+
     #[test]
     fn contains_agrees_with_scan(keys in prop::collection::vec(-100i64..100, 0..200), probe in -110i64..110) {
         let pool = Arc::new(BufferPool::new(MemDisk::new(256), BufferPoolConfig::with_capacity(8)));

@@ -297,6 +297,7 @@ impl RiTree {
     }
 
     fn bump_counter(&self, key: &str, delta: i64) -> Result<()> {
+        let _guard = self.db.param_guard();
         let k = self.param(key);
         let v = self.db.get_param(&k).unwrap_or(0) + delta;
         self.db.set_param(&k, v)
@@ -324,12 +325,28 @@ impl RiTree {
         }
         let mut p = self.load_params()?;
         let before = p;
-        let node = p.prepare_insert(iv.lower, iv.upper);
+        let mut node = p.prepare_insert(iv.lower, iv.upper);
         if p != before {
-            self.save_params(&p)?;
+            // The backbone must grow (or fix its offset): redo the
+            // decision under the parameter latch, since a concurrent
+            // writer may have expanded the space first.  Fork nodes are
+            // stable under data-space expansion, so a node computed
+            // against the freshest parameters stays correct even if the
+            // space grows again the moment the latch drops.
+            let _guard = self.db.param_guard();
+            let mut p = self.load_params()?;
+            let before = p;
+            node = p.prepare_insert(iv.lower, iv.upper);
+            if p != before {
+                self.save_params(&p)?;
+            }
         }
         self.table.insert(&[node, iv.lower, iv.upper, id])?;
         if let Some(dir) = &self.skeleton {
+            // The directory's check-then-insert (and the symmetric
+            // retire in `delete_exact`) must not interleave, or a query
+            // could prune a node that just became non-empty.
+            let _guard = self.db.param_guard();
             dir.add(node)?;
         }
         self.track_bounds(iv.lower, Some(iv.upper))
@@ -337,18 +354,95 @@ impl RiTree {
 
     /// Maintains the `min_lower` / `max_upper` dictionary entries used by
     /// the one-sided Allen queries (*before* / *after*).
+    ///
+    /// Check-latch-recheck: the unlatched test keeps the common
+    /// no-improvement case latch-free, the latched retest makes the
+    /// read-modify-write atomic against concurrent writers.
     fn track_bounds(&self, lower: i64, upper: Option<i64>) -> Result<()> {
         let kl = self.param("min_lower");
         if self.db.get_param(&kl).is_none_or(|v| lower < v) {
-            self.db.set_param(&kl, lower)?;
+            let _guard = self.db.param_guard();
+            if self.db.get_param(&kl).is_none_or(|v| lower < v) {
+                self.db.set_param(&kl, lower)?;
+            }
         }
         if let Some(u) = upper {
             let ku = self.param("max_upper");
             if self.db.get_param(&ku).is_none_or(|v| u > v) {
-                self.db.set_param(&ku, u)?;
+                let _guard = self.db.param_guard();
+                if self.db.get_param(&ku).is_none_or(|v| u > v) {
+                    self.db.set_param(&ku, u)?;
+                }
             }
         }
         Ok(())
+    }
+
+    /// Inserts a batch of `(interval, id)` pairs, fanning the row and
+    /// index work out over at most `threads` worker threads.
+    ///
+    /// Equivalent to calling [`RiTree::insert`] once per pair — queries
+    /// return the same ids — except that heap row *order* (and therefore
+    /// the internal row ids) follows the scheduler under concurrency.
+    ///
+    /// The backbone parameters are computed for the whole batch up front
+    /// under the parameter latch, exactly like [`RiTree::bulk_load`]:
+    /// fork nodes are stable under data-space expansion, so evaluating
+    /// every interval against the *final* parameters yields the same
+    /// nodes incremental insertion would have produced.  The per-row
+    /// inserts then scale through the heap's append latch and the
+    /// B+-trees' optimistic latch crabbing; with `threads <= 1` the rows
+    /// are inserted sequentially in input order.
+    pub fn insert_batch(&self, items: &[(Interval, i64)], threads: usize) -> Result<()> {
+        for &(iv, _) in items {
+            if iv.upper >= UPPER_NOW {
+                return Err(Error::InvalidArgument(format!(
+                    "upper bound {} collides with the temporal sentinels",
+                    iv.upper
+                )));
+            }
+        }
+        if items.is_empty() {
+            return Ok(());
+        }
+        // Phase 1: backbone parameters, once for the whole batch.
+        let forks: Vec<i64> = {
+            let _guard = self.db.param_guard();
+            let mut p = self.load_params()?;
+            let before = p;
+            for &(iv, _) in items {
+                p.prepare_insert(iv.lower, iv.upper);
+            }
+            if p != before {
+                self.save_params(&p)?;
+            }
+            items
+                .iter()
+                .map(|&(iv, _)| p.fork_of(iv.lower, iv.upper).expect("offset fixed in phase 1"))
+                .collect()
+        };
+        // Phase 2: rows and index entries, concurrently.
+        let rows: Vec<[i64; 4]> = items
+            .iter()
+            .zip(&forks)
+            .map(|(&(iv, id), &node)| [node, iv.lower, iv.upper, id])
+            .collect();
+        ri_relstore::fan_out(&rows, threads, |row| self.table.insert(row).map(|_| ()))
+            .into_iter()
+            .collect::<Result<()>>()?;
+        // Phase 3: skeleton directory and bound bookkeeping, once.
+        if let Some(dir) = &self.skeleton {
+            let _guard = self.db.param_guard();
+            let mut nodes = forks;
+            nodes.sort_unstable();
+            nodes.dedup();
+            for node in nodes {
+                dir.add(node)?;
+            }
+        }
+        let min_lower = items.iter().map(|&(iv, _)| iv.lower).min().expect("non-empty batch");
+        let max_upper = items.iter().map(|&(iv, _)| iv.upper).max().expect("non-empty batch");
+        self.track_bounds(min_lower, Some(max_upper))
     }
 
     /// Inserts an open-ended temporal interval `[lower, now]` or
@@ -396,22 +490,33 @@ impl RiTree {
     fn delete_exact(&self, node: i64, lower: i64, upper: Option<i64>, id: i64) -> Result<bool> {
         let index = self.table.index(&self.lower_index)?;
         let key = [node, lower, id];
-        let mut deleted = false;
-        for entry in index.scan_range(&key, &key) {
-            let entry = entry?;
-            let rid = RowId::from_raw(entry.payload);
-            let Some(row) = self.table.fetch(rid)? else {
-                continue;
-            };
-            if upper.is_none_or(|u| row[2] == u) {
-                deleted = self.table.delete(rid)?;
-                break;
+        // Locate the victim first and let the scan cursor drop *before*
+        // deleting: a live cursor pins the index's tree latch shared, and
+        // a delete that empties a leaf needs it exclusive.
+        let target = {
+            let mut found = None;
+            for entry in index.scan_range(&key, &key) {
+                let entry = entry?;
+                let rid = RowId::from_raw(entry.payload);
+                let Some(row) = self.table.fetch(rid)? else {
+                    continue;
+                };
+                if upper.is_none_or(|u| row[2] == u) {
+                    found = Some(rid);
+                    break;
+                }
             }
-        }
+            found
+        };
+        let deleted = match target {
+            Some(rid) => self.table.delete(rid)?,
+            None => false,
+        };
         if deleted {
             if let Some(dir) = &self.skeleton {
                 // If the node just lost its last interval, retire it from
-                // the directory.
+                // the directory (atomically against concurrent adds).
+                let _guard = self.db.param_guard();
                 let index = self.table.index(&self.lower_index)?;
                 let still_used = index
                     .scan_range(&[node, i64::MIN, i64::MIN], &[node, i64::MAX, i64::MAX])
@@ -671,12 +776,12 @@ impl RiTree {
     /// batch over at most `threads` worker threads via
     /// [`Database::execute_parallel`].
     ///
-    /// Results are returned in query order and are identical to calling
-    /// [`RiTree::intersection`] once per query: plan compilation is
-    /// deterministic, the executor reads a frozen tree, and the buffer
-    /// pool's lock striping makes concurrent descents safe.  Writers must
-    /// not run during the batch (the usual readers-scale/writers-serialize
-    /// contract).
+    /// Results are returned in query order and, on a quiescent tree, are
+    /// identical to calling [`RiTree::intersection`] once per query: plan
+    /// compilation is deterministic and the buffer pool's lock striping
+    /// makes concurrent descents safe.  Concurrent writers are *safe*
+    /// (the B+-trees latch internally since PR 3) but make results
+    /// schedule-dependent, as with any query racing DML.
     pub fn intersection_batch(
         &self,
         queries: &[Interval],
@@ -839,6 +944,48 @@ mod tests {
                 singles,
                 "batch at {threads} threads diverged from single queries"
             );
+        }
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        let mk = |shards| {
+            let pool = Arc::new(BufferPool::new(
+                MemDisk::new(DEFAULT_PAGE_SIZE),
+                BufferPoolConfig::sharded(256, shards),
+            ));
+            let db = Arc::new(Database::create(pool).unwrap());
+            RiTree::create(db, "t").unwrap()
+        };
+        let data: Vec<(Interval, i64)> = (0..2000i64)
+            .map(|id| {
+                let l = (id * 131) % 50_000 - 10_000;
+                (Interval::new(l, l + 400 + (id % 37) * 11).unwrap(), id)
+            })
+            .collect();
+        let sequential = mk(1);
+        for &(iv, id) in &data {
+            sequential.insert(iv, id).unwrap();
+        }
+        for threads in [1, 4] {
+            let batched = mk(4);
+            batched.insert_batch(&data, threads).unwrap();
+            assert_eq!(batched.count().unwrap(), sequential.count().unwrap());
+            assert_eq!(batched.load_params().unwrap(), sequential.load_params().unwrap());
+            assert_eq!(batched.min_lower(), sequential.min_lower());
+            assert_eq!(batched.max_upper(), sequential.max_upper());
+            for q in [(-12_000i64, 60_000i64), (0, 500), (25_000, 25_100), (49_999, 49_999)] {
+                let q = Interval::new(q.0, q.1).unwrap();
+                assert_eq!(
+                    batched.intersection(q).unwrap(),
+                    sequential.intersection(q).unwrap(),
+                    "{q} at {threads} threads"
+                );
+            }
+            // Batched trees support deletes like any other.
+            let (iv, id) = data[777];
+            assert!(batched.delete(iv, id).unwrap());
+            assert!(!batched.delete(iv, id).unwrap());
         }
     }
 

@@ -39,6 +39,7 @@
 
 use crate::disk::DiskManager;
 use crate::error::Result;
+use crate::latch::LatchManager;
 use crate::page::PageId;
 use crate::stats::{IoStats, PoolStats};
 use parking_lot::Mutex;
@@ -140,6 +141,7 @@ pub struct BufferPool {
     /// `shards.len() - 1`; shard routing is `page & mask` (power of two).
     mask: u64,
     stats: PoolStats,
+    latches: LatchManager,
     page_size: usize,
     capacity: usize,
 }
@@ -188,6 +190,7 @@ impl BufferPool {
             mask: shards.len() as u64 - 1,
             shards,
             stats,
+            latches: LatchManager::default(),
             page_size,
             capacity: config.capacity,
         }
@@ -221,6 +224,14 @@ impl BufferPool {
     /// Aggregating handle over this pool's per-shard I/O counters.
     pub fn stats(&self) -> PoolStats {
         self.stats.clone()
+    }
+
+    /// The pool's latch manager: logical per-page latches (valid across
+    /// evictions) used by the B+-tree's latch-crabbing write path and the
+    /// heap's append path.  Latch traffic never touches pages, so it is
+    /// invisible to [`BufferPool::stats`].
+    pub fn latches(&self) -> &LatchManager {
+        &self.latches
     }
 
     /// Number of pages allocated on the underlying device.

@@ -1,0 +1,406 @@
+//! Page latches: the short-term locks that let writers share a tree.
+//!
+//! The paper delegates all concurrency control to the host RDBMS; this
+//! module is the reproduction's equivalent of that host-provided latch
+//! manager.  It hands out **logical latches keyed by page id** — they
+//! protect the *logical page*, not a buffer frame, so they remain valid
+//! across evictions — plus two pieces of in-memory bookkeeping the
+//! B+-tree's optimistic write protocol needs:
+//!
+//! * a **structure-modification epoch** per tree (keyed by the tree's meta
+//!   page): bumped after every split/merge/root change, it lets a writer
+//!   that released its latches to upgrade detect whether the structure it
+//!   descended through is still exactly the one it saw;
+//! * a **version counter** per page: bumped on every in-place leaf store,
+//!   it lets the same upgrading writer detect concurrent *content* changes
+//!   to its target leaf that the epoch (which only tracks structure) would
+//!   miss.
+//!
+//! Latches are deliberately **not** tied to buffer-pool I/O: acquiring or
+//! releasing one never touches a page, so the single-threaded page-access
+//! sequence of every operation is bit-for-bit identical to the unlatched
+//! seed implementation — the property `tests/pool_determinism.rs` pins.
+//!
+//! # Modes and policy
+//!
+//! Latches are shared/exclusive with **reader preference**: a shared
+//! request only waits while a writer is *inside*, never for queued
+//! writers.  This makes nested shared acquisitions by one thread safe
+//! (the B+-tree takes the tree latch shared around whole scans) at the
+//! usual cost that a continuous reader stream can starve writers; the
+//! workloads here are bursty enough that this is the right trade.
+//!
+//! Latch *waits* are intentionally uncounted in [`LatchStats`]: wait
+//! counts depend on thread scheduling, and every number exposed here
+//! feeds deterministic benchmark snapshots.
+
+use crate::page::PageId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Number of hash-striped cell maps (a power of two).
+const STRIPES: usize = 16;
+
+/// What a latch key protects.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Domain {
+    /// The whole tree rooted at this meta page (structure latch).
+    Tree,
+    /// One page's content.
+    Page,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Key {
+    page: u64,
+    domain: Domain,
+}
+
+#[derive(Default)]
+struct Core {
+    readers: u32,
+    writer: bool,
+}
+
+struct Cell {
+    state: Mutex<Core>,
+    cv: Condvar,
+}
+
+/// Cumulative latch acquisition counters (deterministic: no wait counts).
+#[derive(Debug, Default)]
+pub struct LatchStats {
+    tree_shared: AtomicU64,
+    tree_exclusive: AtomicU64,
+    page_shared: AtomicU64,
+    page_exclusive: AtomicU64,
+    upgrades: AtomicU64,
+    restarts: AtomicU64,
+}
+
+/// Point-in-time copy of [`LatchStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatchSnapshot {
+    /// Tree latches taken shared (readers and optimistic writers).
+    pub tree_shared: u64,
+    /// Tree latches taken exclusive (structure modifications).
+    pub tree_exclusive: u64,
+    /// Page latches taken shared (inner-node crabbing).
+    pub page_shared: u64,
+    /// Page latches taken exclusive (leaf writes, meta counter bumps).
+    pub page_exclusive: u64,
+    /// Optimistic write attempts that had to upgrade to the tree-exclusive
+    /// path (a split or merge was needed).
+    pub upgrades: u64,
+    /// Upgrades whose cached descent was invalidated by a concurrent
+    /// writer and had to re-descend pessimistically.
+    pub restarts: u64,
+}
+
+impl LatchSnapshot {
+    /// Counter-wise difference `self - earlier`; saturates at zero.
+    pub fn since(&self, earlier: &LatchSnapshot) -> LatchSnapshot {
+        LatchSnapshot {
+            tree_shared: self.tree_shared.saturating_sub(earlier.tree_shared),
+            tree_exclusive: self.tree_exclusive.saturating_sub(earlier.tree_exclusive),
+            page_shared: self.page_shared.saturating_sub(earlier.page_shared),
+            page_exclusive: self.page_exclusive.saturating_sub(earlier.page_exclusive),
+            upgrades: self.upgrades.saturating_sub(earlier.upgrades),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+        }
+    }
+
+    /// Total latch acquisitions of any kind.
+    pub fn total_acquisitions(&self) -> u64 {
+        self.tree_shared + self.tree_exclusive + self.page_shared + self.page_exclusive
+    }
+}
+
+impl LatchStats {
+    fn snapshot(&self) -> LatchSnapshot {
+        LatchSnapshot {
+            tree_shared: self.tree_shared.load(Ordering::Relaxed),
+            tree_exclusive: self.tree_exclusive.load(Ordering::Relaxed),
+            page_shared: self.page_shared.load(Ordering::Relaxed),
+            page_exclusive: self.page_exclusive.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One hash stripe of the cell table.
+type Stripe = Mutex<HashMap<Key, Arc<Cell>>>;
+
+/// One hash stripe of a [`CounterTable`].
+type CounterStripe = Mutex<HashMap<u64, Arc<AtomicU64>>>;
+
+/// Striped map of shared atomic counters (epochs, page versions).  The
+/// handles are `Arc`s so hot paths fetch once and then operate lock-free;
+/// entries are one atomic per distinct key (pages ever written), which is
+/// bounded by the database size and never worth collecting.
+struct CounterTable {
+    stripes: Box<[CounterStripe]>,
+}
+
+impl Default for CounterTable {
+    fn default() -> Self {
+        CounterTable { stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+}
+
+impl CounterTable {
+    fn handle(&self, key: u64) -> Arc<AtomicU64> {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut map =
+            self.stripes[(h as usize) & (STRIPES - 1)].lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(key).or_default())
+    }
+}
+
+/// Per-pool latch table; obtain it via [`crate::BufferPool::latches`].
+pub struct LatchManager {
+    stripes: Box<[Stripe]>,
+    /// Structure-modification epoch per tree, keyed by meta page id.
+    epochs: CounterTable,
+    /// Content version per page, keyed by page id.
+    versions: CounterTable,
+    stats: Arc<LatchStats>,
+}
+
+impl Default for LatchManager {
+    fn default() -> Self {
+        LatchManager {
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            epochs: CounterTable::default(),
+            versions: CounterTable::default(),
+            stats: Arc::new(LatchStats::default()),
+        }
+    }
+}
+
+impl LatchManager {
+    /// Shared latch on the whole tree rooted at `meta`: taken by readers
+    /// for the duration of a scan and by optimistic (leaf-only) writers.
+    pub fn tree_shared(&self, meta: PageId) -> LatchGuard<'_> {
+        self.stats.tree_shared.fetch_add(1, Ordering::Relaxed);
+        self.acquire(Key { page: meta.raw(), domain: Domain::Tree }, false)
+    }
+
+    /// Exclusive latch on the whole tree: taken for every structure
+    /// modification (split, merge, root change, bulk load).
+    pub fn tree_exclusive(&self, meta: PageId) -> LatchGuard<'_> {
+        self.stats.tree_exclusive.fetch_add(1, Ordering::Relaxed);
+        self.acquire(Key { page: meta.raw(), domain: Domain::Tree }, true)
+    }
+
+    /// Shared latch on one page (inner-node latch crabbing).
+    pub fn page_shared(&self, page: PageId) -> LatchGuard<'_> {
+        self.stats.page_shared.fetch_add(1, Ordering::Relaxed);
+        self.acquire(Key { page: page.raw(), domain: Domain::Page }, false)
+    }
+
+    /// Exclusive latch on one page (leaf writes, meta counter bumps).
+    pub fn page_exclusive(&self, page: PageId) -> LatchGuard<'_> {
+        self.stats.page_exclusive.fetch_add(1, Ordering::Relaxed);
+        self.acquire(Key { page: page.raw(), domain: Domain::Page }, true)
+    }
+
+    /// The structure-modification epoch of the tree rooted at `meta`.
+    pub fn epoch(&self, meta: PageId) -> Arc<AtomicU64> {
+        self.epochs.handle(meta.raw())
+    }
+
+    /// The content version counter of page `page`.
+    pub fn page_version(&self, page: PageId) -> Arc<AtomicU64> {
+        self.versions.handle(page.raw())
+    }
+
+    /// Records an optimistic→exclusive upgrade (a structure modification
+    /// was needed).
+    pub fn record_upgrade(&self) {
+        self.stats.upgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a pessimistic restart (an upgrade found its cached descent
+    /// invalidated by a concurrent writer).
+    pub fn record_restart(&self) {
+        self.stats.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the acquisition counters.
+    pub fn stats(&self) -> LatchSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn stripe(&self, key: &Key) -> &Stripe {
+        let mut h = key.page.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= matches!(key.domain, Domain::Tree) as u64;
+        &self.stripes[(h as usize) & (STRIPES - 1)]
+    }
+
+    fn acquire(&self, key: Key, exclusive: bool) -> LatchGuard<'_> {
+        let cell = {
+            let mut map = self.stripe(&key).lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key).or_insert_with(|| {
+                Arc::new(Cell { state: Mutex::new(Core::default()), cv: Condvar::new() })
+            }))
+        };
+        {
+            let mut core = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+            if exclusive {
+                while core.writer || core.readers > 0 {
+                    core = cell.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+                }
+                core.writer = true;
+            } else {
+                while core.writer {
+                    core = cell.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+                }
+                core.readers += 1;
+            }
+        }
+        LatchGuard { manager: self, key, cell, exclusive }
+    }
+
+    /// Called by a dropping guard: release the mode, wake waiters, and
+    /// garbage-collect the cell if nobody else references it.
+    fn release(&self, key: Key, cell: &Arc<Cell>, exclusive: bool) {
+        let wake = {
+            let mut core = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+            if exclusive {
+                core.writer = false;
+                true
+            } else {
+                core.readers -= 1;
+                // A shared release that leaves other readers inside can't
+                // unblock anyone (shared waiters only wait on writers, and
+                // exclusive waiters need `readers == 0`): skip the wakeup.
+                core.readers == 0
+            }
+        };
+        if wake {
+            cell.cv.notify_all();
+        }
+        // GC: while holding the stripe lock nobody can fetch the Arc, so a
+        // strong count of 2 (map + our clone) proves the cell is unwanted.
+        let mut map = self.stripe(&key).lock().unwrap_or_else(|e| e.into_inner());
+        if Arc::strong_count(cell) == 2 {
+            let idle = {
+                let core = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+                !core.writer && core.readers == 0
+            };
+            if idle {
+                map.remove(&key);
+            }
+        }
+    }
+}
+
+/// RAII latch hold; releasing is dropping.  Holds no buffer-pool state, so
+/// guards are freely `Send`/`Sync` and can live inside scan cursors.
+#[must_use = "a latch protects nothing once dropped"]
+pub struct LatchGuard<'m> {
+    manager: &'m LatchManager,
+    key: Key,
+    cell: Arc<Cell>,
+    exclusive: bool,
+}
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.manager.release(self.key, &self.cell, self.exclusive);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn shared_latches_coexist_nested() {
+        let m = LatchManager::default();
+        let a = m.tree_shared(PageId(7));
+        let b = m.tree_shared(PageId(7)); // same thread, nested
+        drop(a);
+        drop(b);
+        assert_eq!(m.stats().tree_shared, 2);
+    }
+
+    #[test]
+    fn exclusive_excludes_shared_and_exclusive() {
+        let m = Arc::new(LatchManager::default());
+        let order = Arc::new(AtomicUsize::new(0));
+        let x = m.page_exclusive(PageId(3));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                let order = Arc::clone(&order);
+                std::thread::spawn(move || {
+                    let _g = if i % 2 == 0 {
+                        m.page_shared(PageId(3))
+                    } else {
+                        m.page_exclusive(PageId(3))
+                    };
+                    order.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(order.load(Ordering::SeqCst), 0, "all waiters blocked behind exclusive");
+        drop(x);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(order.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn tree_and_page_domains_are_independent() {
+        let m = LatchManager::default();
+        let _t = m.tree_exclusive(PageId(5));
+        // Same raw id, different domain: must not block.
+        let _p = m.page_exclusive(PageId(5));
+    }
+
+    #[test]
+    fn cells_are_garbage_collected() {
+        let m = LatchManager::default();
+        for i in 0..100u64 {
+            let _g = m.page_exclusive(PageId(i));
+        }
+        let live: usize = m.stripes.iter().map(|s| s.lock().unwrap().len()).sum();
+        assert_eq!(live, 0, "idle cells must be removed on release");
+    }
+
+    #[test]
+    fn epochs_and_versions_are_shared_handles() {
+        let m = LatchManager::default();
+        let e1 = m.epoch(PageId(9));
+        let e2 = m.epoch(PageId(9));
+        e1.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(e2.load(Ordering::SeqCst), 1);
+        let v1 = m.page_version(PageId(9));
+        let v2 = m.page_version(PageId(9));
+        v1.fetch_add(3, Ordering::SeqCst);
+        assert_eq!(v2.load(Ordering::SeqCst), 3);
+        assert_eq!(m.epoch(PageId(10)).load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn writers_make_progress_between_reader_bursts() {
+        let m = Arc::new(LatchManager::default());
+        let m2 = Arc::clone(&m);
+        let writer = std::thread::spawn(move || {
+            for _ in 0..50 {
+                let _x = m2.tree_exclusive(PageId(1));
+            }
+        });
+        for _ in 0..50 {
+            let _s = m.tree_shared(PageId(1));
+        }
+        writer.join().unwrap();
+    }
+}

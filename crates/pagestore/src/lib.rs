@@ -28,6 +28,7 @@ pub mod codec;
 pub mod disk;
 pub mod error;
 pub mod faulty;
+pub mod latch;
 pub mod page;
 pub mod stats;
 
@@ -35,6 +36,7 @@ pub use buffer::{BufferPool, BufferPoolConfig};
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{Error, Result};
 pub use faulty::{FaultPlan, FaultyDisk};
+pub use latch::{LatchGuard, LatchManager, LatchSnapshot, LatchStats};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use stats::{IoSnapshot, IoStats, LatencyModel, PoolStats};
 

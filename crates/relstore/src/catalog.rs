@@ -9,7 +9,7 @@
 
 use crate::heap::Heap;
 use crate::table::Table;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use ri_btree::BTree;
 use ri_pagestore::codec::{get_i64, get_u16, get_u32, get_u64, put_i64, put_u16, put_u32, put_u64};
 use ri_pagestore::{BufferPool, Error, PageId, Result};
@@ -66,9 +66,16 @@ pub(crate) struct Catalog {
 ///
 /// All DDL, DML and query execution of the reproduction flows through this
 /// type; it plays the role of the Oracle server in the paper's setup.
+///
+/// The in-memory catalog sits behind a reader-writer lock: metadata
+/// lookups (`table`, `get_param`, plan execution) share it, only DDL and
+/// parameter writes take it exclusively.  Before PR 3 this was a plain
+/// mutex — the next convoy after the buffer pool once queries and writers
+/// run on many threads, since *every* executed plan resolves its table
+/// and index metadata here.
 pub struct Database {
     pool: Arc<BufferPool>,
-    catalog: Mutex<Catalog>,
+    catalog: RwLock<Catalog>,
 }
 
 impl Database {
@@ -81,7 +88,7 @@ impl Database {
         }
         let header = pool.allocate_page()?;
         debug_assert_eq!(header, HEADER_PAGE);
-        let db = Database { pool, catalog: Mutex::new(Catalog::default()) };
+        let db = Database { pool, catalog: RwLock::new(Catalog::default()) };
         db.persist()?;
         Ok(db)
     }
@@ -89,7 +96,7 @@ impl Database {
     /// Re-opens a database from its header page.
     pub fn open(pool: Arc<BufferPool>) -> Result<Database> {
         let catalog = pool.with_page(HEADER_PAGE, decode_catalog)??;
-        Ok(Database { pool, catalog: Mutex::new(catalog) })
+        Ok(Database { pool, catalog: RwLock::new(catalog) })
     }
 
     /// The underlying buffer pool (for I/O statistics and flushing).
@@ -100,6 +107,15 @@ impl Database {
     /// Flushes all cached pages to the device.
     pub fn checkpoint(&self) -> Result<()> {
         self.pool.flush_all()
+    }
+
+    /// Exclusive latch serializing multi-call read-modify-write
+    /// transactions on the parameter dictionary (e.g. "load the backbone
+    /// parameters, extend them, store them back").  Single [`Database::set_param`]
+    /// calls are already atomic under the catalog lock; this guard is for
+    /// callers whose *decision* depends on the value they just read.
+    pub fn param_guard(&self) -> ri_pagestore::LatchGuard<'_> {
+        self.pool.latches().page_exclusive(HEADER_PAGE)
     }
 
     // ------------------------------------------------------------------
@@ -115,7 +131,7 @@ impl Database {
         if def.columns.is_empty() {
             return Err(Error::InvalidArgument("table needs at least one column".to_string()));
         }
-        let mut cat = self.catalog.lock();
+        let mut cat = self.catalog.write();
         if cat.tables.iter().any(|t| t.name == def.name) {
             return Err(Error::InvalidArgument(format!("table {} already exists", def.name)));
         }
@@ -132,7 +148,7 @@ impl Database {
     /// Creates a secondary index, bulk-building it from existing rows.
     pub fn create_index(&self, table: &str, def: IndexDef) -> Result<()> {
         check_name(&def.name)?;
-        let mut cat = self.catalog.lock();
+        let mut cat = self.catalog.write();
         let tmeta = cat
             .tables
             .iter_mut()
@@ -175,7 +191,7 @@ impl Database {
     ///
     /// Handles snapshot the schema: re-obtain them after DDL.
     pub fn table(&self, name: &str) -> Result<Table> {
-        let cat = self.catalog.lock();
+        let cat = self.catalog.read();
         let tmeta = cat
             .tables
             .iter()
@@ -186,7 +202,7 @@ impl Database {
 
     /// Names of all tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog.lock().tables.iter().map(|t| t.name.clone()).collect()
+        self.catalog.read().tables.iter().map(|t| t.name.clone()).collect()
     }
 
     /// Size statistics of an index (entries, height, pages) — the raw data
@@ -197,7 +213,7 @@ impl Database {
     }
 
     pub(crate) fn index_meta(&self, table: &str, index: &str) -> Result<IndexMeta> {
-        let cat = self.catalog.lock();
+        let cat = self.catalog.read();
         let tmeta = cat
             .tables
             .iter()
@@ -212,7 +228,7 @@ impl Database {
     }
 
     pub(crate) fn table_meta(&self, table: &str) -> Result<TableMeta> {
-        let cat = self.catalog.lock();
+        let cat = self.catalog.read();
         cat.tables
             .iter()
             .find(|t| t.name == table)
@@ -227,7 +243,7 @@ impl Database {
     /// Sets (or overwrites) a named persistent parameter.
     pub fn set_param(&self, name: &str, value: i64) -> Result<()> {
         check_name(name)?;
-        let mut cat = self.catalog.lock();
+        let mut cat = self.catalog.write();
         if let Some(p) = cat.params.iter_mut().find(|(n, _)| n == name) {
             p.1 = value;
         } else {
@@ -245,7 +261,7 @@ impl Database {
         for (name, _) in entries {
             check_name(name)?;
         }
-        let mut cat = self.catalog.lock();
+        let mut cat = self.catalog.write();
         for (name, value) in entries {
             if let Some(p) = cat.params.iter_mut().find(|(n, _)| n == name) {
                 p.1 = *value;
@@ -258,12 +274,12 @@ impl Database {
 
     /// Reads a named persistent parameter.
     pub fn get_param(&self, name: &str) -> Option<i64> {
-        self.catalog.lock().params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.catalog.read().params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Removes a named parameter; returns whether it existed.
     pub fn unset_param(&self, name: &str) -> Result<bool> {
-        let mut cat = self.catalog.lock();
+        let mut cat = self.catalog.write();
         let before = cat.params.len();
         cat.params.retain(|(n, _)| n != name);
         let removed = cat.params.len() != before;
@@ -278,7 +294,7 @@ impl Database {
     // ------------------------------------------------------------------
 
     fn persist(&self) -> Result<()> {
-        let cat = self.catalog.lock();
+        let cat = self.catalog.read();
         self.persist_locked(&cat)
     }
 

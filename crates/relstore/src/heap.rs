@@ -4,6 +4,15 @@
 //! scans; deletes tombstone their slot (space is reclaimed only when a whole
 //! page empties — the usual trade-off in slotted storage, irrelevant to the
 //! paper's insert/query workloads).
+//!
+//! Appends and deletes are read-modify-write transactions on the heap's
+//! meta page (tail pointer, row count); they run under an exclusive latch
+//! on that page from the pool's [`ri_pagestore::LatchManager`], so any
+//! number of threads may insert into one table concurrently.  The latch
+//! hold is a handful of page accesses — the expensive part of a row
+//! insert, the secondary-index maintenance, happens outside it in
+//! [`crate::Table::insert`].  Reads (`fetch`, `scan`) take no latch: page
+//! accesses are copy-atomic in the buffer pool.
 
 use ri_pagestore::codec::{get_i64, get_u16, get_u32, get_u64, put_i64, put_u16, put_u32, put_u64};
 use ri_pagestore::{BufferPool, Error, PageId, Result};
@@ -144,6 +153,12 @@ impl Heap {
         PAGE_HEADER + slot * Self::slot_size(self.arity)
     }
 
+    /// Exclusive latch on this heap's meta page; serializes the heap's own
+    /// append/delete read-modify-write sections.
+    fn exclusive_latch(&self) -> ri_pagestore::LatchGuard<'_> {
+        self.pool.latches().page_exclusive(self.meta_page)
+    }
+
     /// Appends a row, returning its stable id.
     pub fn insert(&self, row: &[i64]) -> Result<RowId> {
         if row.len() != self.arity {
@@ -153,6 +168,7 @@ impl Heap {
                 self.arity
             )));
         }
+        let _latch = self.exclusive_latch();
         let mut meta = self.read_meta()?;
         // Find the insertion page: the chain tail, or a fresh page.
         let (page, slot) = if meta.last.is_invalid() {
@@ -216,7 +232,12 @@ impl Heap {
     }
 
     /// Tombstones a row.  Returns `false` if it was already deleted.
+    ///
+    /// The latched flip of the live byte is atomic, so racing deletes of
+    /// one row resolve to exactly one `true` — [`crate::Table::delete`]
+    /// uses this as its claim.
     pub fn delete(&self, id: RowId) -> Result<bool> {
+        let _latch = self.exclusive_latch();
         let off = self.slot_offset(id.slot());
         let was_live = self.pool.with_page_mut(id.page(), |buf| {
             let live = buf[off] == 1;

@@ -38,6 +38,7 @@ pub use access::IntervalAccessMethod;
 pub use catalog::{Database, IndexDef, TableDef};
 pub use exec::{BoundExpr, ExecStats, Plan, Predicate, Row};
 pub use heap::{Heap, RowId};
+pub use par::{fan_out, PlanResult, Statement, StatementOutcome};
 pub use sql::SqlResult;
 pub use table::Table;
 

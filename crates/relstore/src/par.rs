@@ -1,30 +1,99 @@
-//! Concurrent query façade: execute independent plans from multiple threads.
+//! Concurrent statement façade: execute independent plans — and, since
+//! PR 3, writes — from multiple threads.
 //!
 //! The paper's setting delegates all locking to the host RDBMS; in this
-//! reproduction the equivalent rule is **readers scale, writers serialize**.
-//! Every structure below the executor is internally synchronized — the
-//! buffer pool by lock-striped shards, the catalog by its own mutex, the
-//! B+-tree by being immutable during reads — so *independent* read plans
-//! can run concurrently with no coordination beyond a scoped thread join.
+//! reproduction every structure below the executor is internally
+//! synchronized — the buffer pool by lock-striped shards, the catalog by
+//! its reader-writer lock, the heap by its meta-page latch, the B+-tree
+//! by optimistic latch crabbing — so *independent* statements can run
+//! concurrently with no coordination beyond a scoped thread join.
 //!
-//! [`Database::execute_parallel`] is the entry point: it partitions a batch
-//! of plans over a bounded number of worker threads, executes each plan
-//! exactly as [`Database::execute`] would, and returns results in input
-//! order with per-plan [`ExecStats`].  Single-plan or single-thread calls
-//! take the sequential path, so the façade adds no overhead (and no
+//! [`Database::execute_parallel`] fans out a read-only plan batch;
+//! [`Database::execute_mixed`] does the same for a mixed batch of
+//! queries, row inserts and row deletes ([`Statement`]).  Both partition
+//! the batch over a bounded number of worker threads, execute each
+//! statement exactly as the sequential API would, and return results in
+//! input order.  Single-statement or single-thread calls take the
+//! sequential path, so the façade adds no overhead (and no
 //! nondeterminism) to the paper's single-threaded figure experiments.
-//!
-//! Writers (DDL, `INSERT`, `DELETE`) must still be externally serialized
-//! with respect to these readers, exactly as documented on
-//! [`ri_btree::BTree`].
 
 use crate::catalog::Database;
 use crate::exec::{ExecStats, Plan, Row};
+use crate::heap::RowId;
 use ri_pagestore::Result;
+use std::collections::HashMap;
 
 /// Result of one plan in a parallel batch: the rows it produced plus the
 /// executor counters it accumulated.
 pub type PlanResult = (Vec<Row>, ExecStats);
+
+/// One statement of a mixed read/write batch for
+/// [`Database::execute_mixed`].
+#[derive(Clone, Debug)]
+pub enum Statement {
+    /// A read-only query plan.
+    Query(Plan),
+    /// Insert `row` into `table`, maintaining all of its indexes.
+    Insert {
+        /// Target table name.
+        table: String,
+        /// Column values in storage order.
+        row: Row,
+    },
+    /// Delete the row `rid` from `table`, maintaining all of its indexes.
+    Delete {
+        /// Target table name.
+        table: String,
+        /// Row id, as returned by the insert or found via an index.
+        rid: RowId,
+    },
+}
+
+/// Outcome of one [`Statement`], in batch order.
+#[derive(Clone, Debug)]
+pub enum StatementOutcome {
+    /// Rows and executor counters of a [`Statement::Query`].
+    Rows(Vec<Row>, ExecStats),
+    /// Row id assigned by a [`Statement::Insert`].
+    Inserted(RowId),
+    /// Whether a [`Statement::Delete`] found a live row.
+    Deleted(bool),
+}
+
+/// Fans `items` out over at most `threads` worker threads in contiguous
+/// chunks, applying `f` to each and returning the outputs **in input
+/// order**.  With `threads <= 1` (or a single item) everything runs
+/// sequentially on the caller's thread; a panicking worker propagates its
+/// panic after all workers are joined.
+///
+/// This is the one fan-out scaffold behind [`Database::execute_parallel`],
+/// [`Database::execute_mixed`], and `RiTree::insert_batch`.
+pub fn fan_out<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        for (item_chunk, slot_chunk) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let f = &f;
+            s.spawn(move |_| {
+                for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    slots.into_iter().map(|s| s.expect("every chunk was executed")).collect()
+}
 
 impl Database {
     /// Executes every plan in `plans`, fanning the batch out over at most
@@ -39,24 +108,61 @@ impl Database {
     /// With `threads <= 1` or a single plan this degenerates to plain
     /// sequential [`Database::execute`] calls on the caller's thread.
     pub fn execute_parallel(&self, plans: &[Plan], threads: usize) -> Result<Vec<PlanResult>> {
-        let workers = threads.clamp(1, plans.len().max(1));
-        if workers <= 1 {
-            return plans.iter().map(|p| self.run_one(p)).collect();
-        }
-        let mut slots: Vec<Option<Result<PlanResult>>> = Vec::new();
-        slots.resize_with(plans.len(), || None);
-        let chunk = plans.len().div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            for (plan_chunk, slot_chunk) in plans.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    for (plan, slot) in plan_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = Some(self.run_one(plan));
-                    }
-                });
+        fan_out(plans, threads, |plan| self.run_one(plan)).into_iter().collect()
+    }
+
+    /// Executes a mixed batch of queries, inserts and deletes, fanning it
+    /// out over at most `threads` worker threads; outcomes are returned
+    /// **in input order**.
+    ///
+    /// Statements are distributed in contiguous chunks exactly like
+    /// [`Database::execute_parallel`].  Writes in the batch rely on the
+    /// engine's internal synchronization (heap meta latch, B+-tree latch
+    /// crabbing), so no statement needs to know about any other; but as
+    /// with any concurrent DML, the *interleaving* of independent
+    /// statements is scheduler-chosen — callers that need a specific
+    /// order must put the dependent statements in one chunk or run
+    /// sequentially.
+    pub fn execute_mixed(
+        &self,
+        stmts: &[Statement],
+        threads: usize,
+    ) -> Result<Vec<StatementOutcome>> {
+        // Resolve each referenced table once for the whole batch (a
+        // handle per statement would re-open the heap and every index —
+        // redundant meta-page reads that would also pollute the I/O
+        // counters the deterministic benches trace).
+        let mut tables: HashMap<&str, crate::table::Table> = HashMap::new();
+        for stmt in stmts {
+            if let Statement::Insert { table, .. } | Statement::Delete { table, .. } = stmt {
+                if !tables.contains_key(table.as_str()) {
+                    tables.insert(table, self.table(table)?);
+                }
             }
-        })
-        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        slots.into_iter().map(|s| s.expect("every chunk was executed")).collect()
+        }
+        fan_out(stmts, threads, |stmt| self.run_stmt(stmt, &tables)).into_iter().collect()
+    }
+
+    fn run_stmt(
+        &self,
+        stmt: &Statement,
+        tables: &HashMap<&str, crate::table::Table>,
+    ) -> Result<StatementOutcome> {
+        let resolved = |name: &String| {
+            tables.get(name.as_str()).expect("every referenced table was resolved up front")
+        };
+        match stmt {
+            Statement::Query(plan) => {
+                let (rows, stats) = self.run_one(plan)?;
+                Ok(StatementOutcome::Rows(rows, stats))
+            }
+            Statement::Insert { table, row } => {
+                Ok(StatementOutcome::Inserted(resolved(table).insert(row)?))
+            }
+            Statement::Delete { table, rid } => {
+                Ok(StatementOutcome::Deleted(resolved(table).delete(*rid)?))
+            }
+        }
     }
 
     fn run_one(&self, plan: &Plan) -> Result<PlanResult> {
@@ -131,5 +237,53 @@ mod tests {
         let bad = Plan::TableScan { table: "NO_SUCH_TABLE".into() };
         let plans = vec![scan_plan(1), bad, scan_plan(2)];
         assert!(db.execute_parallel(&plans, 3).is_err());
+    }
+
+    #[test]
+    fn mixed_batch_inserts_queries_and_deletes() {
+        for threads in [1, 4] {
+            let db = setup(4);
+            // 40 concurrent inserts...
+            let inserts: Vec<Statement> = (0..40i64)
+                .map(|i| Statement::Insert { table: "T".into(), row: vec![100, 9000 + i, i] })
+                .collect();
+            let outcomes = db.execute_mixed(&inserts, threads).unwrap();
+            let rids: Vec<_> = outcomes
+                .iter()
+                .map(|o| match o {
+                    StatementOutcome::Inserted(rid) => *rid,
+                    other => panic!("expected Inserted, got {other:?}"),
+                })
+                .collect();
+            // ...visible to a query in the same facade...
+            let q = Statement::Query(scan_plan(100));
+            let mixed: Vec<Statement> = rids
+                .iter()
+                .take(10)
+                .map(|&rid| Statement::Delete { table: "T".into(), rid })
+                .chain(std::iter::once(q))
+                .collect();
+            let outcomes = db.execute_mixed(&mixed, threads).unwrap();
+            for o in &outcomes[..10] {
+                assert!(matches!(o, StatementOutcome::Deleted(true)), "{o:?}");
+            }
+            let StatementOutcome::Rows(rows, _) = &outcomes[10] else {
+                panic!("expected Rows");
+            };
+            // The query ran concurrently with the deletes: it sees between
+            // 30 (all deletes applied first) and 40 rows for key 100.
+            assert!((30..=40).contains(&rows.len()), "saw {} rows", rows.len());
+            // ...and a second delete of the same rows reports false.
+            let again: Vec<Statement> = rids
+                .iter()
+                .take(10)
+                .map(|&rid| Statement::Delete { table: "T".into(), rid })
+                .collect();
+            for o in db.execute_mixed(&again, threads).unwrap() {
+                assert!(matches!(o, StatementOutcome::Deleted(false)), "{o:?}");
+            }
+            let t = db.table("T").unwrap();
+            assert_eq!(t.row_count().unwrap(), 400 + 30);
+        }
     }
 }

@@ -67,22 +67,38 @@ impl Table {
     /// Deletes a row by id, maintaining every index.
     ///
     /// Returns `false` if the row no longer exists.
+    ///
+    /// Claim-then-clean: the tombstone is the atomic claim (one short
+    /// hold of the heap meta latch inside [`Heap::delete`]), so exactly
+    /// one of any set of racing deletes wins and the losers report
+    /// `false`; the winner then removes the index entries without
+    /// holding any latch, so deletes scale like inserts.  If an index
+    /// entry is not there *yet* — the row was discovered through one
+    /// index while its insert was still filling in the others — the
+    /// winner briefly waits for the in-flight insert to publish it
+    /// (bounded; a truly absent entry is reported as corruption).
     pub fn delete(&self, rid: RowId) -> Result<bool> {
         let Some(row) = self.heap.fetch(rid)? else {
             return Ok(false);
         };
+        if !self.heap.delete(rid)? {
+            return Ok(false);
+        }
         for idx in &self.indexes {
             let key: Vec<i64> = idx.key_cols.iter().map(|&c| row[c]).collect();
-            let removed = idx.tree.delete(&key, rid.raw())?;
-            if !removed {
-                return Err(Error::Corrupt(format!(
-                    "index {} out of sync: missing entry for row {}",
-                    idx.name,
-                    rid.raw()
-                )));
+            let mut spins = 0u32;
+            while !idx.tree.delete(&key, rid.raw())? {
+                spins += 1;
+                if spins > 100_000 {
+                    return Err(Error::Corrupt(format!(
+                        "index {} out of sync: missing entry for row {}",
+                        idx.name,
+                        rid.raw()
+                    )));
+                }
+                std::thread::yield_now();
             }
         }
-        self.heap.delete(rid)?;
         Ok(true)
     }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Re-captures the golden constants pinned by tests/pool_determinism.rs.
+#
+# The goldens freeze the externally observable behavior of the buffer
+# pool and of the B+-tree write path (counters after every operation,
+# plus a content fingerprint).  They must only ever be re-captured from
+# a commit whose behavior is *known correct* — typically the commit
+# immediately before a refactor — never edited by hand to make a
+# failing build pass.
+#
+# Usage: scripts/recapture-goldens.sh
+# Prints the GOLDEN lines; paste the values into tests/pool_determinism.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo test --test pool_determinism -- --nocapture 2>&1 | grep -E '^GOLDEN' || {
+    # Test output interleaves the test name on the same line under -q;
+    # fall back to a looser match.
+    cargo test --test pool_determinism -- --nocapture 2>&1 | grep -oE 'GOLDEN[-A-Z]* .*'
+}

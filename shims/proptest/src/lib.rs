@@ -6,8 +6,20 @@
 //! ranges, tuples, `prop::collection::vec`, and `any::<T>()`, plus
 //! [`ProptestConfig`]. Test inputs are generated from a deterministic
 //! per-test seed (derived from the test name), so failures reproduce
-//! exactly. There is **no shrinking**: a failure reports the case index
-//! and panics with the normal assertion message.
+//! exactly.
+//!
+//! # Shrinking
+//!
+//! Failures are **naively shrunk**: the failing input is repeatedly
+//! replaced by the first simpler candidate that still fails — scalars
+//! halve toward their range start (with a final −1 descent, so numeric
+//! thresholds are found exactly), vectors shed length (halving, then one
+//! element at a time) and shrink their elements, tuples shrink
+//! componentwise.  Values produced by `prop_map` or `prop_oneof!` are
+//! opaque (the shim keeps no value tree) and do not shrink themselves,
+//! but a `vec` *of* them still shrinks its length — usually the bulk of
+//! a counterexample.  The minimal input is printed with `{:#?}` and the
+//! test then fails with the panic the minimal input produces.
 
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -15,18 +27,20 @@ use std::ops::Range;
 pub use rand::rngs::StdRng as TestRng;
 use rand::Rng;
 
-/// Per-`proptest!` block configuration. Only `cases` is honored.
+/// Per-`proptest!` block configuration. `cases` and `max_shrink_iters`
+/// are honored.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
     /// Number of random cases to run per test.
     pub cases: u32,
-    /// Accepted for source compatibility; ignored (no shrinking here).
+    /// Budget of extra test-body executions the shrinker may spend once a
+    /// case fails (0 disables shrinking).
     pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
     }
 }
 
@@ -43,11 +57,18 @@ pub fn seed_for(test_name: &str) -> u64 {
 }
 
 /// A generator of test inputs. Unlike real proptest there is no value
-/// tree: `new_value` directly produces a value from the RNG.
+/// tree: `new_value` directly produces a value from the RNG, and
+/// [`Strategy::shrink`] proposes simpler variants of a concrete value.
 pub trait Strategy {
-    type Value;
+    type Value: Clone + std::fmt::Debug;
 
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler candidates for `value`, most aggressive first.  The
+    /// default is no candidates (opaque values, e.g. through `prop_map`).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -68,10 +89,13 @@ pub trait Strategy {
 /// Type-erased strategy, as produced by [`Strategy::boxed`].
 pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
 
-impl<V> Strategy for BoxedStrategy<V> {
+impl<V: Clone + std::fmt::Debug> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn new_value(&self, rng: &mut TestRng) -> V {
         (**self).new_value(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
     }
 }
 
@@ -80,9 +104,13 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn new_value(&self, rng: &mut TestRng) -> S::Value {
         (**self).new_value(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
-/// Output of [`Strategy::prop_map`].
+/// Output of [`Strategy::prop_map`].  Mapped values are opaque to the
+/// shrinker (no inverse is available), so they produce no candidates.
 #[derive(Clone, Debug)]
 pub struct Map<S, F> {
     inner: S,
@@ -93,6 +121,7 @@ impl<S, F, U> Strategy for Map<S, F>
 where
     S: Strategy,
     F: Fn(S::Value) -> U,
+    U: Clone + std::fmt::Debug,
 {
     type Value = U;
     fn new_value(&self, rng: &mut TestRng) -> U {
@@ -100,18 +129,56 @@ where
     }
 }
 
-macro_rules! impl_range_strategy {
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start, *value);
+                let mut out = Vec::new();
+                if v != lo {
+                    out.push(lo);
+                    // Overflow-free floor midpoint: `lo + (v - lo) / 2`
+                    // would overflow on ranges wider than the type's
+                    // positive span (e.g. `i64::MIN..i64::MAX`).
+                    let mid = (lo & v) + ((lo ^ v) >> 1);
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    let dec = v - 1;
+                    if dec != lo && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
-impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let (lo, v) = (self.start, *value);
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2.0;
+            if mid > lo && mid < v {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
@@ -119,6 +186,17 @@ macro_rules! impl_tuple_strategy {
             type Value = ($($s::Value,)+);
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.new_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -138,8 +216,12 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 }
 
 /// Types with a canonical full-domain strategy.
-pub trait Arbitrary {
+pub trait Arbitrary: Clone + std::fmt::Debug {
     fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Simpler candidates for a failing value (see [`Strategy::shrink`]).
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// Output of [`any`].
@@ -151,11 +233,21 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     fn new_value(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.gen_bool(0.5)
+    }
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -164,6 +256,18 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink_value(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let half = v / 2;
+                    if half != 0 && half != v {
+                        out.push(half);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -194,6 +298,30 @@ pub mod collection {
             let len = rng.gen_range(self.size.clone());
             (0..len).map(|_| self.element.new_value(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.start;
+            // Length shrinks first: halve toward the minimum (keeping the
+            // head, then the tail — bugs may need late elements), then
+            // drop a single element.
+            if value.len() > min {
+                let half = (value.len() / 2).max(min);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                    out.push(value[value.len() - half..].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Element shrinks: a couple of candidates per position.
+            for (i, item) in value.iter().enumerate() {
+                for cand in self.element.shrink(item).into_iter().take(2) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
@@ -201,7 +329,8 @@ pub mod strategy {
     pub use super::{BoxedStrategy, Map, Strategy};
 
     /// Weighted choice among boxed strategies of a common value type —
-    /// what [`crate::prop_oneof!`] builds.
+    /// what [`crate::prop_oneof!`] builds.  Values are opaque to the
+    /// shrinker (the producing arm is unknown after the fact).
     pub struct Union<V> {
         arms: Vec<(u32, super::BoxedStrategy<V>)>,
         total_weight: u64,
@@ -216,7 +345,7 @@ pub mod strategy {
         }
     }
 
-    impl<V> Strategy for Union<V> {
+    impl<V: Clone + std::fmt::Debug> Strategy for Union<V> {
         type Value = V;
         fn new_value(&self, rng: &mut super::TestRng) -> V {
             let mut pick = rand::Rng::gen_range(rng, 0..self.total_weight);
@@ -228,6 +357,78 @@ pub mod strategy {
             }
             unreachable!("weighted pick out of bounds")
         }
+    }
+}
+
+/// Drives naive shrinking: repeatedly replaces `failing` with the first
+/// simpler candidate that still fails, until no candidate fails or the
+/// iteration budget is spent.  `fails` must return `true` when the test
+/// body fails on the given input.  Returns the minimal failing value and
+/// the number of test-body executions used.
+pub fn shrink_failing<S: Strategy + ?Sized>(
+    strat: &S,
+    mut failing: S::Value,
+    mut fails: impl FnMut(&S::Value) -> bool,
+    max_iters: u32,
+) -> (S::Value, u32) {
+    let mut used = 0u32;
+    'outer: while used < max_iters {
+        for candidate in strat.shrink(&failing) {
+            if used >= max_iters {
+                break 'outer;
+            }
+            used += 1;
+            if fails(&candidate) {
+                failing = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (failing, used)
+}
+
+/// Test driver behind the [`proptest!`] macro: runs `config.cases`
+/// seeded cases of `run` over values from `strat`, shrinking the first
+/// failure to a minimal counterexample.
+#[doc(hidden)]
+pub fn __drive<S: Strategy>(
+    config: ProptestConfig,
+    seed: u64,
+    name: &str,
+    strat: S,
+    run: impl Fn(S::Value),
+) {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let vals = strat.new_value(&mut rng);
+        let result = catch_unwind(AssertUnwindSafe(|| run(vals.clone())));
+        let Err(payload) = result else { continue };
+        eprintln!(
+            "proptest shim: {name} failed on case {}/{} (seed {seed:#x}); shrinking (<= {} runs)",
+            case + 1,
+            config.cases,
+            config.max_shrink_iters,
+        );
+        // Silence the panic hook while the shrinker probes candidates —
+        // each failing probe would otherwise print a full panic message.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (minimal, used) = shrink_failing(
+            &strat,
+            vals,
+            |v| catch_unwind(AssertUnwindSafe(|| run(v.clone()))).is_err(),
+            config.max_shrink_iters,
+        );
+        std::panic::set_hook(prev_hook);
+        eprintln!("proptest shim: minimal counterexample after {used} shrink runs:\n{minimal:#?}");
+        // Fail with the minimal input's own panic so the printed
+        // assertion matches the printed input.
+        run(minimal);
+        // Unreachable unless the failure is flaky; surface the original
+        // panic in that case.
+        resume_unwind(payload);
     }
 }
 
@@ -272,7 +473,8 @@ macro_rules! prop_oneof {
 
 /// The `proptest! { ... }` block: expands each contained
 /// `#[test] fn name(pat in strategy, ...) { body }` into a plain
-/// `#[test]` that runs `config.cases` deterministic random cases.
+/// `#[test]` that runs `config.cases` deterministic random cases and
+/// shrinks the first failure to a minimal counterexample.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -295,25 +497,17 @@ macro_rules! __proptest_impl {
         $(
             $(#[$meta])*
             fn $name() {
-                let __config: $crate::ProptestConfig = $config;
-                let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
-                let mut __rng =
-                    <$crate::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
-                for __case in 0..__config.cases {
-                    let __run = || {
-                        $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)*
-                        $body
-                    };
-                    if let Err(payload) =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run))
-                    {
-                        eprintln!(
-                            "proptest shim: {} failed on case {}/{} (seed {:#x}); no shrinking",
-                            stringify!($name), __case + 1, __config.cases, __seed,
-                        );
-                        std::panic::resume_unwind(payload);
-                    }
-                }
+                // All arguments form one tuple strategy, so the failing
+                // case shrinks componentwise as a unit.  Component values
+                // are drawn left-to-right, matching the historical
+                // per-argument generation order exactly.
+                $crate::__drive(
+                    $config,
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                    stringify!($name),
+                    ( $( ($strat), )* ),
+                    |( $($arg,)* )| $body,
+                );
             }
         )*
     };
@@ -370,5 +564,75 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Shrinking self-tests
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn scalar_shrink_finds_the_exact_threshold() {
+        // Failure iff v >= 17: the -1 descent must land exactly on 17.
+        let strat = 0i64..1000;
+        let (minimal, _) = crate::shrink_failing(&strat, 940, |&v| v >= 17, 4096);
+        assert_eq!(minimal, 17);
+    }
+
+    #[test]
+    fn vec_shrink_reaches_the_minimal_failing_length() {
+        let strat = prop::collection::vec(0i64..100, 1..60);
+        let failing: Vec<i64> = (0..57).collect();
+        // Failure iff the vec has >= 10 elements.
+        let (minimal, _) = crate::shrink_failing(&strat, failing, |v| v.len() >= 10, 4096);
+        assert_eq!(minimal.len(), 10, "minimal counterexample: {minimal:?}");
+        // Its elements shrink toward the range start too.
+        assert!(minimal.iter().all(|&x| x == 0), "minimal counterexample: {minimal:?}");
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise_and_respects_ranges() {
+        let strat = (5i64..100, 3i64..50);
+        // Failure iff a + b >= 20.
+        let (minimal, _) = crate::shrink_failing(&strat, (90, 44), |&(a, b)| a + b >= 20, 4096);
+        assert!(minimal.0 + minimal.1 >= 20, "minimal must still fail");
+        assert_eq!(minimal.0 + minimal.1, 20, "naive descent still finds the boundary");
+        assert!(minimal.0 >= 5 && minimal.1 >= 3, "candidates stay inside the ranges");
+    }
+
+    #[test]
+    fn mapped_and_oneof_values_do_not_shrink_but_their_vec_does() {
+        let strat = prop::collection::vec((0i64..10).prop_map(Tri::A), 1..40);
+        let failing: Vec<Tri> = (0..30).map(|i| Tri::A(i % 10)).collect();
+        let (minimal, _) = crate::shrink_failing(&strat, failing, |v| v.len() >= 3, 4096);
+        assert_eq!(minimal.len(), 3);
+        let single = (0i64..10).prop_map(Tri::A);
+        assert!(single.shrink(&Tri::A(7)).is_empty(), "mapped values are opaque");
+    }
+
+    #[test]
+    fn shrink_respects_the_iteration_budget() {
+        let strat = 0i64..i64::MAX;
+        let (_, used) = crate::shrink_failing(&strat, i64::MAX - 1, |&v| v >= 1, 7);
+        assert!(used <= 7);
+    }
+
+    #[test]
+    fn shrink_survives_full_width_ranges() {
+        // `v - lo` would overflow here; the midpoint must not panic and
+        // must stay inside the range.
+        let strat = i64::MIN..i64::MAX;
+        for v in [i64::MAX - 1, 0, 1, i64::MIN + 1] {
+            for cand in strat.shrink(&v) {
+                assert!(cand < v, "candidates simplify toward the start: {v} -> {cand}");
+            }
+        }
+        let (minimal, _) = crate::shrink_failing(&strat, i64::MAX - 1, |&v| v >= i64::MAX / 2, 256);
+        assert!(minimal >= i64::MAX / 2);
+    }
+
+    #[test]
+    fn booleans_shrink_to_false() {
+        assert_eq!(true.shrink_value(), vec![false]);
+        assert!(false.shrink_value().is_empty());
     }
 }

@@ -40,6 +40,19 @@
 //!            vec![1, 2]);
 //! ```
 //!
+//! ## Concurrency
+//!
+//! Readers and writers both scale across threads: the buffer pool is
+//! lock-striped, the B+-trees synchronize writers internally with
+//! optimistic latch crabbing, and the relational layer exposes batch
+//! façades — [`relstore::Database::execute_parallel`] /
+//! [`core::RiTree::intersection_batch`] for reads,
+//! [`relstore::Database::execute_mixed`] / [`core::RiTree::insert_batch`]
+//! for mixed and write batches.  Single-threaded use pays nothing: the
+//! page-access sequence (and therefore every figure of the paper) is
+//! bit-for-bit the unlatched implementation's.  See ARCHITECTURE.md for
+//! the latching protocol.
+//!
 //! See `examples/` for runnable scenarios (temporal reservations with
 //! `now`/∞, spatial curve segments, engineering tolerances) and
 //! `crates/bench/src/bin/` for the per-figure experiment binaries.

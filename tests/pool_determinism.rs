@@ -15,8 +15,10 @@
 //!    final counters and a fingerprint of the whole counter trace, so the
 //!    reference model itself cannot drift along with the code under test.
 
+use ri_tree::btree::BTree;
 use ri_tree::pagestore::{BufferPool, BufferPoolConfig, IoSnapshot, MemDisk, PageId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const PAGE_SIZE: usize = 256;
 const CAPACITY: usize = 8;
@@ -223,4 +225,136 @@ fn shards_1_reproduces_seed_pool_byte_for_byte() {
     );
     assert_eq!(final_snap, GOLDEN_FINAL, "final counters drifted from the seed pool");
     assert_eq!(trace_hash, GOLDEN_TRACE_HASH, "counter trace drifted from the seed pool");
+}
+
+// ----------------------------------------------------------------------
+// Write-path determinism (PR 3)
+// ----------------------------------------------------------------------
+
+/// Golden values captured from the PRE-latching B+-tree write path (the
+/// seed's recursive insert / path-recording delete over a `shards = 1`
+/// pool).  The latch-crabbing write path must reproduce the *exact* page
+/// access sequence single-threaded: same logical reads/writes, same
+/// misses, same eviction victims, after every single operation.
+///
+/// Re-capture with `scripts/recapture-goldens.sh` (never edit by hand).
+const GOLDEN_WRITE_FINAL: IoSnapshot = IoSnapshot {
+    logical_reads: 5234,
+    logical_writes: 1982,
+    physical_reads: 2371,
+    physical_writes: 957,
+};
+const GOLDEN_WRITE_TRACE_HASH: u64 = 0xada3_a2d7_d6f2_029c;
+/// FNV-1a over the phase-1 `(key0, key1, payload)` stream of `scan_all`,
+/// pinning the tree *contents*, not just the I/O counters.
+const GOLDEN_WRITE_CONTENT_HASH: u64 = 0xa89f_0873_6e03_39b2;
+
+#[test]
+fn btree_write_path_reproduces_seed_byte_for_byte() {
+    // 256-byte pages (leaf capacity 9, internal capacity 7) over an
+    // 8-frame single-shard pool: constant splits and evictions, the seed
+    // pool's LRU exercised by every structural move the tree makes.
+    let pool =
+        Arc::new(BufferPool::new(MemDisk::new(PAGE_SIZE), BufferPoolConfig::with_capacity(8)));
+    let stats = pool.stats();
+    let tree = BTree::create(Arc::clone(&pool), 2).unwrap();
+
+    let mut live: Vec<(i64, i64, u64)> = Vec::new();
+    let mut model: std::collections::BTreeSet<(i64, i64, u64)> = std::collections::BTreeSet::new();
+    let mut x = 0x5EED_1DEA_u64;
+    let mut trace_hash = 0xcbf2_9ce4_8422_2325_u64;
+    let mut op_count = 0u64;
+
+    let step = |snap: IoSnapshot, trace_hash: &mut u64, op_count: &mut u64| {
+        *op_count += 1;
+        *trace_hash = fnv1a(*trace_hash, snap.logical_reads);
+        *trace_hash = fnv1a(*trace_hash, snap.logical_writes);
+        *trace_hash = fnv1a(*trace_hash, snap.physical_reads);
+        *trace_hash = fnv1a(*trace_hash, snap.physical_writes);
+    };
+
+    // Phase 1: mixed inserts / deletes / scans over a narrow key domain
+    // (many duplicates, frequent delete hits, leaf splits throughout).
+    for _ in 0..600 {
+        let r = next(&mut x);
+        let a = (r % 40) as i64 - 20;
+        let b = ((r >> 16) % 40) as i64 - 20;
+        let p = (r >> 48) % 8;
+        match r % 100 {
+            0..=59 => {
+                if model.insert((a, b, p)) {
+                    tree.insert(&[a, b], p).unwrap();
+                    live.push((a, b, p));
+                }
+            }
+            60..=84 => {
+                let target = if !live.is_empty() && r % 3 != 0 {
+                    live[(r >> 8) as usize % live.len()]
+                } else {
+                    (a, b, p) // often a miss
+                };
+                let existed = model.remove(&target);
+                assert_eq!(tree.delete(&[target.0, target.1], target.2).unwrap(), existed);
+                if existed {
+                    live.retain(|&e| e != target);
+                }
+            }
+            _ => {
+                let (lo, hi) = (a.min(b), a.max(b));
+                let got = tree.scan_range(&[lo, i64::MIN], &[hi, i64::MAX]).count();
+                let want = model.iter().filter(|&&(k, _, _)| k >= lo && k <= hi).count();
+                assert_eq!(got, want);
+            }
+        }
+        step(stats.snapshot(), &mut trace_hash, &mut op_count);
+    }
+
+    // Contents after the mixed phase, pinned independently of the
+    // counters (the drain below empties the tree).
+    let mut content_hash = 0xcbf2_9ce4_8422_2325_u64;
+    for e in tree.scan_all() {
+        let e = e.unwrap();
+        content_hash = fnv1a(content_hash, e.key.col(0) as u64);
+        content_hash = fnv1a(content_hash, e.key.col(1) as u64);
+        content_hash = fnv1a(content_hash, e.payload);
+    }
+
+    // Phase 2: drain the tree in a seeded order — exercises empty-leaf
+    // unlinking, parent-cascade removal, root collapse, and free-list
+    // reuse on the way down to the empty tree.
+    while !live.is_empty() {
+        let r = next(&mut x);
+        let target = live.swap_remove(r as usize % live.len());
+        assert!(model.remove(&target));
+        assert!(tree.delete(&[target.0, target.1], target.2).unwrap());
+        step(stats.snapshot(), &mut trace_hash, &mut op_count);
+        if r % 5 == 0 {
+            // Re-grow a little so the drain crosses leaf boundaries
+            // repeatedly instead of monotonically shrinking.
+            let a = (r % 23) as i64 - 11;
+            let b = ((r >> 20) % 23) as i64 - 11;
+            let p = 8 + (r >> 50) % 4;
+            if model.insert((a, b, p)) {
+                tree.insert(&[a, b], p).unwrap();
+                live.push((a, b, p));
+            }
+            step(stats.snapshot(), &mut trace_hash, &mut op_count);
+        }
+    }
+    assert_eq!(tree.entry_count().unwrap(), 0, "phase 2 drains the tree");
+    tree.check_invariants().unwrap();
+
+    let final_snap = stats.snapshot();
+    eprintln!(
+        "GOLDEN-WRITE ops: {op_count}, logical_reads: {}, logical_writes: {}, physical_reads: {}, physical_writes: {}, trace_hash: {:#x}, content_hash: {:#x}",
+        final_snap.logical_reads,
+        final_snap.logical_writes,
+        final_snap.physical_reads,
+        final_snap.physical_writes,
+        trace_hash,
+        content_hash
+    );
+    assert_eq!(final_snap, GOLDEN_WRITE_FINAL, "write-path counters drifted from the seed");
+    assert_eq!(trace_hash, GOLDEN_WRITE_TRACE_HASH, "write-path counter trace drifted");
+    assert_eq!(content_hash, GOLDEN_WRITE_CONTENT_HASH, "final tree contents drifted");
 }
