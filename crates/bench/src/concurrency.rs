@@ -16,13 +16,18 @@
 //! both read off the sharded pool's per-shard counters
 //! ([`ri_pagestore::PoolStats::per_shard`]):
 //!
-//! 1. **Per-shard serial floor** — a shard's lock admits one page access
-//!    at a time, and a *miss* performs its simulated disk fetch while
-//!    holding it (exactly what the implementation does).  So shard `s`
+//! 1. **Per-shard serial floor** — a shard's lock admits one *lock hold*
+//!    at a time.  Since miss promotion (PR 4), a miss holds the lock only
+//!    to reserve a frame and again to publish the fetched page; the
+//!    device read itself runs **outside** the lock (see
+//!    `ri_pagestore::buffer`, "Miss promotion").  So shard `s`
 //!    contributes a serial timeline of
-//!    `phys_reads(s)·t_read + phys_writes(s)·t_write + logical(s)·t_latch`
-//!    that no amount of threading can compress.  With one shard this is
-//!    the whole batch's I/O — the global-lock convoy.
+//!    `(logical(s) + phys_reads(s) + phys_writes(s))·t_latch` — one
+//!    bookkeeping hold per access plus one publish hold per device op —
+//!    and *no* device latency.  (Pre-PR 4 the floor charged
+//!    `phys·t_read/t_write` too, which made one cold page stall every
+//!    hot hit on its shard; that is exactly the term the promotion
+//!    removed, from the implementation and therefore from the model.)
 //! 2. **Aggregate work spread over `T` threads** — simulated I/O plus
 //!    per-access CPU (latch + search) plus the executor's per-row cost,
 //!    divided evenly among threads.
@@ -30,10 +35,18 @@
 //! Simulated makespan is the larger of the two; throughput is
 //! `queries / makespan`.  The model charges the same total work to every
 //! configuration — sharding only relaxes the serial floor, which is
-//! precisely the effect under study.  (Approximation: the access trace is
-//! recorded single-threaded, so cache interference between concurrent
-//! readers is not modeled; shard counts leave hit ratios essentially
+//! precisely the effect under study.  (Approximations: the access trace
+//! is recorded single-threaded, so cache interference between concurrent
+//! readers is not modeled, and single-flight coalescing of same-page
+//! faults is treated as full overlap — distinct-page fetches in one
+//! shard really do overlap, same-page fetches collapse to one read and
+//! are priced once.  Shard counts leave hit ratios essentially
 //! unchanged, so the comparison across shard counts is fair.)
+//!
+//! The headline consequence: a **1-shard pool now scales with reader
+//! threads on miss-heavy workloads** — its floor is latch bookkeeping,
+//! not I/O — and sharding matters only once aggregate latch traffic,
+//! not device latency, becomes the bottleneck.
 //!
 //! Alongside the model, the experiment *actually runs* the batch on real
 //! threads through [`RiTree::intersection_batch`] at every configuration
@@ -80,12 +93,15 @@ impl Default for ContentionModel {
 }
 
 impl ContentionModel {
-    /// The serial timeline of one shard: its lock admits one access at a
-    /// time, and misses do their simulated I/O under it.
+    /// The serial timeline of one shard: its lock admits one hold at a
+    /// time — one bookkeeping hold per logical access (hit or reserve)
+    /// plus one publish hold per device operation.  Device reads and
+    /// writes run *outside* the lock (miss promotion) and therefore do
+    /// not appear here; they are charged to the aggregate work instead.
     pub fn shard_serial_seconds(&self, shard: &IoSnapshot) -> f64 {
-        shard.physical_reads as f64 * self.latency.seconds_per_read
-            + shard.physical_writes as f64 * self.latency.seconds_per_write
-            + (shard.logical_reads + shard.logical_writes) as f64 * self.seconds_per_latch
+        (shard.logical_reads + shard.logical_writes + shard.physical_reads + shard.physical_writes)
+            as f64
+            * self.seconds_per_latch
     }
 
     /// Simulated seconds for `threads` readers to drain a batch whose
@@ -234,8 +250,9 @@ pub fn run(quick: bool, json_path: Option<&std::path::Path>) -> ConcurrencyRepor
             f(wall_par_ms)
         );
     }
-    println!("# model: global lock serializes all simulated I/O behind one latch;");
-    println!("# 16 shards overlap misses, so throughput scales with reader threads");
+    println!("# model: device reads run outside the shard lock (miss promotion), so");
+    println!("# even the 1-shard pool scales with reader threads on miss-heavy work;");
+    println!("# the residual per-shard floor is latch bookkeeping (reserve/hit + publish)");
 
     let report = ConcurrencyReport { intervals: n, queries: queries.len(), model, rows };
     if let Some(path) = json_path {
@@ -256,6 +273,17 @@ fn write_json(
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"fig18_concurrency\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    // The contention model this snapshot was priced under, so a diff
+    // between snapshots from different protocol generations explains
+    // itself.  `runner_cores` records the machine (wall-clock columns can
+    // only ever be compared across equal core counts; the modeled columns
+    // are machine-independent).
+    out.push_str(
+        "  \"protocol\": \"miss promotion: device reads run outside the shard lock; \
+         per-shard serial floor charges lock holds only (one per access + one per \
+         device op), not device latency\",\n",
+    );
+    out.push_str(&format!("  \"runner_cores\": {},\n", crate::harness::runner_cores()));
     out.push_str(&format!("  \"intervals\": {},\n", report.intervals));
     out.push_str(&format!("  \"queries\": {},\n", report.queries));
     out.push_str("  \"model\": {\n");
@@ -292,8 +320,8 @@ mod tests {
     #[test]
     fn model_has_a_hard_serial_floor() {
         let m = ContentionModel::default();
-        // One shard holding all I/O: threads cannot push makespan below
-        // the shard's serial timeline.
+        // One shard holding all the latch traffic: threads cannot push
+        // makespan below the shard's lock-hold timeline.
         let shard = IoSnapshot {
             logical_reads: 1000,
             logical_writes: 0,
@@ -302,34 +330,50 @@ mod tests {
         };
         let floor = m.shard_serial_seconds(&shard);
         let m1 = m.makespan_seconds(&[shard], 0, 1);
-        let m64 = m.makespan_seconds(&[shard], 0, 64);
-        assert!(m1 >= m64);
-        assert!((m64 - floor).abs() < 1e-12, "64 threads bottom out at the serial floor");
+        let m10k = m.makespan_seconds(&[shard], 0, 10_000);
+        assert!(m1 >= m10k);
+        assert!((m10k - floor).abs() < 1e-12, "many threads bottom out at the serial floor");
     }
 
     #[test]
-    fn spreading_io_over_shards_lifts_the_floor() {
+    fn device_latency_no_longer_charges_the_floor() {
+        // Same latch traffic, wildly different miss counts: the serial
+        // floor must move only by the publish holds (t_latch per miss),
+        // never by device read latency — misses are promoted.
         let m = ContentionModel::default();
-        let one = IoSnapshot {
-            logical_reads: 1600,
+        let cold = IoSnapshot {
+            logical_reads: 1000,
             logical_writes: 0,
-            physical_reads: 640,
+            physical_reads: 900,
             physical_writes: 0,
         };
-        let sixteenth = IoSnapshot {
-            logical_reads: 100,
-            logical_writes: 0,
-            physical_reads: 40,
-            physical_writes: 0,
-        };
-        let spread = vec![sixteenth; 16];
-        let at4_global = m.makespan_seconds(&[one], 0, 4);
-        let at4_sharded = m.makespan_seconds(&spread, 0, 4);
-        // Identical total work, but the global lock convoy caps the
-        // 1-shard pool while 16 shards scale with the threads.
+        let warm = IoSnapshot { physical_reads: 0, ..cold };
+        let delta = m.shard_serial_seconds(&cold) - m.shard_serial_seconds(&warm);
+        assert!((delta - 900.0 * m.seconds_per_latch).abs() < 1e-12);
         assert!(
-            at4_global >= 2.0 * at4_sharded,
-            "expected >= 2x: global {at4_global}, sharded {at4_sharded}"
+            delta < 900.0 * m.latency.seconds_per_read / 100.0,
+            "900 cold fetches must cost the floor far less than their device time"
+        );
+    }
+
+    #[test]
+    fn spreading_latch_traffic_over_shards_lifts_the_floor() {
+        let m = ContentionModel::default();
+        // A hit-heavy trace: aggregate work is small, so the latch floor
+        // binds and sharding it is what scales.
+        let one = IoSnapshot {
+            logical_reads: 1_600_000,
+            logical_writes: 0,
+            physical_reads: 0,
+            physical_writes: 0,
+        };
+        let sixteenth = IoSnapshot { logical_reads: 100_000, ..one };
+        let spread = vec![sixteenth; 16];
+        let at64_global = m.makespan_seconds(&[one], 0, 64);
+        let at64_sharded = m.makespan_seconds(&spread, 0, 64);
+        assert!(
+            at64_global >= 2.0 * at64_sharded,
+            "expected >= 2x: global {at64_global}, sharded {at64_sharded}"
         );
     }
 
@@ -344,13 +388,24 @@ mod tests {
                 .map(|r| r.queries_per_sec)
                 .expect("configuration measured")
         };
+        // The PR 4 acceptance bar: the 1-shard pool scales with reader
+        // threads on this miss-heavy workload, because misses no longer
+        // serialize on the shard lock.
         for threads in [4, 8] {
             assert!(
-                qps(16, threads) >= 2.0 * qps(1, threads),
-                "16 shards must be >= 2x the global lock at {threads} threads"
+                qps(1, threads) >= 2.0 * qps(1, 1),
+                "1-shard pool must scale at {threads} threads once misses are promoted"
             );
         }
-        // Sanity: more threads never model slower on 16 shards.
+        // Sharding can no longer be *worse* than the global pool in any
+        // meaningful way (traces differ slightly per shard layout), and
+        // more threads never model slower.
+        for threads in THREAD_COUNTS {
+            assert!(
+                qps(16, threads) >= 0.9 * qps(1, threads),
+                "16 shards must stay within noise of 1 shard at {threads} threads"
+            );
+        }
         assert!(qps(16, 8) >= qps(16, 4));
     }
 }

@@ -140,6 +140,15 @@ pub fn snapshot_args(default_json: &str) -> (bool, Option<std::path::PathBuf>) {
     (quick, json)
 }
 
+/// Core count of the machine regenerating a snapshot, recorded in the
+/// bench JSON metadata.  The modeled columns are machine-independent;
+/// this field is prep for the ROADMAP wall-clock item — once CI has
+/// multicore runners, snapshots with equal `runner_cores` become
+/// wall-clock-comparable too.
+pub fn runner_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Prints a CSV header followed by a blank-line-separated block marker so
 /// figures can be extracted from `run_all` output.
 pub fn section(title: &str) {

@@ -17,11 +17,16 @@
 //!   per-insert costs no matter how many threads submit work;
 //! * **latch crabbing** — leaf-disjoint inserts overlap: aggregate work
 //!   spreads over `T` threads, floored by the serial components that
-//!   remain: (1) each pool shard's lock admits one page access at a time
-//!   and faults misses under it (the fig18 floor), (2) splits run under
-//!   the exclusive tree latch, so all SMO inserts form one serial
-//!   timeline, (3) every insert bumps the entry count under the meta-page
-//!   latch, one latch hold per insert.
+//!   remain: (1) each pool shard's lock admits one *hold* at a time —
+//!   since miss promotion (PR 4) that is bookkeeping plus publish holds
+//!   only, device reads and write-backs run outside the lock (the
+//!   re-derived fig18 floor, [`ContentionModel::shard_serial_seconds`]),
+//!   (2) splits run under the exclusive tree latch, so all SMO inserts
+//!   form one serial timeline, (3) every insert bumps the entry count
+//!   under the meta-page latch, one latch hold per insert.  With the
+//!   promoted miss path the pool lock has stopped binding even at one
+//!   shard: leaf faults overlap, and the binding floor is whichever of
+//!   the SMO timeline and the meta latch is larger.
 //!
 //! Charging identical total work to both protocols isolates exactly the
 //! effect under study — which serial floor binds.  Wall-clock numbers are
@@ -293,7 +298,9 @@ pub fn run(quick: bool, json_path: Option<&std::path::Path>) -> WriteReport {
     verify_ritree_batch(quick);
 
     println!("# model: the global writer serializes every insert; latch crabbing");
-    println!("# overlaps leaf-disjoint inserts and serializes only splits + counter bumps");
+    println!("# overlaps leaf-disjoint inserts and serializes only splits + counter bumps;");
+    println!("# leaf faults overlap too (miss promotion), so the pool lock no longer");
+    println!("# binds even at one shard");
     let report = WriteReport { inserts: n, traces, model, rows };
     if let Some(path) = json_path {
         write_json(&report, path, quick).expect("write bench snapshot");
@@ -345,6 +352,13 @@ fn write_json(report: &WriteReport, path: &std::path::Path, quick: bool) -> std:
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"fig19_write_concurrency\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    // See the fig18 snapshot: same re-derived floor, same metadata intent.
+    out.push_str(
+        "  \"protocol\": \"miss promotion: leaf faults and victim write-backs run \
+         outside the shard lock; the crabbing floor is max(latch bookkeeping, serial \
+         SMO timeline, per-insert meta hold)\",\n",
+    );
+    out.push_str(&format!("  \"runner_cores\": {},\n", crate::harness::runner_cores()));
     out.push_str(&format!("  \"inserts\": {},\n", report.inserts));
     out.push_str("  \"traces\": [\n");
     for (i, t) in report.traces.iter().enumerate() {
@@ -439,13 +453,17 @@ mod tests {
                 .expect("configuration measured")
         };
         // The acceptance bar: >= 2x the global-writer baseline at 4
-        // writer threads (on the sharded pool; one shard shows how the
-        // pool lock, not the writer path, then binds).
-        assert!(
-            row(16, 4).speedup >= 2.0,
-            "expected >= 2x at 4 threads, got {}",
-            row(16, 4).speedup
-        );
+        // writer threads on the sharded pool — and, since miss promotion
+        // moved leaf faults off the shard lock, on the 1-shard pool too
+        // (the pool lock no longer binds; only SMOs and the meta latch
+        // serialize).
+        for shards in SHARD_COUNTS {
+            assert!(
+                row(shards, 4).speedup >= 2.0,
+                "expected >= 2x at 4 threads on {shards} shard(s), got {}",
+                row(shards, 4).speedup
+            );
+        }
         assert!(row(16, 8).inserts_per_sec_crabbing >= row(16, 4).inserts_per_sec_crabbing);
         // The baseline is thread-count-invariant by construction.
         assert!(

@@ -24,6 +24,30 @@
 //! cannot change while any shared holder exists).  Single-threaded, the
 //! page-access sequence of every operation is bit-for-bit identical to
 //! the pre-latching implementation — pinned by `tests/pool_determinism.rs`.
+//!
+//! # Latches vs page faults (audit)
+//!
+//! With the pool's promoted miss path, a fault performs its device read
+//! outside the shard lock — but a *latch* held across a fault would still
+//! queue that latch's waiters behind the fetch.  The descent paths
+//! therefore [`BufferPool::prefetch`] every page immediately before
+//! latching it, so the read under a page's own latch — crabbing,
+//! exclusive leaf, or meta — is a cache hit.  (Best-effort, not an
+//! invariant: under heavy eviction pressure a concurrent fault may evict
+//! the page in the prefetch-to-latch window and the latched read then
+//! re-faults; the window contains no device I/O, so this is rare, and
+//! merely reduces to the pre-prefetch behavior.)  Crabbing order
+//! does mean a *parent's* latch is still held while its child prefetches
+//! (releasing the parent first would break the crabbing invariant), so a
+//! cold child delays waiters of the parent latch by one fetch — but
+//! never waiters of the cold page itself, which is the latch queue that
+//! used to convoy.  The remaining fault-spanning holders are (a) the
+//! shared *tree* latch, which a scan necessarily pins across all of its
+//! leaf loads and which blocks only structure modifications, and (b) the
+//! exclusive tree latch inside an SMO, whose page accesses must replay
+//! the cached descent verbatim (prefetching there would reorder accesses
+//! relative to the seed and is deliberately omitted; SMOs are the rare,
+//! already-serialized path).
 
 use crate::key::Entry;
 use crate::layout::{self, internal_capacity, leaf_capacity, InternalNode, LeafNode, Node};
@@ -326,8 +350,18 @@ impl BTree {
     /// latches down the inner nodes and taking the leaf latch exclusive.
     /// Returns the routing path, the latched leaf, and its guard; the
     /// caller must hold the tree latch (shared) for the whole call.
+    ///
+    /// Every page is **prefetched before its latch is acquired** (see
+    /// [`BufferPool::prefetch`]): the read that follows under a page's
+    /// own latch is a cache hit, so a cold page never stalls the waiters
+    /// queued on *its* latch.  (The parent's crabbing latch is
+    /// necessarily still held while a child prefetches — see the module
+    /// docs.)  Prefetch + adjacent access is counter- and LRU-equivalent
+    /// to the plain access, so the goldens in `tests/pool_determinism.rs`
+    /// are unaffected.
     fn descend_for_write(&self, meta: &Meta, target: &Entry) -> Result<WritePath<'_>> {
         let mut page = meta.root;
+        self.pool.prefetch(page)?;
         let mut guard = if meta.height == 1 {
             self.latches().page_exclusive(page)
         } else {
@@ -340,6 +374,7 @@ impl BTree {
             let child = node.child_at(slot);
             // Crab: latch the child before releasing the parent (the
             // assignment drops the parent guard).
+            self.pool.prefetch(child)?;
             guard = if level == 2 {
                 self.latches().page_exclusive(child)
             } else {
@@ -399,6 +434,10 @@ impl BTree {
                     self.store_leaf(wp.leaf_page, &wp.leaf)?;
                     wp.leaf_version.fetch_add(1, Ordering::Release);
                     drop(wp.leaf_guard);
+                    // Prefetch so the count bump under the meta latch is a
+                    // hit — the meta page is the hottest latch in the tree
+                    // and must never wait on a device read.
+                    self.pool.prefetch(self.meta_page)?;
                     let _meta_latch = self.latches().page_exclusive(self.meta_page);
                     return self.bump_count(1);
                 }
@@ -460,6 +499,7 @@ impl BTree {
         let mut path = Vec::with_capacity(meta.height as usize);
         let mut page = meta.root;
         for _ in 2..=meta.height {
+            self.pool.prefetch(page)?;
             held.push(self.latches().page_exclusive(page));
             let node = self.read_internal(page)?;
             if node.entries.len() < self.internal_cap {
@@ -471,6 +511,7 @@ impl BTree {
             path.push((page, slot));
             page = node.child_at(slot);
         }
+        self.pool.prefetch(page)?;
         held.push(self.latches().page_exclusive(page));
         let leaf = self.read_leaf(page)?;
         self.insert_smo(entry, meta, &path, page, leaf)
@@ -592,6 +633,8 @@ impl BTree {
                 self.store_leaf(wp.leaf_page, &wp.leaf)?;
                 wp.leaf_version.fetch_add(1, Ordering::Release);
                 drop(wp.leaf_guard);
+                // As in `insert`: the bump under the meta latch must hit.
+                self.pool.prefetch(self.meta_page)?;
                 let _meta_latch = self.latches().page_exclusive(self.meta_page);
                 self.bump_count(-1)?;
                 return Ok(true);
@@ -635,6 +678,7 @@ impl BTree {
         let mut path = Vec::with_capacity(meta.height as usize);
         let mut page = meta.root;
         for _ in 2..=meta.height {
+            self.pool.prefetch(page)?;
             held.push(self.latches().page_exclusive(page));
             let node = self.read_internal(page)?;
             if !node.entries.is_empty() {
@@ -644,6 +688,7 @@ impl BTree {
             path.push((page, slot));
             page = node.child_at(slot);
         }
+        self.pool.prefetch(page)?;
         held.push(self.latches().page_exclusive(page));
         let mut leaf = self.read_leaf(page)?;
         let Ok(pos) = leaf.entries.binary_search(target) else {

@@ -5,6 +5,23 @@
 //! O(1) backbone parameters in the database's data dictionary (Section 5),
 //! fork-node maintenance on insert (Figures 5/6), and intersection queries
 //! compiled to the two-fold `UNION ALL` plan of Figure 9 / Figure 10.
+//!
+//! # Latches vs page faults (audit)
+//!
+//! With the buffer pool's promoted miss path (device reads outside the
+//! shard lock), the RI-tree level holds no latch across a fault on any
+//! descent: query descents acquire no page latches at all (transient
+//! probes through the B+-trees, which pin only the shared tree latch —
+//! see `ri_btree::tree`), and row/index writes go through the heap's and
+//! B+-trees' prefetch-before-latch sections.  The one RI-tree-level latch
+//! is the *parameter latch* ([`Database::param_guard`]): it spans
+//! in-memory parameter reads plus at most one header-page persist, which
+//! may fault.  It is deliberately *not* prefetched — whether the section
+//! writes the header at all is decided inside it, and an unconditional
+//! prefetch would change the physical access sequence the experiment
+//! goldens pin.  Parameter RMWs happen only on data-space expansion
+//! (O(log of the data-space growth) events per tree lifetime), so the
+//! exposure is negligible and recorded here instead of engineered away.
 
 use crate::interval::Interval;
 use crate::vtree::BackboneParams;

@@ -36,16 +36,49 @@
 //! measure.  Callers must not access the *same* page from two nested
 //! closures when either access is mutable; the B+-tree and heap layers are
 //! structured to never do so.
+//!
+//! # Miss promotion: device reads run outside the shard lock
+//!
+//! A cache miss is a **three-phase protocol** instead of a fetch under the
+//! shard lock:
+//!
+//! 1. **Reserve** (under the lock): pick a frame — grow, or evict the LRU
+//!    among *non-reserved* frames — mark it reserved, move its buffer out,
+//!    and register the page in the shard's in-flight miss table.
+//! 2. **Fetch** (no lock held): write the dirty victim back and read the
+//!    missing page from the device.  Hits on other pages of the same shard
+//!    proceed concurrently; a hot shard no longer stalls behind one cold
+//!    fetch.
+//! 3. **Publish** (under the lock again): install the buffer, clear the
+//!    reservation, remove the in-flight entry, and wake waiters.
+//!
+//! Concurrent faults on the same page **coalesce single-flight**: the first
+//! becomes the fetcher, later ones block on the in-flight entry and are
+//! served from the published frame — one device read total, counted in
+//! [`IoStats::miss_snapshot`] as coalesced faults.  Reserved frames are
+//! never chosen as eviction victims (their buffer is out with the fetcher);
+//! a fault that finds every frame reserved waits for a publish.  A dirty
+//! eviction victim is tracked in a per-shard `evicting` set until its
+//! promoted write-back lands: a fault on such a page waits rather than
+//! resurrect the stale disk image (the lost-update race that the
+//! fetch-under-the-lock implementation excluded by construction).
+//! [`BufferPool::flush_all`] and [`BufferPool::clear_cache`] drain each
+//! shard's in-flight reads *and* write-backs before touching its frames.
+//!
+//! Single-threaded the protocol is observationally the seed pool verbatim:
+//! one fault performs the same write-back and read, in the same order,
+//! against the same LRU state — `tests/pool_determinism.rs` pins this
+//! byte-for-byte.
 
 use crate::disk::DiskManager;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::latch::LatchManager;
 use crate::page::PageId;
 use crate::stats::{IoStats, PoolStats};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, PoisonError};
 
 /// Sizing knobs for [`BufferPool`].
 #[derive(Clone, Copy, Debug)]
@@ -86,18 +119,39 @@ struct Frame {
     dirty: bool,
     /// Logical timestamp of the most recent access, for LRU victim selection.
     last_used: u64,
+    /// Reserved by an in-flight miss: the buffer is out with the fetching
+    /// thread, so the frame is excluded from victim selection and must not
+    /// be touched until the fetch publishes or fails.
+    reserved: bool,
 }
 
 struct PoolInner {
     frames: Vec<Frame>,
     /// Maps a cached page id to its frame index.
     table: HashMap<PageId, usize>,
+    /// Pages whose device read is currently in flight, mapped to their
+    /// reserved frame (the single-flight miss table).
+    in_flight: HashMap<PageId, usize>,
+    /// Dirty eviction victims whose write-back is currently in flight.
+    /// Such a page is out of the table but its *disk image is stale*; a
+    /// fault on it must wait for the write-back to land (or fail back
+    /// into the cache) or it would resurrect the pre-update image — the
+    /// lost-update race the shard lock used to prevent by construction.
+    evicting: HashSet<PageId>,
+    /// Janitors (flush/clear) currently draining this shard.  While
+    /// non-zero, *new* reservations are turned away so the drain cannot
+    /// be starved by sustained miss traffic; hits and already-in-flight
+    /// fetches proceed untouched.
+    draining: u32,
     clock: u64,
 }
 
 /// One lock stripe: its own frame set, LRU clock, and I/O counters.
 struct Shard {
     inner: Mutex<PoolInner>,
+    /// Signalled on every publish / fetch failure: same-page waiters,
+    /// frame-starved faults, and flush/clear drains block here.
+    cv: Condvar,
     stats: Arc<IoStats>,
     /// Frames this shard may hold (the pool capacity is split across
     /// shards, remainder to the lowest-numbered ones).
@@ -177,8 +231,12 @@ impl BufferPool {
                     inner: Mutex::new(PoolInner {
                         frames: Vec::new(),
                         table: HashMap::with_capacity(capacity),
+                        in_flight: HashMap::new(),
+                        evicting: HashSet::new(),
+                        draining: 0,
                         clock: 0,
                     }),
+                    cv: Condvar::new(),
                     stats: IoStats::new_shared(),
                     capacity,
                 }
@@ -259,8 +317,7 @@ impl BufferPool {
         shard.stats.record_logical_read();
         let mut buf = take_scratch(self.page_size);
         {
-            let mut inner = shard.inner.lock();
-            let idx = self.ensure_resident(shard, &mut inner, id)?;
+            let (inner, idx) = self.acquire_resident(shard, id)?;
             buf.copy_from_slice(&inner.frames[idx].data);
         }
         let result = f(&buf);
@@ -275,16 +332,14 @@ impl BufferPool {
         shard.stats.record_logical_write();
         let mut buf = take_scratch(self.page_size);
         {
-            let mut inner = shard.inner.lock();
-            let idx = self.ensure_resident(shard, &mut inner, id)?;
+            let (inner, idx) = self.acquire_resident(shard, id)?;
             buf.copy_from_slice(&inner.frames[idx].data);
         }
         let result = f(&mut buf);
         {
-            let mut inner = shard.inner.lock();
             // The page may have been evicted by nested accesses inside `f`;
             // fault it back in before installing the modified copy.
-            let idx = self.ensure_resident(shard, &mut inner, id)?;
+            let (mut inner, idx) = self.acquire_resident(shard, id)?;
             inner.frames[idx].data.copy_from_slice(&buf);
             inner.frames[idx].dirty = true;
         }
@@ -292,21 +347,38 @@ impl BufferPool {
         Ok(result)
     }
 
+    /// Faults page `id` into the cache without counting a logical access.
+    ///
+    /// The latching layers call this immediately before acquiring an
+    /// exclusive latch so the access that follows *under* the latch is a
+    /// cache hit — no latch is ever held across a device read on the hot
+    /// write path.  Counter-wise a prefetch is invisible except for the
+    /// physical read it may perform, which the following access would
+    /// otherwise have performed itself: single-threaded, `prefetch(id)`
+    /// immediately followed by an access of `id` leaves all four I/O
+    /// counters and every future LRU victim choice exactly as the access
+    /// alone would have (the pair touches one page back-to-back, so the
+    /// relative recency order of frames is unchanged).
+    pub fn prefetch(&self, id: PageId) -> Result<()> {
+        let shard = self.shard(id);
+        let _ = self.acquire_resident(shard, id)?;
+        Ok(())
+    }
+
     /// Writes every dirty cached page back to the device and syncs it.
     ///
     /// Shards are flushed in index order, frames in slot order — the same
     /// deterministic write-back order as the seed pool when `shards = 1`.
+    /// In-flight misses are drained first: a reserved frame's buffer is
+    /// out with its fetcher, so the flush waits for every fetch to publish
+    /// (or fail) before walking the shard's frames.
     pub fn flush_all(&self) -> Result<()> {
         for shard in &self.shards {
             let mut inner = shard.inner.lock();
-            for idx in 0..inner.frames.len() {
-                if inner.frames[idx].dirty {
-                    let page = inner.frames[idx].page;
-                    self.disk.write_page(page, &inner.frames[idx].data)?;
-                    shard.stats.record_physical_write();
-                    inner.frames[idx].dirty = false;
-                }
-            }
+            inner = self.drain_in_flight(shard, inner);
+            let walked = self.write_back_dirty_frames(shard, &mut inner);
+            self.release_drain(shard, &mut inner);
+            walked?;
         }
         self.disk.sync()
     }
@@ -315,64 +387,256 @@ impl BufferPool {
     ///
     /// Experiments call this between the load phase and the query phase so
     /// queries start from a cold cache, as after the paper's bulk loads.
+    /// Like [`BufferPool::flush_all`], each shard's in-flight misses are
+    /// drained before its frames are dropped (frame indices held by a
+    /// fetcher must never dangle).
     pub fn clear_cache(&self) -> Result<()> {
         self.flush_all()?;
+        let mut late_writes = false;
         for shard in &self.shards {
             let mut inner = shard.inner.lock();
-            inner.table.clear();
-            inner.frames.clear();
+            inner = self.drain_in_flight(shard, inner);
+            // Concurrent writers may have dirtied frames after the flush
+            // pass above released this shard's lock (and during the drain
+            // waits): write those back under *this* guard, or dropping
+            // the frames below would silently lose their updates.
+            // Single-threaded nothing is dirty here, so the flush order
+            // the goldens pin is untouched.
+            let walked = self.write_back_dirty_frames(shard, &mut inner);
+            if walked.is_ok() {
+                inner.table.clear();
+                inner.frames.clear();
+            }
+            self.release_drain(shard, &mut inner);
+            late_writes |= walked?;
+        }
+        if late_writes {
+            self.disk.sync()?;
         }
         Ok(())
     }
 
-    /// Makes page `id` resident in `shard` and returns its frame index.
+    /// The deterministic dirty-frame walk shared by [`BufferPool::flush_all`]
+    /// and the late-write pass of [`BufferPool::clear_cache`]: frames in
+    /// slot order, write-back, count, mark clean.  Caller holds the shard
+    /// lock with the shard drained.  Returns whether anything was written.
+    fn write_back_dirty_frames(&self, shard: &Shard, inner: &mut PoolInner) -> Result<bool> {
+        let mut wrote = false;
+        for idx in 0..inner.frames.len() {
+            if inner.frames[idx].dirty {
+                let page = inner.frames[idx].page;
+                self.disk.write_page(page, &inner.frames[idx].data)?;
+                shard.stats.record_physical_write();
+                inner.frames[idx].dirty = false;
+                wrote = true;
+            }
+        }
+        Ok(wrote)
+    }
+
+    /// Blocks until `shard` has no in-flight miss or write-back,
+    /// re-acquiring the lock around each wait.  Registers the caller as a
+    /// draining janitor first: while any janitor is registered, *new*
+    /// reservations are turned away (hits and in-flight fetches proceed),
+    /// so sustained miss traffic cannot starve a flush or clear.  The
+    /// caller must pair this with [`BufferPool::release_drain`] under the
+    /// same guard once its quiesced-shard work is done.
+    fn drain_in_flight<'a>(
+        &self,
+        shard: &'a Shard,
+        mut inner: MutexGuard<'a, PoolInner>,
+    ) -> MutexGuard<'a, PoolInner> {
+        inner.draining += 1;
+        while !inner.in_flight.is_empty() || !inner.evicting.is_empty() {
+            inner = shard.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+        inner
+    }
+
+    /// Ends a [`BufferPool::drain_in_flight`] admission hold and wakes the
+    /// reservations it turned away.
+    fn release_drain(&self, shard: &Shard, inner: &mut PoolInner) {
+        inner.draining -= 1;
+        if inner.draining == 0 {
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Makes page `id` resident in `shard` and returns the locked shard
+    /// state plus the frame index — the three-phase miss protocol (see the
+    /// module docs).
     ///
-    /// Runs entirely under the shard lock; with `shards = 1` this is the
-    /// seed pool's algorithm verbatim (global LRU clock, min-`last_used`
-    /// victim, write-back of dirty victims).
-    fn ensure_resident(&self, shard: &Shard, inner: &mut PoolInner, id: PageId) -> Result<usize> {
+    /// Single-threaded (no concurrent fault on this shard) the observable
+    /// behavior is the seed pool's `ensure_resident` verbatim: one LRU
+    /// clock tick, the same victim, write-back before read, counters
+    /// bumped at the same points, and the same failure states — only the
+    /// *lock* is released around the device I/O.
+    fn acquire_resident<'a>(
+        &self,
+        shard: &'a Shard,
+        id: PageId,
+    ) -> Result<(MutexGuard<'a, PoolInner>, usize)> {
+        let mut inner = shard.inner.lock();
         inner.clock += 1;
         let now = inner.clock;
-        if let Some(&idx) = inner.table.get(&id) {
-            inner.frames[idx].last_used = now;
-            return Ok(idx);
-        }
-        // Miss: grow up to the shard's capacity, then evict the LRU frame.
-        let idx = if inner.frames.len() < shard.capacity {
-            inner.frames.push(Frame {
-                page: PageId::INVALID,
-                data: vec![0u8; self.page_size].into_boxed_slice(),
-                dirty: false,
-                last_used: 0,
-            });
-            inner.frames.len() - 1
-        } else {
-            let victim = inner
-                .frames
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, fr)| fr.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity >= 1 guarantees a victim");
-            if inner.frames[victim].dirty {
-                let page = inner.frames[victim].page;
-                self.disk.write_page(page, &inner.frames[victim].data)?;
-                shard.stats.record_physical_write();
-                inner.frames[victim].dirty = false;
+        let mut coalesced = false;
+        loop {
+            if let Some(&idx) = inner.table.get(&id) {
+                // `max`: a waiter served after blocking carries a `now`
+                // from before its sleep; a stale stamp must not move a
+                // hot page backwards in LRU order.  Single-threaded `now`
+                // is always the newest tick, so this is exactly the
+                // seed's `last_used = now`.
+                let fr = &mut inner.frames[idx];
+                fr.last_used = fr.last_used.max(now);
+                return Ok((inner, idx));
             }
-            let old = inner.frames[victim].page;
-            inner.table.remove(&old);
-            victim
-        };
-        // Fault the page in.
-        let frame = &mut inner.frames[idx];
-        self.disk.read_page(id, &mut frame.data)?;
-        shard.stats.record_physical_read();
-        frame.page = id;
-        frame.dirty = false;
-        frame.last_used = now;
-        inner.table.insert(id, idx);
-        Ok(idx)
+            // Single-flight: another thread is already fetching this page.
+            // Block on its in-flight entry instead of issuing a duplicate
+            // device read; the published frame serves us on wake-up.
+            if inner.in_flight.contains_key(&id) {
+                if !coalesced {
+                    coalesced = true;
+                    shard.stats.record_coalesced_fault();
+                }
+                inner = shard.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            // The page is a dirty eviction victim whose write-back has not
+            // landed yet: its disk image is stale.  Wait for the
+            // write-back, then fault the fresh image (not a coalesced
+            // fault — we will issue our own read).
+            if inner.evicting.contains(&id) {
+                inner = shard.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            // A janitor is draining this shard: hold new reservations back
+            // so the drain terminates even under sustained miss traffic.
+            if inner.draining > 0 {
+                inner = shard.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            // Phase 1 — reserve, under the lock: grow up to the shard's
+            // capacity, else evict the LRU among *non-reserved* frames.
+            let idx = if inner.frames.len() < shard.capacity {
+                inner.frames.push(Frame {
+                    page: PageId::INVALID,
+                    data: vec![0u8; self.page_size].into_boxed_slice(),
+                    dirty: false,
+                    last_used: 0,
+                    reserved: true,
+                });
+                inner.frames.len() - 1
+            } else {
+                let victim = inner
+                    .frames
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, fr)| !fr.reserved)
+                    .min_by_key(|(_, fr)| fr.last_used)
+                    .map(|(i, _)| i);
+                match victim {
+                    Some(i) => {
+                        inner.frames[i].reserved = true;
+                        i
+                    }
+                    None => {
+                        // Every frame is reserved by an in-flight miss:
+                        // wait for a publish to free one, then retry.
+                        inner = shard.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                        continue;
+                    }
+                }
+            };
+            let old_page = inner.frames[idx].page;
+            let old_dirty = inner.frames[idx].dirty;
+            if !old_page.is_invalid() {
+                inner.table.remove(&old_page);
+            }
+            if old_dirty {
+                // Until the promoted write-back lands, faults on the
+                // victim must wait (its disk image is stale).
+                inner.evicting.insert(old_page);
+            }
+            // Move the buffer out to the fetcher; the reservation keeps
+            // every other thread away from this frame until publish.
+            let mut buf = std::mem::take(&mut inner.frames[idx].data);
+            inner.in_flight.insert(id, idx);
+            drop(inner);
+
+            // Phase 2 — fetch, with no lock held: hot hits on this shard
+            // proceed while the device works.  Write-back first, then the
+            // read — the seed pool's exact device-op order.
+            let mut failure: Option<Error> = None;
+            let mut wrote_back = false;
+            if old_dirty {
+                match self.disk.write_page(old_page, &buf) {
+                    Ok(()) => {
+                        shard.stats.record_physical_write();
+                        wrote_back = true;
+                    }
+                    Err(e) => failure = Some(e),
+                }
+            }
+            let mut read_ok = false;
+            if failure.is_none() {
+                match self.disk.read_page(id, &mut buf) {
+                    Ok(()) => read_ok = true,
+                    Err(e) => failure = Some(e),
+                }
+            }
+
+            // Phase 3 — publish (or roll back), under the lock again.
+            let mut inner2 = shard.inner.lock();
+            // Re-read the clock for the publish stamp: hits that landed
+            // during the fetch carry fresher ticks than our entry-time
+            // `now`, and a freshly faulted page must not publish as the
+            // shard's LRU minimum.  Single-threaded no tick intervened,
+            // so the stamp equals `now` — the seed's exact value.
+            let stamp = inner2.clock.max(now);
+            {
+                let fr = &mut inner2.frames[idx];
+                fr.data = buf;
+                fr.reserved = false;
+                if read_ok {
+                    fr.page = id;
+                    fr.dirty = false;
+                    fr.last_used = stamp;
+                } else if old_dirty && !wrote_back {
+                    // Write-back failure: the victim stays dirty and
+                    // cached (restored to the table below), as in the
+                    // seed.
+                } else {
+                    // The read failed with the victim safely on disk
+                    // (clean, or its write-back landed): the frame is
+                    // uncached.  Clear its identity — if `old_page` is
+                    // re-faulted into another frame while this one idles,
+                    // a later eviction of this frame must not remove that
+                    // live table mapping.
+                    fr.dirty = false;
+                    fr.page = PageId::INVALID;
+                }
+            }
+            inner2.in_flight.remove(&id);
+            if old_dirty {
+                // Write-back landed (disk is fresh) or failed (the victim
+                // goes back into the cache below): either way the stale
+                // window is over.
+                inner2.evicting.remove(&old_page);
+            }
+            if read_ok {
+                inner2.table.insert(id, idx);
+                shard.stats.record_physical_read();
+                shard.stats.record_lock_free_read();
+            } else if old_dirty && !wrote_back {
+                inner2.table.insert(old_page, idx);
+            }
+            shard.cv.notify_all();
+            return match failure {
+                Some(e) => Err(e),
+                None => Ok((inner2, idx)),
+            };
+        }
     }
 }
 
@@ -600,6 +864,68 @@ mod tests {
         assert_eq!(total.logical_reads, 16);
         // Dense ids spread evenly: 4 logical reads per shard.
         assert!(per_shard.iter().all(|s| s.logical_reads == 4), "{per_shard:?}");
+    }
+
+    // ------------------------------------------------------------------
+    // Miss promotion
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn every_miss_read_is_promoted_outside_the_lock() {
+        let pool = small_pool(2);
+        let pages: Vec<_> = (0..6).map(|_| pool.allocate_page().unwrap()).collect();
+        for &p in &pages {
+            pool.with_page(p, |_| {}).unwrap();
+        }
+        let io = pool.stats().snapshot();
+        let miss = pool.stats().miss_snapshot();
+        assert_eq!(miss.lock_free_reads, io.physical_reads, "all fetches run outside the lock");
+        assert_eq!(miss.coalesced_faults, 0, "single-threaded faults never coalesce");
+    }
+
+    #[test]
+    fn prefetch_makes_the_next_access_a_hit_and_stays_counter_invisible() {
+        // Twin pools, identical op sequence except one prefetches before
+        // each access: all four classic counters must match at every step.
+        let plain = small_pool(2);
+        let hinted = small_pool(2);
+        let pp: Vec<_> = (0..5).map(|_| plain.allocate_page().unwrap()).collect();
+        let hp: Vec<_> = (0..5).map(|_| hinted.allocate_page().unwrap()).collect();
+        let seq = [0usize, 1, 0, 2, 3, 1, 4, 0, 2, 2, 4];
+        for &i in &seq {
+            plain.with_page(pp[i], |_| {}).unwrap();
+            hinted.prefetch(hp[i]).unwrap();
+            hinted.with_page(hp[i], |_| {}).unwrap();
+            assert_eq!(plain.stats().snapshot(), hinted.stats().snapshot());
+        }
+        // And a prefetched access really is a hit.
+        let before = hinted.stats().snapshot();
+        hinted.prefetch(hp[3]).unwrap(); // cold again? no: 3 was evicted above
+        let mid = hinted.stats().snapshot();
+        hinted.with_page(hp[3], |_| {}).unwrap();
+        let after = hinted.stats().snapshot();
+        assert_eq!(mid.since(&before).logical_reads, 0, "prefetch counts no logical access");
+        assert_eq!(after.since(&mid).physical_reads, 0, "the access after a prefetch is a hit");
+    }
+
+    #[test]
+    fn failed_read_leaves_pool_usable_and_unreserved() {
+        use crate::faulty::{FaultPlan, FaultyDisk};
+        let faulty = FaultyDisk::new(
+            MemDisk::new(128),
+            FaultPlan { fail_read_at: Some(1), ..Default::default() },
+        );
+        let pool = BufferPool::new(faulty, BufferPoolConfig::with_capacity(1));
+        let a = pool.allocate_page().unwrap();
+        let b = pool.allocate_page().unwrap();
+        pool.with_page(a, |_| {}).unwrap(); // read #0
+        assert!(pool.with_page(b, |_| {}).is_err()); // read #1 injected fault
+                                                     // The reservation was rolled back: both pages readable again, and
+                                                     // flush/clear (which drain in-flight misses) do not hang.
+        pool.with_page(b, |_| {}).unwrap();
+        pool.with_page(a, |_| {}).unwrap();
+        pool.clear_cache().unwrap();
+        pool.with_page(a, |_| {}).unwrap();
     }
 
     #[test]

@@ -31,6 +31,36 @@ pub trait DiskManager: Send + Sync {
     fn sync(&self) -> Result<()>;
 }
 
+/// Shared handles forward: a pool can own `Arc<D>` while the test (or
+/// operator tooling) keeps a second handle to adjust fault plans, read
+/// hooks, or counters on the live device — `tests/miss_promotion.rs`
+/// drives the promoted miss path this way.
+impl<D: DiskManager + ?Sized> DiskManager for std::sync::Arc<D> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        (**self).num_pages()
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        (**self).read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        (**self).write_page(id, buf)
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        (**self).allocate_page()
+    }
+
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+}
+
 /// Volatile block device backed by a `Vec` of boxed pages.
 ///
 /// This is what the experiments run on: physical I/O is counted by the

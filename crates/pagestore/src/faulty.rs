@@ -4,11 +4,31 @@
 //! [`FaultPlan`].  The integration tests use this to verify that I/O errors
 //! propagate cleanly through the B+-tree and relational layers (no panics,
 //! no partially-applied page writes observed after the failure is lifted).
+//!
+//! Beyond failures, the wrapper injects **latency and ordering**: a
+//! [`ReadHook`] runs before every device read that is about to execute,
+//! and may block (a slow disk), rendezvous with other readers (proving
+//! reads overlap), or record ordering.  `tests/miss_promotion.rs` uses
+//! hooks to prove the buffer pool's promoted miss path really performs
+//! device reads concurrently and coalesces same-page faults single-flight.
 
 use crate::disk::DiskManager;
 use crate::error::{Error, Result};
 use crate::page::PageId;
 use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Hook invoked as `(page, read_index)` immediately before a device read
+/// executes (after fault-plan checks, so injected failures skip it).
+/// Blocking inside the hook delays exactly that read; no internal lock is
+/// held while it runs, so hooks may rendezvous across threads.
+pub type ReadHook = Arc<dyn Fn(PageId, u64) + Send + Sync>;
+
+/// The write-side twin of [`ReadHook`]: `(page, write_index)` before each
+/// executing device write.  Parking a write-back here holds open the
+/// window in which an evicted dirty page's disk image is stale — the
+/// window the pool's `evicting` table must cover.
+pub type WriteHook = Arc<dyn Fn(PageId, u64) + Send + Sync>;
 
 /// Declarative schedule of which operations should fail.
 #[derive(Debug, Default)]
@@ -33,6 +53,8 @@ pub struct FaultyDisk<D: DiskManager> {
     inner: D,
     plan: Mutex<FaultPlan>,
     counters: Mutex<Counters>,
+    read_hook: Mutex<Option<ReadHook>>,
+    write_hook: Mutex<Option<WriteHook>>,
 }
 
 impl<D: DiskManager> FaultyDisk<D> {
@@ -42,12 +64,24 @@ impl<D: DiskManager> FaultyDisk<D> {
             inner,
             plan: Mutex::new(plan),
             counters: Mutex::new(Counters { reads: 0, writes: 0 }),
+            read_hook: Mutex::new(None),
+            write_hook: Mutex::new(None),
         }
     }
 
     /// Replaces the fault schedule (e.g. to lift all faults).
     pub fn set_plan(&self, plan: FaultPlan) {
         *self.plan.lock() = plan;
+    }
+
+    /// Installs (or clears) the per-read latency/ordering hook.
+    pub fn set_read_hook(&self, hook: Option<ReadHook>) {
+        *self.read_hook.lock() = hook;
+    }
+
+    /// Installs (or clears) the per-write latency/ordering hook.
+    pub fn set_write_hook(&self, hook: Option<WriteHook>) {
+        *self.write_hook.lock() = hook;
     }
 
     /// Total reads attempted so far (including failed ones).
@@ -82,6 +116,11 @@ impl<D: DiskManager> DiskManager for FaultyDisk<D> {
             return Err(Error::InjectedFault { op: "read", page: id.raw() });
         }
         drop(plan);
+        // Clone the hook out so a blocking hook never holds our lock.
+        let hook = self.read_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(id, n);
+        }
         self.inner.read_page(id, buf)
     }
 
@@ -97,6 +136,10 @@ impl<D: DiskManager> DiskManager for FaultyDisk<D> {
             return Err(Error::InjectedFault { op: "write", page: id.raw() });
         }
         drop(plan);
+        let hook = self.write_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(id, n);
+        }
         self.inner.write_page(id, buf)
     }
 
@@ -128,6 +171,27 @@ mod tests {
         assert!(matches!(err, Error::InjectedFault { op: "read", .. }));
         // Read #2 succeeds again; pool is still usable.
         pool.with_page(b, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn read_hook_observes_each_executing_read() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let faulty = FaultyDisk::new(
+            MemDisk::new(128),
+            FaultPlan { fail_read_at: Some(1), ..Default::default() },
+        );
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        faulty.set_read_hook(Some(Arc::new(move |_page, _n| {
+            seen2.fetch_add(1, Ordering::SeqCst);
+        })));
+        let pool = BufferPool::new(faulty, BufferPoolConfig::with_capacity(1));
+        let a = pool.allocate_page().unwrap();
+        let b = pool.allocate_page().unwrap();
+        pool.with_page(a, |_| {}).unwrap(); // read #0: hook fires
+        let _ = pool.with_page(b, |_| {}); // read #1 injected: hook skipped
+        pool.with_page(b, |_| {}).unwrap(); // read #2: hook fires
+        assert_eq!(seen.load(Ordering::SeqCst), 2, "hook runs only for executing reads");
     }
 
     #[test]

@@ -23,12 +23,24 @@
 //!
 //! # Modes and policy
 //!
-//! Latches are shared/exclusive with **reader preference**: a shared
-//! request only waits while a writer is *inside*, never for queued
+//! Latches are shared/exclusive with **reader preference** by default: a
+//! shared request only waits while a writer is *inside*, never for queued
 //! writers.  This makes nested shared acquisitions by one thread safe
 //! (the B+-tree takes the tree latch shared around whole scans) at the
 //! usual cost that a continuous reader stream can starve writers; the
 //! workloads here are bursty enough that this is the right trade.
+//!
+//! An opt-in **writer-fairness mode**
+//! ([`LatchManager::set_writer_fairness`]) blocks *new* shared
+//! acquisitions once an exclusive waiter has queued, bounding writer wait
+//! times to the drain of the readers already inside.  It is off by
+//! default because it makes nested shared acquisition on the *same* latch
+//! a deadlock (the outer hold keeps the writer queued, the queued writer
+//! blocks the inner acquisition); enable it only for workloads audited to
+//! never nest — the B+-tree's own operations never acquire the same
+//! tree's latch shared twice on one thread (the audit is recorded in
+//! ARCHITECTURE.md, and the "no DML under an open cursor" contract in
+//! [`crate::BufferPool`] users already forbids the remaining case).
 //!
 //! Latch *waits* are intentionally uncounted in [`LatchStats`]: wait
 //! counts depend on thread scheduling, and every number exposed here
@@ -36,7 +48,7 @@
 
 use crate::page::PageId;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of hash-striped cell maps (a power of two).
@@ -61,6 +73,9 @@ struct Key {
 struct Core {
     readers: u32,
     writer: bool,
+    /// Exclusive acquisitions currently parked on this cell; fairness
+    /// mode turns new shared requests away while this is non-zero.
+    writers_waiting: u32,
 }
 
 struct Cell {
@@ -167,6 +182,8 @@ pub struct LatchManager {
     /// Content version per page, keyed by page id.
     versions: CounterTable,
     stats: Arc<LatchStats>,
+    /// Writer-fairness mode (see the module docs); off by default.
+    fair: AtomicBool,
 }
 
 impl Default for LatchManager {
@@ -176,6 +193,7 @@ impl Default for LatchManager {
             epochs: CounterTable::default(),
             versions: CounterTable::default(),
             stats: Arc::new(LatchStats::default()),
+            fair: AtomicBool::new(false),
         }
     }
 }
@@ -234,6 +252,31 @@ impl LatchManager {
         self.stats.snapshot()
     }
 
+    /// Switches the opt-in writer-fairness mode (see the module docs):
+    /// when enabled, a *new* shared acquisition blocks while any
+    /// exclusive waiter is queued on the same latch, so a continuous
+    /// reader stream can no longer starve a queued structure
+    /// modification.  Off by default.
+    ///
+    /// # Deadlock contract
+    ///
+    /// Enabling fairness requires that no thread acquires the same latch
+    /// shared while already holding it shared (nesting): the outer hold
+    /// keeps a queued writer waiting, and the queued writer blocks the
+    /// inner acquisition.  The B+-tree and relational layers in this
+    /// workspace satisfy this (audited in ARCHITECTURE.md): every
+    /// operation takes its tree latch shared at most once per thread, and
+    /// the pre-existing "no DML under an open cursor" rule already forbids
+    /// the writer-under-reader variant of the same cycle.
+    pub fn set_writer_fairness(&self, enabled: bool) {
+        self.fair.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether writer-fairness mode is currently enabled.
+    pub fn writer_fairness(&self) -> bool {
+        self.fair.load(Ordering::Relaxed)
+    }
+
     fn stripe(&self, key: &Key) -> &Stripe {
         let mut h = key.page.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         h ^= matches!(key.domain, Domain::Tree) as u64;
@@ -250,12 +293,18 @@ impl LatchManager {
         {
             let mut core = cell.state.lock().unwrap_or_else(|e| e.into_inner());
             if exclusive {
+                core.writers_waiting += 1;
                 while core.writer || core.readers > 0 {
                     core = cell.cv.wait(core).unwrap_or_else(|e| e.into_inner());
                 }
+                core.writers_waiting -= 1;
                 core.writer = true;
             } else {
-                while core.writer {
+                // Reader preference by default: only an active writer
+                // blocks a shared request.  Fairness mode additionally
+                // turns new shared requests away while a writer is queued.
+                let fair = self.fair.load(Ordering::Relaxed);
+                while core.writer || (fair && core.writers_waiting > 0) {
                     core = cell.cv.wait(core).unwrap_or_else(|e| e.into_inner());
                 }
                 core.readers += 1;
@@ -387,6 +436,93 @@ mod tests {
         v1.fetch_add(3, Ordering::SeqCst);
         assert_eq!(v2.load(Ordering::SeqCst), 3);
         assert_eq!(m.epoch(PageId(10)).load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn default_mode_admits_shared_past_a_queued_writer() {
+        // Reader preference (fairness off): a shared request succeeds even
+        // while an exclusive waiter is queued — the property that keeps
+        // nested shared acquisition deadlock-free.
+        let m = Arc::new(LatchManager::default());
+        let outer = m.tree_shared(PageId(4));
+        let m2 = Arc::clone(&m);
+        let writer = std::thread::spawn(move || {
+            let _x = m2.tree_exclusive(PageId(4)); // parks behind `outer`
+        });
+        // Give the writer time to queue, then nest: must not block.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let inner = m.tree_shared(PageId(4));
+        drop(inner);
+        drop(outer);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn fairness_blocks_new_shared_once_a_writer_queues() {
+        use std::sync::atomic::AtomicBool;
+        let m = Arc::new(LatchManager::default());
+        m.set_writer_fairness(true);
+        assert!(m.writer_fairness());
+        let outer = m.tree_shared(PageId(6));
+        let writer_in = Arc::new(AtomicBool::new(false));
+        let late_reader_in = Arc::new(AtomicBool::new(false));
+        let (m2, w2) = (Arc::clone(&m), Arc::clone(&writer_in));
+        let writer = std::thread::spawn(move || {
+            let _x = m2.tree_exclusive(PageId(6));
+            w2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let (m3, r3, w3) = (Arc::clone(&m), Arc::clone(&late_reader_in), Arc::clone(&writer_in));
+        let late_reader = std::thread::spawn(move || {
+            let _s = m3.tree_shared(PageId(6));
+            // By the time a late shared request gets in, the queued
+            // writer must already have had its turn.
+            assert!(w3.load(Ordering::SeqCst), "late reader overtook the queued writer");
+            r3.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!writer_in.load(Ordering::SeqCst), "writer entered past a live shared hold");
+        assert!(!late_reader_in.load(Ordering::SeqCst), "late reader admitted despite fairness");
+        drop(outer); // readers drain -> writer -> late reader
+        writer.join().unwrap();
+        late_reader.join().unwrap();
+    }
+
+    #[test]
+    fn fairness_prevents_writer_starvation_under_a_continuous_reader_stream() {
+        use std::sync::atomic::AtomicBool;
+        // Reader threads re-acquire the instant they release (bounded
+        // holds, never nested — nesting under fairness is the documented
+        // deadlock), so the shared count practically never reaches zero
+        // under reader preference.  With fairness on, the moment the
+        // writer queues all *new* shared requests park, the bounded holds
+        // drain, and the writer must get in.
+        let m = Arc::new(LatchManager::default());
+        m.set_writer_fairness(true);
+        let done = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    while !done.load(Ordering::SeqCst) {
+                        let g = m.tree_shared(PageId(2));
+                        for _ in 0..20 {
+                            std::thread::yield_now();
+                        }
+                        drop(g);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // The starvation regression: this acquisition must complete.
+        let x = m.tree_exclusive(PageId(2));
+        drop(x);
+        done.store(true, Ordering::SeqCst);
+        for r in readers {
+            r.join().unwrap();
+        }
     }
 
     #[test]

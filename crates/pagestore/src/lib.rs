@@ -35,10 +35,10 @@ pub mod stats;
 pub use buffer::{BufferPool, BufferPoolConfig};
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{Error, Result};
-pub use faulty::{FaultPlan, FaultyDisk};
+pub use faulty::{FaultPlan, FaultyDisk, ReadHook, WriteHook};
 pub use latch::{LatchGuard, LatchManager, LatchSnapshot, LatchStats};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
-pub use stats::{IoSnapshot, IoStats, LatencyModel, PoolStats};
+pub use stats::{IoSnapshot, IoStats, LatencyModel, MissSnapshot, PoolStats};
 
 #[cfg(test)]
 mod tests {

@@ -23,6 +23,8 @@ pub struct IoStats {
     logical_writes: AtomicU64,
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
+    coalesced_faults: AtomicU64,
+    lock_free_reads: AtomicU64,
 }
 
 impl IoStats {
@@ -55,7 +57,24 @@ impl IoStats {
         self.physical_writes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Takes a point-in-time copy of all counters.
+    /// Records a fault that found its page already being fetched by
+    /// another thread and blocked on that in-flight read instead of
+    /// issuing a duplicate device read (single-flight coalescing).
+    #[inline]
+    pub fn record_coalesced_fault(&self) {
+        self.coalesced_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a device read performed *outside* the shard lock (the
+    /// promoted miss path).  Every miss fetch since the three-phase
+    /// protocol is one of these; the counter exists so benchmarks and
+    /// tests can assert that no read snuck back under the lock.
+    #[inline]
+    pub fn record_lock_free_read(&self) {
+        self.lock_free_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the four classic I/O counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             logical_reads: self.logical_reads.load(Ordering::Relaxed),
@@ -65,12 +84,26 @@ impl IoStats {
         }
     }
 
+    /// Takes a point-in-time copy of the miss-promotion counters.
+    ///
+    /// These live beside (not inside) [`IoSnapshot`] because the golden
+    /// determinism suites compare `IoSnapshot` literals captured from the
+    /// seed implementation; the seed had no notion of these events.
+    pub fn miss_snapshot(&self) -> MissSnapshot {
+        MissSnapshot {
+            coalesced_faults: self.coalesced_faults.load(Ordering::Relaxed),
+            lock_free_reads: self.lock_free_reads.load(Ordering::Relaxed),
+        }
+    }
+
     /// Resets all counters to zero (useful between experiment phases).
     pub fn reset(&self) {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.logical_writes.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
+        self.coalesced_faults.store(0, Ordering::Relaxed);
+        self.lock_free_reads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -120,10 +153,48 @@ impl PoolStats {
         self.shards.iter().map(|s| s.snapshot()).collect()
     }
 
+    /// Lossless aggregate of all shards' miss-promotion counters.
+    pub fn miss_snapshot(&self) -> MissSnapshot {
+        let mut total = MissSnapshot::default();
+        for s in self.shards.iter() {
+            total.accumulate(&s.miss_snapshot());
+        }
+        total
+    }
+
     /// Resets every shard's counters to zero.
     pub fn reset(&self) {
         for s in self.shards.iter() {
             s.reset();
+        }
+    }
+}
+
+/// Point-in-time copy of the miss-promotion counters (see
+/// [`IoStats::miss_snapshot`] for why these are not part of
+/// [`IoSnapshot`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MissSnapshot {
+    /// Faults that coalesced onto another thread's in-flight device read
+    /// instead of issuing their own (single-flight).
+    pub coalesced_faults: u64,
+    /// Device reads performed outside the shard lock (every miss fetch
+    /// under the three-phase protocol).
+    pub lock_free_reads: u64,
+}
+
+impl MissSnapshot {
+    /// Counter-wise accumulation `self += other`.
+    pub fn accumulate(&mut self, other: &MissSnapshot) {
+        self.coalesced_faults += other.coalesced_faults;
+        self.lock_free_reads += other.lock_free_reads;
+    }
+
+    /// Counter-wise difference `self - earlier`; saturates at zero.
+    pub fn since(&self, earlier: &MissSnapshot) -> MissSnapshot {
+        MissSnapshot {
+            coalesced_faults: self.coalesced_faults.saturating_sub(earlier.coalesced_faults),
+            lock_free_reads: self.lock_free_reads.saturating_sub(earlier.lock_free_reads),
         }
     }
 }
@@ -252,7 +323,26 @@ mod tests {
     fn reset_zeroes_counters() {
         let s = IoStats::default();
         s.record_physical_read();
+        s.record_coalesced_fault();
+        s.record_lock_free_read();
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
+        assert_eq!(s.miss_snapshot(), MissSnapshot::default());
+    }
+
+    #[test]
+    fn miss_counters_live_beside_the_classic_four() {
+        let s = IoStats::default();
+        s.record_coalesced_fault();
+        s.record_lock_free_read();
+        s.record_lock_free_read();
+        // The classic snapshot is untouched by miss-promotion events…
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+        // …and the miss snapshot diffs like the classic one.
+        let a = s.miss_snapshot();
+        assert_eq!((a.coalesced_faults, a.lock_free_reads), (1, 2));
+        s.record_coalesced_fault();
+        let d = s.miss_snapshot().since(&a);
+        assert_eq!((d.coalesced_faults, d.lock_free_reads), (1, 0));
     }
 }

@@ -168,6 +168,13 @@ impl Heap {
                 self.arity
             )));
         }
+        // Prefetch so the meta read under the latch is a cache hit — the
+        // append latch is per-table hot and must not wait on a device
+        // read (the pool's miss promotion moves the fetch off the shard
+        // lock; this moves it off the latch as well).  Later accesses in
+        // the section may still fault: they touch the tail data page,
+        // which the next access would need anyway.
+        self.pool.prefetch(self.meta_page)?;
         let _latch = self.exclusive_latch();
         let mut meta = self.read_meta()?;
         // Find the insertion page: the chain tail, or a fresh page.
@@ -237,6 +244,8 @@ impl Heap {
     /// one row resolve to exactly one `true` — [`crate::Table::delete`]
     /// uses this as its claim.
     pub fn delete(&self, id: RowId) -> Result<bool> {
+        // As in `insert`: the first access under the latch must hit.
+        self.pool.prefetch(id.page())?;
         let _latch = self.exclusive_latch();
         let off = self.slot_offset(id.slot());
         let was_live = self.pool.with_page_mut(id.page(), |buf| {

@@ -160,6 +160,137 @@ fn aggregate_hit_and_miss_counts_are_exact_under_concurrency() {
     assert!(per_shard.iter().all(|s| s.physical_reads == PAGES / 8), "{per_shard:?}");
 }
 
+/// `flush_all` / `clear_cache` racing concurrent readers, writers, and
+/// in-flight misses under the promoted miss protocol: the janitors drain
+/// each shard's in-flight table before walking or dropping frames, so no
+/// update may be lost, no reader may observe a torn page, and the pool
+/// must quiesce cleanly afterwards.
+#[test]
+fn flush_and_clear_race_readers_writers_and_misses() {
+    const WRITERS: usize = 3;
+    const READERS: usize = 2;
+    const PAGES: u64 = 48;
+    const ROUNDS: u64 = 25;
+
+    let pool = Arc::new(BufferPool::new(
+        MemDisk::new(DEFAULT_PAGE_SIZE),
+        BufferPoolConfig::sharded(12, 4), // 3 frames/shard over 48 hot pages: misses everywhere
+    ));
+    let pages: Vec<PageId> = (0..PAGES).map(|_| pool.allocate_page().unwrap()).collect();
+    for (i, &p) in pages.iter().enumerate() {
+        pool.with_page_mut(p, |d| d[0] = (i % WRITERS) as u8).unwrap();
+    }
+
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let pool = Arc::clone(&pool);
+            let pages = &pages;
+            s.spawn(move |_| {
+                for round in 1..=ROUNDS {
+                    for (i, &p) in pages.iter().enumerate() {
+                        if i % WRITERS != w {
+                            continue;
+                        }
+                        pool.with_page_mut(p, |d| {
+                            assert_eq!(d[0] as usize, w, "page {i} lost its owner stamp");
+                            assert_eq!(get_round(d), round - 1, "page {i}: update lost");
+                            put_round(d, round);
+                        })
+                        .unwrap();
+                    }
+                }
+            });
+        }
+        for r in 0..READERS {
+            let pool = Arc::clone(&pool);
+            let pages = &pages;
+            s.spawn(move |_| {
+                let mut x = 0xDEAD_BEEF_u64 ^ (r as u64) << 32;
+                let mut floor = vec![0u64; PAGES as usize];
+                for _ in 0..600 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = (x % PAGES) as usize;
+                    pool.with_page(pages[i], |d| {
+                        assert_eq!(d[0] as usize, i % WRITERS, "reader saw torn owner stamp");
+                        let seen = get_round(d);
+                        assert!(
+                            seen >= floor[i] && seen <= ROUNDS,
+                            "page {i}: round went backwards ({} -> {seen}) across flush/clear",
+                            floor[i]
+                        );
+                        floor[i] = seen;
+                    })
+                    .unwrap();
+                }
+            });
+        }
+        // Janitors: constant flushes and full cache clears while the
+        // traffic above keeps every shard's miss table busy.
+        for j in 0..2 {
+            let pool = Arc::clone(&pool);
+            s.spawn(move |_| {
+                for k in 0..15 {
+                    if (j + k) % 2 == 0 {
+                        pool.flush_all().unwrap();
+                    } else {
+                        pool.clear_cache().unwrap();
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    for (i, &p) in pages.iter().enumerate() {
+        assert_eq!(pool.with_page(p, get_round).unwrap(), ROUNDS, "page {i} lost an update");
+    }
+    // Quiesced: a flush after the storm leaves nothing dirty behind.
+    pool.flush_all().unwrap();
+    let after = pool.stats().snapshot();
+    pool.flush_all().unwrap();
+    assert_eq!(pool.stats().snapshot().physical_writes, after.physical_writes);
+    // Single-flight held throughout: the device never served more reads
+    // than the pool recorded as promoted fetches.
+    assert_eq!(pool.stats().miss_snapshot().lock_free_reads, after.physical_reads);
+}
+
+/// A single hot page incremented by one writer while a janitor loops
+/// `clear_cache`: the clear's drop pass must write back frames dirtied
+/// *after* its flush pass released the shard lock, or an increment is
+/// silently lost.  (Code review of the miss-promotion refactor found a
+/// repro for exactly this window; this pins the fix.)
+#[test]
+fn clear_cache_never_drops_a_freshly_dirtied_frame() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const ROUNDS: u64 = 2_000;
+    let pool =
+        Arc::new(BufferPool::new(MemDisk::new(DEFAULT_PAGE_SIZE), BufferPoolConfig::sharded(4, 1)));
+    let page = pool.allocate_page().unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    thread::scope(|s| {
+        let pool_j = Arc::clone(&pool);
+        let done_j = Arc::clone(&done);
+        s.spawn(move |_| {
+            while !done_j.load(Ordering::SeqCst) {
+                pool_j.clear_cache().unwrap();
+            }
+        });
+        for round in 1..=ROUNDS {
+            pool.with_page_mut(page, |d| {
+                assert_eq!(get_round(d), round - 1, "clear_cache dropped a dirty frame");
+                put_round(d, round);
+            })
+            .unwrap();
+        }
+        done.store(true, Ordering::SeqCst);
+    })
+    .unwrap();
+    assert_eq!(pool.with_page(page, get_round).unwrap(), ROUNDS);
+}
+
 /// Eviction write-back correctness across shard counts: data written
 /// through one shard layout is readable through any other (the disk
 /// image, not the shard layout, is the source of truth).
