@@ -1,24 +1,48 @@
-//! On-page layout of B+-tree nodes.
+//! On-page layout of B-link tree nodes (format version 2).
 //!
 //! Every node occupies exactly one page.  The layout is fixed-width: a 24
-//! byte header followed by densely packed entries.
+//! byte header, densely packed entries, and — on every node that is not
+//! the rightmost of its level — a *high key* in the last separator-sized
+//! slot of the page.
 //!
 //! ```text
 //! offset  size  field
 //! 0       1     node type (1 = leaf, 2 = internal, 3 = free-list page)
 //! 1       1     key arity
 //! 2       2     entry count (u16)
-//! 4       4     reserved
-//! 8       8     leaf: next-leaf page id | internal: leftmost child (child0)
-//!               | free page: next free page id
-//! 16      8     leaf: previous-leaf page id | otherwise unused
+//! 4       1     page format version (2; version 1 had no right links)
+//! 5       1     flags (bit 0: node stores a high key)
+//! 6       2     reserved
+//! 8       8     leaf: right link (= next leaf in key order) | internal:
+//!               leftmost child (child0) | free page: next free page id
+//! 16      8     internal: right link (right sibling on the same level) |
+//!               leaf: reserved, zero (format 1 kept a previous-leaf
+//!               pointer here; the B-link protocol has no backward chain)
 //! 24      ...   entries
+//! tail    k+8   high key (one separator-sized slot), present iff flag 0
 //! ```
 //!
 //! * Leaf entry: `arity` × `i64` key columns, then the `u64` payload.
 //! * Internal entry: a full separator entry (key columns + payload) followed
 //!   by the `u64` page id of the child holding entries `>=` the separator.
 //!   Entries `<` the first separator live under `child0`.
+//!
+//! # Right links and high keys (Lehman–Yao)
+//!
+//! The *high key* is an exclusive upper bound: every entry `e` stored in
+//! (or below) the node satisfies `e < high`.  A node without a high key is
+//! the rightmost of its level and bounds `+∞`.  The *right link* points to
+//! the sibling holding `[high, …)`; the two are set together when a node
+//! splits, so `high.is_some() == right link is valid` is an invariant.
+//! Any traversal that finds its target at or past a node's high key simply
+//! *moves right* — which is what lets splits publish the new sibling
+//! before the parent's separator exists, and lets readers descend with no
+//! latches at all (see `tree`'s module docs).
+//!
+//! Format version 1 pages (no version byte, a `prev` pointer instead of a
+//! high key) are **not readable**; [`read_node`] rejects them.  The write
+//! path's golden counters were re-captured for format 2 via
+//! `scripts/recapture-goldens.sh`.
 
 use crate::key::{Entry, Key};
 use ri_pagestore::codec::{get_i64, get_u16, get_u64, put_i64, put_u16, put_u64};
@@ -31,13 +55,23 @@ pub const NODE_INTERNAL: u8 = 2;
 /// Node type tag for pages on the free list.
 pub const NODE_FREE: u8 = 3;
 
+/// On-page format version written into (and required of) every node.
+pub const FORMAT_VERSION: u8 = 2;
+
 const OFF_TYPE: usize = 0;
 const OFF_ARITY: usize = 1;
 const OFF_COUNT: usize = 2;
+const OFF_VERSION: usize = 4;
+const OFF_FLAGS: usize = 5;
 const OFF_LINK: usize = 8;
-const OFF_PREV: usize = 16;
+/// Internal nodes keep `child0` in the primary link slot, so their right
+/// link lives in the second one (a leaf's is reserved, written zero).
+const OFF_INTERNAL_NEXT: usize = 16;
 /// First byte of the entry area.
 pub const HEADER_SIZE: usize = 24;
+
+/// Flag bit: the node stores a high key in the page's tail slot.
+const FLAG_HIGH_KEY: u8 = 1;
 
 /// Size in bytes of a leaf entry for the given arity.
 #[inline]
@@ -51,34 +85,44 @@ pub fn internal_entry_size(arity: usize) -> usize {
     leaf_entry_size(arity) + 8
 }
 
-/// Maximum number of entries a leaf page can hold.
+/// Maximum number of entries a leaf page can hold (one separator-sized
+/// slot at the page tail is reserved for the high key).
 #[inline]
 pub fn leaf_capacity(page_size: usize, arity: usize) -> usize {
-    (page_size - HEADER_SIZE) / leaf_entry_size(arity)
+    (page_size - HEADER_SIZE - leaf_entry_size(arity)) / leaf_entry_size(arity)
 }
 
 /// Maximum number of separator entries an internal page can hold
-/// (an internal page with `k` entries has `k + 1` children).
+/// (an internal page with `k` entries has `k + 1` children; the high-key
+/// slot is reserved exactly as on leaves).
 #[inline]
 pub fn internal_capacity(page_size: usize, arity: usize) -> usize {
-    (page_size - HEADER_SIZE) / internal_entry_size(arity)
+    (page_size - HEADER_SIZE - leaf_entry_size(arity)) / internal_entry_size(arity)
 }
 
 /// Parsed form of a leaf page.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LeafNode {
-    /// Sorted entries.
+    /// Sorted entries, all `< high` (when a high key is present).
     pub entries: Vec<Entry>,
-    /// Next leaf in key order, or [`PageId::INVALID`].
+    /// Right sibling (= next leaf in key order), or [`PageId::INVALID`].
     pub next: PageId,
-    /// Previous leaf in key order, or [`PageId::INVALID`].
-    pub prev: PageId,
+    /// Exclusive upper bound of this node's key range; `None` = +∞
+    /// (rightmost leaf).
+    pub high: Option<Entry>,
 }
 
 impl LeafNode {
-    /// An empty, unlinked leaf.
+    /// An empty, unlinked, unbounded leaf.
     pub fn empty() -> LeafNode {
-        LeafNode { entries: Vec::new(), next: PageId::INVALID, prev: PageId::INVALID }
+        LeafNode { entries: Vec::new(), next: PageId::INVALID, high: None }
+    }
+
+    /// `true` when `target` lies inside this node's key range, i.e. below
+    /// the high key.  `false` means the traversal must *move right*.
+    #[inline]
+    pub fn covers(&self, target: &Entry) -> bool {
+        self.high.is_none_or(|h| *target < h)
     }
 }
 
@@ -90,6 +134,11 @@ pub struct InternalNode {
     /// `(separator, child)` pairs: `child` holds entries `>= separator`
     /// (and below the following separator, if any).
     pub entries: Vec<(Entry, PageId)>,
+    /// Right sibling on the same level, or [`PageId::INVALID`].
+    pub next: PageId,
+    /// Exclusive upper bound of this subtree's key range; `None` = +∞
+    /// (rightmost node of its level).
+    pub high: Option<Entry>,
 }
 
 impl InternalNode {
@@ -107,6 +156,13 @@ impl InternalNode {
         } else {
             self.entries[slot - 1].1
         }
+    }
+
+    /// `true` when `target` lies inside this subtree's key range (below
+    /// the high key).  `false` means the traversal must *move right*.
+    #[inline]
+    pub fn covers(&self, target: &Entry) -> bool {
+        self.high.is_none_or(|h| *target < h)
     }
 }
 
@@ -135,9 +191,36 @@ fn write_entry(buf: &mut [u8], off: usize, e: &Entry) {
     put_u64(buf, off + arity * 8, e.payload);
 }
 
+fn read_high(buf: &[u8], arity: usize) -> Option<Entry> {
+    if buf[OFF_FLAGS] & FLAG_HIGH_KEY == 0 {
+        None
+    } else {
+        Some(read_entry(buf, buf.len() - leaf_entry_size(arity), arity))
+    }
+}
+
+fn write_header(buf: &mut [u8], tag: u8, arity: usize, count: usize, high: &Option<Entry>) {
+    buf[OFF_TYPE] = tag;
+    buf[OFF_ARITY] = arity as u8;
+    put_u16(buf, OFF_COUNT, count as u16);
+    buf[OFF_VERSION] = FORMAT_VERSION;
+    buf[OFF_FLAGS] = if high.is_some() { FLAG_HIGH_KEY } else { 0 };
+    if let Some(h) = high {
+        debug_assert_eq!(h.key.arity(), arity);
+        let off = buf.len() - leaf_entry_size(arity);
+        write_entry(buf, off, h);
+    }
+}
+
 /// Decodes a node page.  `arity` must match the tree's arity.
 pub fn read_node(buf: &[u8], arity: usize) -> Result<Node> {
     let tag = buf[OFF_TYPE];
+    if buf[OFF_VERSION] != FORMAT_VERSION {
+        return Err(Error::Corrupt(format!(
+            "node format version {} (expected {FORMAT_VERSION}; pre-B-link pages are not readable)",
+            buf[OFF_VERSION]
+        )));
+    }
     let stored_arity = buf[OFF_ARITY] as usize;
     if stored_arity != arity {
         return Err(Error::Corrupt(format!(
@@ -155,7 +238,7 @@ pub fn read_node(buf: &[u8], arity: usize) -> Result<Node> {
             Ok(Node::Leaf(LeafNode {
                 entries,
                 next: PageId(get_u64(buf, OFF_LINK)),
-                prev: PageId(get_u64(buf, OFF_PREV)),
+                high: read_high(buf, arity),
             }))
         }
         NODE_INTERNAL => {
@@ -168,7 +251,12 @@ pub fn read_node(buf: &[u8], arity: usize) -> Result<Node> {
                 let child = PageId(get_u64(buf, off + sep_sz));
                 entries.push((sep, child));
             }
-            Ok(Node::Internal(InternalNode { child0: PageId(get_u64(buf, OFF_LINK)), entries }))
+            Ok(Node::Internal(InternalNode {
+                child0: PageId(get_u64(buf, OFF_LINK)),
+                entries,
+                next: PageId(get_u64(buf, OFF_INTERNAL_NEXT)),
+                high: read_high(buf, arity),
+            }))
         }
         other => Err(Error::Corrupt(format!("unexpected node tag {other}"))),
     }
@@ -178,11 +266,9 @@ pub fn read_node(buf: &[u8], arity: usize) -> Result<Node> {
 pub fn write_leaf(buf: &mut [u8], node: &LeafNode, arity: usize) {
     let cap = leaf_capacity(buf.len(), arity);
     assert!(node.entries.len() <= cap, "leaf overflow: {} > {cap}", node.entries.len());
-    buf[OFF_TYPE] = NODE_LEAF;
-    buf[OFF_ARITY] = arity as u8;
-    put_u16(buf, OFF_COUNT, node.entries.len() as u16);
+    write_header(buf, NODE_LEAF, arity, node.entries.len(), &node.high);
     put_u64(buf, OFF_LINK, node.next.raw());
-    put_u64(buf, OFF_PREV, node.prev.raw());
+    put_u64(buf, OFF_INTERNAL_NEXT, PageId::INVALID.raw());
     let esz = leaf_entry_size(arity);
     for (i, e) in node.entries.iter().enumerate() {
         debug_assert_eq!(e.key.arity(), arity);
@@ -194,11 +280,9 @@ pub fn write_leaf(buf: &mut [u8], node: &LeafNode, arity: usize) {
 pub fn write_internal(buf: &mut [u8], node: &InternalNode, arity: usize) {
     let cap = internal_capacity(buf.len(), arity);
     assert!(node.entries.len() <= cap, "internal overflow: {} > {cap}", node.entries.len());
-    buf[OFF_TYPE] = NODE_INTERNAL;
-    buf[OFF_ARITY] = arity as u8;
-    put_u16(buf, OFF_COUNT, node.entries.len() as u16);
+    write_header(buf, NODE_INTERNAL, arity, node.entries.len(), &node.high);
     put_u64(buf, OFF_LINK, node.child0.raw());
-    put_u64(buf, OFF_PREV, PageId::INVALID.raw());
+    put_u64(buf, OFF_INTERNAL_NEXT, node.next.raw());
     let esz = internal_entry_size(arity);
     let sep_sz = leaf_entry_size(arity);
     for (i, (sep, child)) in node.entries.iter().enumerate() {
@@ -209,10 +293,17 @@ pub fn write_internal(buf: &mut [u8], node: &InternalNode, arity: usize) {
 }
 
 /// Marks a page as free and links it into the free list.
+///
+/// The B-link tree currently never frees pages (deletion leaves empty
+/// nodes in place — reclaiming one would require right-to-left latching
+/// or a reader-visible unlink; see `tree`'s module docs), but the format
+/// and this encoder are retained for an explicit vacuum operation.
 pub fn write_free(buf: &mut [u8], next_free: PageId, arity: usize) {
     buf[OFF_TYPE] = NODE_FREE;
     buf[OFF_ARITY] = arity as u8;
     put_u16(buf, OFF_COUNT, 0);
+    buf[OFF_VERSION] = FORMAT_VERSION;
+    buf[OFF_FLAGS] = 0;
     put_u64(buf, OFF_LINK, next_free.raw());
 }
 
@@ -234,7 +325,7 @@ mod tests {
         let node = LeafNode {
             entries: vec![Entry::new(&[1, -2], 10), Entry::new(&[3, 4], 11)],
             next: PageId(7),
-            prev: PageId(9),
+            high: Some(Entry::new(&[5, 0], 12)),
         };
         write_leaf(&mut buf, &node, 2);
         match read_node(&buf, 2).unwrap() {
@@ -244,11 +335,28 @@ mod tests {
     }
 
     #[test]
-    fn internal_roundtrip_and_routing() {
+    fn rightmost_leaf_has_no_high_key() {
+        let mut buf = vec![0u8; 512];
+        let node =
+            LeafNode { entries: vec![Entry::new(&[9], 1)], next: PageId::INVALID, high: None };
+        write_leaf(&mut buf, &node, 1);
+        match read_node(&buf, 1).unwrap() {
+            Node::Leaf(l) => {
+                assert_eq!(l, node);
+                assert!(l.covers(&Entry::new(&[i64::MAX], u64::MAX)), "no high key bounds +inf");
+            }
+            _ => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn internal_roundtrip_routing_and_coverage() {
         let mut buf = vec![0u8; 512];
         let node = InternalNode {
             child0: PageId(1),
             entries: vec![(Entry::new(&[10], 0), PageId(2)), (Entry::new(&[20], 0), PageId(3))],
+            next: PageId(8),
+            high: Some(Entry::new(&[30], 0)),
         };
         write_internal(&mut buf, &node, 1);
         let parsed = match read_node(&buf, 1).unwrap() {
@@ -260,9 +368,20 @@ mod tests {
         assert_eq!(parsed.route(&Entry::new(&[10], 0)), 1); // >= separator goes right
         assert_eq!(parsed.route(&Entry::new(&[15], 99)), 1);
         assert_eq!(parsed.route(&Entry::new(&[20], 0)), 2);
-        assert_eq!(parsed.route(&Entry::new(&[99], 0)), 2);
+        assert_eq!(parsed.route(&Entry::new(&[29], 0)), 2);
         assert_eq!(parsed.child_at(0), PageId(1));
         assert_eq!(parsed.child_at(2), PageId(3));
+        assert!(parsed.covers(&Entry::new(&[29], u64::MAX)));
+        assert!(!parsed.covers(&Entry::new(&[30], 0)), "at the high key means move right");
+    }
+
+    #[test]
+    fn high_key_comparison_is_exclusive_and_payload_aware() {
+        let leaf =
+            LeafNode { entries: Vec::new(), next: PageId(4), high: Some(Entry::new(&[7, 7], 3)) };
+        assert!(leaf.covers(&Entry::new(&[7, 7], 2)), "payload below the high key's stays");
+        assert!(!leaf.covers(&Entry::new(&[7, 7], 3)), "exactly the high key moves right");
+        assert!(!leaf.covers(&Entry::new(&[8, 0], 0)));
     }
 
     #[test]
@@ -270,6 +389,15 @@ mod tests {
         let mut buf = vec![0u8; 256];
         write_leaf(&mut buf, &LeafNode::empty(), 2);
         assert!(matches!(read_node(&buf, 3), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn unknown_format_version_is_corrupt() {
+        let mut buf = vec![0u8; 256];
+        write_leaf(&mut buf, &LeafNode::empty(), 2);
+        buf[4] = 1; // format 1: pre-B-link
+        let err = read_node(&buf, 2).unwrap_err();
+        assert!(err.to_string().contains("format version 1"), "{err}");
     }
 
     #[test]
@@ -282,8 +410,9 @@ mod tests {
 
     #[test]
     fn capacities_match_paper_block_size() {
-        // 2 KB blocks, arity-2 keys (node, bound) + payload = 24-byte entries.
-        assert_eq!(leaf_capacity(2048, 2), (2048 - 24) / 24);
+        // 2 KB blocks, arity-2 keys (node, bound) + payload = 24-byte
+        // entries; one entry-sized slot per page is the high key's.
+        assert_eq!(leaf_capacity(2048, 2), (2048 - 24) / 24 - 1);
         assert!(internal_capacity(2048, 2) >= 60, "healthy fan-out expected");
     }
 }

@@ -14,8 +14,9 @@
 //!   such as `(node, lower)` from the paper's Figure 2),
 //! * duplicate keys disambiguated by a `u64` payload (the row id),
 //! * ordered range scans over leaf chains ([`BTree::scan_range`]),
-//! * logarithmic insert and delete; empty pages are reclaimed through a
-//!   free list (lazy structural shrinking, as in most production systems),
+//! * logarithmic insert and delete; deletion never restructures (emptied
+//!   pages stay linked and absorb later inserts — the price of latch-free
+//!   readers, see `tree`'s module docs),
 //! * sorted [`bulk loading`](BTree::bulk_load) with a configurable fill
 //!   factor (the paper bulk-loads the competitors' indexes in Section 6),
 //! * an exhaustive [`BTree::check_invariants`] used by the property tests.
@@ -27,17 +28,19 @@
 //!
 //! A [`BTree`] handle is `Send + Sync` (asserted at compile time below):
 //! any number of threads may read **and write** one tree concurrently —
-//! the paper delegates locking to the host RDBMS, and since PR 3 this
-//! crate plays that host: writers synchronize through the buffer pool's
-//! latch manager with *optimistic latch crabbing* (shared latches down
-//! the inner nodes, exclusive on the leaf, an epoch-validated upgrade to
-//! the exclusive tree latch for splits and merges — see `tree`'s module
-//! docs and ARCHITECTURE.md).  Readers hold the tree latch shared, so
-//! leaf-only writers overlap them freely while structure modifications
-//! wait.  Two caller-side rules remain: a thread must not write through
-//! a tree while holding one of that tree's scan cursors, and
-//! single-threaded workloads pay no new I/O — the page-access sequence
-//! is bit-for-bit the pre-latching one (`tests/pool_determinism.rs`).
+//! the paper delegates locking to the host RDBMS, and this crate plays
+//! that host.  Since PR 5 the tree is a **B-link tree** (Lehman–Yao:
+//! every node carries a right-sibling link and a high key): readers
+//! descend with *no latches at all*, writers hold one exclusive node
+//! latch at a time, and splits are two-phase — publish the right
+//! sibling under the splitting node's latch, then post the separator to
+//! the parent in a separate latched step — so structure modifications
+//! never exclude readers or leaf-disjoint writers (see `tree`'s module
+//! docs and ARCHITECTURE.md).  There are **no caller-side rules**: even
+//! writing through a tree while holding one of its scan cursors is
+//! legal now.  Single-threaded page-access sequences are deterministic
+//! and pinned by goldens (`tests/pool_determinism.rs`, re-captured for
+//! the B-link page format via `scripts/recapture-goldens.sh`).
 
 pub mod key;
 pub mod layout;
@@ -46,7 +49,7 @@ pub mod tree;
 
 pub use key::{Entry, Key, MAX_ARITY};
 pub use scan::RangeScan;
-pub use tree::{BTree, TreeStats};
+pub use tree::{BTree, SmoPhase, TreeStats};
 
 pub use ri_pagestore::{Error, Result};
 

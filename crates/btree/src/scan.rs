@@ -2,7 +2,7 @@
 
 use crate::key::{Entry, Key};
 use crate::tree::BTree;
-use ri_pagestore::{LatchGuard, PageId, Result};
+use ri_pagestore::{PageId, Result};
 
 /// Iterator over all entries whose key columns lie in `[lo, hi]`
 /// (inclusive, lexicographic).
@@ -11,15 +11,18 @@ use ri_pagestore::{LatchGuard, PageId, Result};
 /// `O(log_b n)` page accesses and the scan phase one access per leaf — the
 /// cost model of the paper's Theorem in Section 4.4.
 ///
-/// A live cursor holds the tree latch *shared*, so the structure it walks
-/// cannot be split, merged, or freed underneath it; concurrent leaf-only
-/// writers proceed (each leaf load is copy-atomic).  Consequently the
-/// owning thread must drop the cursor before writing through the same
-/// tree — a structure modification would wait on its own cursor.
+/// Cursors are **latch-free** (B-link protocol): each leaf is loaded as a
+/// copy-atomic snapshot and the cursor follows right links, so concurrent
+/// writers — including splits — proceed freely, and the owning thread may
+/// even write through the same tree while the cursor is live (the
+/// pre-B-link "no DML under an open cursor" rule is gone).  Guarantee:
+/// every entry committed before the scan started and not concurrently
+/// deleted is yielded exactly once, in order — splits only move entries
+/// *right*, and the cursor moves right with them.  Entries inserted or
+/// deleted concurrently may or may not appear, as with any non-snapshot
+/// index scan.
 pub struct RangeScan<'t> {
     tree: &'t BTree,
-    /// Shared tree latch pinning the structure for the cursor's lifetime.
-    _latch: LatchGuard<'t>,
     hi: Key,
     state: State,
 }
@@ -37,28 +40,19 @@ impl<'t> RangeScan<'t> {
     pub(crate) fn new(tree: &'t BTree, lo: &[i64], hi: &[i64]) -> RangeScan<'t> {
         assert_eq!(lo.len(), tree.arity(), "lo bound arity mismatch");
         assert_eq!(hi.len(), tree.arity(), "hi bound arity mismatch");
-        let latch = tree.reader_latch();
         let hi = Key::new(hi);
         // Position at the first entry >= (lo, payload 0): payloads are
         // unsigned, so payload 0 sorts before every entry with equal columns.
         let target = Entry { key: Key::new(lo), payload: 0 };
-        let state = match Self::position(tree, &target) {
-            Ok(Some((buf, idx, next))) => State::Active { buf, idx, next },
+        let state = match tree.position_leaf(&target) {
+            Ok(Some((_, leaf))) => {
+                let idx = leaf.entries.partition_point(|e| e < &target);
+                State::Active { buf: leaf.entries, idx, next: leaf.next }
+            }
             Ok(None) => State::Done,
             Err(e) => State::Failed(Some(e)),
         };
-        RangeScan { tree, _latch: latch, hi, state }
-    }
-
-    /// Finds the starting leaf and offset for `target`.
-    #[allow(clippy::type_complexity)]
-    fn position(tree: &BTree, target: &Entry) -> Result<Option<(Vec<Entry>, usize, PageId)>> {
-        let Some(page) = tree.descend_to_leaf(target)? else {
-            return Ok(None);
-        };
-        let leaf = tree.load_leaf(page)?;
-        let idx = leaf.entries.partition_point(|e| e < target);
-        Ok(Some((leaf.entries, idx, leaf.next)))
+        RangeScan { tree, hi, state }
     }
 
     /// Drains the scan, panicking on I/O errors (test convenience).
@@ -160,5 +154,39 @@ mod tests {
         let got: Vec<u64> = tree.scan_all().collect_payloads();
         assert_eq!(got.len(), 2000);
         assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scan_skips_emptied_leaves() {
+        // Delete a whole leaf's worth in the middle: the empty leaf stays
+        // linked (deletes do not restructure) and the scan skips it.
+        let (_pool, tree) = tree_with(64);
+        for i in 20..30 {
+            assert!(tree.delete(&[i], i as u64 + 1000).unwrap());
+        }
+        let got: Vec<u64> = tree.scan_all().collect_payloads();
+        let want: Vec<u64> =
+            (0..64).filter(|i| !(20..30).contains(i)).map(|i| i as u64 + 1000).collect();
+        assert_eq!(got, want);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn writes_under_a_live_cursor_are_legal() {
+        // The B-link cursor holds no latch: inserting (and splitting)
+        // while a cursor is mid-scan must neither deadlock nor lose any
+        // entry that existed when the scan began.
+        let (_pool, tree) = tree_with(50);
+        let mut scan = tree.scan_all();
+        let mut seen: Vec<u64> = (0..10).map(|_| scan.next().unwrap().unwrap().payload).collect();
+        for i in 100..160 {
+            tree.insert(&[i], i as u64 + 1000).unwrap(); // splits ahead of the cursor
+        }
+        seen.extend(scan.map(|e| e.unwrap().payload));
+        let original: Vec<u64> = (0..50).map(|i| i + 1000).collect();
+        for p in original {
+            assert!(seen.contains(&p), "entry {p} lost under concurrent splits");
+        }
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "cursor stays ordered");
     }
 }

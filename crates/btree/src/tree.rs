@@ -1,61 +1,92 @@
-//! The B+-tree proper: create/open, insert, delete, bulk load, invariants.
+//! The B-link tree proper: create/open, insert, delete, bulk load,
+//! invariants.
 //!
-//! # Write concurrency: optimistic latch crabbing
+//! # Write concurrency: the Lehman–Yao B-link protocol
 //!
-//! Writers synchronize through the pool's [`ri_pagestore::LatchManager`]
-//! with a two-level protocol (see ARCHITECTURE.md for the full argument):
+//! Since PR 5 the tree is a **B-link tree**: every node carries a *right
+//! link* to its sibling and a *high key* bounding its key range
+//! (`layout`).  That one structural relaxation removes the tree-wide
+//! latch entirely — there is no latch under which the whole structure is
+//! ever frozen (see ARCHITECTURE.md for the full argument):
 //!
-//! 1. **Optimistic path** (the common case): take the *tree latch* shared,
-//!    crab *shared page latches* down the inner nodes (acquire child,
-//!    release parent), take the leaf latch *exclusive*.  If the leaf is
-//!    *safe* — the insert fits, or the delete leaves it non-empty — the
-//!    write is a single in-place leaf store plus an entry-count bump on
-//!    the meta page.  Leaf-disjoint writers proceed fully in parallel.
-//! 2. **Structure modifications** (split, merge, root change): release
-//!    everything, take the tree latch *exclusive*, and — if the tree's
-//!    modification epoch and the leaf's version counter prove the cached
-//!    descent is still exact — replay the seed algorithm from the cached
-//!    path with no repeated page reads.  A concurrent change forces the
-//!    *pessimistic retry*: a fresh descent under exclusive page latches
-//!    that releases all latches above the deepest *safe* node.
+//! * **Readers are latch-free.**  A descent reads the meta page (root +
+//!   height are written together, so the pair is consistent), walks down
+//!   routing by separators, and whenever it finds its target at or past a
+//!   node's high key it *moves right* through the right link.  A stale
+//!   root is harmless — the root only grows, and an old root's right
+//!   chain still covers the whole key space at its level.
+//! * **Writers latch one node at a time.**  An insert descends latch-free
+//!   (remembering the internal page it routed through at each level as a
+//!   *hint stack*), takes the leaf latch exclusive, moves right under the
+//!   latch if a concurrent split shifted its key range, and stores in
+//!   place.  No crabbing, no shared page latches, no upgrade.
+//! * **Splits are two-phase.**  Phase 1, under only the splitting node's
+//!   latch: allocate the right sibling, give it the upper half of the
+//!   entries plus the old right link and high key, then publish — the
+//!   sibling page is stored *before* the left node links it, so a reader
+//!   can never follow a link into an unwritten page.  The tree is fully
+//!   searchable the moment the left node's store lands (keys past the new
+//!   high key are reached by moving right).  Phase 2, after releasing the
+//!   leaf latch: post the separator into the parent under the *parent's*
+//!   latch (starting from the hint stack and moving right as needed).  A
+//!   parent that overflows splits the same way, one level up.  When the
+//!   stack runs out, the writer latches the meta page: if the split node
+//!   is still the root it installs a new root (*root grow*), otherwise a
+//!   concurrent grow won the race and the writer re-descends from the
+//!   current root to the correct level and posts there.
+//! * **Deletes never restructure.**  An emptied leaf stays in the tree
+//!   with its high key and right link intact (it still routes correctly
+//!   and can absorb later inserts); pages are never unlinked or freed, so
+//!   a latch-free reader can never walk into a recycled page.  This is
+//!   the standard production trade-off pushed one step further than the
+//!   seed's empty-page reclamation — reclaiming under B-link rules
+//!   requires a right-to-left latch order or reader quiescence tracking,
+//!   and is left to an explicit future vacuum.
 //!
-//! Readers hold the tree latch shared for the duration of a scan and take
-//! no page latches (page accesses are copy-atomic in the pool; structure
-//! cannot change while any shared holder exists).  Single-threaded, the
-//! page-access sequence of every operation is bit-for-bit identical to
-//! the pre-latching implementation — pinned by `tests/pool_determinism.rs`.
+//! **Deadlock freedom.**  Writers acquire node latches one at a time in
+//! two monotone directions only: *left to right* along a level (the
+//! move-right loops) and *bottom up* across levels (leaf latch released
+//! before the parent post).  The meta-page latch is always innermost
+//! (taken while holding at most one node latch, released before any other
+//! latch is acquired), so every latch-order edge points right, up, or
+//! into the meta page — no cycles.  Readers hold no latches at all.
+//!
+//! The counters telling the story live in the pool's latch manager:
+//! `splits`, `right_link_chases` (zero single-threaded — only an
+//! in-flight concurrent split makes a traversal land left of its key),
+//! `incomplete_smo_completions` (phase-2 separator posts / root grows),
+//! and `pending_root_grow_waits` (a top-level sibling split had to wait
+//! for a still-pending root grow before its parent level existed).
 //!
 //! # Latches vs page faults (audit)
 //!
 //! With the pool's promoted miss path, a fault performs its device read
 //! outside the shard lock — but a *latch* held across a fault would still
-//! queue that latch's waiters behind the fetch.  The descent paths
-//! therefore [`BufferPool::prefetch`] every page immediately before
-//! latching it, so the read under a page's own latch — crabbing,
-//! exclusive leaf, or meta — is a cache hit.  (Best-effort, not an
-//! invariant: under heavy eviction pressure a concurrent fault may evict
-//! the page in the prefetch-to-latch window and the latched read then
-//! re-faults; the window contains no device I/O, so this is rare, and
-//! merely reduces to the pre-prefetch behavior.)  Crabbing order
-//! does mean a *parent's* latch is still held while its child prefetches
-//! (releasing the parent first would break the crabbing invariant), so a
-//! cold child delays waiters of the parent latch by one fetch — but
-//! never waiters of the cold page itself, which is the latch queue that
-//! used to convoy.  The remaining fault-spanning holders are (a) the
-//! shared *tree* latch, which a scan necessarily pins across all of its
-//! leaf loads and which blocks only structure modifications, and (b) the
-//! exclusive tree latch inside an SMO, whose page accesses must replay
-//! the cached descent verbatim (prefetching there would reorder accesses
-//! relative to the seed and is deliberately omitted; SMOs are the rare,
-//! already-serialized path).
+//! queue that latch's waiters behind the fetch.  Every page is therefore
+//! [`BufferPool::prefetch`]ed immediately before its latch is acquired,
+//! so the read under a page's own latch is a cache hit.  (Best-effort,
+//! not an invariant: under heavy eviction pressure a concurrent fault may
+//! evict the page in the prefetch-to-latch window and the latched read
+//! then re-faults; the window contains no device I/O, so this is rare,
+//! and merely reduces to the pre-prefetch behavior.)  Because writers
+//! hold one node latch at a time and readers hold none, no latch's
+//! waiters queue behind another page's device *read* on any read or
+//! descent path — the residual parent-holds-while-child-prefetches
+//! window of the crabbing protocol is gone along with the crabbing.
+//! What can still span a fault under a latch: the split paths store
+//! freshly allocated sibling/root pages (and `grow_or_relocate` writes
+//! the new root under the meta latch) without prefetching them — under
+//! eviction pressure such a store can fault its frame in while the
+//! latch is held.  Splits are rare and the stored pages are newly
+//! allocated (their fill is a device read of a zero page), so this is
+//! recorded as a bounded exposure rather than engineered away.
 
 use crate::key::Entry;
 use crate::layout::{self, internal_capacity, leaf_capacity, InternalNode, LeafNode, Node};
 use crate::scan::RangeScan;
 use ri_pagestore::codec::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
 use ri_pagestore::{BufferPool, Error, LatchGuard, LatchManager, PageId, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const META_MAGIC: u32 = 0x5249_4254; // "RIBT"
 
@@ -69,16 +100,25 @@ const OFF_FIRST_LEAF: usize = 32;
 const OFF_PAGES: usize = 40;
 
 /// Persistent tree metadata, stored in the tree's meta page.
+///
+/// All structural fields (`root`, `height`, `pages`, `first_leaf`) are
+/// read and written only under an exclusive latch on the meta page, and
+/// `root`/`height` change together — a reader's unlatched copy is
+/// therefore internally consistent, if possibly stale (which the B-link
+/// move-right rule absorbs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Meta {
     root: PageId,
-    /// Number of levels; 0 = empty tree, 1 = root is a leaf.
+    /// Number of levels; 0 = empty tree, 1 = root is a leaf.  Only ever
+    /// grows (roots are never collapsed: deletes do not restructure).
     height: u16,
     count: u64,
+    /// Head of the free list.  Always invalid since PR 5 — the B-link
+    /// tree never frees pages — but the slot is kept for the format's
+    /// stability and a future vacuum.
     free_head: PageId,
     first_leaf: PageId,
-    /// Pages currently owned by the tree (excluding the meta page and
-    /// free-listed pages).
+    /// Pages currently owned by the tree (excluding the meta page).
     pages: u64,
 }
 
@@ -93,7 +133,43 @@ pub struct TreeStats {
     pub pages: u64,
 }
 
-/// A disk-based B+-tree over a shared [`BufferPool`].
+/// The window of an in-flight structure modification, reported to the
+/// test probe installed via [`BTree::set_smo_probe`].
+///
+/// This exists for the concurrency test suites: it lets a deterministic
+/// test run readers *inside* the window between the two phases of a
+/// split (sibling published, separator not yet posted) without relying
+/// on scheduler timing.  Production code never installs a probe.
+#[derive(Clone, Copy, Debug)]
+pub enum SmoPhase {
+    /// A leaf split published its right sibling; the parent separator is
+    /// not posted yet.  The probe runs on the splitting thread, which
+    /// holds **no latches** at this point.
+    LeafSplitLinked {
+        /// The node that split (keeps the lower half).
+        left: PageId,
+        /// The freshly published right sibling.
+        right: PageId,
+    },
+    /// An internal split published its right sibling; the separator one
+    /// level up is not posted yet.  No latches held.
+    InternalSplitLinked {
+        /// The node that split.
+        left: PageId,
+        /// The freshly published right sibling.
+        right: PageId,
+    },
+    /// A root grow installed a new root above a completed split.
+    RootGrown {
+        /// The new root page.
+        root: PageId,
+    },
+}
+
+/// Test probe callback type (see [`BTree::set_smo_probe`]).
+pub type SmoProbe = dyn Fn(SmoPhase) + Send + Sync;
+
+/// A disk-based B-link tree over a shared [`BufferPool`].
 ///
 /// A tree is identified by its *meta page*; [`BTree::create`] allocates one
 /// and [`BTree::open`] re-attaches to it, which is how the relational
@@ -101,46 +177,26 @@ pub struct TreeStats {
 ///
 /// Any number of threads may read and write one tree concurrently — even
 /// through *different* handles opened on the same meta page, since all
-/// synchronization state lives in the shared pool's latch manager.  The
-/// one caller-side rule: a thread must not write through a tree while
-/// holding one of that tree's scan cursors (a cursor pins the tree latch
-/// shared; a structure modification would self-deadlock) — the classic
-/// "no DML under an open cursor" contract.
+/// synchronization state lives in the shared pool's latch manager.  There
+/// is **no cursor rule**: scans are latch-free, so a thread may freely
+/// write through a tree while holding one of its scan cursors (the
+/// pre-B-link protocol forbade this).
 pub struct BTree {
     pool: Arc<BufferPool>,
     meta_page: PageId,
     arity: usize,
     leaf_cap: usize,
     internal_cap: usize,
-    /// Structure-modification epoch, shared across all handles on this
-    /// meta page via the pool's latch manager.
-    epoch: Arc<AtomicU64>,
+    /// Test instrumentation for the split window; `None` in production.
+    smo_probe: Mutex<Option<Arc<SmoProbe>>>,
 }
 
-/// A write descent's findings: routing path, the target leaf (with its
-/// version-counter handle), and the guard keeping it exclusively latched.
-struct WritePath<'m> {
-    /// Internal pages on the root→leaf path with the routing slot taken.
-    path: Vec<(PageId, usize)>,
-    leaf_page: PageId,
-    leaf: LeafNode,
-    /// The leaf's content version counter and the value seen at read time.
-    leaf_version: Arc<AtomicU64>,
-    leaf_version_seen: u64,
-    leaf_guard: LatchGuard<'m>,
-}
-
-/// What an optimistic descent saw, cached for a latch upgrade: enough to
-/// replay a structure modification without repeating any page read.
-struct Descent {
-    epoch: u64,
-    meta: Meta,
-    /// Internal pages on the root→leaf path with the routing slot taken.
-    path: Vec<(PageId, usize)>,
-    leaf_page: PageId,
-    leaf: LeafNode,
-    /// Leaf version handle and value seen; `None` for the empty tree.
-    leaf_version: Option<(Arc<AtomicU64>, u64)>,
+/// Outcome of [`BTree::grow_or_relocate`]: either the root grew (the
+/// separator is posted in the new root), or the parent at the target
+/// level was located and the post must continue there.
+enum ParentSearch {
+    Grown,
+    At(PageId),
 }
 
 impl BTree {
@@ -177,14 +233,13 @@ impl BTree {
 
     fn attach(pool: Arc<BufferPool>, meta_page: PageId, arity: usize) -> BTree {
         let ps = pool.page_size();
-        let epoch = pool.latches().epoch(meta_page);
         BTree {
             pool,
             meta_page,
             arity,
             leaf_cap: leaf_capacity(ps, arity),
             internal_cap: internal_capacity(ps, arity),
-            epoch,
+            smo_probe: Mutex::new(None),
         }
     }
 
@@ -217,6 +272,23 @@ impl BTree {
     pub fn stats(&self) -> Result<TreeStats> {
         let meta = self.read_meta()?;
         Ok(TreeStats { entries: meta.count, height: meta.height, pages: meta.pages })
+    }
+
+    /// Installs (or clears) the structure-modification probe on **this
+    /// handle** — a test hook invoked in the window between the two
+    /// phases of every split, with no latches held (see [`SmoPhase`]).
+    /// The concurrency suites use it to run readers deterministically
+    /// *inside* in-flight splits; production code leaves it unset, in
+    /// which case the write path never looks at it off the split path.
+    pub fn set_smo_probe(&self, probe: Option<Arc<SmoProbe>>) {
+        *self.smo_probe.lock().unwrap_or_else(|e| e.into_inner()) = probe;
+    }
+
+    fn probe(&self, phase: SmoPhase) {
+        let probe = self.smo_probe.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        if let Some(p) = probe {
+            p(phase);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -252,27 +324,30 @@ impl BTree {
         })
     }
 
-    /// Allocates a page for this tree, preferring its free list.
-    fn alloc_page(&self, meta: &mut Meta) -> Result<PageId> {
-        let page = if meta.free_head.is_invalid() {
-            self.pool.allocate_page()?
-        } else {
-            let head = meta.free_head;
-            meta.free_head = self.pool.with_page(head, layout::read_free_link)??;
-            head
-        };
-        meta.pages += 1;
-        Ok(page)
+    /// Applies `count += delta` to the meta page in place.  The caller
+    /// must hold the meta-page latch; the count is read from the page
+    /// rather than from any cached `Meta` because every writer bumps it
+    /// concurrently.
+    fn bump_count(&self, delta: i64) -> Result<()> {
+        self.pool.with_page_mut(self.meta_page, |buf| {
+            let count = get_u64(buf, OFF_COUNT);
+            put_u64(buf, OFF_COUNT, (count as i64 + delta) as u64);
+        })
     }
 
-    /// Returns a page to this tree's free list.
-    fn free_page(&self, meta: &mut Meta, page: PageId) -> Result<()> {
-        let next = meta.free_head;
-        let arity = self.arity;
-        self.pool.with_page_mut(page, |buf| layout::write_free(buf, next, arity))?;
-        meta.free_head = page;
-        meta.pages -= 1;
-        Ok(())
+    /// Allocates a page for this tree and charges it to the meta page's
+    /// `pages` counter under the meta latch.  Called from split paths
+    /// while holding (at most) the splitting node's latch; the meta
+    /// latch is always innermost, so this cannot deadlock.
+    fn alloc_page_latched(&self) -> Result<PageId> {
+        let page = self.pool.allocate_page()?;
+        self.pool.prefetch(self.meta_page)?;
+        let _meta_latch = self.latches().page_exclusive(self.meta_page);
+        self.pool.with_page_mut(self.meta_page, |buf| {
+            let pages = get_u64(buf, OFF_PAGES);
+            put_u64(buf, OFF_PAGES, pages + 1);
+        })?;
+        Ok(page)
     }
 
     // ------------------------------------------------------------------
@@ -312,88 +387,117 @@ impl BTree {
         self.pool.with_page_mut(page, |buf| layout::write_internal(buf, node, arity))
     }
 
-    /// Applies `count += delta` to the meta page in place.  The caller
-    /// must hold either the meta-page latch exclusive (optimistic writers)
-    /// or the tree latch exclusive (structure modifications); the count is
-    /// read from the page rather than from any cached `Meta` because
-    /// concurrent leaf writers bump it without bumping the epoch.
-    fn bump_count(&self, delta: i64) -> Result<()> {
-        self.pool.with_page_mut(self.meta_page, |buf| {
-            let count = get_u64(buf, OFF_COUNT);
-            put_u64(buf, OFF_COUNT, (count as i64 + delta) as u64);
-        })
-    }
-
-    /// Writes every *structural* meta field from `meta` and applies
-    /// `count += delta` from the page's current value, in one page write.
-    /// Caller must hold the tree latch exclusive.  Single-threaded this
-    /// produces byte-identical pages to the seed's full `write_meta`.
-    fn write_meta_smo(&self, meta: &Meta, delta: i64) -> Result<()> {
-        self.pool.with_page_mut(self.meta_page, |buf| {
-            put_u32(buf, OFF_MAGIC, META_MAGIC);
-            buf[OFF_ARITY] = self.arity as u8;
-            put_u16(buf, OFF_HEIGHT, meta.height);
-            put_u64(buf, OFF_ROOT, meta.root.raw());
-            let count = get_u64(buf, OFF_COUNT);
-            put_u64(buf, OFF_COUNT, (count as i64 + delta) as u64);
-            put_u64(buf, OFF_FREE, meta.free_head.raw());
-            put_u64(buf, OFF_FIRST_LEAF, meta.first_leaf.raw());
-            put_u64(buf, OFF_PAGES, meta.pages);
-        })
-    }
-
     // ------------------------------------------------------------------
-    // Optimistic descent (shared crabbing, exclusive leaf)
+    // Latch-free descent
     // ------------------------------------------------------------------
 
-    /// Descends to the leaf responsible for `target`, crabbing shared page
-    /// latches down the inner nodes and taking the leaf latch exclusive.
-    /// Returns the routing path, the latched leaf, and its guard; the
-    /// caller must hold the tree latch (shared) for the whole call.
+    /// Descends from `meta.root` to the leaf level, routing toward
+    /// `target` and moving right past high keys.  Returns the leaf page
+    /// reached plus (when `stack` is wanted) the internal page routed
+    /// through at each level, shallowest first — the writer's hint stack
+    /// for separator posting.
     ///
-    /// Every page is **prefetched before its latch is acquired** (see
-    /// [`BufferPool::prefetch`]): the read that follows under a page's
-    /// own latch is a cache hit, so a cold page never stalls the waiters
-    /// queued on *its* latch.  (The parent's crabbing latch is
-    /// necessarily still held while a child prefetches — see the module
-    /// docs.)  Prefetch + adjacent access is counter- and LRU-equivalent
-    /// to the plain access, so the goldens in `tests/pool_determinism.rs`
-    /// are unaffected.
-    fn descend_for_write(&self, meta: &Meta, target: &Entry) -> Result<WritePath<'_>> {
-        let mut page = meta.root;
-        self.pool.prefetch(page)?;
-        let mut guard = if meta.height == 1 {
-            self.latches().page_exclusive(page)
-        } else {
-            self.latches().page_shared(page)
-        };
-        let mut path = Vec::with_capacity(meta.height as usize);
-        for level in (2..=meta.height).rev() {
+    /// `meta` may be stale: `root` and `height` are written together, so
+    /// the pair is consistent, and a root that has since grown or split
+    /// still covers the key space through its right chain.
+    /// Latch-free move-right: reads the internal node at `page`, chasing
+    /// right links until the node covers `target`.  The single canonical
+    /// chase loop for unlatched internal traversals.
+    fn chase_internal(&self, mut page: PageId, target: &Entry) -> Result<(PageId, InternalNode)> {
+        loop {
             let node = self.read_internal(page)?;
-            let slot = node.route(target);
-            let child = node.child_at(slot);
-            // Crab: latch the child before releasing the parent (the
-            // assignment drops the parent guard).
-            self.pool.prefetch(child)?;
-            guard = if level == 2 {
-                self.latches().page_exclusive(child)
-            } else {
-                self.latches().page_shared(child)
-            };
-            path.push((page, slot));
-            page = child;
+            if node.covers(target) {
+                return Ok((page, node));
+            }
+            debug_assert!(!node.next.is_invalid(), "missing high key implies no right move");
+            self.latches().record_right_link_chase();
+            page = node.next;
         }
-        let leaf_version = self.latches().page_version(page);
-        let leaf_version_seen = leaf_version.load(Ordering::Acquire);
-        let leaf = self.read_leaf(page)?;
-        Ok(WritePath {
-            path,
-            leaf_page: page,
-            leaf,
-            leaf_version,
-            leaf_version_seen,
-            leaf_guard: guard,
-        })
+    }
+
+    /// Latch-free move-right at the leaf level (the canonical unlatched
+    /// leaf chase).
+    fn chase_leaf(&self, mut page: PageId, target: &Entry) -> Result<(PageId, LeafNode)> {
+        loop {
+            let leaf = self.read_leaf(page)?;
+            if leaf.covers(target) {
+                return Ok((page, leaf));
+            }
+            debug_assert!(!leaf.next.is_invalid(), "missing high key implies no right move");
+            self.latches().record_right_link_chase();
+            page = leaf.next;
+        }
+    }
+
+    /// Latched move-right: prefetches and exclusively latches `page`,
+    /// re-chasing right links under the latch (release, prefetch, latch
+    /// next) until the node read under the latch covers `target`.  The
+    /// single canonical chase loop for latched traversals; callers match
+    /// the node type they expect.
+    fn latch_covering_node(
+        &self,
+        mut page: PageId,
+        target: &Entry,
+    ) -> Result<(PageId, Node, LatchGuard<'_>)> {
+        self.pool.prefetch(page)?;
+        let mut guard = self.latches().page_exclusive(page);
+        loop {
+            let node = self.read_any(page)?;
+            let next = match &node {
+                Node::Leaf(l) if l.covers(target) => return Ok((page, node, guard)),
+                Node::Internal(n) if n.covers(target) => return Ok((page, node, guard)),
+                Node::Leaf(l) => l.next,
+                Node::Internal(n) => n.next,
+            };
+            debug_assert!(!next.is_invalid(), "missing high key implies no right move");
+            drop(guard);
+            self.latches().record_right_link_chase();
+            self.pool.prefetch(next)?;
+            guard = self.latches().page_exclusive(next);
+            page = next;
+        }
+    }
+
+    fn descend(
+        &self,
+        meta: &Meta,
+        target: &Entry,
+        want_stack: bool,
+    ) -> Result<(PageId, Vec<PageId>)> {
+        let mut page = meta.root;
+        let mut stack =
+            if want_stack { Vec::with_capacity(meta.height as usize) } else { Vec::new() };
+        for _ in 2..=meta.height {
+            let (covering, node) = self.chase_internal(page, target)?;
+            if want_stack {
+                stack.push(covering);
+            }
+            page = node.child_at(node.route(target));
+        }
+        Ok((page, stack))
+    }
+
+    /// Exclusively latches the leaf responsible for `target`, starting
+    /// from the descent's `page` hint and moving right under the latch if
+    /// a concurrent split shifted the key range.  The page is prefetched
+    /// before each latch acquisition so the latched read is a cache hit.
+    fn latch_leaf_for_write(
+        &self,
+        page: PageId,
+        target: &Entry,
+    ) -> Result<(PageId, LeafNode, LatchGuard<'_>)> {
+        match self.latch_covering_node(page, target)? {
+            (page, Node::Leaf(leaf), guard) => Ok((page, leaf, guard)),
+            (page, Node::Internal(_), _) => {
+                Err(Error::Corrupt(format!("expected leaf at {page}, found internal node")))
+            }
+        }
+    }
+
+    /// Locates and reads (latch-free) the leaf covering `target`.
+    fn find_leaf(&self, meta: &Meta, target: &Entry) -> Result<(PageId, LeafNode)> {
+        let (page, _) = self.descend(meta, target, false)?;
+        self.chase_leaf(page, target)
     }
 
     // ------------------------------------------------------------------
@@ -405,196 +509,232 @@ impl BTree {
     /// Duplicate `(cols, payload)` pairs are permitted (the tree is a
     /// multiset, as a relational index over a multiset table must be).
     ///
-    /// Concurrency: leaf-only inserts run under the shared tree latch and
-    /// an exclusive leaf latch; an insert that must split upgrades to the
-    /// exclusive tree latch (see the module docs).
+    /// Concurrency: the descent is latch-free; the write holds only the
+    /// leaf latch (plus one meta-page hold for the count).  A split runs
+    /// the two-phase B-link protocol described in the module docs and
+    /// never excludes readers or leaf-disjoint writers.
     pub fn insert(&self, cols: &[i64], payload: u64) -> Result<()> {
         self.check_arity(cols)?;
         let entry = Entry::new(cols, payload);
-        let descent = {
-            let _tree = self.latches().tree_shared(self.meta_page);
-            let epoch = self.epoch.load(Ordering::Acquire);
+        loop {
             let meta = self.read_meta()?;
             if meta.root.is_invalid() {
-                Descent {
-                    epoch,
-                    meta,
-                    path: Vec::new(),
-                    leaf_page: PageId::INVALID,
-                    leaf: LeafNode::empty(),
-                    leaf_version: None,
+                if self.try_plant_root(entry)? {
+                    return Ok(());
                 }
+                continue; // lost the empty-tree race; a root exists now
+            }
+            let (leaf_hint, stack) = self.descend(&meta, &entry, true)?;
+            let (leaf_page, mut leaf, guard) = self.latch_leaf_for_write(leaf_hint, &entry)?;
+            let pos = leaf.entries.partition_point(|e| e < &entry);
+            leaf.entries.insert(pos, entry);
+            if leaf.entries.len() <= self.leaf_cap {
+                // Safe leaf: one latched in-place store.  This is the
+                // parallel path — leaf-disjoint writers never touch.
+                self.store_leaf(leaf_page, &leaf)?;
+                drop(guard);
             } else {
-                let mut wp = self.descend_for_write(&meta, &entry)?;
-                if wp.leaf.entries.len() < self.leaf_cap {
-                    // Safe leaf: the whole insert is one latched in-place
-                    // store plus a count bump.  This is the parallel path.
-                    let pos = wp.leaf.entries.partition_point(|e| e < &entry);
-                    wp.leaf.entries.insert(pos, entry);
-                    self.store_leaf(wp.leaf_page, &wp.leaf)?;
-                    wp.leaf_version.fetch_add(1, Ordering::Release);
-                    drop(wp.leaf_guard);
-                    // Prefetch so the count bump under the meta latch is a
-                    // hit — the meta page is the hottest latch in the tree
-                    // and must never wait on a device read.
-                    self.pool.prefetch(self.meta_page)?;
-                    let _meta_latch = self.latches().page_exclusive(self.meta_page);
-                    return self.bump_count(1);
-                }
-                Descent {
-                    epoch,
-                    meta,
-                    path: wp.path,
-                    leaf_page: wp.leaf_page,
-                    leaf: wp.leaf,
-                    leaf_version: Some((wp.leaf_version, wp.leaf_version_seen)),
-                }
+                let (sep, right_page) = self.split_leaf(leaf_page, leaf)?;
+                drop(guard);
+                self.probe(SmoPhase::LeafSplitLinked { left: leaf_page, right: right_page });
+                self.post_separator(stack, leaf_page, 1, sep, right_page)?;
             }
-        };
-        // The leaf must split (or the tree is empty): upgrade.  All
-        // latches are released before the exclusive acquisition — holding
-        // the leaf latch across it would deadlock against a writer that
-        // holds the tree latch shared and wants this leaf.
-        self.latches().record_upgrade();
-        let _tree = self.latches().tree_exclusive(self.meta_page);
-        if self.descent_still_valid(&descent) {
-            self.insert_smo(entry, descent.meta, &descent.path, descent.leaf_page, descent.leaf)?;
-        } else {
-            // A concurrent writer changed the structure or the leaf while
-            // we were between latches: pessimistic retry from the root.
-            self.latches().record_restart();
-            self.insert_pessimistic(entry)?;
+            // Prefetch so the count bump under the meta latch is a hit —
+            // the meta page is the hottest latch in the tree and must
+            // never wait on a device read.
+            self.pool.prefetch(self.meta_page)?;
+            let _meta_latch = self.latches().page_exclusive(self.meta_page);
+            return self.bump_count(1);
         }
-        self.epoch.fetch_add(1, Ordering::Release);
-        Ok(())
     }
 
-    /// `true` when a cached descent can be replayed verbatim: no structure
-    /// modification happened since (epoch) and the target leaf's content
-    /// was not touched by a concurrent leaf-only writer (version).
-    fn descent_still_valid(&self, d: &Descent) -> bool {
-        self.epoch.load(Ordering::Acquire) == d.epoch
-            && d.leaf_version
-                .as_ref()
-                .is_none_or(|(handle, seen)| handle.load(Ordering::Acquire) == *seen)
+    /// Creates the first root leaf holding `entry`, unless another writer
+    /// planted one first (returns `false`; the caller re-descends).  The
+    /// leaf page is stored before the meta page points at it.
+    fn try_plant_root(&self, entry: Entry) -> Result<bool> {
+        self.pool.prefetch(self.meta_page)?;
+        let _meta_latch = self.latches().page_exclusive(self.meta_page);
+        let mut meta = self.read_meta()?;
+        if !meta.root.is_invalid() {
+            return Ok(false);
+        }
+        let root = self.pool.allocate_page()?;
+        meta.pages += 1;
+        let node = LeafNode { entries: vec![entry], ..LeafNode::empty() };
+        self.store_leaf(root, &node)?;
+        meta.root = root;
+        meta.first_leaf = root;
+        meta.height = 1;
+        meta.count += 1;
+        self.write_meta(&meta)?;
+        Ok(true)
     }
 
-    /// Pessimistic insert under the exclusive tree latch: re-descend with
-    /// exclusive page latches, releasing every latch above the deepest
-    /// *insert-safe* node (one whose separator array still has room), then
-    /// run the same structure-modification code.
-    ///
-    /// Today the exclusive tree latch makes these page latches
-    /// uncontended by construction; they exist because they are the part
-    /// of the protocol that becomes load-bearing the day the tree latch
-    /// is relaxed (B-link-style SMOs, see ROADMAP), and keeping the
-    /// retry path honest about its latch footprint costs microseconds on
-    /// a path that is already a restart.
-    fn insert_pessimistic(&self, entry: Entry) -> Result<()> {
-        let meta = self.read_meta()?;
-        if meta.root.is_invalid() {
-            return self.insert_smo(entry, meta, &[], PageId::INVALID, LeafNode::empty());
-        }
-        let mut held: Vec<LatchGuard<'_>> = Vec::new();
-        let mut path = Vec::with_capacity(meta.height as usize);
-        let mut page = meta.root;
-        for _ in 2..=meta.height {
-            self.pool.prefetch(page)?;
-            held.push(self.latches().page_exclusive(page));
-            let node = self.read_internal(page)?;
-            if node.entries.len() < self.internal_cap {
-                // Safe node: a child split is absorbed here, so no
-                // ancestor can be touched — release their latches.
-                held.drain(..held.len() - 1);
-            }
-            let slot = node.route(&entry);
-            path.push((page, slot));
-            page = node.child_at(slot);
-        }
-        self.pool.prefetch(page)?;
-        held.push(self.latches().page_exclusive(page));
-        let leaf = self.read_leaf(page)?;
-        self.insert_smo(entry, meta, &path, page, leaf)
-    }
-
-    /// The structural insert, shared by the epoch-validated replay and the
-    /// pessimistic retry.  Caller holds the tree latch exclusive; `meta`,
-    /// `path` and `leaf` come from a descent that is known exact, so no
-    /// page is read twice — the page-access sequence is the seed
-    /// algorithm's, bit for bit.
-    fn insert_smo(
-        &self,
-        entry: Entry,
-        mut meta: Meta,
-        path: &[(PageId, usize)],
-        leaf_page: PageId,
-        mut leaf: LeafNode,
-    ) -> Result<()> {
-        if meta.root.is_invalid() {
-            let root = self.alloc_page(&mut meta)?;
-            let node = LeafNode { entries: vec![entry], ..LeafNode::empty() };
-            self.store_leaf(root, &node)?;
-            meta.root = root;
-            meta.first_leaf = root;
-            meta.height = 1;
-            return self.write_meta_smo(&meta, 1);
-        }
-        let pos = leaf.entries.partition_point(|e| e < &entry);
-        leaf.entries.insert(pos, entry);
-        if leaf.entries.len() <= self.leaf_cap {
-            // Only reachable from the pessimistic retry: a concurrent
-            // split made room while we were between latches.
-            self.store_leaf(leaf_page, &leaf)?;
-            return self.write_meta_smo(&meta, 1);
-        }
-        // Leaf split: right sibling takes the upper half.
+    /// Phase 1 of a leaf split.  Caller holds the leaf latch and passes
+    /// the over-full (capacity + 1) in-memory leaf; the right sibling
+    /// takes the upper half, the old right link, and the old high key.
+    /// The sibling page is stored **before** the left node is relinked,
+    /// so the link is never dangling for latch-free readers.  Returns
+    /// the separator (the sibling's first entry) and the sibling page.
+    fn split_leaf(&self, leaf_page: PageId, mut leaf: LeafNode) -> Result<(Entry, PageId)> {
         let mid = leaf.entries.len() / 2;
         let right_entries = leaf.entries.split_off(mid);
-        let right_page = self.alloc_page(&mut meta)?;
-        let right = LeafNode { entries: right_entries, next: leaf.next, prev: leaf_page };
-        let old_next = leaf.next;
+        let right_page = self.alloc_page_latched()?;
+        let right = LeafNode { entries: right_entries, next: leaf.next, high: leaf.high };
+        let sep = right.entries[0];
         leaf.next = right_page;
-        let mut sep = right.entries[0];
-        self.store_leaf(leaf_page, &leaf)?;
+        leaf.high = Some(sep);
         self.store_leaf(right_page, &right)?;
-        if !old_next.is_invalid() {
-            let mut nn = self.read_leaf(old_next)?;
-            nn.prev = right_page;
-            self.store_leaf(old_next, &nn)?;
-        }
-        // Propagate the separator up the cached path, splitting internal
-        // nodes as needed.  Each parent is re-read here — the same
-        // "second read" the seed's recursive unwinding performed.
-        let mut right_child = right_page;
-        let mut pending = true;
-        for &(page, _) in path.iter().rev() {
-            let mut node = self.read_internal(page)?;
+        self.store_leaf(leaf_page, &leaf)?;
+        self.latches().record_split();
+        Ok((sep, right_page))
+    }
+
+    /// Phase 2 of the split protocol: post `(sep, right)` — the split of
+    /// `left`, a node at `left_level` — into the parent level, cascading
+    /// upward while parents overflow.  The caller holds **no latches**.
+    /// `stack` holds the descent's per-level routing hints (shallowest
+    /// first); a hint that has since split is corrected by moving right
+    /// under the parent latch, and an exhausted stack means `left` was
+    /// the root when the descent read it (handled by
+    /// [`BTree::grow_or_relocate`]).
+    fn post_separator(
+        &self,
+        mut stack: Vec<PageId>,
+        mut left: PageId,
+        mut left_level: u16,
+        mut sep: Entry,
+        mut right: PageId,
+    ) -> Result<()> {
+        loop {
+            let hint = match stack.pop() {
+                Some(p) => p,
+                None => match self.grow_or_relocate(left, left_level, sep, right)? {
+                    ParentSearch::Grown => return Ok(()),
+                    ParentSearch::At(p) => p,
+                },
+            };
+            let (page, mut node, guard) = match self.latch_covering_node(hint, &sep)? {
+                (page, Node::Internal(node), guard) => (page, node, guard),
+                (page, Node::Leaf(_), _) => {
+                    return Err(Error::Corrupt(format!(
+                        "expected internal node at {page}, found leaf"
+                    )))
+                }
+            };
             let pos = node.entries.partition_point(|(s, _)| s < &sep);
-            node.entries.insert(pos, (sep, right_child));
+            node.entries.insert(pos, (sep, right));
+            self.latches().record_smo_completion();
             if node.entries.len() <= self.internal_cap {
                 self.store_internal(page, &node)?;
-                pending = false;
-                break;
+                return Ok(());
             }
-            // Split: promote the middle separator.
+            // The parent overflows: split it the same two-phase way and
+            // continue posting one level up.  The promoted separator
+            // moves to the parent level; the right node's first child is
+            // the promoted separator's child, exactly as in the seed.
             let mid = node.entries.len() / 2;
             let mut upper = node.entries.split_off(mid);
             let (promoted, promoted_child) = upper.remove(0);
-            let new_right = self.alloc_page(&mut meta)?;
-            let rnode = InternalNode { child0: promoted_child, entries: upper };
-            self.store_internal(page, &node)?;
+            let new_right = self.alloc_page_latched()?;
+            let rnode = InternalNode {
+                child0: promoted_child,
+                entries: upper,
+                next: node.next,
+                high: node.high,
+            };
+            node.next = new_right;
+            node.high = Some(promoted);
             self.store_internal(new_right, &rnode)?;
+            self.store_internal(page, &node)?;
+            self.latches().record_split();
+            drop(guard);
+            self.probe(SmoPhase::InternalSplitLinked { left: page, right: new_right });
+            left = page;
+            left_level += 1;
             sep = promoted;
-            right_child = new_right;
+            right = new_right;
         }
-        if pending {
-            let new_root = self.alloc_page(&mut meta)?;
-            let node = InternalNode { child0: meta.root, entries: vec![(sep, right_child)] };
-            self.store_internal(new_root, &node)?;
-            meta.root = new_root;
-            meta.height += 1;
+    }
+
+    /// The hint stack is exhausted: `left` (at `left_level`) was at the
+    /// top of the tree as this writer's descent saw it.  Under the meta
+    /// latch, either it is the current root — install a new root over
+    /// `(left, sep, right)` (*root grow*) — or the level above it is (or
+    /// will shortly be) owned by someone else: walk down from the
+    /// *current* root to the level just above `left` and return the
+    /// parent to post into.
+    ///
+    /// One genuinely pending case exists: `left` is a *right sibling* at
+    /// the top level whose own creation's root grow has not landed yet
+    /// (old root `R` split into `R → left`, the splitter released its
+    /// latch — making `left` reachable — but has not yet installed the
+    /// new root).  Then `meta.root != left` **and** `meta.height ==
+    /// left_level`: the parent that must absorb this separator does not
+    /// exist yet.  The only correct move is to wait for the pending grow
+    /// (we hold no latches; the grower needs only the meta latch, which
+    /// we release every probe; in-process the grower always completes),
+    /// then relocate normally.
+    fn grow_or_relocate(
+        &self,
+        left: PageId,
+        left_level: u16,
+        sep: Entry,
+        right: PageId,
+    ) -> Result<ParentSearch> {
+        let meta = loop {
+            // `Ok(new root)` when this writer grew the tree, `Err(meta)`
+            // otherwise.
+            let grown: std::result::Result<PageId, Meta> = {
+                self.pool.prefetch(self.meta_page)?;
+                let _meta_latch = self.latches().page_exclusive(self.meta_page);
+                let mut meta = self.read_meta()?;
+                if meta.root == left {
+                    let new_root = self.pool.allocate_page()?;
+                    meta.pages += 1;
+                    let node = InternalNode {
+                        child0: left,
+                        entries: vec![(sep, right)],
+                        next: PageId::INVALID,
+                        high: None,
+                    };
+                    self.store_internal(new_root, &node)?;
+                    meta.root = new_root;
+                    meta.height += 1;
+                    self.write_meta(&meta)?;
+                    self.latches().record_smo_completion();
+                    Ok(new_root)
+                } else {
+                    Err(meta)
+                }
+            };
+            match grown {
+                Ok(new_root) => {
+                    self.probe(SmoPhase::RootGrown { root: new_root });
+                    return Ok(ParentSearch::Grown);
+                }
+                Err(meta) if meta.height > left_level => break meta,
+                Err(_) => {
+                    // The pending-grow window described above: no parent
+                    // level exists yet.  Yield and re-check (counted, so
+                    // the concurrency tests can observe the wait
+                    // deterministically).
+                    self.latches().record_pending_grow_wait();
+                    std::thread::yield_now();
+                }
+            }
+        };
+        // The level above `left` exists: route down to it by `sep`
+        // (moving right as needed) to find the parent that must absorb
+        // the post.
+        let mut page = meta.root;
+        let mut level = meta.height;
+        while level > left_level + 1 {
+            let (_, node) = self.chase_internal(page, &sep)?;
+            page = node.child_at(node.route(&sep));
+            level -= 1;
         }
-        self.write_meta_smo(&meta, 1)
+        Ok(ParentSearch::At(page))
     }
 
     // ------------------------------------------------------------------
@@ -603,187 +743,37 @@ impl BTree {
 
     /// Deletes the exact `(cols, payload)` entry.
     ///
-    /// Returns `false` if no such entry exists.  Underflowing nodes are not
-    /// rebalanced (the common production trade-off, cf. PostgreSQL): pages
-    /// are reclaimed only once empty, which preserves all search invariants
-    /// and keeps deletion logarithmic.
+    /// Returns `false` if no such entry exists.  Deletion never
+    /// restructures: underflowing nodes are not rebalanced (the common
+    /// production trade-off, cf. PostgreSQL), and — since the B-link
+    /// refactor — an emptied leaf is not even unlinked: it stays in the
+    /// tree with its high key and right link, routes correctly, absorbs
+    /// later inserts, and costs one page until a future vacuum.  This is
+    /// what keeps readers latch-free: a page, once linked, is never
+    /// freed, so no traversal can walk into recycled storage.
     ///
-    /// Concurrency mirrors [`BTree::insert`]: a delete that leaves its
-    /// leaf non-empty (or empties the root leaf) runs under the shared
-    /// tree latch; one that empties a non-root leaf upgrades to the
-    /// exclusive tree latch to unlink and free pages.
+    /// Concurrency mirrors [`BTree::insert`]'s leaf path: latch-free
+    /// descent, one exclusive leaf latch, one meta hold for the count.
     pub fn delete(&self, cols: &[i64], payload: u64) -> Result<bool> {
         self.check_arity(cols)?;
         let target = Entry::new(cols, payload);
-        let (descent, pos) = {
-            let _tree = self.latches().tree_shared(self.meta_page);
-            let epoch = self.epoch.load(Ordering::Acquire);
-            let meta = self.read_meta()?;
-            if meta.root.is_invalid() {
-                return Ok(false);
-            }
-            let mut wp = self.descend_for_write(&meta, &target)?;
-            let Ok(pos) = wp.leaf.entries.binary_search(&target) else {
-                return Ok(false);
-            };
-            if wp.leaf.entries.len() > 1 || wp.path.is_empty() {
-                // Non-empty leaf after removal, or the leaf *is* the root
-                // (an empty root leaf is legal): one in-place store.
-                wp.leaf.entries.remove(pos);
-                self.store_leaf(wp.leaf_page, &wp.leaf)?;
-                wp.leaf_version.fetch_add(1, Ordering::Release);
-                drop(wp.leaf_guard);
-                // As in `insert`: the bump under the meta latch must hit.
-                self.pool.prefetch(self.meta_page)?;
-                let _meta_latch = self.latches().page_exclusive(self.meta_page);
-                self.bump_count(-1)?;
-                return Ok(true);
-            }
-            (
-                Descent {
-                    epoch,
-                    meta,
-                    path: wp.path,
-                    leaf_page: wp.leaf_page,
-                    leaf: wp.leaf,
-                    leaf_version: Some((wp.leaf_version, wp.leaf_version_seen)),
-                },
-                pos,
-            )
-        };
-        // The leaf empties: the page must be unlinked and freed — upgrade.
-        self.latches().record_upgrade();
-        let _tree = self.latches().tree_exclusive(self.meta_page);
-        let deleted = if self.descent_still_valid(&descent) {
-            self.delete_smo(descent.meta, descent.path, descent.leaf_page, descent.leaf, pos)?;
-            true
-        } else {
-            self.latches().record_restart();
-            self.delete_pessimistic(&target)?
-        };
-        self.epoch.fetch_add(1, Ordering::Release);
-        Ok(deleted)
-    }
-
-    /// Pessimistic delete under the exclusive tree latch: fresh descent
-    /// with exclusive page latches, releasing every latch above the
-    /// deepest *delete-safe* node (one that keeps ≥ 1 separator after a
-    /// child removal, so no cascade can pass it).
-    fn delete_pessimistic(&self, target: &Entry) -> Result<bool> {
         let meta = self.read_meta()?;
         if meta.root.is_invalid() {
             return Ok(false);
         }
-        let mut held: Vec<LatchGuard<'_>> = Vec::new();
-        let mut path = Vec::with_capacity(meta.height as usize);
-        let mut page = meta.root;
-        for _ in 2..=meta.height {
-            self.pool.prefetch(page)?;
-            held.push(self.latches().page_exclusive(page));
-            let node = self.read_internal(page)?;
-            if !node.entries.is_empty() {
-                held.drain(..held.len() - 1);
-            }
-            let slot = node.route(target);
-            path.push((page, slot));
-            page = node.child_at(slot);
-        }
-        self.pool.prefetch(page)?;
-        held.push(self.latches().page_exclusive(page));
-        let mut leaf = self.read_leaf(page)?;
-        let Ok(pos) = leaf.entries.binary_search(target) else {
+        let (leaf_hint, _) = self.descend(&meta, &target, false)?;
+        let (leaf_page, mut leaf, guard) = self.latch_leaf_for_write(leaf_hint, &target)?;
+        let Ok(pos) = leaf.entries.binary_search(&target) else {
             return Ok(false);
         };
-        if leaf.entries.len() > 1 || path.is_empty() {
-            leaf.entries.remove(pos);
-            self.store_leaf(page, &leaf)?;
-            self.bump_count(-1)?;
-            return Ok(true);
-        }
-        self.delete_smo(meta, path, page, leaf, pos)?;
-        Ok(true)
-    }
-
-    /// The structural delete (leaf empties): unlink from the leaf chain,
-    /// free the page, cascade the child removal upward, collapse the root.
-    /// Caller holds the tree latch exclusive; the page-access sequence is
-    /// the seed algorithm's, bit for bit.
-    fn delete_smo(
-        &self,
-        mut meta: Meta,
-        mut path: Vec<(PageId, usize)>,
-        leaf_page: PageId,
-        mut leaf: LeafNode,
-        pos: usize,
-    ) -> Result<()> {
         leaf.entries.remove(pos);
-        debug_assert!(leaf.entries.is_empty() && !path.is_empty());
-        self.unlink_leaf(&mut meta, leaf_page, &leaf)?;
-        self.remove_child_upwards(&mut meta, &mut path)?;
-        self.collapse_root(&mut meta)?;
-        self.write_meta_smo(&meta, -1)
-    }
-
-    /// Unlinks an emptied leaf from the leaf chain and frees its page.
-    fn unlink_leaf(&self, meta: &mut Meta, page: PageId, leaf: &LeafNode) -> Result<()> {
-        if leaf.prev.is_invalid() {
-            meta.first_leaf = leaf.next;
-        } else {
-            let mut p = self.read_leaf(leaf.prev)?;
-            p.next = leaf.next;
-            self.store_leaf(leaf.prev, &p)?;
-        }
-        if !leaf.next.is_invalid() {
-            let mut n = self.read_leaf(leaf.next)?;
-            n.prev = leaf.prev;
-            self.store_leaf(leaf.next, &n)?;
-        }
-        self.free_page(meta, page)
-    }
-
-    /// Removes the child pointer recorded at the top of `path` from its
-    /// parent, cascading if internal nodes lose their last child.
-    fn remove_child_upwards(&self, meta: &mut Meta, path: &mut Vec<(PageId, usize)>) -> Result<()> {
-        while let Some((ppage, slot)) = path.pop() {
-            let mut pnode = self.read_internal(ppage)?;
-            if slot == 0 {
-                if pnode.entries.is_empty() {
-                    // This internal node just lost its only child.
-                    if path.is_empty() {
-                        // It was the root: the tree is now empty.
-                        self.free_page(meta, ppage)?;
-                        meta.root = PageId::INVALID;
-                        meta.height = 0;
-                        meta.first_leaf = PageId::INVALID;
-                        return Ok(());
-                    }
-                    self.free_page(meta, ppage)?;
-                    continue; // cascade: remove it from *its* parent
-                }
-                let (_, first_child) = pnode.entries.remove(0);
-                pnode.child0 = first_child;
-            } else {
-                pnode.entries.remove(slot - 1);
-            }
-            self.store_internal(ppage, &pnode)?;
-            return Ok(());
-        }
-        Ok(())
-    }
-
-    /// Shrinks the tree while the root is an internal node with one child.
-    fn collapse_root(&self, meta: &mut Meta) -> Result<()> {
-        while meta.height >= 2 {
-            let root = self.read_internal(meta.root)?;
-            if !root.entries.is_empty() {
-                break;
-            }
-            let old_root = meta.root;
-            meta.root = root.child0;
-            meta.height -= 1;
-            self.free_page(meta, old_root)?;
-        }
-        Ok(())
+        self.store_leaf(leaf_page, &leaf)?;
+        drop(guard);
+        // As in `insert`: the bump under the meta latch must hit.
+        self.pool.prefetch(self.meta_page)?;
+        let _meta_latch = self.latches().page_exclusive(self.meta_page);
+        self.bump_count(-1)?;
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -791,23 +781,19 @@ impl BTree {
     // ------------------------------------------------------------------
 
     /// Returns `true` if the exact `(cols, payload)` entry is present.
+    ///
+    /// Latch-free: the descent routes by separators and moves right past
+    /// high keys; no concurrent split, root grow, or writer can make it
+    /// miss a committed entry (entries only ever move *right*, and the
+    /// traversal moves right with them).
     pub fn contains(&self, cols: &[i64], payload: u64) -> Result<bool> {
         self.check_arity(cols)?;
         let target = Entry::new(cols, payload);
-        // Readers pin the structure with the shared tree latch and take no
-        // page latches: page accesses are copy-atomic in the pool, and no
-        // split/merge/free can run while any shared holder exists.
-        let _tree = self.latches().tree_shared(self.meta_page);
         let meta = self.read_meta()?;
         if meta.root.is_invalid() {
             return Ok(false);
         }
-        let mut page = meta.root;
-        for _ in 2..=meta.height {
-            let node = self.read_internal(page)?;
-            page = node.child_at(node.route(&target));
-        }
-        let leaf = self.read_leaf(page)?;
+        let (_, leaf) = self.find_leaf(&meta, &target)?;
         Ok(leaf.entries.binary_search(&target).is_ok())
     }
 
@@ -827,27 +813,14 @@ impl BTree {
         RangeScan::new(self, &lo, &hi)
     }
 
-    /// Acquires the shared tree latch for a reader; scan cursors hold the
-    /// returned guard for their whole lifetime so the structure they walk
-    /// cannot be modified underneath them.
-    pub(crate) fn reader_latch(&self) -> LatchGuard<'_> {
-        self.latches().tree_shared(self.meta_page)
-    }
-
-    /// Locates the leaf that must contain the first entry `>= target`,
-    /// returning its page id.  Used by the scan cursor, which holds the
-    /// [`BTree::reader_latch`] across this call and all leaf loads.
-    pub(crate) fn descend_to_leaf(&self, target: &Entry) -> Result<Option<PageId>> {
+    /// Locates and loads the leaf holding the first entry `>= target`
+    /// (used by the scan cursor).  Latch-free, like every read path.
+    pub(crate) fn position_leaf(&self, target: &Entry) -> Result<Option<(PageId, LeafNode)>> {
         let meta = self.read_meta()?;
         if meta.root.is_invalid() {
             return Ok(None);
         }
-        let mut page = meta.root;
-        for _ in 2..=meta.height {
-            let node = self.read_internal(page)?;
-            page = node.child_at(node.route(target));
-        }
-        Ok(Some(page))
+        Ok(Some(self.find_leaf(&meta, target)?))
     }
 
     pub(crate) fn load_leaf(&self, page: PageId) -> Result<LeafNode> {
@@ -876,6 +849,10 @@ impl BTree {
     /// experiments (Section 6.3 notes their "good clustering properties of
     /// the bulk loaded indexes"); this constructor provides the same for all
     /// access methods in this repository.
+    ///
+    /// The build is single-threaded by construction: the tree's meta page
+    /// id escapes only through the returned handle, so no concurrent
+    /// access path exists until the build completes.
     pub fn bulk_load(
         pool: Arc<BufferPool>,
         arity: usize,
@@ -886,16 +863,12 @@ impl BTree {
             return Err(Error::InvalidArgument(format!("fill factor {fill} not in (0, 1]")));
         }
         let tree = BTree::create(pool, arity)?;
-        // The whole build is one big structure modification.  The guard
-        // borrows a pool handle rather than `tree` so the finished tree
-        // can be moved out while the latch is still held.
-        let pool_handle = Arc::clone(&tree.pool);
-        let _tree_latch = pool_handle.latches().tree_exclusive(tree.meta_page);
-        tree.epoch.fetch_add(1, Ordering::Release);
         let mut meta = tree.read_meta()?;
         let leaf_target = ((tree.leaf_cap as f64 * fill).floor() as usize).clamp(1, tree.leaf_cap);
 
-        // Phase 1: write the leaf level.
+        // Phase 1: write the leaf level.  Each flushed leaf links its
+        // predecessor to it and gives the predecessor its high key (the
+        // new leaf's first entry) in one re-store.
         let mut leaves: Vec<(Entry, PageId)> = Vec::new(); // (min entry, page)
         let mut current: Vec<Entry> = Vec::with_capacity(leaf_target);
         let mut prev_entry: Option<Entry> = None;
@@ -908,15 +881,13 @@ impl BTree {
                           prev_leaf: &mut Option<PageId>,
                           leaves: &mut Vec<(Entry, PageId)>|
          -> Result<()> {
-            let page = tree.alloc_page(meta)?;
-            let node = LeafNode {
-                entries,
-                next: PageId::INVALID,
-                prev: prev_leaf.unwrap_or(PageId::INVALID),
-            };
+            let page = tree.pool.allocate_page()?;
+            meta.pages += 1;
+            let node = LeafNode { entries, next: PageId::INVALID, high: None };
             if let Some(prev) = *prev_leaf {
                 let mut p = tree.read_leaf(prev)?;
                 p.next = page;
+                p.high = Some(node.entries[0]);
                 tree.store_leaf(prev, &p)?;
             } else {
                 meta.first_leaf = page;
@@ -957,19 +928,34 @@ impl BTree {
             return Ok(tree); // empty input: tree stays empty
         }
 
-        // Phase 2: build internal levels bottom-up.
+        // Phase 2: build internal levels bottom-up.  Each level's nodes
+        // are assembled in memory first so sibling links and high keys
+        // can be threaded before anything is stored.
         let internal_target =
             ((tree.internal_cap as f64 * fill).floor() as usize).clamp(1, tree.internal_cap);
         let mut level: Vec<(Entry, PageId)> = leaves;
         let mut height: u16 = 1;
         while level.len() > 1 {
             let mut next_level: Vec<(Entry, PageId)> = Vec::new();
+            let mut nodes: Vec<InternalNode> = Vec::new();
             // Each internal node takes up to internal_target + 1 children.
             for group in level.chunks(internal_target + 1) {
-                let page = tree.alloc_page(&mut meta)?;
-                let node = InternalNode { child0: group[0].1, entries: group[1..].to_vec() };
-                tree.store_internal(page, &node)?;
+                let page = tree.pool.allocate_page()?;
+                meta.pages += 1;
+                nodes.push(InternalNode {
+                    child0: group[0].1,
+                    entries: group[1..].to_vec(),
+                    next: PageId::INVALID,
+                    high: None,
+                });
                 next_level.push((group[0].0, page));
+            }
+            for i in 0..nodes.len() {
+                if i + 1 < nodes.len() {
+                    nodes[i].next = next_level[i + 1].1;
+                    nodes[i].high = Some(next_level[i + 1].0);
+                }
+                tree.store_internal(next_level[i].1, &nodes[i])?;
             }
             level = next_level;
             height += 1;
@@ -988,11 +974,15 @@ impl BTree {
     /// Exhaustively validates structural invariants; returns a descriptive
     /// error naming the first violation found.
     ///
-    /// Checked: node ordering, separator bounds, uniform leaf depth, leaf
-    /// chain consistency (forward and backward), capacity limits, and the
-    /// metadata entry count.
+    /// Intended for *quiescent* trees (no in-flight split): with every
+    /// separator posted, each node's high key must equal the upper bound
+    /// its parent derives for it, every level's right links must chain
+    /// its in-order nodes, and the leaf chain must enumerate the in-order
+    /// leaves.  Also checked: node ordering, separator bounds, uniform
+    /// leaf depth, capacity limits, the `high ⟺ right link` pairing, and
+    /// the metadata entry count.  Empty leaves are legal (deletes do not
+    /// restructure).
     pub fn check_invariants(&self) -> Result<()> {
-        let _tree = self.latches().tree_shared(self.meta_page);
         let meta = self.read_meta()?;
         if meta.root.is_invalid() {
             if meta.count != 0 || meta.height != 0 || !meta.first_leaf.is_invalid() {
@@ -1000,34 +990,63 @@ impl BTree {
             }
             return Ok(());
         }
-        let mut leaves_in_order = Vec::new();
-        let counted =
-            self.check_subtree(meta.root, meta.height, None, None, &mut leaves_in_order)?;
+        // levels[h - 1] collects the in-order pages of level h.
+        let mut levels: Vec<Vec<PageId>> = vec![Vec::new(); meta.height as usize];
+        let counted = self.check_subtree(meta.root, meta.height, None, None, &mut levels)?;
         if counted != meta.count {
             return Err(Error::Corrupt(format!(
                 "meta count {} but tree holds {counted} entries",
                 meta.count
             )));
         }
+        let mut page_budget = 0u64;
+        for (idx, nodes) in levels.iter().enumerate() {
+            page_budget += nodes.len() as u64;
+            for pair in nodes.windows(2) {
+                if self.right_link_of(pair[0])? != pair[1] {
+                    return Err(Error::Corrupt(format!(
+                        "level {}: node {} does not link its in-order successor {}",
+                        idx + 1,
+                        pair[0],
+                        pair[1]
+                    )));
+                }
+            }
+            let last = *nodes.last().expect("every level has a node");
+            if !self.right_link_of(last)?.is_invalid() {
+                return Err(Error::Corrupt(format!(
+                    "level {}: rightmost node {last} has a right link",
+                    idx + 1
+                )));
+            }
+        }
+        if page_budget != meta.pages {
+            return Err(Error::Corrupt(format!(
+                "meta records {} pages but the tree reaches {page_budget}",
+                meta.pages
+            )));
+        }
         // Leaf chain must enumerate exactly the in-order leaves.
         let mut chained = Vec::new();
         let mut page = meta.first_leaf;
-        let mut prev = PageId::INVALID;
         while !page.is_invalid() {
             let leaf = self.read_leaf(page)?;
-            if leaf.prev != prev {
-                return Err(Error::Corrupt(format!("leaf {page} has wrong prev pointer")));
-            }
             chained.push(page);
-            prev = page;
             page = leaf.next;
         }
-        if chained != leaves_in_order {
+        if chained != levels[0] {
             return Err(Error::Corrupt(
                 "leaf chain disagrees with in-order leaf sequence".to_string(),
             ));
         }
         Ok(())
+    }
+
+    fn right_link_of(&self, page: PageId) -> Result<PageId> {
+        Ok(match self.read_any(page)? {
+            Node::Leaf(l) => l.next,
+            Node::Internal(n) => n.next,
+        })
     }
 
     fn check_subtree(
@@ -1036,7 +1055,7 @@ impl BTree {
         level: u16,
         lo: Option<Entry>,
         hi: Option<Entry>,
-        leaves: &mut Vec<PageId>,
+        levels: &mut Vec<Vec<PageId>>,
     ) -> Result<u64> {
         let in_bounds = |e: &Entry| lo.is_none_or(|l| *e >= l) && hi.is_none_or(|h| *e < h);
         match self.read_any(page)? {
@@ -1047,13 +1066,23 @@ impl BTree {
                 if leaf.entries.len() > self.leaf_cap {
                     return Err(Error::Corrupt(format!("leaf {page} over capacity")));
                 }
+                if leaf.high != hi {
+                    return Err(Error::Corrupt(format!(
+                        "leaf {page} high key disagrees with its parent separator"
+                    )));
+                }
+                if leaf.high.is_some() == leaf.next.is_invalid() {
+                    return Err(Error::Corrupt(format!(
+                        "leaf {page}: high key and right link must be set together"
+                    )));
+                }
                 if !leaf.entries.windows(2).all(|w| w[0] < w[1]) {
                     return Err(Error::Corrupt(format!("leaf {page} not strictly sorted")));
                 }
                 if !leaf.entries.iter().all(in_bounds) {
                     return Err(Error::Corrupt(format!("leaf {page} violates separator bounds")));
                 }
-                leaves.push(page);
+                levels[0].push(page);
                 Ok(leaf.entries.len() as u64)
             }
             Node::Internal(node) => {
@@ -1062,6 +1091,16 @@ impl BTree {
                 }
                 if node.entries.len() > self.internal_cap {
                     return Err(Error::Corrupt(format!("internal {page} over capacity")));
+                }
+                if node.high != hi {
+                    return Err(Error::Corrupt(format!(
+                        "internal {page} high key disagrees with its parent separator"
+                    )));
+                }
+                if node.high.is_some() == node.next.is_invalid() {
+                    return Err(Error::Corrupt(format!(
+                        "internal {page}: high key and right link must be set together"
+                    )));
                 }
                 let seps: Vec<Entry> = node.entries.iter().map(|(s, _)| *s).collect();
                 if !seps.windows(2).all(|w| w[0] < w[1]) {
@@ -1072,13 +1111,14 @@ impl BTree {
                         "internal {page} separator violates bounds"
                     )));
                 }
+                levels[level as usize - 1].push(page);
                 let mut total = 0;
                 let mut child_lo = lo;
                 for i in 0..=node.entries.len() {
                     let child = node.child_at(i);
                     let child_hi =
                         if i < node.entries.len() { Some(node.entries[i].0) } else { hi };
-                    total += self.check_subtree(child, level - 1, child_lo, child_hi, leaves)?;
+                    total += self.check_subtree(child, level - 1, child_lo, child_hi, levels)?;
                     if i < node.entries.len() {
                         child_lo = Some(node.entries[i].0);
                     }

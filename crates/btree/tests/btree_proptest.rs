@@ -92,6 +92,60 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// PR 5 satellite: the move-right protocol under a live cursor.  A
+    /// cursor walks the leaf chain (= the right links) while inserts
+    /// split leaves ahead of, behind, and around it — legal since B-link
+    /// cursors are latch-free.  Splits only move entries *right*, so the
+    /// cursor must still yield every originally-present entry exactly
+    /// once, in order, and never fabricate one.
+    #[test]
+    fn cursor_survives_splits_driven_around_it(
+        initial in prop::collection::vec((-50i64..50, 0u64..4), 10..120),
+        extra in prop::collection::vec((-50i64..50, 0u64..4), 20..150),
+        pause_at in 1usize..40,
+    ) {
+        // 128-byte pages (leaf capacity 5 at arity 1) over 4 frames:
+        // the extra inserts split constantly while the cursor is live.
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(128),
+            BufferPoolConfig::with_capacity(4),
+        ));
+        let tree = BTree::create(Arc::clone(&pool), 1).unwrap();
+        let original: BTreeSet<(i64, u64)> = initial.into_iter().collect();
+        for &(k, p) in &original {
+            tree.insert(&[k], p).unwrap();
+        }
+        let mut cursor = tree.scan_all();
+        let mut yielded: Vec<(i64, u64)> = Vec::new();
+        for _ in 0..pause_at.min(original.len()) {
+            let e = cursor.next().unwrap().unwrap();
+            yielded.push((e.key.col(0), e.payload));
+        }
+        // Splits fire under the paused cursor (same thread: cursors are
+        // latch-free, so writing through the tree is legal).
+        let mut inserted = original.clone();
+        for &(k, p) in &extra {
+            if inserted.insert((k, p)) {
+                tree.insert(&[k], p).unwrap();
+            }
+        }
+        yielded.extend(cursor.map(|e| e.unwrap()).map(|e| (e.key.col(0), e.payload)));
+        prop_assert!(
+            yielded.windows(2).all(|w| w[0] < w[1]),
+            "cursor left order or yielded a duplicate: {yielded:?}"
+        );
+        for &(k, p) in &original {
+            prop_assert!(
+                yielded.contains(&(k, p)),
+                "original entry ({k},{p}) lost while splits moved entries right"
+            );
+        }
+        for e in &yielded {
+            prop_assert!(inserted.contains(e), "cursor fabricated {e:?}");
+        }
+        tree.check_invariants().unwrap();
+    }
+
     /// PR 3 satellite: after any *concurrent* batch, the structural
     /// invariants hold and `entry_count` equals the oracle's cardinality.
     /// Each worker owns a disjoint payload space and deletes only its own

@@ -10,10 +10,11 @@
 //!
 //! With the buffer pool's promoted miss path (device reads outside the
 //! shard lock), the RI-tree level holds no latch across a fault on any
-//! descent: query descents acquire no page latches at all (transient
-//! probes through the B+-trees, which pin only the shared tree latch —
-//! see `ri_btree::tree`), and row/index writes go through the heap's and
-//! B+-trees' prefetch-before-latch sections.  The one RI-tree-level latch
+//! descent: query descents acquire no latches at all (the B-link trees'
+//! read paths and scan cursors are fully latch-free — see
+//! `ri_btree::tree`; the PR 3 shared tree latch that cursors used to pin
+//! is gone), and row/index writes go through the heap's and B-link
+//! trees' prefetch-before-latch sections.  The one RI-tree-level latch
 //! is the *parameter latch* ([`Database::param_guard`]): it spans
 //! in-memory parameter reads plus at most one header-page persist, which
 //! may fault.  It is deliberately *not* prefetched — whether the section
@@ -408,8 +409,8 @@ impl RiTree {
     /// every interval against the *final* parameters yields the same
     /// nodes incremental insertion would have produced.  The per-row
     /// inserts then scale through the heap's append latch and the
-    /// B+-trees' optimistic latch crabbing; with `threads <= 1` the rows
-    /// are inserted sequentially in input order.
+    /// B-link trees' per-node write latches; with `threads <= 1` the
+    /// rows are inserted sequentially in input order.
     pub fn insert_batch(&self, items: &[(Interval, i64)], threads: usize) -> Result<()> {
         for &(iv, _) in items {
             if iv.upper >= UPPER_NOW {
@@ -507,9 +508,11 @@ impl RiTree {
     fn delete_exact(&self, node: i64, lower: i64, upper: Option<i64>, id: i64) -> Result<bool> {
         let index = self.table.index(&self.lower_index)?;
         let key = [node, lower, id];
-        // Locate the victim first and let the scan cursor drop *before*
-        // deleting: a live cursor pins the index's tree latch shared, and
-        // a delete that empties a leaf needs it exclusive.
+        // Locate the victim first, then delete.  Since the B-link
+        // refactor a cursor is latch-free, so deleting under a live
+        // cursor would be legal too — but scoping the cursor keeps the
+        // probe's page accesses cleanly separated from the delete's in
+        // the deterministic I/O traces, and costs nothing.
         let target = {
             let mut found = None;
             for entry in index.scan_range(&key, &key) {

@@ -285,9 +285,9 @@ impl BufferPool {
     }
 
     /// The pool's latch manager: logical per-page latches (valid across
-    /// evictions) used by the B+-tree's latch-crabbing write path and the
-    /// heap's append path.  Latch traffic never touches pages, so it is
-    /// invisible to [`BufferPool::stats`].
+    /// evictions) used by the B-link tree's write path (one node latch at
+    /// a time) and the heap's append path.  Latch traffic never touches
+    /// pages, so it is invisible to [`BufferPool::stats`].
     pub fn latches(&self) -> &LatchManager {
         &self.latches
     }

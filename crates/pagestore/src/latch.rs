@@ -4,31 +4,36 @@
 //! module is the reproduction's equivalent of that host-provided latch
 //! manager.  It hands out **logical latches keyed by page id** — they
 //! protect the *logical page*, not a buffer frame, so they remain valid
-//! across evictions — plus two pieces of in-memory bookkeeping the
-//! B+-tree's optimistic write protocol needs:
+//! across evictions.
 //!
-//! * a **structure-modification epoch** per tree (keyed by the tree's meta
-//!   page): bumped after every split/merge/root change, it lets a writer
-//!   that released its latches to upgrade detect whether the structure it
-//!   descended through is still exactly the one it saw;
-//! * a **version counter** per page: bumped on every in-place leaf store,
-//!   it lets the same upgrading writer detect concurrent *content* changes
-//!   to its target leaf that the epoch (which only tracks structure) would
-//!   miss.
+//! Since the B-link refactor (PR 5) the latch vocabulary is deliberately
+//! small: there are only per-page latches.  The tree-wide latch, the
+//! per-tree structure-modification epoch, and the per-page version
+//! counters that powered PR 3's optimistic-upgrade protocol are gone —
+//! the B-link protocol never holds more than one node latch at a time
+//! and never excludes readers, so there is nothing tree-wide left to
+//! lock or to validate against (see `ri_btree::tree` and
+//! ARCHITECTURE.md).  What this module gained instead are the
+//! deterministic protocol counters: node **splits**, **right-link
+//! chases** (a traversal found its key at or past a node's high key and
+//! moved to the right sibling), and **incomplete-SMO completions** (a
+//! separator post or root grow that finished a split whose sibling was
+//! already published — the second phase of the two-phase split).
 //!
 //! Latches are deliberately **not** tied to buffer-pool I/O: acquiring or
 //! releasing one never touches a page, so the single-threaded page-access
-//! sequence of every operation is bit-for-bit identical to the unlatched
-//! seed implementation — the property `tests/pool_determinism.rs` pins.
+//! sequence of every operation is exactly the algorithm's — the property
+//! `tests/pool_determinism.rs` pins with golden counters.
 //!
 //! # Modes and policy
 //!
 //! Latches are shared/exclusive with **reader preference** by default: a
 //! shared request only waits while a writer is *inside*, never for queued
-//! writers.  This makes nested shared acquisitions by one thread safe
-//! (the B+-tree takes the tree latch shared around whole scans) at the
-//! usual cost that a continuous reader stream can starve writers; the
-//! workloads here are bursty enough that this is the right trade.
+//! writers.  This keeps nested shared acquisitions by one thread safe at
+//! the usual cost that a continuous reader stream can starve writers.
+//! (The B-link tree itself takes only exclusive page latches — its
+//! readers are latch-free — but the heap and catalog layers share this
+//! manager, and the mode machinery is generic.)
 //!
 //! An opt-in **writer-fairness mode**
 //! ([`LatchManager::set_writer_fairness`]) blocks *new* shared
@@ -37,14 +42,14 @@
 //! default because it makes nested shared acquisition on the *same* latch
 //! a deadlock (the outer hold keeps the writer queued, the queued writer
 //! blocks the inner acquisition); enable it only for workloads audited to
-//! never nest — the B+-tree's own operations never acquire the same
-//! tree's latch shared twice on one thread (the audit is recorded in
-//! ARCHITECTURE.md, and the "no DML under an open cursor" contract in
-//! [`crate::BufferPool`] users already forbids the remaining case).
+//! never nest — nothing in this workspace nests shared holds of one page
+//! latch (the audit is recorded in ARCHITECTURE.md).
 //!
 //! Latch *waits* are intentionally uncounted in [`LatchStats`]: wait
 //! counts depend on thread scheduling, and every number exposed here
-//! feeds deterministic benchmark snapshots.
+//! feeds deterministic benchmark snapshots.  The protocol counters are
+//! deterministic single-threaded (chases are 0 without concurrency;
+//! splits and completions depend only on the operation sequence).
 
 use crate::page::PageId;
 use std::collections::HashMap;
@@ -53,21 +58,6 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of hash-striped cell maps (a power of two).
 const STRIPES: usize = 16;
-
-/// What a latch key protects.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum Domain {
-    /// The whole tree rooted at this meta page (structure latch).
-    Tree,
-    /// One page's content.
-    Page,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-struct Key {
-    page: u64,
-    domain: Domain,
-}
 
 #[derive(Default)]
 struct Core {
@@ -83,104 +73,86 @@ struct Cell {
     cv: Condvar,
 }
 
-/// Cumulative latch acquisition counters (deterministic: no wait counts).
+/// Cumulative latch / protocol counters (deterministic: no wait counts).
 #[derive(Debug, Default)]
 pub struct LatchStats {
-    tree_shared: AtomicU64,
-    tree_exclusive: AtomicU64,
     page_shared: AtomicU64,
     page_exclusive: AtomicU64,
-    upgrades: AtomicU64,
-    restarts: AtomicU64,
+    splits: AtomicU64,
+    right_link_chases: AtomicU64,
+    incomplete_smo_completions: AtomicU64,
+    pending_root_grow_waits: AtomicU64,
 }
 
 /// Point-in-time copy of [`LatchStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LatchSnapshot {
-    /// Tree latches taken shared (readers and optimistic writers).
-    pub tree_shared: u64,
-    /// Tree latches taken exclusive (structure modifications).
-    pub tree_exclusive: u64,
-    /// Page latches taken shared (inner-node crabbing).
+    /// Page latches taken shared.
     pub page_shared: u64,
-    /// Page latches taken exclusive (leaf writes, meta counter bumps).
+    /// Page latches taken exclusive (leaf/parent writes, meta holds).
     pub page_exclusive: u64,
-    /// Optimistic write attempts that had to upgrade to the tree-exclusive
-    /// path (a split or merge was needed).
-    pub upgrades: u64,
-    /// Upgrades whose cached descent was invalidated by a concurrent
-    /// writer and had to re-descend pessimistically.
-    pub restarts: u64,
+    /// Node splits performed (leaf and internal; phase 1 of the B-link
+    /// two-phase split: sibling allocated, linked, and published).
+    pub splits: u64,
+    /// Traversals that found their target at or past a node's high key
+    /// and moved right through the right link.  Zero single-threaded:
+    /// only an in-flight concurrent split makes a descent land left of
+    /// its key.
+    pub right_link_chases: u64,
+    /// Completions of in-flight structure modifications: separator posts
+    /// into a parent (or root grows) that finished a split whose right
+    /// sibling was already reachable through the left node's right link
+    /// (phase 2 of the two-phase split).
+    pub incomplete_smo_completions: u64,
+    /// Times a separator post found that its parent *level* did not
+    /// exist yet (a top-level sibling split racing a still-pending root
+    /// grow) and had to wait for the grow to land.  Zero
+    /// single-threaded.
+    pub pending_root_grow_waits: u64,
 }
 
 impl LatchSnapshot {
     /// Counter-wise difference `self - earlier`; saturates at zero.
     pub fn since(&self, earlier: &LatchSnapshot) -> LatchSnapshot {
         LatchSnapshot {
-            tree_shared: self.tree_shared.saturating_sub(earlier.tree_shared),
-            tree_exclusive: self.tree_exclusive.saturating_sub(earlier.tree_exclusive),
             page_shared: self.page_shared.saturating_sub(earlier.page_shared),
             page_exclusive: self.page_exclusive.saturating_sub(earlier.page_exclusive),
-            upgrades: self.upgrades.saturating_sub(earlier.upgrades),
-            restarts: self.restarts.saturating_sub(earlier.restarts),
+            splits: self.splits.saturating_sub(earlier.splits),
+            right_link_chases: self.right_link_chases.saturating_sub(earlier.right_link_chases),
+            incomplete_smo_completions: self
+                .incomplete_smo_completions
+                .saturating_sub(earlier.incomplete_smo_completions),
+            pending_root_grow_waits: self
+                .pending_root_grow_waits
+                .saturating_sub(earlier.pending_root_grow_waits),
         }
     }
 
     /// Total latch acquisitions of any kind.
     pub fn total_acquisitions(&self) -> u64 {
-        self.tree_shared + self.tree_exclusive + self.page_shared + self.page_exclusive
+        self.page_shared + self.page_exclusive
     }
 }
 
 impl LatchStats {
     fn snapshot(&self) -> LatchSnapshot {
         LatchSnapshot {
-            tree_shared: self.tree_shared.load(Ordering::Relaxed),
-            tree_exclusive: self.tree_exclusive.load(Ordering::Relaxed),
             page_shared: self.page_shared.load(Ordering::Relaxed),
             page_exclusive: self.page_exclusive.load(Ordering::Relaxed),
-            upgrades: self.upgrades.load(Ordering::Relaxed),
-            restarts: self.restarts.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            right_link_chases: self.right_link_chases.load(Ordering::Relaxed),
+            incomplete_smo_completions: self.incomplete_smo_completions.load(Ordering::Relaxed),
+            pending_root_grow_waits: self.pending_root_grow_waits.load(Ordering::Relaxed),
         }
     }
 }
 
 /// One hash stripe of the cell table.
-type Stripe = Mutex<HashMap<Key, Arc<Cell>>>;
-
-/// One hash stripe of a [`CounterTable`].
-type CounterStripe = Mutex<HashMap<u64, Arc<AtomicU64>>>;
-
-/// Striped map of shared atomic counters (epochs, page versions).  The
-/// handles are `Arc`s so hot paths fetch once and then operate lock-free;
-/// entries are one atomic per distinct key (pages ever written), which is
-/// bounded by the database size and never worth collecting.
-struct CounterTable {
-    stripes: Box<[CounterStripe]>,
-}
-
-impl Default for CounterTable {
-    fn default() -> Self {
-        CounterTable { stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect() }
-    }
-}
-
-impl CounterTable {
-    fn handle(&self, key: u64) -> Arc<AtomicU64> {
-        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let mut map =
-            self.stripes[(h as usize) & (STRIPES - 1)].lock().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(map.entry(key).or_default())
-    }
-}
+type Stripe = Mutex<HashMap<u64, Arc<Cell>>>;
 
 /// Per-pool latch table; obtain it via [`crate::BufferPool::latches`].
 pub struct LatchManager {
     stripes: Box<[Stripe]>,
-    /// Structure-modification epoch per tree, keyed by meta page id.
-    epochs: CounterTable,
-    /// Content version per page, keyed by page id.
-    versions: CounterTable,
     stats: Arc<LatchStats>,
     /// Writer-fairness mode (see the module docs); off by default.
     fair: AtomicBool,
@@ -190,8 +162,6 @@ impl Default for LatchManager {
     fn default() -> Self {
         LatchManager {
             stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
-            epochs: CounterTable::default(),
-            versions: CounterTable::default(),
             stats: Arc::new(LatchStats::default()),
             fair: AtomicBool::new(false),
         }
@@ -199,55 +169,42 @@ impl Default for LatchManager {
 }
 
 impl LatchManager {
-    /// Shared latch on the whole tree rooted at `meta`: taken by readers
-    /// for the duration of a scan and by optimistic (leaf-only) writers.
-    pub fn tree_shared(&self, meta: PageId) -> LatchGuard<'_> {
-        self.stats.tree_shared.fetch_add(1, Ordering::Relaxed);
-        self.acquire(Key { page: meta.raw(), domain: Domain::Tree }, false)
-    }
-
-    /// Exclusive latch on the whole tree: taken for every structure
-    /// modification (split, merge, root change, bulk load).
-    pub fn tree_exclusive(&self, meta: PageId) -> LatchGuard<'_> {
-        self.stats.tree_exclusive.fetch_add(1, Ordering::Relaxed);
-        self.acquire(Key { page: meta.raw(), domain: Domain::Tree }, true)
-    }
-
-    /// Shared latch on one page (inner-node latch crabbing).
+    /// Shared latch on one page.
     pub fn page_shared(&self, page: PageId) -> LatchGuard<'_> {
         self.stats.page_shared.fetch_add(1, Ordering::Relaxed);
-        self.acquire(Key { page: page.raw(), domain: Domain::Page }, false)
+        self.acquire(page.raw(), false)
     }
 
-    /// Exclusive latch on one page (leaf writes, meta counter bumps).
+    /// Exclusive latch on one page (leaf/parent writes, meta holds).
     pub fn page_exclusive(&self, page: PageId) -> LatchGuard<'_> {
         self.stats.page_exclusive.fetch_add(1, Ordering::Relaxed);
-        self.acquire(Key { page: page.raw(), domain: Domain::Page }, true)
+        self.acquire(page.raw(), true)
     }
 
-    /// The structure-modification epoch of the tree rooted at `meta`.
-    pub fn epoch(&self, meta: PageId) -> Arc<AtomicU64> {
-        self.epochs.handle(meta.raw())
+    /// Records a node split (phase 1 of the two-phase B-link split).
+    pub fn record_split(&self) {
+        self.stats.splits.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The content version counter of page `page`.
-    pub fn page_version(&self, page: PageId) -> Arc<AtomicU64> {
-        self.versions.handle(page.raw())
+    /// Records a right-link chase (a traversal moved right past a high
+    /// key).
+    pub fn record_right_link_chase(&self) {
+        self.stats.right_link_chases.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records an optimistic→exclusive upgrade (a structure modification
-    /// was needed).
-    pub fn record_upgrade(&self) {
-        self.stats.upgrades.fetch_add(1, Ordering::Relaxed);
+    /// Records the completion of an in-flight structure modification
+    /// (phase 2 of the two-phase split: separator posted or root grown).
+    pub fn record_smo_completion(&self) {
+        self.stats.incomplete_smo_completions.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a pessimistic restart (an upgrade found its cached descent
-    /// invalidated by a concurrent writer).
-    pub fn record_restart(&self) {
-        self.stats.restarts.fetch_add(1, Ordering::Relaxed);
+    /// Records one wait probe by a separator post whose parent level
+    /// does not exist yet (pending root grow).
+    pub fn record_pending_grow_wait(&self) {
+        self.stats.pending_root_grow_waits.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Point-in-time copy of the acquisition counters.
+    /// Point-in-time copy of the counters.
     pub fn stats(&self) -> LatchSnapshot {
         self.stats.snapshot()
     }
@@ -255,19 +212,18 @@ impl LatchManager {
     /// Switches the opt-in writer-fairness mode (see the module docs):
     /// when enabled, a *new* shared acquisition blocks while any
     /// exclusive waiter is queued on the same latch, so a continuous
-    /// reader stream can no longer starve a queued structure
-    /// modification.  Off by default.
+    /// reader stream can no longer starve a queued writer.  Off by
+    /// default.
     ///
     /// # Deadlock contract
     ///
     /// Enabling fairness requires that no thread acquires the same latch
     /// shared while already holding it shared (nesting): the outer hold
     /// keeps a queued writer waiting, and the queued writer blocks the
-    /// inner acquisition.  The B+-tree and relational layers in this
-    /// workspace satisfy this (audited in ARCHITECTURE.md): every
-    /// operation takes its tree latch shared at most once per thread, and
-    /// the pre-existing "no DML under an open cursor" rule already forbids
-    /// the writer-under-reader variant of the same cycle.
+    /// inner acquisition.  Nothing in this workspace nests shared holds
+    /// of one page latch (audited in ARCHITECTURE.md; the B-link tree's
+    /// readers are latch-free, and its writers hold at most one
+    /// exclusive node latch plus the meta latch).
     pub fn set_writer_fairness(&self, enabled: bool) {
         self.fair.store(enabled, Ordering::Relaxed);
     }
@@ -277,15 +233,14 @@ impl LatchManager {
         self.fair.load(Ordering::Relaxed)
     }
 
-    fn stripe(&self, key: &Key) -> &Stripe {
-        let mut h = key.page.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        h ^= matches!(key.domain, Domain::Tree) as u64;
+    fn stripe(&self, key: u64) -> &Stripe {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.stripes[(h as usize) & (STRIPES - 1)]
     }
 
-    fn acquire(&self, key: Key, exclusive: bool) -> LatchGuard<'_> {
+    fn acquire(&self, key: u64, exclusive: bool) -> LatchGuard<'_> {
         let cell = {
-            let mut map = self.stripe(&key).lock().unwrap_or_else(|e| e.into_inner());
+            let mut map = self.stripe(key).lock().unwrap_or_else(|e| e.into_inner());
             Arc::clone(map.entry(key).or_insert_with(|| {
                 Arc::new(Cell { state: Mutex::new(Core::default()), cv: Condvar::new() })
             }))
@@ -315,7 +270,7 @@ impl LatchManager {
 
     /// Called by a dropping guard: release the mode, wake waiters, and
     /// garbage-collect the cell if nobody else references it.
-    fn release(&self, key: Key, cell: &Arc<Cell>, exclusive: bool) {
+    fn release(&self, key: u64, cell: &Arc<Cell>, exclusive: bool) {
         let wake = {
             let mut core = cell.state.lock().unwrap_or_else(|e| e.into_inner());
             if exclusive {
@@ -334,7 +289,7 @@ impl LatchManager {
         }
         // GC: while holding the stripe lock nobody can fetch the Arc, so a
         // strong count of 2 (map + our clone) proves the cell is unwanted.
-        let mut map = self.stripe(&key).lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = self.stripe(key).lock().unwrap_or_else(|e| e.into_inner());
         if Arc::strong_count(cell) == 2 {
             let idle = {
                 let core = cell.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -348,11 +303,11 @@ impl LatchManager {
 }
 
 /// RAII latch hold; releasing is dropping.  Holds no buffer-pool state, so
-/// guards are freely `Send`/`Sync` and can live inside scan cursors.
+/// guards are freely `Send`/`Sync`.
 #[must_use = "a latch protects nothing once dropped"]
 pub struct LatchGuard<'m> {
     manager: &'m LatchManager,
-    key: Key,
+    key: u64,
     cell: Arc<Cell>,
     exclusive: bool,
 }
@@ -371,11 +326,11 @@ mod tests {
     #[test]
     fn shared_latches_coexist_nested() {
         let m = LatchManager::default();
-        let a = m.tree_shared(PageId(7));
-        let b = m.tree_shared(PageId(7)); // same thread, nested
+        let a = m.page_shared(PageId(7));
+        let b = m.page_shared(PageId(7)); // same thread, nested
         drop(a);
         drop(b);
-        assert_eq!(m.stats().tree_shared, 2);
+        assert_eq!(m.stats().page_shared, 2);
     }
 
     #[test]
@@ -407,14 +362,6 @@ mod tests {
     }
 
     #[test]
-    fn tree_and_page_domains_are_independent() {
-        let m = LatchManager::default();
-        let _t = m.tree_exclusive(PageId(5));
-        // Same raw id, different domain: must not block.
-        let _p = m.page_exclusive(PageId(5));
-    }
-
-    #[test]
     fn cells_are_garbage_collected() {
         let m = LatchManager::default();
         for i in 0..100u64 {
@@ -425,17 +372,18 @@ mod tests {
     }
 
     #[test]
-    fn epochs_and_versions_are_shared_handles() {
+    fn protocol_counters_accumulate_and_diff() {
         let m = LatchManager::default();
-        let e1 = m.epoch(PageId(9));
-        let e2 = m.epoch(PageId(9));
-        e1.fetch_add(1, Ordering::SeqCst);
-        assert_eq!(e2.load(Ordering::SeqCst), 1);
-        let v1 = m.page_version(PageId(9));
-        let v2 = m.page_version(PageId(9));
-        v1.fetch_add(3, Ordering::SeqCst);
-        assert_eq!(v2.load(Ordering::SeqCst), 3);
-        assert_eq!(m.epoch(PageId(10)).load(Ordering::SeqCst), 0);
+        let before = m.stats();
+        m.record_split();
+        m.record_split();
+        m.record_right_link_chase();
+        m.record_smo_completion();
+        let delta = m.stats().since(&before);
+        assert_eq!(delta.splits, 2);
+        assert_eq!(delta.right_link_chases, 1);
+        assert_eq!(delta.incomplete_smo_completions, 1);
+        assert_eq!(delta.total_acquisitions(), 0, "protocol counters are not acquisitions");
     }
 
     #[test]
@@ -444,14 +392,14 @@ mod tests {
         // while an exclusive waiter is queued — the property that keeps
         // nested shared acquisition deadlock-free.
         let m = Arc::new(LatchManager::default());
-        let outer = m.tree_shared(PageId(4));
+        let outer = m.page_shared(PageId(4));
         let m2 = Arc::clone(&m);
         let writer = std::thread::spawn(move || {
-            let _x = m2.tree_exclusive(PageId(4)); // parks behind `outer`
+            let _x = m2.page_exclusive(PageId(4)); // parks behind `outer`
         });
         // Give the writer time to queue, then nest: must not block.
         std::thread::sleep(std::time::Duration::from_millis(30));
-        let inner = m.tree_shared(PageId(4));
+        let inner = m.page_shared(PageId(4));
         drop(inner);
         drop(outer);
         writer.join().unwrap();
@@ -463,18 +411,18 @@ mod tests {
         let m = Arc::new(LatchManager::default());
         m.set_writer_fairness(true);
         assert!(m.writer_fairness());
-        let outer = m.tree_shared(PageId(6));
+        let outer = m.page_shared(PageId(6));
         let writer_in = Arc::new(AtomicBool::new(false));
         let late_reader_in = Arc::new(AtomicBool::new(false));
         let (m2, w2) = (Arc::clone(&m), Arc::clone(&writer_in));
         let writer = std::thread::spawn(move || {
-            let _x = m2.tree_exclusive(PageId(6));
+            let _x = m2.page_exclusive(PageId(6));
             w2.store(true, Ordering::SeqCst);
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
         let (m3, r3, w3) = (Arc::clone(&m), Arc::clone(&late_reader_in), Arc::clone(&writer_in));
         let late_reader = std::thread::spawn(move || {
-            let _s = m3.tree_shared(PageId(6));
+            let _s = m3.page_shared(PageId(6));
             // By the time a late shared request gets in, the queued
             // writer must already have had its turn.
             assert!(w3.load(Ordering::SeqCst), "late reader overtook the queued writer");
@@ -506,7 +454,7 @@ mod tests {
                 let done = Arc::clone(&done);
                 std::thread::spawn(move || {
                     while !done.load(Ordering::SeqCst) {
-                        let g = m.tree_shared(PageId(2));
+                        let g = m.page_shared(PageId(2));
                         for _ in 0..20 {
                             std::thread::yield_now();
                         }
@@ -517,7 +465,7 @@ mod tests {
             .collect();
         std::thread::sleep(std::time::Duration::from_millis(20));
         // The starvation regression: this acquisition must complete.
-        let x = m.tree_exclusive(PageId(2));
+        let x = m.page_exclusive(PageId(2));
         drop(x);
         done.store(true, Ordering::SeqCst);
         for r in readers {
@@ -531,11 +479,11 @@ mod tests {
         let m2 = Arc::clone(&m);
         let writer = std::thread::spawn(move || {
             for _ in 0..50 {
-                let _x = m2.tree_exclusive(PageId(1));
+                let _x = m2.page_exclusive(PageId(1));
             }
         });
         for _ in 0..50 {
-            let _s = m.tree_shared(PageId(1));
+            let _s = m.page_shared(PageId(1));
         }
         writer.join().unwrap();
     }

@@ -4,9 +4,10 @@
 //! The paper's setting delegates all locking to the host RDBMS; in this
 //! reproduction every structure below the executor is internally
 //! synchronized — the buffer pool by lock-striped shards, the catalog by
-//! its reader-writer lock, the heap by its meta-page latch, the B+-tree
-//! by optimistic latch crabbing — so *independent* statements can run
-//! concurrently with no coordination beyond a scoped thread join.
+//! its reader-writer lock, the heap by its meta-page latch, the B-link
+//! trees by per-node write latches (their readers are latch-free) — so
+//! *independent* statements can run concurrently with no coordination
+//! beyond a scoped thread join.
 //!
 //! [`Database::execute_parallel`] fans out a read-only plan batch;
 //! [`Database::execute_mixed`] does the same for a mixed batch of
@@ -117,8 +118,8 @@ impl Database {
     ///
     /// Statements are distributed in contiguous chunks exactly like
     /// [`Database::execute_parallel`].  Writes in the batch rely on the
-    /// engine's internal synchronization (heap meta latch, B+-tree latch
-    /// crabbing), so no statement needs to know about any other; but as
+    /// engine's internal synchronization (heap meta latch, B-link
+    /// per-node latches), so no statement needs to know about any other; but as
     /// with any concurrent DML, the *interleaving* of independent
     /// statements is scheduler-chosen — callers that need a specific
     /// order must put the dependent statements in one chunk or run

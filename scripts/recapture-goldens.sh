@@ -1,19 +1,96 @@
 #!/usr/bin/env bash
-# Re-captures the golden constants pinned by tests/pool_determinism.rs.
+# Re-captures (or checks) the golden constants pinned by
+# tests/pool_determinism.rs.
 #
 # The goldens freeze the externally observable behavior of the buffer
-# pool and of the B+-tree write path (counters after every operation,
+# pool and of the B-link tree write path (counters after every operation,
 # plus a content fingerprint).  They must only ever be re-captured from
 # a commit whose behavior is *known correct* — typically the commit
 # immediately before a refactor — never edited by hand to make a
 # failing build pass.
 #
-# Usage: scripts/recapture-goldens.sh
-# Prints the GOLDEN lines; paste the values into tests/pool_determinism.rs.
+# Usage:
+#   scripts/recapture-goldens.sh           print the freshly captured
+#                                          GOLDEN lines (paste the values
+#                                          into tests/pool_determinism.rs)
+#   scripts/recapture-goldens.sh --check   re-capture into a temp dir and
+#                                          diff against the constants in
+#                                          tests/pool_determinism.rs;
+#                                          non-zero exit on any drift.
+#                                          CI runs this so the write-path
+#                                          goldens cannot drift silently.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo test --test pool_determinism -- --nocapture 2>&1 | grep -E '^GOLDEN' || {
-    # Test output interleaves the test name on the same line under -q;
-    # fall back to a looser match.
-    cargo test --test pool_determinism -- --nocapture 2>&1 | grep -oE 'GOLDEN[-A-Z]* .*'
+
+mode=capture
+if [[ "${1:-}" == "--check" ]]; then
+    mode=check
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# The test prints its GOLDEN lines before asserting, so a capture works
+# even while the constants in the source are stale (|| true).
+cargo test --test pool_determinism -- --nocapture >"$tmp/out.txt" 2>&1 || true
+grep -oE 'GOLDEN[-A-Z]* .*' "$tmp/out.txt" | sort >"$tmp/captured.txt" || true
+if [[ ! -s "$tmp/captured.txt" ]]; then
+    echo "recapture-goldens: no GOLDEN lines captured — test harness output follows" >&2
+    cat "$tmp/out.txt" >&2
+    exit 1
+fi
+
+if [[ "$mode" == capture ]]; then
+    cat "$tmp/captured.txt"
+    exit 0
+fi
+
+# --check: reconstruct the expected GOLDEN lines from the constants in
+# the test source (normalizing Rust "0x1234_abcd" literals to the
+# "0x1234abcd" form `{:#x}` prints, and dropping the run-dependent
+# "ops: N," field the captured write line carries), then diff.
+normalize() {
+    sed -E 's/GOLDEN-WRITE ops: [0-9]+, /GOLDEN-WRITE /'
 }
+normalize <"$tmp/captured.txt" | sort >"$tmp/captured.norm"
+
+python3 - tests/pool_determinism.rs >"$tmp/expected.norm" <<'EOF'
+import re, sys
+
+src = open(sys.argv[1]).read()
+
+def const_struct(name):
+    m = re.search(rf"const {name}: IoSnapshot = IoSnapshot \{{(.*?)\}};", src, re.S)
+    body = m.group(1)
+    return {k: int(v.replace("_", "")) for k, v in re.findall(r"(\w+):\s*([0-9_]+)", body)}
+
+def const_hash(name):
+    m = re.search(rf"const {name}: u64 = 0x([0-9a-fA-F_]+);", src)
+    return int(m.group(1).replace("_", ""), 16)
+
+f = const_struct("GOLDEN_FINAL")
+w = const_struct("GOLDEN_WRITE_FINAL")
+lines = [
+    "GOLDEN logical_reads: {logical_reads}, logical_writes: {logical_writes}, "
+    "physical_reads: {physical_reads}, physical_writes: {physical_writes}, "
+    "trace_hash: {h:#x}".format(h=const_hash("GOLDEN_TRACE_HASH"), **f),
+    "GOLDEN-WRITE logical_reads: {logical_reads}, logical_writes: {logical_writes}, "
+    "physical_reads: {physical_reads}, physical_writes: {physical_writes}, "
+    "trace_hash: {t:#x}, content_hash: {c:#x}".format(
+        t=const_hash("GOLDEN_WRITE_TRACE_HASH"),
+        c=const_hash("GOLDEN_WRITE_CONTENT_HASH"),
+        **w,
+    ),
+]
+print("\n".join(sorted(lines)))
+EOF
+
+if diff -u "$tmp/expected.norm" "$tmp/captured.norm"; then
+    echo "recapture-goldens: goldens match the captured behavior"
+else
+    echo "recapture-goldens: DRIFT — the captured write-path behavior no longer matches" >&2
+    echo "the constants in tests/pool_determinism.rs.  Either the change is a bug, or it" >&2
+    echo "is intentional and the goldens must be re-captured (run this script without" >&2
+    echo "--check from a known-correct commit) with the diff explained in CHANGES.md." >&2
+    exit 1
+fi

@@ -10,19 +10,26 @@
 //!
 //! # Shrinking
 //!
-//! Failures are **naively shrunk**: the failing input is repeatedly
-//! replaced by the first simpler candidate that still fails — scalars
+//! Failures shrink through a miniature **value tree** (like real
+//! proptest's `ValueTree`): every generated value carries enough of its
+//! own provenance to propose simpler variants of *itself*.  Scalars
 //! halve toward their range start (with a final −1 descent, so numeric
 //! thresholds are found exactly), vectors shed length (halving, then one
 //! element at a time) and shrink their elements, tuples shrink
-//! componentwise.  Values produced by `prop_map` or `prop_oneof!` are
-//! opaque (the shim keeps no value tree) and do not shrink themselves,
-//! but a `vec` *of* them still shrinks its length — usually the bulk of
-//! a counterexample.  The minimal input is printed with `{:#?}` and the
-//! test then fails with the panic the minimal input produces.
+//! componentwise, **`prop_map` passes shrinking through** (the source
+//! value shrinks and the mapping is re-applied), and **`prop_oneof!`
+//! shrinks by descending variant index** (candidates are regenerated
+//! from lower-indexed — i.e. listed-earlier, conventionally simpler —
+//! arms, most aggressive first).  The failing input is repeatedly
+//! replaced by the first simpler candidate that still fails until no
+//! candidate fails or the iteration budget is spent; the minimal input
+//! is printed with `{:#?}` and the test then fails with the panic the
+//! minimal input produces.
 
+use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::rc::Rc;
 
 pub use rand::rngs::StdRng as TestRng;
 use rand::Rng;
@@ -56,26 +63,46 @@ pub fn seed_for(test_name: &str) -> u64 {
     h
 }
 
-/// A generator of test inputs. Unlike real proptest there is no value
-/// tree: `new_value` directly produces a value from the RNG, and
-/// [`Strategy::shrink`] proposes simpler variants of a concrete value.
+/// A concrete generated value plus its shrink provenance — the shim's
+/// miniature version of proptest's `ValueTree`.  Trees are immutable and
+/// cheaply shareable ([`TreeRef`]), so composite trees (tuples, vectors,
+/// unions, maps) recombine candidate components without regeneration.
+pub trait ValueTree {
+    /// The value type this tree produces.
+    type Value: Clone + Debug;
+
+    /// The tree's current concrete value.
+    fn current(&self) -> Self::Value;
+
+    /// Simpler candidate trees, most aggressive first.  Empty when the
+    /// value is already minimal.
+    fn shrink(&self) -> Vec<TreeRef<Self::Value>>;
+}
+
+/// Shared handle to a [`ValueTree`].
+pub type TreeRef<V> = Rc<dyn ValueTree<Value = V>>;
+
+/// A generator of test inputs: produces a [`ValueTree`] from the RNG.
 pub trait Strategy {
-    type Value: Clone + std::fmt::Debug;
+    type Value: Clone + Debug;
 
-    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    fn new_tree(&self, rng: &mut TestRng) -> TreeRef<Self::Value>;
 
-    /// Simpler candidates for `value`, most aggressive first.  The
-    /// default is no candidates (opaque values, e.g. through `prop_map`).
-    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
-        Vec::new()
+    /// Convenience: a bare value, discarding the shrink provenance.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        self.new_tree(rng).current()
     }
 
-    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    /// Maps generated values through `f`.  Shrinking **passes through**:
+    /// the source value shrinks and `f` is re-applied, so mapped values
+    /// (enum variants, derived structs) minimize like their sources.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, U>
     where
         Self: Sized,
-        F: Fn(Self::Value) -> U,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U + 'static,
     {
-        Map { inner: self, f }
+        Map { inner: self, f: Rc::new(f) }
     }
 
     fn boxed(self) -> BoxedStrategy<Self::Value>
@@ -89,71 +116,64 @@ pub trait Strategy {
 /// Type-erased strategy, as produced by [`Strategy::boxed`].
 pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
 
-impl<V: Clone + std::fmt::Debug> Strategy for BoxedStrategy<V> {
+impl<V: Clone + Debug> Strategy for BoxedStrategy<V> {
     type Value = V;
-    fn new_value(&self, rng: &mut TestRng) -> V {
-        (**self).new_value(rng)
-    }
-    fn shrink(&self, value: &V) -> Vec<V> {
-        (**self).shrink(value)
+    fn new_tree(&self, rng: &mut TestRng) -> TreeRef<V> {
+        (**self).new_tree(rng)
     }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
-    fn new_value(&self, rng: &mut TestRng) -> S::Value {
-        (**self).new_value(rng)
-    }
-    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
-        (**self).shrink(value)
+    fn new_tree(&self, rng: &mut TestRng) -> TreeRef<S::Value> {
+        (**self).new_tree(rng)
     }
 }
 
-/// Output of [`Strategy::prop_map`].  Mapped values are opaque to the
-/// shrinker (no inverse is available), so they produce no candidates.
-#[derive(Clone, Debug)]
-pub struct Map<S, F> {
-    inner: S,
-    f: F,
-}
+// ----------------------------------------------------------------------
+// Numeric ranges
+// ----------------------------------------------------------------------
 
-impl<S, F, U> Strategy for Map<S, F>
-where
-    S: Strategy,
-    F: Fn(S::Value) -> U,
-    U: Clone + std::fmt::Debug,
-{
-    type Value = U;
-    fn new_value(&self, rng: &mut TestRng) -> U {
-        (self.f)(self.inner.new_value(rng))
-    }
+/// Tree for an integer drawn from a range: remembers the range start so
+/// candidates descend toward it.
+struct IntTree<T> {
+    value: T,
+    lo: T,
 }
 
 macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
-        impl Strategy for Range<$t> {
+        impl ValueTree for IntTree<$t> {
             type Value = $t;
-            fn new_value(&self, rng: &mut TestRng) -> $t {
-                rng.gen_range(self.clone())
+            fn current(&self) -> $t {
+                self.value
             }
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                let (lo, v) = (self.start, *value);
-                let mut out = Vec::new();
+            fn shrink(&self) -> Vec<TreeRef<$t>> {
+                let (lo, v) = (self.lo, self.value);
+                let mut out: Vec<TreeRef<$t>> = Vec::new();
+                let mut push = |value: $t| out.push(Rc::new(IntTree { value, lo }) as TreeRef<$t>);
                 if v != lo {
-                    out.push(lo);
+                    push(lo);
                     // Overflow-free floor midpoint: `lo + (v - lo) / 2`
                     // would overflow on ranges wider than the type's
                     // positive span (e.g. `i64::MIN..i64::MAX`).
                     let mid = (lo & v) + ((lo ^ v) >> 1);
                     if mid != lo && mid != v {
-                        out.push(mid);
+                        push(mid);
                     }
                     let dec = v - 1;
                     if dec != lo && dec != mid {
-                        out.push(dec);
+                        push(dec);
                     }
                 }
                 out
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_tree(&self, rng: &mut TestRng) -> TreeRef<$t> {
+                Rc::new(IntTree { value: rng.gen_range(self.clone()), lo: self.start })
             }
         }
     )*};
@@ -161,54 +181,132 @@ macro_rules! impl_int_range_strategy {
 
 impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
-impl Strategy for Range<f64> {
+struct F64Tree {
+    value: f64,
+    lo: f64,
+}
+
+impl ValueTree for F64Tree {
     type Value = f64;
-    fn new_value(&self, rng: &mut TestRng) -> f64 {
-        rng.gen_range(self.clone())
+    fn current(&self) -> f64 {
+        self.value
     }
-    fn shrink(&self, value: &f64) -> Vec<f64> {
-        let (lo, v) = (self.start, *value);
-        let mut out = Vec::new();
+    fn shrink(&self) -> Vec<TreeRef<f64>> {
+        let (lo, v) = (self.lo, self.value);
+        let mut out: Vec<TreeRef<f64>> = Vec::new();
         if v > lo {
-            out.push(lo);
+            out.push(Rc::new(F64Tree { value: lo, lo }));
             let mid = lo + (v - lo) / 2.0;
             if mid > lo && mid < v {
-                out.push(mid);
+                out.push(Rc::new(F64Tree { value: mid, lo }));
             }
         }
         out
     }
 }
 
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_tree(&self, rng: &mut TestRng) -> TreeRef<f64> {
+        Rc::new(F64Tree { value: rng.gen_range(self.clone()), lo: self.start })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Tuples
+// ----------------------------------------------------------------------
+
 macro_rules! impl_tuple_strategy {
-    ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
-            type Value = ($($s::Value,)+);
-            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
-                ($(self.$idx.new_value(rng),)+)
+    ($($name:ident : ($($s:ident . $idx:tt),+))*) => {$(
+        struct $name<$($s: Clone + Debug),+> {
+            trees: ($(TreeRef<$s>,)+),
+        }
+
+        impl<$($s: Clone + Debug + 'static),+> ValueTree for $name<$($s),+> {
+            type Value = ($($s,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
             }
-            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-                let mut out = Vec::new();
+            fn shrink(&self) -> Vec<TreeRef<Self::Value>> {
+                let mut out: Vec<TreeRef<Self::Value>> = Vec::new();
                 $(
-                    for cand in self.$idx.shrink(&value.$idx) {
-                        let mut next = value.clone();
-                        next.$idx = cand;
-                        out.push(next);
+                    for cand in self.trees.$idx.shrink() {
+                        // Tuples of `Rc` handles clone cheaply.
+                        let mut trees = self.trees.clone();
+                        trees.$idx = cand;
+                        out.push(Rc::new($name { trees }));
                     }
                 )+
                 out
+            }
+        }
+
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: 'static,)+
+        {
+            type Value = ($($s::Value,)+);
+            fn new_tree(&self, rng: &mut TestRng) -> TreeRef<Self::Value> {
+                // Component values are drawn left-to-right, matching the
+                // historical per-argument generation order exactly.
+                Rc::new($name { trees: ($(self.$idx.new_tree(rng),)+) })
             }
         }
     )*};
 }
 
 impl_tuple_strategy! {
-    (A.0)
-    (A.0, B.1)
-    (A.0, B.1, C.2)
-    (A.0, B.1, C.2, D.3)
-    (A.0, B.1, C.2, D.3, E.4)
+    TupleTree1: (A.0)
+    TupleTree2: (A.0, B.1)
+    TupleTree3: (A.0, B.1, C.2)
+    TupleTree4: (A.0, B.1, C.2, D.3)
+    TupleTree5: (A.0, B.1, C.2, D.3, E.4)
 }
+
+// ----------------------------------------------------------------------
+// prop_map: pass-through value tree
+// ----------------------------------------------------------------------
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S: Strategy, U> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> U>,
+}
+
+struct MapTree<V: Clone + Debug, U> {
+    source: TreeRef<V>,
+    f: Rc<dyn Fn(V) -> U>,
+}
+
+impl<V: Clone + Debug + 'static, U: Clone + Debug + 'static> ValueTree for MapTree<V, U> {
+    type Value = U;
+    fn current(&self) -> U {
+        (self.f)(self.source.current())
+    }
+    fn shrink(&self) -> Vec<TreeRef<U>> {
+        self.source
+            .shrink()
+            .into_iter()
+            .map(|source| Rc::new(MapTree { source, f: Rc::clone(&self.f) }) as TreeRef<U>)
+            .collect()
+    }
+}
+
+impl<S, U> Strategy for Map<S, U>
+where
+    S: Strategy,
+    S::Value: 'static,
+    U: Clone + Debug + 'static,
+{
+    type Value = U;
+    fn new_tree(&self, rng: &mut TestRng) -> TreeRef<U> {
+        Rc::new(MapTree { source: self.inner.new_tree(rng), f: Rc::clone(&self.f) })
+    }
+}
+
+// ----------------------------------------------------------------------
+// any::<T>()
+// ----------------------------------------------------------------------
 
 /// `any::<T>()` — the canonical strategy for a whole type.
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
@@ -216,9 +314,9 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 }
 
 /// Types with a canonical full-domain strategy.
-pub trait Arbitrary: Clone + std::fmt::Debug {
+pub trait Arbitrary: Clone + Debug {
     fn arbitrary(rng: &mut TestRng) -> Self;
-    /// Simpler candidates for a failing value (see [`Strategy::shrink`]).
+    /// Simpler candidates for a failing value.
     fn shrink_value(&self) -> Vec<Self> {
         Vec::new()
     }
@@ -228,13 +326,28 @@ pub trait Arbitrary: Clone + std::fmt::Debug {
 #[derive(Clone, Copy, Debug)]
 pub struct AnyStrategy<T>(PhantomData<T>);
 
-impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+struct ArbTree<T> {
+    value: T,
+}
+
+impl<T: Arbitrary + 'static> ValueTree for ArbTree<T> {
     type Value = T;
-    fn new_value(&self, rng: &mut TestRng) -> T {
-        T::arbitrary(rng)
+    fn current(&self) -> T {
+        self.value.clone()
     }
-    fn shrink(&self, value: &T) -> Vec<T> {
-        value.shrink_value()
+    fn shrink(&self) -> Vec<TreeRef<T>> {
+        self.value
+            .shrink_value()
+            .into_iter()
+            .map(|value| Rc::new(ArbTree { value }) as TreeRef<T>)
+            .collect()
+    }
+}
+
+impl<T: Arbitrary + 'static> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_tree(&self, rng: &mut TestRng) -> TreeRef<T> {
+        Rc::new(ArbTree { value: T::arbitrary(rng) })
     }
 }
 
@@ -275,9 +388,14 @@ macro_rules! impl_arbitrary_int {
 
 impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
+// ----------------------------------------------------------------------
+// Collections
+// ----------------------------------------------------------------------
+
 pub mod collection {
-    use super::{Strategy, TestRng};
+    use super::{Rc, Strategy, TestRng, TreeRef, ValueTree};
     use rand::Rng;
+    use std::fmt::Debug;
     use std::ops::Range;
 
     /// Strategy for `Vec`s with a length drawn from `size`.
@@ -292,66 +410,145 @@ pub mod collection {
         size: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
-        type Value = Vec<S::Value>;
-        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let len = rng.gen_range(self.size.clone());
-            (0..len).map(|_| self.element.new_value(rng)).collect()
+    struct VecTree<V: Clone + Debug> {
+        elems: Vec<TreeRef<V>>,
+        min: usize,
+    }
+
+    impl<V: Clone + Debug + 'static> ValueTree for VecTree<V> {
+        type Value = Vec<V>;
+        fn current(&self) -> Vec<V> {
+            self.elems.iter().map(|t| t.current()).collect()
         }
-        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
-            let mut out = Vec::new();
-            let min = self.size.start;
+        fn shrink(&self) -> Vec<TreeRef<Vec<V>>> {
+            let mut out: Vec<TreeRef<Vec<V>>> = Vec::new();
+            let min = self.min;
+            let mut push = |elems: Vec<TreeRef<V>>| {
+                out.push(Rc::new(VecTree { elems, min }) as TreeRef<Vec<V>>)
+            };
             // Length shrinks first: halve toward the minimum (keeping the
             // head, then the tail — bugs may need late elements), then
             // drop a single element.
-            if value.len() > min {
-                let half = (value.len() / 2).max(min);
-                if half < value.len() {
-                    out.push(value[..half].to_vec());
-                    out.push(value[value.len() - half..].to_vec());
+            if self.elems.len() > min {
+                let half = (self.elems.len() / 2).max(min);
+                if half < self.elems.len() {
+                    push(self.elems[..half].to_vec());
+                    push(self.elems[self.elems.len() - half..].to_vec());
                 }
-                out.push(value[..value.len() - 1].to_vec());
+                push(self.elems[..self.elems.len() - 1].to_vec());
             }
             // Element shrinks: a couple of candidates per position.
-            for (i, item) in value.iter().enumerate() {
-                for cand in self.element.shrink(item).into_iter().take(2) {
-                    let mut next = value.clone();
+            for (i, item) in self.elems.iter().enumerate() {
+                for cand in item.shrink().into_iter().take(2) {
+                    let mut next = self.elems.clone();
                     next[i] = cand;
-                    out.push(next);
+                    push(next);
                 }
             }
             out
         }
     }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: 'static,
+    {
+        type Value = Vec<S::Value>;
+        fn new_tree(&self, rng: &mut TestRng) -> TreeRef<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.clone());
+            let elems = (0..len).map(|_| self.element.new_tree(rng)).collect();
+            Rc::new(VecTree { elems, min: self.size.start })
+        }
+    }
 }
+
+// ----------------------------------------------------------------------
+// prop_oneof: descending variant index
+// ----------------------------------------------------------------------
 
 pub mod strategy {
     pub use super::{BoxedStrategy, Map, Strategy};
+    use super::{Rc, TestRng, TreeRef, ValueTree};
+    use std::fmt::Debug;
 
     /// Weighted choice among boxed strategies of a common value type —
-    /// what [`crate::prop_oneof!`] builds.  Values are opaque to the
-    /// shrinker (the producing arm is unknown after the fact).
+    /// what [`crate::prop_oneof!`] builds.  Shrinks by **descending
+    /// variant index**: candidates are regenerated from lower-indexed
+    /// (listed-earlier, conventionally simpler) arms, most aggressive
+    /// (arm 0) first, then the chosen arm's own value shrinks in place.
     pub struct Union<V> {
-        arms: Vec<(u32, super::BoxedStrategy<V>)>,
+        arms: Rc<Vec<(u32, BoxedStrategy<V>)>>,
         total_weight: u64,
     }
 
     impl<V> Union<V> {
-        pub fn new_weighted(arms: Vec<(u32, super::BoxedStrategy<V>)>) -> Self {
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
             assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
             let total_weight = arms.iter().map(|&(w, _)| w as u64).sum();
             assert!(total_weight > 0, "prop_oneof! weights sum to zero");
-            Union { arms, total_weight }
+            Union { arms: Rc::new(arms), total_weight }
         }
     }
 
-    impl<V: Clone + std::fmt::Debug> Strategy for Union<V> {
+    struct UnionTree<V: Clone + Debug> {
+        arms: Rc<Vec<(u32, BoxedStrategy<V>)>>,
+        index: usize,
+        inner: TreeRef<V>,
+        /// Deterministic seed for regenerating lower-arm candidates
+        /// (derived from the arm pick, so the main RNG stream is not
+        /// perturbed by shrinking).
+        seed: u64,
+    }
+
+    impl<V: Clone + Debug + 'static> ValueTree for UnionTree<V> {
         type Value = V;
-        fn new_value(&self, rng: &mut super::TestRng) -> V {
-            let mut pick = rand::Rng::gen_range(rng, 0..self.total_weight);
-            for (w, strat) in &self.arms {
+        fn current(&self) -> V {
+            self.inner.current()
+        }
+        fn shrink(&self) -> Vec<TreeRef<V>> {
+            let mut out: Vec<TreeRef<V>> = Vec::new();
+            // Descend the variant index: arm 0 is the most aggressive
+            // candidate.  Each lower arm contributes one freshly (but
+            // deterministically) generated value.
+            for index in 0..self.index {
+                let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(
+                    self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let inner = self.arms[index].1.new_tree(&mut rng);
+                out.push(Rc::new(UnionTree {
+                    arms: Rc::clone(&self.arms),
+                    index,
+                    inner,
+                    seed: self.seed,
+                }));
+            }
+            // Then the chosen arm's value shrinks in place.
+            for inner in self.inner.shrink() {
+                out.push(Rc::new(UnionTree {
+                    arms: Rc::clone(&self.arms),
+                    index: self.index,
+                    inner,
+                    seed: self.seed,
+                }));
+            }
+            out
+        }
+    }
+
+    impl<V: Clone + Debug + 'static> Strategy for Union<V> {
+        type Value = V;
+        fn new_tree(&self, rng: &mut TestRng) -> TreeRef<V> {
+            let raw = rand::Rng::gen_range(rng, 0..self.total_weight);
+            let mut pick = raw;
+            for (index, (w, strat)) in self.arms.iter().enumerate() {
                 if pick < *w as u64 {
-                    return strat.new_value(rng);
+                    let inner = strat.new_tree(rng);
+                    return Rc::new(UnionTree {
+                        arms: Rc::clone(&self.arms),
+                        index,
+                        inner,
+                        seed: raw,
+                    });
                 }
                 pick -= *w as u64;
             }
@@ -360,32 +557,35 @@ pub mod strategy {
     }
 }
 
-/// Drives naive shrinking: repeatedly replaces `failing` with the first
-/// simpler candidate that still fails, until no candidate fails or the
-/// iteration budget is spent.  `fails` must return `true` when the test
-/// body fails on the given input.  Returns the minimal failing value and
-/// the number of test-body executions used.
-pub fn shrink_failing<S: Strategy + ?Sized>(
-    strat: &S,
-    mut failing: S::Value,
-    mut fails: impl FnMut(&S::Value) -> bool,
+// ----------------------------------------------------------------------
+// Shrink driver
+// ----------------------------------------------------------------------
+
+/// Drives shrinking: repeatedly replaces `failing` with the first
+/// simpler candidate tree whose value still fails, until no candidate
+/// fails or the iteration budget is spent.  `fails` must return `true`
+/// when the test body fails on the given input.  Returns the minimal
+/// failing value and the number of test-body executions used.
+pub fn shrink_failing<V: Clone + Debug>(
+    mut failing: TreeRef<V>,
+    mut fails: impl FnMut(&V) -> bool,
     max_iters: u32,
-) -> (S::Value, u32) {
+) -> (V, u32) {
     let mut used = 0u32;
     'outer: while used < max_iters {
-        for candidate in strat.shrink(&failing) {
+        for candidate in failing.shrink() {
             if used >= max_iters {
                 break 'outer;
             }
             used += 1;
-            if fails(&candidate) {
+            if fails(&candidate.current()) {
                 failing = candidate;
                 continue 'outer;
             }
         }
         break;
     }
-    (failing, used)
+    (failing.current(), used)
 }
 
 /// Test driver behind the [`proptest!`] macro: runs `config.cases`
@@ -402,7 +602,8 @@ pub fn __drive<S: Strategy>(
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(seed);
     for case in 0..config.cases {
-        let vals = strat.new_value(&mut rng);
+        let tree = strat.new_tree(&mut rng);
+        let vals = tree.current();
         let result = catch_unwind(AssertUnwindSafe(|| run(vals.clone())));
         let Err(payload) = result else { continue };
         eprintln!(
@@ -416,8 +617,7 @@ pub fn __drive<S: Strategy>(
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let (minimal, used) = shrink_failing(
-            &strat,
-            vals,
+            tree,
             |v| catch_unwind(AssertUnwindSafe(|| run(v.clone()))).is_err(),
             config.max_shrink_iters,
         );
@@ -519,6 +719,8 @@ pub use rand as __rand;
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::{shrink_failing, TestRng, TreeRef};
+    use rand::SeedableRng;
 
     #[derive(Clone, Debug, PartialEq)]
     enum Tri {
@@ -558,8 +760,8 @@ mod tests {
 
     #[test]
     fn same_name_same_sequence() {
-        let mut a = <crate::TestRng as rand::SeedableRng>::seed_from_u64(crate::seed_for("x"));
-        let mut b = <crate::TestRng as rand::SeedableRng>::seed_from_u64(crate::seed_for("x"));
+        let mut a = TestRng::seed_from_u64(crate::seed_for("x"));
+        let mut b = TestRng::seed_from_u64(crate::seed_for("x"));
         let s = 0i64..1000;
         for _ in 0..100 {
             assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
@@ -570,20 +772,38 @@ mod tests {
     // Shrinking self-tests
     // ------------------------------------------------------------------
 
+    /// Generates trees from a seeded RNG until one's value fails, then
+    /// returns that tree (panics if no failing case is found).
+    fn first_failing<S: Strategy>(
+        strat: &S,
+        seed: u64,
+        fails: impl Fn(&S::Value) -> bool,
+    ) -> TreeRef<S::Value> {
+        let mut rng = TestRng::seed_from_u64(seed);
+        for _ in 0..10_000 {
+            let tree = strat.new_tree(&mut rng);
+            if fails(&tree.current()) {
+                return tree;
+            }
+        }
+        panic!("no failing case found");
+    }
+
     #[test]
     fn scalar_shrink_finds_the_exact_threshold() {
         // Failure iff v >= 17: the -1 descent must land exactly on 17.
         let strat = 0i64..1000;
-        let (minimal, _) = crate::shrink_failing(&strat, 940, |&v| v >= 17, 4096);
+        let tree = first_failing(&strat, 1, |&v| v >= 17);
+        let (minimal, _) = shrink_failing(tree, |&v| v >= 17, 4096);
         assert_eq!(minimal, 17);
     }
 
     #[test]
     fn vec_shrink_reaches_the_minimal_failing_length() {
         let strat = prop::collection::vec(0i64..100, 1..60);
-        let failing: Vec<i64> = (0..57).collect();
         // Failure iff the vec has >= 10 elements.
-        let (minimal, _) = crate::shrink_failing(&strat, failing, |v| v.len() >= 10, 4096);
+        let tree = first_failing(&strat, 2, |v: &Vec<i64>| v.len() >= 10);
+        let (minimal, _) = shrink_failing(tree, |v| v.len() >= 10, 4096);
         assert_eq!(minimal.len(), 10, "minimal counterexample: {minimal:?}");
         // Its elements shrink toward the range start too.
         assert!(minimal.iter().all(|&x| x == 0), "minimal counterexample: {minimal:?}");
@@ -593,40 +813,96 @@ mod tests {
     fn tuple_shrink_is_componentwise_and_respects_ranges() {
         let strat = (5i64..100, 3i64..50);
         // Failure iff a + b >= 20.
-        let (minimal, _) = crate::shrink_failing(&strat, (90, 44), |&(a, b)| a + b >= 20, 4096);
+        let tree = first_failing(&strat, 3, |&(a, b)| a + b >= 20);
+        let (minimal, _) = shrink_failing(tree, |&(a, b)| a + b >= 20, 4096);
         assert!(minimal.0 + minimal.1 >= 20, "minimal must still fail");
         assert_eq!(minimal.0 + minimal.1, 20, "naive descent still finds the boundary");
         assert!(minimal.0 >= 5 && minimal.1 >= 3, "candidates stay inside the ranges");
     }
 
     #[test]
-    fn mapped_and_oneof_values_do_not_shrink_but_their_vec_does() {
-        let strat = prop::collection::vec((0i64..10).prop_map(Tri::A), 1..40);
-        let failing: Vec<Tri> = (0..30).map(|i| Tri::A(i % 10)).collect();
-        let (minimal, _) = crate::shrink_failing(&strat, failing, |v| v.len() >= 3, 4096);
-        assert_eq!(minimal.len(), 3);
-        let single = (0i64..10).prop_map(Tri::A);
-        assert!(single.shrink(&Tri::A(7)).is_empty(), "mapped values are opaque");
+    fn mapped_values_shrink_through_the_map() {
+        // The pass-through value tree: a mapped enum variant minimizes
+        // its source payload (pre-PR 5 these values were opaque).
+        let strat = (0i64..1000).prop_map(Tri::A);
+        let fails = |v: &Tri| matches!(v, Tri::A(x) if *x >= 40);
+        let tree = first_failing(&strat, 4, fails);
+        let (minimal, _) = shrink_failing(tree, |v| fails(v), 4096);
+        assert_eq!(minimal, Tri::A(40), "mapped payload must minimize to the threshold");
+    }
+
+    #[test]
+    fn oneof_shrinks_by_descending_variant_index() {
+        // Arm order: A (index 0) before B (index 1).  A failure that any
+        // value triggers must therefore minimize into arm 0's minimal
+        // value — the shrinker descends the variant index.
+        let strat = prop_oneof![
+            1 => (0i64..10).prop_map(Tri::A),
+            8 => (5i64..10).prop_map(Tri::B),
+        ];
+        let tree = first_failing(&strat, 5, |v| matches!(v, Tri::B(_)));
+        let (minimal, _) = shrink_failing(tree, |_| true, 4096);
+        assert_eq!(minimal, Tri::A(0), "always-failing input must descend to arm 0, minimized");
+    }
+
+    #[test]
+    fn oneof_keeps_failures_inside_the_failing_arm_when_lower_arms_pass() {
+        // When the failure is specific to arm B, candidates from arm A
+        // do not fail, so the value must stay a B and minimize in place.
+        let strat = prop_oneof![
+            1 => (0i64..10).prop_map(Tri::A),
+            8 => (5i64..100).prop_map(Tri::B),
+        ];
+        let fails = |v: &Tri| matches!(v, Tri::B(x) if *x >= 7);
+        let tree = first_failing(&strat, 6, fails);
+        let (minimal, _) = shrink_failing(tree, |v| fails(v), 4096);
+        assert_eq!(minimal, Tri::B(7), "arm-specific failure minimizes inside its arm");
+    }
+
+    #[test]
+    fn vec_of_mapped_oneof_minimizes_fully() {
+        // The combination the concurrency schedules use: a vec of
+        // mapped/oneof ops.  Everything minimizes now — length first,
+        // then each op descends to the simplest variant and payload.
+        let strat = prop::collection::vec(
+            prop_oneof![
+                1 => (0i64..10).prop_map(Tri::A),
+                1 => (5i64..10).prop_map(Tri::B),
+            ],
+            1..40,
+        );
+        let tree = first_failing(&strat, 7, |v: &Vec<Tri>| v.len() >= 3);
+        let (minimal, _) = shrink_failing(tree, |v| v.len() >= 3, 8192);
+        assert_eq!(minimal, vec![Tri::A(0), Tri::A(0), Tri::A(0)], "got {minimal:?}");
     }
 
     #[test]
     fn shrink_respects_the_iteration_budget() {
         let strat = 0i64..i64::MAX;
-        let (_, used) = crate::shrink_failing(&strat, i64::MAX - 1, |&v| v >= 1, 7);
+        let tree = first_failing(&strat, 8, |&v| v >= 1);
+        let (_, used) = shrink_failing(tree, |&v| v >= 1, 7);
         assert!(used <= 7);
     }
 
     #[test]
     fn shrink_survives_full_width_ranges() {
-        // `v - lo` would overflow here; the midpoint must not panic and
-        // must stay inside the range.
+        // `v - lo` would overflow in a naive midpoint; candidates must
+        // not panic and must stay inside the range.
         let strat = i64::MIN..i64::MAX;
-        for v in [i64::MAX - 1, 0, 1, i64::MIN + 1] {
-            for cand in strat.shrink(&v) {
-                assert!(cand < v, "candidates simplify toward the start: {v} -> {cand}");
+        let mut rng = TestRng::seed_from_u64(9);
+        for _ in 0..64 {
+            let tree = strat.new_tree(&mut rng);
+            let v = tree.current();
+            for cand in tree.shrink() {
+                assert!(
+                    cand.current() < v,
+                    "candidates simplify toward the start: {v} -> {}",
+                    cand.current()
+                );
             }
         }
-        let (minimal, _) = crate::shrink_failing(&strat, i64::MAX - 1, |&v| v >= i64::MAX / 2, 256);
+        let tree = first_failing(&strat, 10, |&v| v >= i64::MAX / 2);
+        let (minimal, _) = shrink_failing(tree, |&v| v >= i64::MAX / 2, 256);
         assert!(minimal >= i64::MAX / 2);
     }
 

@@ -43,15 +43,16 @@
 //! ## Concurrency
 //!
 //! Readers and writers both scale across threads: the buffer pool is
-//! lock-striped, the B+-trees synchronize writers internally with
-//! optimistic latch crabbing, and the relational layer exposes batch
-//! façades — [`relstore::Database::execute_parallel`] /
+//! lock-striped, the B+-trees are **B-link trees** (readers descend with
+//! no latches at all; writers latch one node at a time and splits never
+//! exclude anyone), and the relational layer exposes batch façades —
+//! [`relstore::Database::execute_parallel`] /
 //! [`core::RiTree::intersection_batch`] for reads,
 //! [`relstore::Database::execute_mixed`] / [`core::RiTree::insert_batch`]
-//! for mixed and write batches.  Single-threaded use pays nothing: the
-//! page-access sequence (and therefore every figure of the paper) is
-//! bit-for-bit the unlatched implementation's.  See ARCHITECTURE.md for
-//! the latching protocol.
+//! for mixed and write batches.  Single-threaded use stays deterministic:
+//! the page-access sequence is pinned by golden counters, so every figure
+//! of the paper is exactly reproducible.  See ARCHITECTURE.md for the
+//! B-link protocol.
 //!
 //! See `examples/` for runnable scenarios (temporal reservations with
 //! `now`/∞, spatial curve segments, engineering tolerances) and

@@ -231,22 +231,35 @@ fn shards_1_reproduces_seed_pool_byte_for_byte() {
 // Write-path determinism (PR 3)
 // ----------------------------------------------------------------------
 
-/// Golden values captured from the PRE-latching B+-tree write path (the
-/// seed's recursive insert / path-recording delete over a `shards = 1`
-/// pool).  The latch-crabbing write path must reproduce the *exact* page
-/// access sequence single-threaded: same logical reads/writes, same
-/// misses, same eviction victims, after every single operation.
+/// Golden values captured from the B-link write path at the moment of
+/// the PR 5 format change (page format v2: right links + high keys;
+/// latch-free descents; two-phase splits; deletes leave empty leaves in
+/// place).  Single-threaded, the page-access sequence is fully
+/// deterministic: same logical reads/writes, same misses, same eviction
+/// victims, after every single operation.
 ///
-/// Re-capture with `scripts/recapture-goldens.sh` (never edit by hand).
+/// The PR 3/4 goldens (captured from the pre-latching seed algorithm)
+/// necessarily retired with the format: the v2 tree stores high keys,
+/// allocates under the meta latch, never frees pages, and therefore has
+/// a different — but still exactly pinned — access trace.  The
+/// `GOLDEN_WRITE_CONTENT_HASH` below is **unchanged from the seed**:
+/// the tree's logical contents after the mixed phase are bit-for-bit
+/// what the seed algorithm produced.
+///
+/// Re-capture with `scripts/recapture-goldens.sh` (never edit by hand);
+/// CI runs `scripts/recapture-goldens.sh --check` so these cannot drift
+/// silently.
 const GOLDEN_WRITE_FINAL: IoSnapshot = IoSnapshot {
-    logical_reads: 5234,
-    logical_writes: 1982,
-    physical_reads: 2371,
-    physical_writes: 957,
+    logical_reads: 5464,
+    logical_writes: 1879,
+    physical_reads: 2656,
+    physical_writes: 862,
 };
-const GOLDEN_WRITE_TRACE_HASH: u64 = 0xada3_a2d7_d6f2_029c;
+const GOLDEN_WRITE_TRACE_HASH: u64 = 0x2421_b40b_9a31_2471;
 /// FNV-1a over the phase-1 `(key0, key1, payload)` stream of `scan_all`,
-/// pinning the tree *contents*, not just the I/O counters.
+/// pinning the tree *contents*, not just the I/O counters.  Identical to
+/// the seed's value: the B-link refactor changed the physical trace, not
+/// what the tree stores.
 const GOLDEN_WRITE_CONTENT_HASH: u64 = 0xa89f_0873_6e03_39b2;
 
 #[test]
@@ -319,9 +332,10 @@ fn btree_write_path_reproduces_seed_byte_for_byte() {
         content_hash = fnv1a(content_hash, e.payload);
     }
 
-    // Phase 2: drain the tree in a seeded order — exercises empty-leaf
-    // unlinking, parent-cascade removal, root collapse, and free-list
-    // reuse on the way down to the empty tree.
+    // Phase 2: drain the tree in a seeded order — exercises the B-link
+    // delete path down to the entry-free tree: emptied leaves stay
+    // linked (deletes never restructure), keep routing, and are refilled
+    // by the interleaved re-inserts below.
     while !live.is_empty() {
         let r = next(&mut x);
         let target = live.swap_remove(r as usize % live.len());
