@@ -1,0 +1,14 @@
+//! Log fsyncs per committed insert vs committing writer threads: the
+//! WAL's leader/follower group commit against the one-fsync-per-commit
+//! baseline (our durability experiment; see `ri_bench::group_commit`
+//! for the deterministic commit-policy model).
+//!
+//! Usage: `fig20_group_commit [--quick] [--json PATH]`
+//!
+//! `--json PATH` additionally writes the deterministic snapshot consumed
+//! by CI (conventionally `BENCH_group_commit.json`).
+
+fn main() {
+    let (quick, json) = ri_bench::snapshot_args("BENCH_group_commit.json");
+    ri_bench::group_commit::run(quick, json.as_deref());
+}

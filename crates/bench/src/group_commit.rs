@@ -1,0 +1,452 @@
+//! The group-commit experiment (ours, not the paper's): fsyncs per
+//! committed insert versus committing writer threads — the WAL's
+//! leader/follower group commit against the one-fsync-per-commit
+//! baseline it replaced.
+//!
+//! # Methodology
+//!
+//! Like `fig18`/`fig19`, the experiment prices concurrency
+//! *deterministically*.  A real durable run executes once,
+//! single-threaded: inserts through a WAL-backed [`Database`], one
+//! `commit()` per insert, and the WAL's own counters
+//! ([`ri_pagestore::WalSnapshot`]) provide the traced facts — record
+//! bytes appended per commit and the single-writer sync count (exactly
+//! one fsync per commit: with nobody to share a sync with, group commit
+//! degenerates to the global policy).
+//!
+//! A discrete-event simulation in **integer nanoseconds** then prices
+//! two commit policies over `T` writers doing the identical per-commit
+//! work:
+//!
+//! * **global** — every commit performs its own log fsync; the log
+//!   device serializes them, so the batch pays `T x C` sync latencies
+//!   end to end no matter how many threads submit work;
+//! * **grouped (this PR)** — the first committer to reach the idle log
+//!   device becomes the *leader* and syncs; everyone whose commit
+//!   record was appended by the time the sync starts rides along as a
+//!   *follower*.  Requests that arrive while a sync is in flight pile
+//!   up and are absorbed by the next leader — the entire win.
+//!
+//! Both policies are simulated with the same deterministic tie-break
+//! (lowest writer index first), so the snapshot
+//! (`BENCH_group_commit.json`) is byte-stable across runs and machines.
+//! The per-commit CPU+append cost is derived from the traced record
+//! bytes; the fsync cost is the late-1990s disk of
+//! [`ri_pagestore::LatencyModel`]: ~10 ms of seek + rotation + settle.
+//!
+//! Alongside the model, the experiment *actually runs* concurrent
+//! committers at every thread count (disjoint inserts fanned out by
+//! `ri_relstore::fan_out`, one `Database::commit` per insert) and
+//! asserts the WAL's exact accounting identity — every commit is either
+//! a leader (`commit_syncs`) or a follower (`group_commits`), and the
+//! log is durable through its end.  Wall-clock-dependent group sizes
+//! are printed for reference but excluded from the JSON.
+
+use crate::harness::{f, section};
+use ri_pagestore::{BufferPool, BufferPoolConfig, MemDisk, WalSnapshot};
+use ri_relstore::{Database, TableDef};
+use std::io::Write as _;
+use std::sync::Arc;
+
+/// Committing writer thread counts evaluated.
+pub const THREAD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Simulated fsync latency: one log-page write on the paper-era disk
+/// (~10 ms seek + rotation + transfer + settle).
+pub const T_SYNC_NS: u64 = 10_000_000;
+
+/// Fixed per-commit CPU floor (buffer-pool bookkeeping, latching, the
+/// in-cache page mutation) before the append-derived cost is added.
+pub const T_OP_BASE_NS: u64 = 100_000;
+
+/// Per-byte cost of encoding + appending a WAL record to the in-memory
+/// tail page.
+pub const T_OP_PER_BYTE_NS: u64 = 40;
+
+/// The deterministic facts read off the traced single-writer run.
+#[derive(Clone, Copy, Debug)]
+pub struct Trace {
+    /// Committed inserts in the traced run.
+    pub commits: u64,
+    /// Page-update records the run appended.
+    pub wal_records: u64,
+    /// Stream bytes the run appended (records + commits).
+    pub wal_record_bytes: u64,
+    /// Log-device syncs — single-threaded this must equal `commits`.
+    pub syncs: u64,
+    /// Physical page writes on the log device.
+    pub log_page_writes: u64,
+}
+
+impl Trace {
+    /// Integer stream bytes per commit (rounded up), the model's input.
+    pub fn bytes_per_commit(&self) -> u64 {
+        self.wal_record_bytes.div_ceil(self.commits.max(1))
+    }
+
+    /// Simulated nanoseconds of work between a writer's commits.
+    pub fn t_op_ns(&self) -> u64 {
+        T_OP_BASE_NS + self.bytes_per_commit() * T_OP_PER_BYTE_NS
+    }
+}
+
+/// One simulated policy outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct SimResult {
+    /// Total commits performed (always `threads x commits_per_writer`).
+    pub commits: u64,
+    /// Log fsyncs issued.
+    pub fsyncs: u64,
+    /// End-to-end simulated nanoseconds.
+    pub makespan_ns: u64,
+    /// Largest group a single fsync covered.
+    pub max_group: u64,
+}
+
+impl SimResult {
+    /// Fsyncs per committed insert — the figure's y-axis.
+    pub fn fsyncs_per_commit(&self) -> f64 {
+        self.fsyncs as f64 / self.commits as f64
+    }
+
+    /// Modelled commits per second.
+    pub fn commits_per_sec(&self) -> f64 {
+        self.commits as f64 * 1e9 / self.makespan_ns as f64
+    }
+}
+
+/// Discrete-event simulation of `threads` writers each performing
+/// `commits_per_writer` commits.  A writer computes for `t_op` ns, then
+/// requests durability; the log device runs one fsync (`t_sync` ns) at
+/// a time.  Under `grouped`, a starting fsync covers every request
+/// issued at or before its start instant; under the global policy it
+/// covers exactly the earliest request (FIFO, index tie-break).
+pub fn simulate(
+    threads: usize,
+    commits_per_writer: u64,
+    t_op: u64,
+    t_sync: u64,
+    grouped: bool,
+) -> SimResult {
+    let mut ready: Vec<u64> = vec![t_op; threads];
+    let mut remaining: Vec<u64> = vec![commits_per_writer; threads];
+    let mut device_free: u64 = 0;
+    let mut fsyncs = 0u64;
+    let mut commits = 0u64;
+    let mut makespan = 0u64;
+    let mut max_group = 0u64;
+    loop {
+        let earliest = (0..threads).filter(|&i| remaining[i] > 0).map(|i| (ready[i], i)).min();
+        let Some((req_time, req_idx)) = earliest else { break };
+        let start = device_free.max(req_time);
+        let covered: Vec<usize> = if grouped {
+            (0..threads).filter(|&i| remaining[i] > 0 && ready[i] <= start).collect()
+        } else {
+            vec![req_idx]
+        };
+        let done = start + t_sync;
+        fsyncs += 1;
+        max_group = max_group.max(covered.len() as u64);
+        for i in covered {
+            commits += 1;
+            remaining[i] -= 1;
+            ready[i] = done + t_op;
+        }
+        device_free = done;
+        makespan = done;
+    }
+    SimResult { commits, fsyncs, makespan_ns: makespan, max_group }
+}
+
+/// One figure row: both policies at one thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Committing writer threads.
+    pub threads: usize,
+    /// The one-fsync-per-commit baseline.
+    pub global: SimResult,
+    /// The leader/follower group commit.
+    pub grouped: SimResult,
+}
+
+impl Row {
+    /// Grouped throughput over the global baseline.
+    pub fn speedup(&self) -> f64 {
+        self.grouped.commits_per_sec() / self.global.commits_per_sec()
+    }
+}
+
+/// Everything the experiment produced, ready for printing / JSON.
+pub struct Report {
+    /// Commits each simulated writer performs.
+    pub commits_per_writer: u64,
+    /// The traced single-writer facts.
+    pub trace: Trace,
+    /// One entry per thread count.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the real single-writer durable workload and reads the WAL's
+/// counters.  One commit per insert; every commit must lead its own
+/// sync (there is nobody to follow).
+fn trace_single_writer(inserts: u64) -> Trace {
+    let db = durable_db();
+    let t = db.table("T").expect("table");
+    for i in 0..inserts as i64 {
+        t.insert(&[i, (i * 37) % 1000]).expect("insert");
+        db.commit().expect("commit");
+    }
+    let stats = wal_stats(&db);
+    assert_eq!(stats.commits, inserts, "one commit per insert");
+    assert_eq!(stats.commit_syncs, inserts, "single-threaded: every commit leads");
+    assert_eq!(stats.group_commits, 0, "single-threaded: nobody follows");
+    Trace {
+        commits: stats.commits,
+        wal_records: stats.records,
+        wal_record_bytes: stats.record_bytes,
+        syncs: stats.syncs,
+        log_page_writes: stats.log_page_writes,
+    }
+}
+
+/// A fresh WAL-backed database on in-memory devices, paper-sized pool.
+fn durable_db() -> Database {
+    let pool = Arc::new(
+        BufferPool::new_durable(
+            MemDisk::new(2048),
+            BufferPoolConfig::with_capacity(200),
+            MemDisk::new(2048),
+        )
+        .expect("durable pool"),
+    );
+    let db = Database::create(pool).expect("create");
+    db.create_table(TableDef { name: "T".into(), columns: vec!["a".into(), "b".into()] })
+        .expect("ddl");
+    db
+}
+
+fn wal_stats(db: &Database) -> WalSnapshot {
+    db.pool().wal().expect("durable pool").stats()
+}
+
+/// Real concurrent committers: disjoint inserts fanned out over
+/// `threads`, one `commit()` each.  Asserts the WAL's exact accounting
+/// identity and returns (commits, syncs, commit_syncs, group_commits).
+fn verify_concurrent_commits(threads: usize, per_writer: u64) -> (u64, u64, u64, u64) {
+    let db = durable_db();
+    let t = db.table("T").expect("table");
+    let total = threads as u64 * per_writer;
+    let items: Vec<i64> = (0..total as i64).collect();
+    let before = wal_stats(&db);
+    ri_relstore::fan_out(&items, threads, |&i| {
+        t.insert(&[i, i % 7])?;
+        db.commit()
+    })
+    .into_iter()
+    .collect::<ri_pagestore::Result<()>>()
+    .expect("concurrent insert+commit");
+    let after = wal_stats(&db);
+    let commits = after.commits - before.commits;
+    let commit_syncs = after.commit_syncs - before.commit_syncs;
+    let group_commits = after.group_commits - before.group_commits;
+    assert_eq!(commits, total, "every submitted commit committed");
+    assert_eq!(
+        commit_syncs + group_commits,
+        commits,
+        "every commit is exactly a leader or a follower"
+    );
+    let wal = db.pool().wal().expect("durable pool");
+    assert_eq!(wal.durable_lsn(), wal.end_lsn(), "commit returns only once durable");
+    (commits, after.syncs - before.syncs, commit_syncs, group_commits)
+}
+
+/// Runs the experiment; when `json_path` is set, also writes the
+/// deterministic snapshot there (the CI artifact).
+pub fn run(quick: bool, json_path: Option<&std::path::Path>) -> Report {
+    section("Figure 20: log fsyncs per committed insert, group commit vs one-fsync-per-commit");
+    let traced_inserts: u64 = if quick { 400 } else { 2_000 };
+    let commits_per_writer: u64 = if quick { 50 } else { 200 };
+    let trace = trace_single_writer(traced_inserts);
+    let t_op = trace.t_op_ns();
+    println!(
+        "# trace: {} commits, {} records, {} stream bytes ({} B/commit), {} syncs, {} log page writes",
+        trace.commits,
+        trace.wal_records,
+        trace.wal_record_bytes,
+        trace.bytes_per_commit(),
+        trace.syncs,
+        trace.log_page_writes
+    );
+    println!("# model: t_sync = {T_SYNC_NS} ns, t_op = {t_op} ns");
+
+    let mut rows = Vec::new();
+    println!("threads,fsyncs_per_commit_global,fsyncs_per_commit_grouped,commits_per_sec_global,commits_per_sec_grouped,speedup,max_group");
+    for &threads in &THREAD_COUNTS {
+        let global = simulate(threads, commits_per_writer, t_op, T_SYNC_NS, false);
+        let grouped = simulate(threads, commits_per_writer, t_op, T_SYNC_NS, true);
+        let row = Row { threads, global, grouped };
+        println!(
+            "{threads},{},{},{},{},{},{}",
+            f(global.fsyncs_per_commit()),
+            f(grouped.fsyncs_per_commit()),
+            f(global.commits_per_sec()),
+            f(grouped.commits_per_sec()),
+            f(row.speedup()),
+            grouped.max_group
+        );
+        rows.push(row);
+    }
+
+    // Correctness of the real concurrent commit path (sync counts depend
+    // on scheduling; informational only, the identity is what must hold).
+    for &threads in &[1usize, 4, 8] {
+        let per_writer = if quick { 25 } else { 100 };
+        let (commits, syncs, leaders, followers) = verify_concurrent_commits(threads, per_writer);
+        println!(
+            "# real: {threads} writer(s), {commits} commits, {syncs} log syncs \
+             ({leaders} leaders + {followers} followers)"
+        );
+    }
+
+    println!("# model: the global policy fsyncs once per commit, so the log device");
+    println!("# serializes the batch at one sync latency each; group commit lets every");
+    println!("# request that arrives during an in-flight sync ride the next leader's");
+    println!("# fsync, so fsyncs per commit falls toward 1/T as writers are added");
+    let report = Report { commits_per_writer, trace, rows };
+    if let Some(path) = json_path {
+        write_json(&report, path, quick).expect("write bench snapshot");
+        println!("# wrote {}", path.display());
+    }
+    report
+}
+
+/// Serializes the deterministic part of the report as JSON (hand-rolled,
+/// like the fig18/fig19 snapshots; the workspace is offline and needs no
+/// serde).
+fn write_json(report: &Report, path: &std::path::Path, quick: bool) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"fig20_group_commit\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(
+        "  \"protocol\": \"leader/follower group commit: the first committer to reach \
+         the idle log device syncs for everyone whose commit record was appended by \
+         the sync's start; requests arriving during an in-flight sync are absorbed by \
+         the next leader. The global column is the one-fsync-per-commit baseline \
+         priced over the identical per-commit work\",\n",
+    );
+    out.push_str(&format!("  \"runner_cores\": {},\n", crate::harness::runner_cores()));
+    out.push_str(&format!("  \"commits_per_writer\": {},\n", report.commits_per_writer));
+    out.push_str("  \"trace\": {\n");
+    out.push_str(&format!(
+        "    \"commits\": {},\n    \"wal_records\": {},\n    \"wal_record_bytes\": {},\n    \"bytes_per_commit\": {},\n    \"syncs_single_writer\": {},\n    \"log_page_writes\": {}\n  }},\n",
+        report.trace.commits,
+        report.trace.wal_records,
+        report.trace.wal_record_bytes,
+        report.trace.bytes_per_commit(),
+        report.trace.syncs,
+        report.trace.log_page_writes
+    ));
+    out.push_str("  \"model\": {\n");
+    out.push_str(&format!(
+        "    \"t_sync_ns\": {},\n    \"t_op_ns\": {}\n  }},\n",
+        T_SYNC_NS,
+        report.trace.t_op_ns()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"commits\": {}, \"fsyncs_global\": {}, \"fsyncs_grouped\": {}, \"fsyncs_per_commit_global\": {:.5}, \"fsyncs_per_commit_grouped\": {:.5}, \"commits_per_sec_global\": {:.3}, \"commits_per_sec_grouped\": {:.3}, \"speedup\": {:.3}, \"max_group\": {}}}{}\n",
+            r.threads,
+            r.grouped.commits,
+            r.global.fsyncs,
+            r.grouped.fsyncs,
+            r.global.fsyncs_per_commit(),
+            r.grouped.fsyncs_per_commit(),
+            r.global.commits_per_sec(),
+            r.grouped.commits_per_sec(),
+            r.speedup(),
+            r.grouped.max_group,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T_OP: u64 = 150_000;
+
+    #[test]
+    fn both_policies_commit_everything() {
+        for &t in &THREAD_COUNTS {
+            for grouped in [false, true] {
+                let r = simulate(t, 40, T_OP, T_SYNC_NS, grouped);
+                assert_eq!(r.commits, t as u64 * 40);
+            }
+        }
+    }
+
+    #[test]
+    fn global_policy_fsyncs_once_per_commit() {
+        for &t in &THREAD_COUNTS {
+            let r = simulate(t, 40, T_OP, T_SYNC_NS, false);
+            assert_eq!(r.fsyncs, r.commits);
+        }
+    }
+
+    #[test]
+    fn grouping_saves_fsyncs_from_two_writers_on() {
+        let single = simulate(1, 40, T_OP, T_SYNC_NS, true);
+        assert_eq!(single.fsyncs, single.commits, "nobody to share with at T=1");
+        let mut last = 1.0f64;
+        for &t in &THREAD_COUNTS[1..] {
+            let r = simulate(t, 40, T_OP, T_SYNC_NS, true);
+            assert!(
+                r.fsyncs < r.commits,
+                "{t} writers: expected fewer fsyncs ({}) than commits ({})",
+                r.fsyncs,
+                r.commits
+            );
+            let per = r.fsyncs_per_commit();
+            assert!(per <= last + 1e-12, "fsyncs per commit must fall as writers are added");
+            last = per;
+        }
+    }
+
+    #[test]
+    fn grouped_makespan_never_exceeds_global() {
+        for &t in &THREAD_COUNTS {
+            let g = simulate(t, 40, T_OP, T_SYNC_NS, false);
+            let r = simulate(t, 40, T_OP, T_SYNC_NS, true);
+            assert!(r.makespan_ns <= g.makespan_ns);
+        }
+    }
+
+    #[test]
+    fn quick_run_is_deterministic_and_meets_the_bar() {
+        let a = run(true, None);
+        let b = run(true, None);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.grouped.fsyncs, rb.grouped.fsyncs, "simulation must be deterministic");
+            assert_eq!(ra.grouped.makespan_ns, rb.grouped.makespan_ns);
+        }
+        assert_eq!(a.trace.wal_record_bytes, b.trace.wal_record_bytes, "trace must be repeatable");
+        for r in &a.rows {
+            if r.threads >= 2 {
+                assert!(r.grouped.fsyncs < r.grouped.commits);
+                assert!(r.speedup() >= 1.0);
+            }
+        }
+        let r8 = a.rows.iter().find(|r| r.threads == 8).unwrap();
+        assert!(
+            r8.speedup() >= 2.0,
+            "8 writers on a 10 ms fsync must gain >= 2x from grouping, got {:.2}",
+            r8.speedup()
+        );
+    }
+}

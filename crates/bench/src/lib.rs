@@ -9,6 +9,7 @@
 
 pub mod concurrency;
 pub mod figures;
+pub mod group_commit;
 pub mod harness;
 pub mod write_concurrency;
 

@@ -69,15 +69,30 @@
 //! one fault performs the same write-back and read, in the same order,
 //! against the same LRU state — `tests/pool_determinism.rs` pins this
 //! byte-for-byte.
+//!
+//! # Durability (optional WAL)
+//!
+//! A pool built with [`BufferPool::new_durable`] carries a [`Wal`] on a
+//! second block device.  Every [`BufferPool::with_page_mut`] install logs
+//! the byte-range delta of the update (full pre-image on the first
+//! modification since a checkpoint) and stamps the frame with the
+//! record's end LSN; every device write-back — eviction, flush, clear —
+//! first forces the log durable up to that stamp.  This is the classic
+//! WAL-before-data invariant: no page image whose update is not durable
+//! in the log can reach the data device, so [`BufferPool::recover`]
+//! (invoked by `Database::open`) can always rebuild the committed state.
+//! Pools built without a WAL are bit-for-bit the seed pool — the
+//! golden-pinned figures never pay for durability they don't use.
 
 use crate::disk::DiskManager;
 use crate::error::{Error, Result};
 use crate::latch::LatchManager;
 use crate::page::PageId;
 use crate::stats::{IoStats, PoolStats};
+use crate::wal::{RecoveryReport, Wal, WalRecord};
 use parking_lot::{Mutex, MutexGuard};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Arc, Condvar, PoisonError};
 
 /// Sizing knobs for [`BufferPool`].
@@ -123,6 +138,10 @@ struct Frame {
     /// thread, so the frame is excluded from victim selection and must not
     /// be touched until the fetch publishes or fails.
     reserved: bool,
+    /// End LSN of this page's latest WAL record; the log must be durable
+    /// up to here before the frame may be written back.  0 = no pending
+    /// record (clean page, or the pool has no WAL).
+    page_lsn: u64,
 }
 
 struct PoolInner {
@@ -198,6 +217,8 @@ pub struct BufferPool {
     latches: LatchManager,
     page_size: usize,
     capacity: usize,
+    /// Write-ahead log on its own device; `None` for volatile pools.
+    wal: Option<Wal>,
 }
 
 impl BufferPool {
@@ -251,12 +272,150 @@ impl BufferPool {
             latches: LatchManager::default(),
             page_size,
             capacity: config.capacity,
+            wal: None,
         }
     }
 
     /// Creates a pool with the paper's default cache (200 frames, 1 shard).
     pub fn with_defaults<D: DiskManager + 'static>(disk: D) -> Self {
         Self::new(disk, BufferPoolConfig::default())
+    }
+
+    /// Creates a **durable** pool: pages on `disk`, write-ahead log on
+    /// `wal_disk` (a separate device, so the data file layout is exactly
+    /// the volatile pool's).  The log is attached — its anchor validated
+    /// and its record stream scanned — but redo is *not* applied yet;
+    /// call [`BufferPool::recover`] (done by `Database::open`) before
+    /// reading pages from a device that may carry an unrecovered crash.
+    pub fn new_durable<D, W>(disk: D, config: BufferPoolConfig, wal_disk: W) -> Result<Self>
+    where
+        D: DiskManager + 'static,
+        W: DiskManager + 'static,
+    {
+        if wal_disk.page_size() != disk.page_size() {
+            return Err(Error::InvalidArgument(format!(
+                "WAL device page size {} != data device page size {}",
+                wal_disk.page_size(),
+                disk.page_size()
+            )));
+        }
+        let wal = Wal::attach(Box::new(wal_disk))?;
+        let mut pool = Self::new(disk, config);
+        pool.wal = Some(wal);
+        Ok(pool)
+    }
+
+    /// The pool's write-ahead log, if built with [`BufferPool::new_durable`].
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Replays the log tail found at attach time against the data device:
+    /// committed records are redone (FirstMod pre-image + deltas), pages
+    /// first modified after the last commit are rolled back to their
+    /// pre-images, every touched page is written out and synced, and the
+    /// log is checkpointed.  Idempotent — later calls (and calls on a
+    /// pool with no WAL or a clean log) return `Ok(None)`.
+    ///
+    /// Must run before the pool caches any page of a crashed device; the
+    /// pre-recovery cache is discarded here for safety.
+    pub fn recover(&self) -> Result<Option<RecoveryReport>> {
+        let Some(wal) = &self.wal else {
+            return Ok(None);
+        };
+        let Some(log) = wal.take_recovered() else {
+            return Ok(None);
+        };
+        self.discard_cache();
+        let mut images: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut commits = 0u64;
+        let mut last_seq = 0u64;
+        for rec in &log.records[..log.committed] {
+            match rec {
+                WalRecord::FirstMod { page, before, delta_off, delta } => {
+                    let mut img = before.clone();
+                    img[*delta_off..*delta_off + delta.len()].copy_from_slice(delta);
+                    images.insert(page.raw(), img);
+                }
+                WalRecord::Delta { page, delta_off, delta } => {
+                    // A Delta is always preceded by its page's FirstMod in
+                    // the same generation (the `logged` set guarantees it),
+                    // so a missing image means the log is inconsistent.
+                    let img = images.get_mut(&page.raw()).ok_or_else(|| {
+                        Error::Corrupt(format!(
+                            "WAL delta for page {} without a prior first-mod",
+                            page.raw()
+                        ))
+                    })?;
+                    img[*delta_off..*delta_off + delta.len()].copy_from_slice(delta);
+                }
+                WalRecord::Commit { seq } => {
+                    // Sequence numbers are strictly increasing within a
+                    // checkpoint generation; a regression means records
+                    // from different histories got mixed.
+                    if *seq <= last_seq {
+                        return Err(Error::Corrupt(format!(
+                            "WAL commit sequence regressed: {seq} after {last_seq}"
+                        )));
+                    }
+                    last_seq = *seq;
+                    commits += 1;
+                }
+            }
+        }
+        let pages_redone = images.len();
+        // Roll back the uncommitted tail: a FirstMod there proves the page
+        // was untouched by the committed prefix *of this generation*; its
+        // pre-image is exactly the committed state.  (If the page also has
+        // a committed image — possible when it was re-FirstMod'ed after an
+        // interleaved checkpoint window — the committed image wins.)
+        for rec in &log.records[log.committed..] {
+            if let WalRecord::FirstMod { page, before, .. } = rec {
+                images.entry(page.raw()).or_insert_with(|| before.clone());
+            }
+        }
+        let pages_rolled_back = images.len() - pages_redone;
+        for (&page, img) in &images {
+            while self.disk.num_pages() <= page {
+                self.disk.allocate_page()?;
+            }
+            self.disk.write_page(PageId(page), img)?;
+        }
+        self.disk.sync()?;
+        wal.checkpoint()?;
+        Ok(Some(RecoveryReport {
+            records_scanned: log.records.len(),
+            committed_records: log.committed,
+            tail_records: log.records.len() - log.committed,
+            commits,
+            pages_redone,
+            pages_rolled_back,
+        }))
+    }
+
+    /// Drops every cached frame *without* write-back: pre-recovery cache
+    /// contents are stale by definition.  Only called from
+    /// [`BufferPool::recover`], before the pool sees concurrent use.
+    fn discard_cache(&self) {
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            debug_assert!(
+                inner.in_flight.is_empty() && inner.evicting.is_empty(),
+                "recovery must run before concurrent pool use"
+            );
+            inner.table.clear();
+            inner.frames.clear();
+        }
+    }
+
+    /// The WAL-before-data barrier: forces the log durable up to `lsn`
+    /// before a frame with that stamp may be written back.  No-op for
+    /// volatile pools and for frames with no pending record.
+    fn wal_barrier(&self, lsn: u64) -> Result<()> {
+        match &self.wal {
+            Some(wal) if lsn > 0 => wal.make_durable(lsn),
+            _ => Ok(()),
+        }
     }
 
     /// The page size of the underlying device.
@@ -340,6 +499,16 @@ impl BufferPool {
             // The page may have been evicted by nested accesses inside `f`;
             // fault it back in before installing the modified copy.
             let (mut inner, idx) = self.acquire_resident(shard, id)?;
+            if let Some(wal) = &self.wal {
+                // Log the byte-range delta of this install before the new
+                // image becomes visible; the frame's stamp is the record's
+                // end LSN.  (The WAL append lock nests under the shard
+                // lock; it is a leaf and never waits on pool state.)
+                let lsn = wal.log_update(id, &inner.frames[idx].data, &buf)?;
+                if lsn > 0 {
+                    inner.frames[idx].page_lsn = lsn;
+                }
+            }
             inner.frames[idx].data.copy_from_slice(&buf);
             inner.frames[idx].dirty = true;
         }
@@ -425,6 +594,7 @@ impl BufferPool {
         for idx in 0..inner.frames.len() {
             if inner.frames[idx].dirty {
                 let page = inner.frames[idx].page;
+                self.wal_barrier(inner.frames[idx].page_lsn)?;
                 self.disk.write_page(page, &inner.frames[idx].data)?;
                 shard.stats.record_physical_write();
                 inner.frames[idx].dirty = false;
@@ -525,6 +695,7 @@ impl BufferPool {
                     dirty: false,
                     last_used: 0,
                     reserved: true,
+                    page_lsn: 0,
                 });
                 inner.frames.len() - 1
             } else {
@@ -550,6 +721,7 @@ impl BufferPool {
             };
             let old_page = inner.frames[idx].page;
             let old_dirty = inner.frames[idx].dirty;
+            let old_lsn = inner.frames[idx].page_lsn;
             if !old_page.is_invalid() {
                 inner.table.remove(&old_page);
             }
@@ -570,7 +742,10 @@ impl BufferPool {
             let mut failure: Option<Error> = None;
             let mut wrote_back = false;
             if old_dirty {
-                match self.disk.write_page(old_page, &buf) {
+                // WAL-before-data: the victim's record must be durable
+                // before its image reaches the device (both run lock-free).
+                match self.wal_barrier(old_lsn).and_then(|()| self.disk.write_page(old_page, &buf))
+                {
                     Ok(()) => {
                         shard.stats.record_physical_write();
                         wrote_back = true;
@@ -602,10 +777,11 @@ impl BufferPool {
                     fr.page = id;
                     fr.dirty = false;
                     fr.last_used = stamp;
+                    fr.page_lsn = 0;
                 } else if old_dirty && !wrote_back {
                     // Write-back failure: the victim stays dirty and
                     // cached (restored to the table below), as in the
-                    // seed.
+                    // seed.  Its `page_lsn` stamp is untouched.
                 } else {
                     // The read failed with the victim safely on disk
                     // (clean, or its write-back landed): the frame is
@@ -615,6 +791,7 @@ impl BufferPool {
                     // live table mapping.
                     fr.dirty = false;
                     fr.page = PageId::INVALID;
+                    fr.page_lsn = 0;
                 }
             }
             inner2.in_flight.remove(&id);

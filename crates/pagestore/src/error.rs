@@ -26,6 +26,10 @@ pub enum Error {
         /// The page the operation targeted.
         page: u64,
     },
+    /// The simulated process/machine died ([`crate::faulty::CrashPlan`]);
+    /// every operation on the crashed device fails until it is "rebooted"
+    /// by reopening the underlying storage.
+    Crashed,
     /// On-disk bytes failed validation when being decoded.
     Corrupt(String),
     /// A caller-supplied invariant did not hold (e.g. mismatched page size).
@@ -44,6 +48,9 @@ impl fmt::Display for Error {
             }
             Error::InjectedFault { op, page } => {
                 write!(f, "injected {op} fault on page {page}")
+            }
+            Error::Crashed => {
+                write!(f, "simulated crash: device is offline until reopened")
             }
             Error::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),

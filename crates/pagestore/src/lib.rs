@@ -16,7 +16,12 @@
 //!   late-1990s disk [`LatencyModel`] that converts physical I/O volume into
 //!   a *simulated response time*, making the paper's seconds-scale response
 //!   time plots reproducible on modern hardware,
-//! * [`faulty`] — a fault-injecting disk wrapper used by the failure tests.
+//! * [`wal`] — a page-oriented write-ahead log with group commit,
+//!   checkpoint truncation, and redo recovery ([`BufferPool::new_durable`]
+//!   pools stamp frames with page LSNs and enforce WAL-before-data),
+//! * [`faulty`] — a fault-injecting disk wrapper used by the failure tests,
+//!   including crash-point and torn-write (partial-sector) injection on a
+//!   shared [`FaultClock`] for kill-anywhere recovery testing.
 //!
 //! All upper layers (the B+-tree, the relational engine, and every access
 //! method compared in the evaluation) perform I/O exclusively through
@@ -31,14 +36,16 @@ pub mod faulty;
 pub mod latch;
 pub mod page;
 pub mod stats;
+pub mod wal;
 
 pub use buffer::{BufferPool, BufferPoolConfig};
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{Error, Result};
-pub use faulty::{FaultPlan, FaultyDisk, ReadHook, WriteHook};
+pub use faulty::{CrashPlan, FaultClock, FaultPlan, FaultyDisk, ReadHook, SyncHook, WriteHook};
 pub use latch::{LatchGuard, LatchManager, LatchSnapshot, LatchStats};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use stats::{IoSnapshot, IoStats, LatencyModel, MissSnapshot, PoolStats};
+pub use wal::{RecoveryReport, Wal, WalSnapshot};
 
 #[cfg(test)]
 mod tests {

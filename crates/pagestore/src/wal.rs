@@ -1,0 +1,900 @@
+//! Page-oriented write-ahead log with group commit and redo recovery.
+//!
+//! The WAL lives on its **own block device** beside the data device, so
+//! the data file keeps the exact layout the paper experiments were
+//! calibrated against (header at page 0, etc.).  Page 0 of the log device
+//! is an **anchor** naming the current log generation; pages 1.. hold a
+//! byte stream of physical redo records.
+//!
+//! # Log stream and LSNs
+//!
+//! An LSN is a logical byte offset into the append-only record stream.
+//! The anchor's `base_lsn` maps the stream onto the device: stream byte
+//! `s` lives at offset `(s − base_lsn) % page_size` of log page
+//! `1 + (s − base_lsn) / page_size`.  Each record is framed as
+//!
+//! ```text
+//! lsn u64 | body_len u32 | kind u8 | checksum u64 | body …
+//! ```
+//!
+//! with the checksum (FNV-1a 64) covering `(lsn, kind, body)`.  Three
+//! record kinds exist:
+//!
+//! * **FirstMod** — the *first* modification of a page since the last
+//!   checkpoint: the full pre-image of the page plus the byte-range delta
+//!   of this update.  Redo never needs the data device for such a page.
+//! * **Delta** — a later modification: byte-range delta only.
+//! * **Commit** — a transaction boundary; recovery replays exactly the
+//!   records up to the last durable Commit.
+//!
+//! Appending buffers bytes in memory; they reach the device when a commit
+//! (or a write-back barrier) forces the log. The partially-filled tail
+//! page is append-rewritten: every rewrite carries the identical durable
+//! prefix, so under the torn-write model (prefix of sectors persists) a
+//! torn tail rewrite can only damage bytes past the last sync — exactly
+//! the bytes recovery discards anyway when the checksum chain breaks.
+//!
+//! # The WAL-before-data invariant
+//!
+//! The buffer pool stamps each frame with the end-LSN of its latest log
+//! record and calls [`Wal::make_durable`] before any device write-back
+//! ([`crate::buffer::BufferPool`] does this at its three write-back
+//! sites).  Hence no page image whose update is not yet in the durable
+//! log can reach the data device — redo can always reconstruct.
+//!
+//! # Group commit
+//!
+//! [`Wal::commit`] appends a Commit record and makes it durable with a
+//! leader/follower protocol: the first committer to find no sync in
+//! progress becomes the leader, flushes *everything appended so far*
+//! (including other threads' records) and issues one device sync;
+//! concurrent committers find their LSN already covered — or wait for the
+//! in-flight sync and re-check — and complete **without their own
+//! fsync**.  [`WalSnapshot`] exposes the exact accounting:
+//! `commits == commit_syncs + group_commits` always holds.
+//!
+//! # Checkpoint and truncation
+//!
+//! [`Wal::checkpoint`] (called by `Database::checkpoint` *after* the pool
+//! wrote back every dirty page) syncs the log, then rewrites the anchor
+//! with `base_lsn` = current end of log: the whole generation of records
+//! is truncated and log pages are reused from offset 0.  Stale records
+//! from the previous generation cannot be mistaken for live ones: a
+//! record's embedded LSN must equal its stream position, and every stream
+//! position of the new generation maps to a strictly larger LSN than any
+//! old record stored at the same device offset.
+//!
+//! # Recovery
+//!
+//! `Wal::attach` validates the anchor and scans the stream until the
+//! LSN/checksum chain breaks, yielding the valid record prefix.
+//! `BufferPool::recover` then replays all records up to the last Commit
+//! into in-memory page images (FirstMod starts from its pre-image, Delta
+//! applies on top), **rolls back** the uncommitted tail by restoring the
+//! pre-images of pages first modified in the tail, writes every touched
+//! page to the data device, syncs, and checkpoints the log.  Pages never
+//! touched since the last checkpoint are bitwise untouched on the data
+//! device (write-backs happen only after their records are durable, and a
+//! checkpoint only truncates after write-back), so the result equals the
+//! committed prefix of history.
+//!
+//! Commit atomicity is defined at commit boundaries of a serialized
+//! history: concurrent writers get durability (no committed record is
+//! lost) but crash-atomicity of *interleaved* uncommitted work is the
+//! MVCC roadmap item's business, as is checkpointing concurrently with
+//! active writers.
+
+use crate::codec::{get_u32, get_u64, put_u16, put_u32, put_u64};
+use crate::disk::DiskManager;
+use crate::error::{Error, Result};
+use crate::page::PageId;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, PoisonError};
+
+/// Record framing: `lsn u64 | body_len u32 | kind u8 | checksum u64`.
+const REC_HDR: usize = 8 + 4 + 1 + 8;
+const KIND_FIRST_MOD: u8 = 1;
+const KIND_DELTA: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// Anchor page layout: `magic u32 | version u16 | pad u16 | base u64 | crc u64`.
+const WAL_MAGIC: u32 = 0x5249_574C; // "RIWL"
+const WAL_VERSION: u16 = 1;
+const ANCHOR_LEN: usize = 24;
+
+/// Streaming FNV-1a 64 (the repo has no external checksum dependency; a
+/// torn or stale record only needs to be *detected*, not authenticated).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn record_checksum(lsn: u64, kind: u8, body_parts: &[&[u8]]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(&lsn.to_le_bytes());
+    h.update(&[kind]);
+    for part in body_parts {
+        h.update(part);
+    }
+    h.finish()
+}
+
+/// A decoded log record (crate-internal: consumed by pool recovery).
+#[derive(Debug, Clone)]
+pub(crate) enum WalRecord {
+    /// First modification of `page` since the last checkpoint: full
+    /// pre-image plus this update's byte-range delta.
+    FirstMod { page: PageId, before: Vec<u8>, delta_off: usize, delta: Vec<u8> },
+    /// Later modification of `page`: byte-range delta only.
+    Delta { page: PageId, delta_off: usize, delta: Vec<u8> },
+    /// Transaction boundary.
+    Commit { seq: u64 },
+}
+
+/// The valid log contents found at attach time, for `BufferPool::recover`.
+pub(crate) struct RecoveredLog {
+    /// All records of the valid prefix, in LSN order.
+    pub records: Vec<WalRecord>,
+    /// Number of leading records up to and including the last Commit.
+    pub committed: usize,
+}
+
+/// What redo recovery did, as reported by `BufferPool::recover`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid records found in the log tail.
+    pub records_scanned: usize,
+    /// Records replayed (up to and including the last Commit).
+    pub committed_records: usize,
+    /// Records past the last Commit (rolled back).
+    pub tail_records: usize,
+    /// Commit boundaries replayed.
+    pub commits: u64,
+    /// Pages rebuilt from committed log records.
+    pub pages_redone: usize,
+    /// Pages restored to their pre-images (first modified in the tail).
+    pub pages_rolled_back: usize,
+}
+
+/// Monotonic WAL counters (atomics, like [`crate::stats::IoStats`]).
+#[derive(Default)]
+struct WalStats {
+    records: AtomicU64,
+    record_bytes: AtomicU64,
+    commits: AtomicU64,
+    commit_syncs: AtomicU64,
+    group_commits: AtomicU64,
+    forced_syncs: AtomicU64,
+    syncs: AtomicU64,
+    checkpoints: AtomicU64,
+    log_page_writes: AtomicU64,
+}
+
+/// Point-in-time copy of the WAL counters.
+///
+/// Invariants (single snapshot, quiescent log):
+/// `commits == commit_syncs + group_commits` (every successful commit
+/// either led one fsync or was covered by someone else's), and
+/// `syncs == commit_syncs + forced_syncs + checkpoints`-led syncs plus
+/// recovery's own checkpoint sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalSnapshot {
+    /// Page-update records appended (FirstMod + Delta, not Commits).
+    pub records: u64,
+    /// Total encoded bytes appended to the stream (all record kinds).
+    pub record_bytes: u64,
+    /// Commit records appended whose durability was then awaited.
+    pub commits: u64,
+    /// Commits that led a group: they performed the device sync.
+    pub commit_syncs: u64,
+    /// Commits served by another thread's sync — the group-commit win.
+    pub group_commits: u64,
+    /// Syncs forced by the WAL-before-data barrier (page write-backs).
+    pub forced_syncs: u64,
+    /// Device syncs issued on the log device, all causes.
+    pub syncs: u64,
+    /// Checkpoint truncations performed.
+    pub checkpoints: u64,
+    /// Physical page writes issued on the log device.
+    pub log_page_writes: u64,
+}
+
+/// Where appends go before they are flushed.
+struct AppendState {
+    /// Next LSN to assign == current logical end of the stream.
+    end_lsn: u64,
+    /// Encoded bytes not yet written to the device; `pending[0]` is the
+    /// stream byte at offset `flushed_lsn`.
+    pending: Vec<u8>,
+    /// Pages already FirstMod-logged in the current checkpoint generation.
+    logged: HashSet<PageId>,
+    /// Commit sequence number (monotone across the log's lifetime).
+    commit_seq: u64,
+}
+
+/// Group-commit coordination.
+struct IoState {
+    /// Everything at or below this LSN is durable on the log device.
+    durable_lsn: u64,
+    /// A leader is currently flushing + syncing the device.
+    syncing: bool,
+}
+
+/// Device-position state, touched only by the current I/O leader.
+struct FlushState {
+    /// Stream offset where the current generation starts (anchor value).
+    base_lsn: u64,
+    /// Stream bytes `[base_lsn, flushed_lsn)` have been written to device
+    /// pages (though they are only *durable* up to the last sync).
+    flushed_lsn: u64,
+    /// Bytes of the partially-filled tail page already written to the
+    /// device: every rewrite of that page must repeat them verbatim.
+    partial: Vec<u8>,
+}
+
+/// Append-only page-redo log on a dedicated block device.  Created via
+/// [`crate::buffer::BufferPool::new_durable`]; shared by reference through
+/// [`crate::buffer::BufferPool::wal`].
+pub struct Wal {
+    disk: Box<dyn DiskManager>,
+    page_size: usize,
+    append: Mutex<AppendState>,
+    io: Mutex<IoState>,
+    cv: Condvar,
+    flush: Mutex<FlushState>,
+    stats: WalStats,
+    recovered: Mutex<Option<RecoveredLog>>,
+}
+
+enum SyncCause {
+    Commit,
+    Forced,
+}
+
+impl Wal {
+    /// Opens (or initializes) the log on `disk`.  A non-empty device must
+    /// carry a valid anchor; the record stream is scanned up to the first
+    /// torn/stale record and the result parked for `BufferPool::recover`.
+    /// Appends resume at the last commit boundary.
+    pub(crate) fn attach(disk: Box<dyn DiskManager>) -> Result<Wal> {
+        let page_size = disk.page_size();
+        if page_size < ANCHOR_LEN {
+            return Err(Error::InvalidArgument(format!(
+                "WAL device page size {page_size} smaller than the anchor"
+            )));
+        }
+        let (base_lsn, records, committed, committed_end) = if disk.num_pages() == 0 {
+            disk.allocate_page()?;
+            write_anchor(&*disk, page_size, 0)?;
+            disk.sync()?;
+            (0, Vec::new(), 0, 0)
+        } else {
+            let mut anchor = vec![0u8; page_size];
+            disk.read_page(PageId(0), &mut anchor)?;
+            if get_u32(&anchor, 0) != WAL_MAGIC {
+                return Err(Error::Corrupt("WAL anchor magic mismatch".into()));
+            }
+            let mut h = Fnv::new();
+            h.update(&anchor[..16]);
+            if get_u64(&anchor, 16) != h.finish() {
+                return Err(Error::Corrupt("WAL anchor checksum mismatch".into()));
+            }
+            let base = get_u64(&anchor, 8);
+            let (records, committed, committed_end) = scan_records(&*disk, page_size, base);
+            (base, records, committed, committed_end)
+        };
+        // The durable bytes of the page holding the resume position: the
+        // prefix every tail-page rewrite must carry.
+        let rel = committed_end - base_lsn;
+        let tail_off = (rel % page_size as u64) as usize;
+        let mut partial = Vec::new();
+        if tail_off > 0 {
+            let page = PageId(1 + rel / page_size as u64);
+            let mut buf = vec![0u8; page_size];
+            disk.read_page(page, &mut buf)?;
+            partial.extend_from_slice(&buf[..tail_off]);
+        }
+        let recovered =
+            if records.is_empty() { None } else { Some(RecoveredLog { records, committed }) };
+        Ok(Wal {
+            disk,
+            page_size,
+            append: Mutex::new(AppendState {
+                end_lsn: committed_end,
+                pending: Vec::new(),
+                logged: HashSet::new(),
+                commit_seq: 0,
+            }),
+            io: Mutex::new(IoState { durable_lsn: committed_end, syncing: false }),
+            cv: Condvar::new(),
+            flush: Mutex::new(FlushState { base_lsn, flushed_lsn: committed_end, partial }),
+            stats: WalStats::default(),
+            recovered: Mutex::new(recovered),
+        })
+    }
+
+    /// Takes the log contents found at attach time (once).
+    pub(crate) fn take_recovered(&self) -> Option<RecoveredLog> {
+        self.recovered.lock().take()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WalSnapshot {
+        let s = &self.stats;
+        WalSnapshot {
+            records: s.records.load(Ordering::Acquire),
+            record_bytes: s.record_bytes.load(Ordering::Acquire),
+            commits: s.commits.load(Ordering::Acquire),
+            commit_syncs: s.commit_syncs.load(Ordering::Acquire),
+            group_commits: s.group_commits.load(Ordering::Acquire),
+            forced_syncs: s.forced_syncs.load(Ordering::Acquire),
+            syncs: s.syncs.load(Ordering::Acquire),
+            checkpoints: s.checkpoints.load(Ordering::Acquire),
+            log_page_writes: s.log_page_writes.load(Ordering::Acquire),
+        }
+    }
+
+    /// Logical end of the record stream (next LSN to be assigned).
+    pub fn end_lsn(&self) -> u64 {
+        self.append.lock().end_lsn
+    }
+
+    /// Everything at or below this LSN is durable on the log device.
+    pub fn durable_lsn(&self) -> u64 {
+        self.io.lock().durable_lsn
+    }
+
+    /// Appends a redo record for an update of `page` from image `old` to
+    /// image `new`.  Returns the record's end LSN — the page's new LSN
+    /// stamp — or 0 if the images are identical (nothing to log).  The
+    /// record is buffered in memory; durability comes from [`Wal::commit`]
+    /// or [`Wal::make_durable`].
+    pub fn log_update(&self, page: PageId, old: &[u8], new: &[u8]) -> Result<u64> {
+        if old.len() != new.len() || old.len() != self.page_size {
+            return Err(Error::InvalidArgument(format!(
+                "log_update image sizes {}/{} != page size {}",
+                old.len(),
+                new.len(),
+                self.page_size
+            )));
+        }
+        let Some(first) = old.iter().zip(new.iter()).position(|(a, b)| a != b) else {
+            return Ok(0);
+        };
+        let last = (first..old.len()).rev().find(|&i| old[i] != new[i]).expect("diff exists");
+        let delta = &new[first..=last];
+        let page_bytes = page.raw().to_le_bytes();
+        let off_bytes = (first as u32).to_le_bytes();
+        let len_bytes = (delta.len() as u32).to_le_bytes();
+
+        let mut ap = self.append.lock();
+        let first_mod = ap.logged.insert(page);
+        let lsn = ap.end_lsn;
+        let (kind, body_parts): (u8, Vec<&[u8]>) = if first_mod {
+            (KIND_FIRST_MOD, vec![&page_bytes, &off_bytes, &len_bytes, old, delta])
+        } else {
+            (KIND_DELTA, vec![&page_bytes, &off_bytes, &len_bytes, delta])
+        };
+        let end = encode_record(&mut ap.pending, lsn, kind, &body_parts);
+        ap.end_lsn = end;
+        self.stats.records.fetch_add(1, Ordering::Release);
+        self.stats.record_bytes.fetch_add(end - lsn, Ordering::Release);
+        Ok(end)
+    }
+
+    /// Appends a Commit record and group-commits it: returns once the
+    /// whole stream up to (and including) the record is durable.  Returns
+    /// the commit's end LSN.
+    pub fn commit(&self) -> Result<u64> {
+        let target = {
+            let mut ap = self.append.lock();
+            ap.commit_seq += 1;
+            let seq_bytes = ap.commit_seq.to_le_bytes();
+            let lsn = ap.end_lsn;
+            let end = encode_record(&mut ap.pending, lsn, KIND_COMMIT, &[&seq_bytes]);
+            ap.end_lsn = end;
+            self.stats.record_bytes.fetch_add(end - lsn, Ordering::Release);
+            end
+        };
+        self.stats.commits.fetch_add(1, Ordering::Release);
+        self.make_durable_as(target, SyncCause::Commit)?;
+        Ok(target)
+    }
+
+    /// Forces the log durable up to `lsn` — the write-back barrier used by
+    /// the buffer pool before any data-page device write.
+    pub fn make_durable(&self, lsn: u64) -> Result<()> {
+        self.make_durable_as(lsn, SyncCause::Forced)
+    }
+
+    /// Leader/follower durability: the caller either finds `target`
+    /// already durable, waits out an in-flight sync, or becomes the
+    /// leader and flushes + syncs everything appended so far.
+    fn make_durable_as(&self, target: u64, cause: SyncCause) -> Result<()> {
+        let mut led = false;
+        let mut io = self.io.lock();
+        loop {
+            if io.durable_lsn >= target {
+                if matches!(cause, SyncCause::Commit) && !led {
+                    self.stats.group_commits.fetch_add(1, Ordering::Release);
+                }
+                return Ok(());
+            }
+            if io.syncing {
+                io = self.cv.wait(io).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            io.syncing = true;
+            drop(io);
+            let res = self.flush_and_sync();
+            io = self.io.lock();
+            io.syncing = false;
+            match res {
+                Ok(durable) => {
+                    if durable > io.durable_lsn {
+                        io.durable_lsn = durable;
+                    }
+                    led = true;
+                    match cause {
+                        SyncCause::Commit => {
+                            self.stats.commit_syncs.fetch_add(1, Ordering::Release)
+                        }
+                        SyncCause::Forced => {
+                            self.stats.forced_syncs.fetch_add(1, Ordering::Release)
+                        }
+                    };
+                    self.cv.notify_all();
+                }
+                Err(e) => {
+                    self.cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Truncates the log: everything flushed becomes the new generation
+    /// base, log pages are reused from offset 0.  The caller (normally
+    /// `Database::checkpoint`) must have written back every dirty data
+    /// page first — records are unrecoverable after this returns.
+    pub fn checkpoint(&self) -> Result<()> {
+        // Become the exclusive I/O leader.
+        let mut io = self.io.lock();
+        while io.syncing {
+            io = self.cv.wait(io).unwrap_or_else(PoisonError::into_inner);
+        }
+        io.syncing = true;
+        drop(io);
+        let res = self.checkpoint_inner();
+        let mut io = self.io.lock();
+        io.syncing = false;
+        if let Ok(end) = res {
+            if end > io.durable_lsn {
+                io.durable_lsn = end;
+            }
+        }
+        self.cv.notify_all();
+        drop(io);
+        res.map(|_| ())
+    }
+
+    /// Leader-context body of [`Wal::checkpoint`].
+    fn checkpoint_inner(&self) -> Result<u64> {
+        let end = self.flush_and_sync()?;
+        let mut fs = self.flush.lock();
+        debug_assert_eq!(fs.flushed_lsn, end);
+        // Persist the new generation base before adopting it: a crash
+        // between the two syncs leaves the old anchor + old records, which
+        // is still a consistent (pre-checkpoint) log.
+        write_anchor(&*self.disk, self.page_size, end)?;
+        self.disk.sync()?;
+        fs.base_lsn = end;
+        fs.partial.clear();
+        // Pages modify-logged so far must FirstMod again in the new
+        // generation (their old FirstMods were just truncated away).
+        self.append.lock().logged.clear();
+        self.stats.checkpoints.fetch_add(1, Ordering::Release);
+        self.stats.syncs.fetch_add(1, Ordering::Release);
+        Ok(end)
+    }
+
+    /// Writes all pending stream bytes to log pages and syncs the device.
+    /// Called only with `io.syncing` held by this thread.  On failure the
+    /// pending buffer and `flushed_lsn` are untouched, so nothing is
+    /// published and a retry rewrites the identical bytes.
+    fn flush_and_sync(&self) -> Result<u64> {
+        let mut fs = self.flush.lock();
+        let (bytes, target_end) = {
+            let ap = self.append.lock();
+            (ap.pending.clone(), ap.end_lsn)
+        };
+        debug_assert_eq!(fs.flushed_lsn + bytes.len() as u64, target_end);
+        if !bytes.is_empty() {
+            self.write_stream(&mut fs, &bytes)?;
+        }
+        self.disk.sync()?;
+        self.stats.syncs.fetch_add(1, Ordering::Release);
+        self.append.lock().pending.drain(..bytes.len());
+        fs.flushed_lsn = target_end;
+        Ok(target_end)
+    }
+
+    /// Writes `bytes` (the stream range starting at `fs.flushed_lsn`) to
+    /// the device, rewriting the partial tail page with its durable
+    /// prefix.  `fs.partial` is updated only on full success.
+    fn write_stream(&self, fs: &mut FlushState, bytes: &[u8]) -> Result<()> {
+        let ps = self.page_size;
+        let rel0 = (fs.flushed_lsn - fs.base_lsn) as usize;
+        debug_assert_eq!(rel0 % ps, fs.partial.len() % ps);
+        let mut scratch = vec![0u8; ps];
+        let mut written = 0usize;
+        while written < bytes.len() {
+            let rel = rel0 + written;
+            let page_index = 1 + (rel / ps) as u64;
+            let off = rel % ps;
+            let n = (ps - off).min(bytes.len() - written);
+            scratch.fill(0);
+            if off > 0 {
+                // Only possible on the first page of this flush.
+                scratch[..off].copy_from_slice(&fs.partial);
+            }
+            scratch[off..off + n].copy_from_slice(&bytes[written..written + n]);
+            while self.disk.num_pages() <= page_index {
+                self.disk.allocate_page()?;
+            }
+            self.disk.write_page(PageId(page_index), &scratch)?;
+            self.stats.log_page_writes.fetch_add(1, Ordering::Release);
+            written += n;
+        }
+        // Success: remember the durable prefix of the new tail page.
+        let end_rel = rel0 + bytes.len();
+        let tail_off = end_rel % ps;
+        if tail_off == 0 {
+            fs.partial.clear();
+        } else {
+            let page_start = end_rel - tail_off;
+            if page_start >= rel0 {
+                fs.partial.clear();
+                fs.partial.extend_from_slice(&bytes[page_start - rel0..]);
+            } else {
+                fs.partial.extend_from_slice(bytes);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encodes one record into `out`, returning the new stream end.
+fn encode_record(out: &mut Vec<u8>, lsn: u64, kind: u8, body_parts: &[&[u8]]) -> u64 {
+    let body_len: usize = body_parts.iter().map(|p| p.len()).sum();
+    let crc = record_checksum(lsn, kind, body_parts);
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&crc.to_le_bytes());
+    for part in body_parts {
+        out.extend_from_slice(part);
+    }
+    lsn + (REC_HDR + body_len) as u64
+}
+
+fn write_anchor(disk: &dyn DiskManager, page_size: usize, base: u64) -> Result<()> {
+    let mut page = vec![0u8; page_size];
+    put_u32(&mut page, 0, WAL_MAGIC);
+    put_u16(&mut page, 4, WAL_VERSION);
+    put_u64(&mut page, 8, base);
+    let mut h = Fnv::new();
+    h.update(&page[..16]);
+    put_u64(&mut page, 16, h.finish());
+    disk.write_page(PageId(0), &page)
+}
+
+/// Sequential page-at-a-time reader over the log stream.
+struct StreamReader<'a> {
+    disk: &'a dyn DiskManager,
+    ps: usize,
+    base: u64,
+    cached_index: u64,
+    cache: Vec<u8>,
+}
+
+impl<'a> StreamReader<'a> {
+    fn new(disk: &'a dyn DiskManager, ps: usize, base: u64) -> Self {
+        StreamReader { disk, ps, base, cached_index: 0, cache: vec![0u8; ps] }
+    }
+
+    /// Reads `len` stream bytes at `pos` into `out`; `false` if the range
+    /// runs past the device (i.e. the stream ends here).
+    fn read(&mut self, pos: u64, len: usize, out: &mut Vec<u8>) -> bool {
+        out.clear();
+        let mut rel = (pos - self.base) as usize;
+        let mut remaining = len;
+        while remaining > 0 {
+            let page_index = 1 + (rel / self.ps) as u64;
+            let off = rel % self.ps;
+            if page_index >= self.disk.num_pages() {
+                return false;
+            }
+            if self.cached_index != page_index {
+                if self.disk.read_page(PageId(page_index), &mut self.cache).is_err() {
+                    return false;
+                }
+                self.cached_index = page_index;
+            }
+            let n = (self.ps - off).min(remaining);
+            out.extend_from_slice(&self.cache[off..off + n]);
+            rel += n;
+            remaining -= n;
+        }
+        true
+    }
+}
+
+/// Scans the record stream from `base` until the LSN/checksum chain
+/// breaks.  Returns `(records, committed_count, committed_end_lsn)`.
+fn scan_records(disk: &dyn DiskManager, ps: usize, base: u64) -> (Vec<WalRecord>, usize, u64) {
+    let mut reader = StreamReader::new(disk, ps, base);
+    let mut records = Vec::new();
+    let mut committed = 0usize;
+    let mut committed_end = base;
+    let mut pos = base;
+    let mut hdr = Vec::new();
+    let mut body = Vec::new();
+    let max_body = 16 + 2 * ps;
+    loop {
+        if !reader.read(pos, REC_HDR, &mut hdr) {
+            break;
+        }
+        let lsn = get_u64(&hdr, 0);
+        let body_len = get_u32(&hdr, 8) as usize;
+        let kind = hdr[12];
+        let crc = get_u64(&hdr, 13);
+        if lsn != pos || body_len > max_body || !(KIND_FIRST_MOD..=KIND_COMMIT).contains(&kind) {
+            break;
+        }
+        if !reader.read(pos + REC_HDR as u64, body_len, &mut body) {
+            break;
+        }
+        if record_checksum(lsn, kind, &[&body]) != crc {
+            break;
+        }
+        let Some(rec) = decode_body(kind, &body, ps) else {
+            break;
+        };
+        let end = pos + (REC_HDR + body_len) as u64;
+        let is_commit = matches!(rec, WalRecord::Commit { .. });
+        records.push(rec);
+        if is_commit {
+            committed = records.len();
+            committed_end = end;
+        }
+        pos = end;
+    }
+    (records, committed, committed_end)
+}
+
+fn decode_body(kind: u8, body: &[u8], ps: usize) -> Option<WalRecord> {
+    match kind {
+        KIND_COMMIT => {
+            if body.len() != 8 {
+                return None;
+            }
+            Some(WalRecord::Commit { seq: get_u64(body, 0) })
+        }
+        KIND_FIRST_MOD | KIND_DELTA => {
+            if body.len() < 16 {
+                return None;
+            }
+            let page = PageId(get_u64(body, 0));
+            let delta_off = get_u32(body, 8) as usize;
+            let delta_len = get_u32(body, 12) as usize;
+            if delta_off + delta_len > ps {
+                return None;
+            }
+            if kind == KIND_FIRST_MOD {
+                if body.len() != 16 + ps + delta_len {
+                    return None;
+                }
+                Some(WalRecord::FirstMod {
+                    page,
+                    before: body[16..16 + ps].to_vec(),
+                    delta_off,
+                    delta: body[16 + ps..].to_vec(),
+                })
+            } else {
+                if body.len() != 16 + delta_len {
+                    return None;
+                }
+                Some(WalRecord::Delta { page, delta_off, delta: body[16..].to_vec() })
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use std::sync::Arc;
+
+    fn fresh_wal(ps: usize) -> (Arc<MemDisk>, Wal) {
+        let disk = Arc::new(MemDisk::new(ps));
+        let wal = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        (disk, wal)
+    }
+
+    #[test]
+    fn identical_images_log_nothing() {
+        let (_d, wal) = fresh_wal(128);
+        let img = vec![3u8; 128];
+        assert_eq!(wal.log_update(PageId(5), &img, &img).unwrap(), 0);
+        assert_eq!(wal.stats().records, 0);
+        assert_eq!(wal.end_lsn(), 0);
+    }
+
+    #[test]
+    fn first_mod_then_delta_then_commit_roundtrips_through_scan() {
+        let (disk, wal) = fresh_wal(128);
+        let old = vec![0u8; 128];
+        let mut v1 = old.clone();
+        v1[10..20].copy_from_slice(&[7u8; 10]);
+        let mut v2 = v1.clone();
+        v2[100] = 9;
+        assert!(wal.log_update(PageId(4), &old, &v1).unwrap() > 0);
+        assert!(wal.log_update(PageId(4), &v1, &v2).unwrap() > 0);
+        let end = wal.commit().unwrap();
+        assert_eq!(wal.durable_lsn(), end);
+        let s = wal.stats();
+        assert_eq!((s.records, s.commits, s.commit_syncs, s.group_commits), (2, 1, 1, 0));
+        drop(wal);
+
+        // A fresh attach finds the full committed stream.
+        let (records, committed, committed_end) = scan_records(&*disk, 128, 0);
+        assert_eq!(records.len(), 3);
+        assert_eq!(committed, 3);
+        assert_eq!(committed_end, end);
+        assert!(matches!(&records[0],
+            WalRecord::FirstMod { page, before, delta_off, delta }
+            if *page == PageId(4) && before == &old && *delta_off == 10 && delta == &vec![7u8; 10]));
+        assert!(matches!(&records[1],
+            WalRecord::Delta { page, delta_off, delta }
+            if *page == PageId(4) && *delta_off == 100 && delta == &vec![9u8]));
+        assert!(matches!(&records[2], WalRecord::Commit { seq: 1 }));
+    }
+
+    #[test]
+    fn uncommitted_tail_is_dropped_on_attach() {
+        let (disk, wal) = fresh_wal(128);
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[0] = 1;
+        wal.log_update(PageId(2), &old, &new).unwrap();
+        let committed_end = wal.commit().unwrap();
+        // An uncommitted record past the commit, flushed but not committed.
+        let mut newer = new.clone();
+        newer[1] = 2;
+        let lsn = wal.log_update(PageId(2), &new, &newer).unwrap();
+        wal.make_durable(lsn).unwrap();
+        drop(wal);
+
+        let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        let log = wal2.take_recovered().unwrap();
+        assert_eq!(log.records.len(), 3, "commit + committed mod + tail mod");
+        assert_eq!(log.committed, 2);
+        assert_eq!(wal2.end_lsn(), committed_end, "appends resume at the commit boundary");
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_old_records_are_not_rescanned() {
+        let (disk, wal) = fresh_wal(128);
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[5] = 5;
+        wal.log_update(PageId(9), &old, &new).unwrap();
+        wal.commit().unwrap();
+        wal.checkpoint().unwrap();
+        assert_eq!(wal.stats().checkpoints, 1);
+        drop(wal);
+
+        let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        assert!(wal2.take_recovered().is_none(), "truncated log has no records");
+        // The new generation reuses pages from offset 0 without tripping
+        // over the stale record bytes still physically present.
+        let mut v2 = new.clone();
+        v2[6] = 6;
+        wal2.log_update(PageId(9), &new, &v2).unwrap();
+        let end = wal2.commit().unwrap();
+        drop(wal2);
+        let wal3 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        let log = wal3.take_recovered().unwrap();
+        assert_eq!(log.committed, 2);
+        assert_eq!(wal3.end_lsn(), end);
+    }
+
+    #[test]
+    fn records_spanning_many_pages_survive() {
+        // Page size 128 but FirstMod bodies are > 128 bytes: every record
+        // spans pages, partial tail pages are append-rewritten.
+        let (disk, wal) = fresh_wal(128);
+        let mut prev = vec![0u8; 128];
+        let mut ends = Vec::new();
+        for i in 0..20u8 {
+            let mut next = prev.clone();
+            next[(i as usize * 5) % 128] = i + 1;
+            assert!(wal.log_update(PageId(u64::from(i) % 3), &prev, &next).unwrap() > 0);
+            ends.push(wal.commit().unwrap());
+            prev = next;
+        }
+        drop(wal);
+        let (records, committed, committed_end) = scan_records(&*disk, 128, 0);
+        assert_eq!(records.len(), 40, "20 mods + 20 commits");
+        assert_eq!(committed, 40);
+        assert_eq!(committed_end, *ends.last().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_page_breaks_the_chain_cleanly() {
+        let (disk, wal) = fresh_wal(128);
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[0] = 1;
+        wal.log_update(PageId(1), &old, &new).unwrap();
+        wal.commit().unwrap();
+        let end = wal.end_lsn();
+        drop(wal);
+        // Corrupt one byte in the middle of the committed record's body.
+        let victim = PageId(1 + (end / 2) / 128);
+        let mut page = vec![0u8; 128];
+        disk.read_page(victim, &mut page).unwrap();
+        page[(end / 2 % 128) as usize] ^= 0xFF;
+        disk.write_page(victim, &page).unwrap();
+        let (records, committed, _) = scan_records(&*disk, 128, 0);
+        assert_eq!(records.len(), 0, "checksum break stops the scan");
+        assert_eq!(committed, 0);
+    }
+
+    #[test]
+    fn commit_accounting_identity_holds_under_threads() {
+        let wal = Arc::new({
+            let disk = MemDisk::new(256);
+            Wal::attach(Box::new(disk)).unwrap()
+        });
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    let mut prev = vec![0u8; 256];
+                    for i in 0..50u8 {
+                        let mut next = prev.clone();
+                        next[t as usize * 8] = i.wrapping_add(1);
+                        wal.log_update(PageId(t), &prev, &next).unwrap();
+                        wal.commit().unwrap();
+                        prev = next;
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.commits, 200);
+        assert_eq!(s.commit_syncs + s.group_commits, s.commits, "exact commit accounting");
+        assert_eq!(wal.durable_lsn(), wal.end_lsn());
+    }
+}

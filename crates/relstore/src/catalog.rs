@@ -94,7 +94,14 @@ impl Database {
     }
 
     /// Re-opens a database from its header page.
+    ///
+    /// On a durable pool ([`BufferPool::new_durable`]) this first runs
+    /// **redo recovery**: the WAL tail found on the log device is replayed
+    /// against the data device (committed records redone, the uncommitted
+    /// tail rolled back), so the catalog — and everything it points to —
+    /// is read from the recovered, committed state.
     pub fn open(pool: Arc<BufferPool>) -> Result<Database> {
+        pool.recover()?;
         let catalog = pool.with_page(HEADER_PAGE, decode_catalog)??;
         Ok(Database { pool, catalog: RwLock::new(catalog) })
     }
@@ -104,9 +111,29 @@ impl Database {
         &self.pool
     }
 
-    /// Flushes all cached pages to the device.
+    /// Makes everything done so far durable **without** waiting for a
+    /// checkpoint: appends a commit record to the write-ahead log and
+    /// group-commits it (one fsync may cover many concurrent committers).
+    /// On a pool without a WAL this is a no-op returning `Ok` — there is
+    /// no durability to promise, matching the volatile seed behavior.
+    pub fn commit(&self) -> Result<()> {
+        match self.pool.wal() {
+            Some(wal) => wal.commit().map(|_| ()),
+            None => Ok(()),
+        }
+    }
+
+    /// Flushes all cached pages to the device; on a durable pool this
+    /// then **truncates** the write-ahead log (every page image is on the
+    /// data device, so the log's records are dead weight).  Callers must
+    /// be quiescent: concurrent writers mid-transaction during a
+    /// checkpoint move the crash-rollback horizon with them.
     pub fn checkpoint(&self) -> Result<()> {
-        self.pool.flush_all()
+        self.pool.flush_all()?;
+        if let Some(wal) = self.pool.wal() {
+            wal.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Exclusive latch serializing multi-call read-modify-write
@@ -488,6 +515,44 @@ mod tests {
         let t = db.table("T").unwrap();
         assert_eq!(t.row_count().unwrap(), 1);
         assert_eq!(db.index_stats("T", "IA").unwrap().entries, 1);
+    }
+
+    #[test]
+    fn durable_commit_roundtrips_without_checkpoint() {
+        let data = Arc::new(MemDisk::new(2048));
+        let wal = Arc::new(MemDisk::new(2048));
+        let pool = Arc::new(
+            BufferPool::new_durable(
+                Arc::clone(&data),
+                BufferPoolConfig::with_capacity(32),
+                Arc::clone(&wal),
+            )
+            .unwrap(),
+        );
+        {
+            let db = Database::create(Arc::clone(&pool)).unwrap();
+            db.create_table(TableDef { name: "T".into(), columns: vec!["a".into()] }).unwrap();
+            let t = db.table("T").unwrap();
+            for i in 0..50 {
+                t.insert(&[i]).unwrap();
+            }
+            db.commit().unwrap();
+            // No checkpoint: everything committed lives only in cache + WAL.
+        }
+        drop(pool);
+        // Reopen from the same devices; `open` replays the WAL tail.
+        let pool = Arc::new(
+            BufferPool::new_durable(data, BufferPoolConfig::with_capacity(32), wal).unwrap(),
+        );
+        let db = Database::open(pool).unwrap();
+        let t = db.table("T").unwrap();
+        assert_eq!(t.row_count().unwrap(), 50);
+    }
+
+    #[test]
+    fn commit_is_a_noop_on_volatile_pools() {
+        let db = fresh_db();
+        db.commit().unwrap();
     }
 
     #[test]

@@ -54,6 +54,20 @@
 //! of the paper is exactly reproducible.  See ARCHITECTURE.md for the
 //! B-link protocol.
 //!
+//! ## Durability
+//!
+//! Attach a second device as a write-ahead log and the database becomes
+//! crash-safe: [`pagestore::BufferPool::new_durable`] enforces
+//! WAL-before-data via page LSNs, [`relstore::Database::commit`]
+//! group-commits (one log fsync can cover many concurrent committers),
+//! [`relstore::Database::checkpoint`] truncates the log, and
+//! [`relstore::Database::open`] replays the committed tail after a
+//! crash.  Pools built without a WAL behave exactly like the original
+//! volatile engine — same goldens, byte for byte.  The contract is
+//! enforced by `tests/crash_recovery.rs`, which kills a workload at
+//! every device-write index (including torn writes) and verifies
+//! recovery each time.
+//!
 //! See `examples/` for runnable scenarios (temporal reservations with
 //! `now`/∞, spatial curve segments, engineering tolerances) and
 //! `crates/bench/src/bin/` for the per-figure experiment binaries.

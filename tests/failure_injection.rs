@@ -2,7 +2,9 @@
 //! surface as errors (never panics or silent corruption), and the database
 //! must remain usable once the fault clears.
 
-use ri_tree::pagestore::{BufferPool, BufferPoolConfig, FaultPlan, FaultyDisk, MemDisk, PageId};
+use ri_tree::pagestore::{
+    BufferPool, BufferPoolConfig, FaultClock, FaultPlan, FaultyDisk, MemDisk, PageId,
+};
 use ri_tree::prelude::*;
 
 /// Builds a database on a shared fault-injectable disk.  The `FaultyDisk`
@@ -95,6 +97,86 @@ fn write_fault_during_insert_is_reported() {
     assert!(tree.stab(10_005).unwrap().contains(&9999));
     let all = tree.intersection(Interval::new(0, 20_000).unwrap()).unwrap();
     assert!(all.len() >= 501, "previously inserted intervals must survive");
+}
+
+/// A device fault on the *log* append path must fail the commit cleanly:
+/// the durable horizon does not move (no partially published commit),
+/// and once the fault clears, the very next commit publishes everything
+/// — including the records the failed attempt had appended — which a
+/// post-crash reopen then proves durable.
+#[test]
+fn wal_append_fault_fails_commit_without_partial_publish() {
+    let data = Arc::new(MemDisk::new(DEFAULT_PAGE_SIZE));
+    let wal_mem = Arc::new(MemDisk::new(DEFAULT_PAGE_SIZE));
+    let clock = FaultClock::new();
+    let data_faulty = Arc::new(FaultyDisk::with_clock(
+        Arc::clone(&data),
+        FaultPlan::default(),
+        Arc::clone(&clock),
+    ));
+    let wal_faulty = Arc::new(FaultyDisk::with_clock(
+        Arc::clone(&wal_mem),
+        FaultPlan::default(),
+        Arc::clone(&clock),
+    ));
+    let pool = Arc::new(
+        BufferPool::new_durable(
+            Arc::clone(&data_faulty),
+            BufferPoolConfig::with_capacity(64),
+            Arc::clone(&wal_faulty),
+        )
+        .unwrap(),
+    );
+    let db = Arc::new(Database::create(Arc::clone(&pool)).unwrap());
+    let tree = RiTree::create(Arc::clone(&db), "t").unwrap();
+    for i in 0..50i64 {
+        tree.insert(Interval::new(i * 20, i * 20 + 30).unwrap(), i).unwrap();
+    }
+    db.commit().unwrap();
+
+    let wal = pool.wal().unwrap();
+    let durable_before = wal.durable_lsn();
+    assert_eq!(durable_before, wal.end_lsn());
+
+    // Fail the next write on the log device: the commit's group flush
+    // dies before any of its pages reach the disk.
+    wal_faulty.set_plan(FaultPlan {
+        fail_write_at: Some(wal_faulty.writes_attempted()),
+        ..Default::default()
+    });
+    tree.insert(Interval::new(70_000, 70_100).unwrap(), 777).unwrap();
+    let err = db.commit().unwrap_err();
+    assert!(err.to_string().contains("injected"), "unexpected error: {err}");
+    assert_eq!(
+        wal.durable_lsn(),
+        durable_before,
+        "a failed commit must not move the durable horizon (no partial publish)"
+    );
+    assert!(wal.end_lsn() > durable_before, "the failed commit's records stay pending");
+
+    // Fault clears (it was one-shot): the database keeps working, and the
+    // next commit publishes the retained records together with its own.
+    tree.insert(Interval::new(80_000, 80_100).unwrap(), 888).unwrap();
+    db.commit().unwrap();
+    assert_eq!(wal.durable_lsn(), wal.end_lsn(), "retry publishes the full backlog");
+    assert!(tree.stab(70_050).unwrap().contains(&777));
+    assert!(tree.stab(80_050).unwrap().contains(&888));
+
+    // Power cut, reopen from the raw devices: everything the successful
+    // commits covered — including the insert whose first commit attempt
+    // failed — survives recovery.
+    clock.crash_now();
+    drop((tree, db, pool));
+    data_faulty.settle_crash();
+    wal_faulty.settle_crash();
+    let pool = Arc::new(
+        BufferPool::new_durable(data, BufferPoolConfig::with_capacity(64), wal_mem).unwrap(),
+    );
+    let db = Arc::new(Database::open(pool).unwrap());
+    let tree = RiTree::open(Arc::clone(&db), "t").unwrap();
+    assert_eq!(tree.count().unwrap(), 52);
+    assert!(tree.stab(70_050).unwrap().contains(&777));
+    assert!(tree.stab(80_050).unwrap().contains(&888));
 }
 
 #[test]
