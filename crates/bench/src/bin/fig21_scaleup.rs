@@ -1,0 +1,14 @@
+//! Beyond-paper scale-up: building 1–10 million intervals, bottom-up
+//! bulk load vs the repeated-descent build (our experiment; see
+//! `ri_bench::scaleup` for the measured-anchor + verified-model
+//! methodology).
+//!
+//! Usage: `fig21_scaleup [--quick] [--json PATH]`
+//!
+//! `--json PATH` additionally writes the deterministic snapshot consumed
+//! by CI (conventionally `BENCH_scaleup.json`).
+
+fn main() {
+    let (quick, json) = ri_bench::snapshot_args("BENCH_scaleup.json");
+    ri_bench::scaleup::run(quick, json.as_deref());
+}

@@ -11,6 +11,7 @@ pub mod concurrency;
 pub mod figures;
 pub mod group_commit;
 pub mod harness;
+pub mod scaleup;
 pub mod write_concurrency;
 
 pub use harness::*;

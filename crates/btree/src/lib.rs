@@ -18,7 +18,12 @@
 //!   pages stay linked and absorb later inserts — the price of latch-free
 //!   readers, see `tree`'s module docs),
 //! * sorted [`bulk loading`](BTree::bulk_load) with a configurable fill
-//!   factor (the paper bulk-loads the competitors' indexes in Section 6),
+//!   factor (the paper bulk-loads the competitors' indexes in Section 6) —
+//!   since PR 7 a streaming bottom-up build (`builder` module): one
+//!   sequential write pass, every page stored exactly once, `O(height)`
+//!   memory, so million-entry loads cost `O(pages)` writes instead of
+//!   per-entry descents ([`BTree::bulk_build_into`] /
+//!   [`BTree::bulk_load_entries`]),
 //! * an exhaustive [`BTree::check_invariants`] used by the property tests.
 //!
 //! All I/O goes through [`ri_pagestore::BufferPool`], so every page this
@@ -42,11 +47,13 @@
 //! and pinned by goldens (`tests/pool_determinism.rs`, re-captured for
 //! the B-link page format via `scripts/recapture-goldens.sh`).
 
+pub mod builder;
 pub mod key;
 pub mod layout;
 pub mod scan;
 pub mod tree;
 
+pub use builder::predicted_pages;
 pub use key::{Entry, Key, MAX_ARITY};
 pub use scan::RangeScan;
 pub use tree::{BTree, SmoPhase, TreeStats};

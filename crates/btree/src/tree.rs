@@ -107,19 +107,19 @@ const OFF_PAGES: usize = 40;
 /// therefore internally consistent, if possibly stale (which the B-link
 /// move-right rule absorbs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Meta {
-    root: PageId,
+pub(crate) struct Meta {
+    pub(crate) root: PageId,
     /// Number of levels; 0 = empty tree, 1 = root is a leaf.  Only ever
     /// grows (roots are never collapsed: deletes do not restructure).
-    height: u16,
-    count: u64,
+    pub(crate) height: u16,
+    pub(crate) count: u64,
     /// Head of the free list.  Always invalid since PR 5 — the B-link
     /// tree never frees pages — but the slot is kept for the format's
     /// stability and a future vacuum.
-    free_head: PageId,
-    first_leaf: PageId,
+    pub(crate) free_head: PageId,
+    pub(crate) first_leaf: PageId,
     /// Pages currently owned by the tree (excluding the meta page).
-    pages: u64,
+    pub(crate) pages: u64,
 }
 
 /// Size and shape statistics, used by the storage experiments (Figure 12).
@@ -185,8 +185,8 @@ pub struct BTree {
     pool: Arc<BufferPool>,
     meta_page: PageId,
     arity: usize,
-    leaf_cap: usize,
-    internal_cap: usize,
+    pub(crate) leaf_cap: usize,
+    pub(crate) internal_cap: usize,
     /// Test instrumentation for the split window; `None` in production.
     smo_probe: Mutex<Option<Arc<SmoProbe>>>,
 }
@@ -244,7 +244,7 @@ impl BTree {
     }
 
     #[inline]
-    fn latches(&self) -> &LatchManager {
+    pub(crate) fn latches(&self) -> &LatchManager {
         self.pool.latches()
     }
 
@@ -295,7 +295,7 @@ impl BTree {
     // Meta page and page allocation
     // ------------------------------------------------------------------
 
-    fn read_meta(&self) -> Result<Meta> {
+    pub(crate) fn read_meta(&self) -> Result<Meta> {
         self.pool.with_page(self.meta_page, |buf| {
             if get_u32(buf, OFF_MAGIC) != META_MAGIC {
                 return Err(Error::Corrupt("meta page magic mismatch".to_string()));
@@ -311,7 +311,7 @@ impl BTree {
         })?
     }
 
-    fn write_meta(&self, meta: &Meta) -> Result<()> {
+    pub(crate) fn write_meta(&self, meta: &Meta) -> Result<()> {
         self.pool.with_page_mut(self.meta_page, |buf| {
             put_u32(buf, OFF_MAGIC, META_MAGIC);
             buf[OFF_ARITY] = self.arity as u8;
@@ -354,7 +354,7 @@ impl BTree {
     // Node I/O helpers
     // ------------------------------------------------------------------
 
-    fn read_any(&self, page: PageId) -> Result<Node> {
+    pub(crate) fn read_any(&self, page: PageId) -> Result<Node> {
         let arity = self.arity;
         self.pool.with_page(page, |buf| layout::read_node(buf, arity))?
     }
@@ -377,12 +377,12 @@ impl BTree {
         }
     }
 
-    fn store_leaf(&self, page: PageId, node: &LeafNode) -> Result<()> {
+    pub(crate) fn store_leaf(&self, page: PageId, node: &LeafNode) -> Result<()> {
         let arity = self.arity;
         self.pool.with_page_mut(page, |buf| layout::write_leaf(buf, node, arity))
     }
 
-    fn store_internal(&self, page: PageId, node: &InternalNode) -> Result<()> {
+    pub(crate) fn store_internal(&self, page: PageId, node: &InternalNode) -> Result<()> {
         let arity = self.arity;
         self.pool.with_page_mut(page, |buf| layout::write_internal(buf, node, arity))
     }
@@ -827,7 +827,7 @@ impl BTree {
         self.read_leaf(page)
     }
 
-    fn check_arity(&self, cols: &[i64]) -> Result<()> {
+    pub(crate) fn check_arity(&self, cols: &[i64]) -> Result<()> {
         if cols.len() != self.arity {
             return Err(Error::InvalidArgument(format!(
                 "key has {} columns, index expects {}",
@@ -842,128 +842,33 @@ impl BTree {
     // Bulk loading
     // ------------------------------------------------------------------
 
-    /// Builds a tree from entries that are **already sorted** by
-    /// `(key, payload)`, packing leaves to `fill` (0 < fill <= 1).
+    /// Builds a tree from `(columns, payload)` pairs that are **already
+    /// sorted** by `(key, payload)`, packing nodes to `fill`
+    /// (0 < fill <= 1).
     ///
     /// The paper bulk-loads the competitor indexes before the query
     /// experiments (Section 6.3 notes their "good clustering properties of
     /// the bulk loaded indexes"); this constructor provides the same for all
     /// access methods in this repository.
     ///
-    /// The build is single-threaded by construction: the tree's meta page
-    /// id escapes only through the returned handle, so no concurrent
-    /// access path exists until the build completes.
+    /// A thin column-vector adapter over the streaming bottom-up builder
+    /// (`builder` module): one sequential write pass, every page stored
+    /// exactly once, `O(height)` memory.  See [`BTree::bulk_build_into`]
+    /// to build into an existing (empty) tree from typed [`Entry`]
+    /// values, and [`BTree::bulk_load_entries`] for the create+build
+    /// combination without the per-item column vectors.
     pub fn bulk_load(
         pool: Arc<BufferPool>,
         arity: usize,
         entries: impl IntoIterator<Item = (Vec<i64>, u64)>,
         fill: f64,
     ) -> Result<BTree> {
-        if !(0.0..=1.0).contains(&fill) || fill <= 0.0 {
-            return Err(Error::InvalidArgument(format!("fill factor {fill} not in (0, 1]")));
-        }
         let tree = BTree::create(pool, arity)?;
-        let mut meta = tree.read_meta()?;
-        let leaf_target = ((tree.leaf_cap as f64 * fill).floor() as usize).clamp(1, tree.leaf_cap);
-
-        // Phase 1: write the leaf level.  Each flushed leaf links its
-        // predecessor to it and gives the predecessor its high key (the
-        // new leaf's first entry) in one re-store.
-        let mut leaves: Vec<(Entry, PageId)> = Vec::new(); // (min entry, page)
-        let mut current: Vec<Entry> = Vec::with_capacity(leaf_target);
-        let mut prev_entry: Option<Entry> = None;
-        let mut prev_leaf: Option<PageId> = None;
-        let mut total: u64 = 0;
-
-        let flush_leaf = |tree: &BTree,
-                          meta: &mut Meta,
-                          entries: Vec<Entry>,
-                          prev_leaf: &mut Option<PageId>,
-                          leaves: &mut Vec<(Entry, PageId)>|
-         -> Result<()> {
-            let page = tree.pool.allocate_page()?;
-            meta.pages += 1;
-            let node = LeafNode { entries, next: PageId::INVALID, high: None };
-            if let Some(prev) = *prev_leaf {
-                let mut p = tree.read_leaf(prev)?;
-                p.next = page;
-                p.high = Some(node.entries[0]);
-                tree.store_leaf(prev, &p)?;
-            } else {
-                meta.first_leaf = page;
-            }
-            leaves.push((node.entries[0], page));
-            tree.store_leaf(page, &node)?;
-            *prev_leaf = Some(page);
-            Ok(())
-        };
-
-        for (cols, payload) in entries {
+        let items = entries.into_iter().map(|(cols, payload)| {
             tree.check_arity(&cols)?;
-            let e = Entry::new(&cols, payload);
-            if let Some(prev) = prev_entry {
-                if e < prev {
-                    return Err(Error::InvalidArgument(
-                        "bulk_load input is not sorted by (key, payload)".to_string(),
-                    ));
-                }
-            }
-            prev_entry = Some(e);
-            current.push(e);
-            total += 1;
-            if current.len() == leaf_target {
-                flush_leaf(
-                    &tree,
-                    &mut meta,
-                    std::mem::take(&mut current),
-                    &mut prev_leaf,
-                    &mut leaves,
-                )?;
-            }
-        }
-        if !current.is_empty() {
-            flush_leaf(&tree, &mut meta, current, &mut prev_leaf, &mut leaves)?;
-        }
-        if leaves.is_empty() {
-            return Ok(tree); // empty input: tree stays empty
-        }
-
-        // Phase 2: build internal levels bottom-up.  Each level's nodes
-        // are assembled in memory first so sibling links and high keys
-        // can be threaded before anything is stored.
-        let internal_target =
-            ((tree.internal_cap as f64 * fill).floor() as usize).clamp(1, tree.internal_cap);
-        let mut level: Vec<(Entry, PageId)> = leaves;
-        let mut height: u16 = 1;
-        while level.len() > 1 {
-            let mut next_level: Vec<(Entry, PageId)> = Vec::new();
-            let mut nodes: Vec<InternalNode> = Vec::new();
-            // Each internal node takes up to internal_target + 1 children.
-            for group in level.chunks(internal_target + 1) {
-                let page = tree.pool.allocate_page()?;
-                meta.pages += 1;
-                nodes.push(InternalNode {
-                    child0: group[0].1,
-                    entries: group[1..].to_vec(),
-                    next: PageId::INVALID,
-                    high: None,
-                });
-                next_level.push((group[0].0, page));
-            }
-            for i in 0..nodes.len() {
-                if i + 1 < nodes.len() {
-                    nodes[i].next = next_level[i + 1].1;
-                    nodes[i].high = Some(next_level[i + 1].0);
-                }
-                tree.store_internal(next_level[i].1, &nodes[i])?;
-            }
-            level = next_level;
-            height += 1;
-        }
-        meta.root = level[0].1;
-        meta.height = height;
-        meta.count = total;
-        tree.write_meta(&meta)?;
+            Ok(Entry::new(&cols, payload))
+        });
+        tree.bulk_build_checked(items, fill)?;
         Ok(tree)
     }
 

@@ -43,6 +43,15 @@ pub const UPPER_INF: i64 = i64::MAX;
 /// bound is the query-time `now`.
 pub const UPPER_NOW: i64 = i64::MAX - 1;
 
+/// Batch size at or above which [`RiTree::insert_batch`] builds the
+/// indexes bottom-up ([`ri_relstore::Table::bulk_insert`]) instead of
+/// descending per row — taken only when the target tree is still empty,
+/// since the bulk builder installs whole index structures.  Below the
+/// threshold (or on a non-empty tree) the batch keeps the concurrent
+/// per-row path: small batches gain nothing from sorting and full-fill
+/// packing.
+pub const BULK_BATCH_MIN: usize = 1024;
+
 /// How an open-ended (temporal) interval terminates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OpenEnd {
@@ -411,6 +420,37 @@ impl RiTree {
     /// inserts then scale through the heap's append latch and the
     /// B-link trees' per-node write latches; with `threads <= 1` the
     /// rows are inserted sequentially in input order.
+    ///
+    /// **Bulk path:** a batch of at least [`BULK_BATCH_MIN`] intervals
+    /// into an *empty* tree skips the per-row index descents entirely —
+    /// the rows are appended to the heap in input order and each index
+    /// is then built bottom-up at full fill in one sequential write
+    /// pass (`O(pages)` writes instead of `O(n log n)` descent I/Os;
+    /// `threads` is not consulted, the pass is sequential by design).
+    /// Queries cannot tell the two paths apart.  Concurrent DML on the
+    /// same tree while a bulk-routed batch runs is unsupported, as with
+    /// any bulk load.
+    ///
+    /// ```
+    /// use ri_pagestore::{BufferPool, MemDisk, DEFAULT_PAGE_SIZE};
+    /// use ri_relstore::Database;
+    /// use ritree_core::{Interval, RiTree, BULK_BATCH_MIN};
+    /// use std::sync::Arc;
+    ///
+    /// let pool = Arc::new(BufferPool::with_defaults(MemDisk::new(DEFAULT_PAGE_SIZE)));
+    /// let db = Arc::new(Database::create(pool).unwrap());
+    /// let tree = RiTree::create(db, "t").unwrap();
+    ///
+    /// // 2,000 intervals into an empty tree: at or above BULK_BATCH_MIN
+    /// // the batch routes through the bottom-up bulk builder.
+    /// let items: Vec<(Interval, i64)> =
+    ///     (0..2000).map(|i| (Interval::new(i, i + 50).unwrap(), i)).collect();
+    /// assert!(items.len() >= BULK_BATCH_MIN);
+    /// tree.insert_batch(&items, 1).unwrap();
+    ///
+    /// assert_eq!(tree.count().unwrap(), 2000);
+    /// assert!(tree.stab(25).unwrap().contains(&0));
+    /// ```
     pub fn insert_batch(&self, items: &[(Interval, i64)], threads: usize) -> Result<()> {
         for &(iv, _) in items {
             if iv.upper >= UPPER_NOW {
@@ -439,15 +479,23 @@ impl RiTree {
                 .map(|&(iv, _)| p.fork_of(iv.lower, iv.upper).expect("offset fixed in phase 1"))
                 .collect()
         };
-        // Phase 2: rows and index entries, concurrently.
+        // Phase 2: rows and index entries.  Large batches into an empty
+        // table take the bulk path — heap rows appended in input order,
+        // then every index built bottom-up in one sequential write pass
+        // with no per-row descents; everything else fans the per-row
+        // inserts out over the worker threads.
         let rows: Vec<[i64; 4]> = items
             .iter()
             .zip(&forks)
             .map(|(&(iv, id), &node)| [node, iv.lower, iv.upper, id])
             .collect();
-        ri_relstore::fan_out(&rows, threads, |row| self.table.insert(row).map(|_| ()))
-            .into_iter()
-            .collect::<Result<()>>()?;
+        if items.len() >= BULK_BATCH_MIN && self.table.row_count()? == 0 {
+            self.table.bulk_insert(&rows)?;
+        } else {
+            ri_relstore::fan_out(&rows, threads, |row| self.table.insert(row).map(|_| ()))
+                .into_iter()
+                .collect::<Result<()>>()?;
+        }
         // Phase 3: skeleton directory and bound bookkeeping, once.
         if let Some(dir) = &self.skeleton {
             let _guard = self.db.param_guard();
@@ -1006,6 +1054,60 @@ mod tests {
             let (iv, id) = data[777];
             assert!(batched.delete(iv, id).unwrap());
             assert!(!batched.delete(iv, id).unwrap());
+        }
+    }
+
+    #[test]
+    fn large_batches_into_an_empty_tree_route_through_the_bulk_builder() {
+        use ri_btree::layout::{internal_capacity, leaf_capacity};
+        use ri_btree::predicted_pages;
+        let data: Vec<(Interval, i64)> = (0..1500i64)
+            .map(|id| {
+                let l = (id * 97) % 60_000;
+                (Interval::new(l, l + 300 + (id % 23) * 7).unwrap(), id)
+            })
+            .collect();
+        assert!(data.len() >= BULK_BATCH_MIN);
+        let queries = [(0i64, 500i64), (15_000, 15_900), (30_000, 61_000), (59_999, 59_999)];
+
+        // Empty tree + large batch: the bulk route.  Both indexes are
+        // arity 3 ((node, lower, id) / (node, upper, id)), so the proof
+        // that no per-key descents built them is page-count exactness —
+        // a descent-built tree splits at half fill and cannot reach the
+        // builder's fill-1.0 page count.
+        let (_db, bulk) = fresh();
+        bulk.insert_batch(&data, 1).unwrap();
+        let lc = leaf_capacity(DEFAULT_PAGE_SIZE, 3);
+        let ic = internal_capacity(DEFAULT_PAGE_SIZE, 3);
+        let per_index = predicted_pages(data.len() as u64, lc, ic);
+        assert_eq!(
+            bulk.storage().unwrap().index_pages,
+            2 * per_index,
+            "bulk-routed batch must build both indexes at exactly the predicted page count"
+        );
+
+        // A non-empty table refuses the bulk route and falls back to
+        // per-row descents: same answers, looser packing.
+        let (_db2, seeded) = fresh();
+        seeded.insert(Interval::new(5, 10).unwrap(), 9_999).unwrap();
+        seeded.insert_batch(&data, 1).unwrap();
+        assert!(
+            seeded.storage().unwrap().index_pages > 2 * per_index,
+            "descent fallback splits at half fill, so it must use more pages"
+        );
+
+        let (_db3, sequential) = fresh();
+        sequential.insert(Interval::new(5, 10).unwrap(), 9_999).unwrap();
+        for &(iv, id) in &data {
+            sequential.insert(iv, id).unwrap();
+        }
+        for (l, u) in queries {
+            let q = Interval::new(l, u).unwrap();
+            let expected = sequential.intersection(q).unwrap();
+            assert_eq!(seeded.intersection(q).unwrap(), expected, "fallback {q}");
+            let mut without_seed = expected.clone();
+            without_seed.retain(|&id| id != 9_999);
+            assert_eq!(bulk.intersection(q).unwrap(), without_seed, "bulk {q}");
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::catalog::TableMeta;
 use crate::heap::{Heap, RowId};
-use ri_btree::BTree;
+use ri_btree::{BTree, Entry};
 use ri_pagestore::{BufferPool, Error, Result};
 use std::sync::Arc;
 
@@ -62,6 +62,63 @@ impl Table {
             idx.tree.insert(&key, rid.raw())?;
         }
         Ok(rid)
+    }
+
+    /// Bulk-loads an **empty** table: appends every row to the heap in
+    /// input order, then builds each secondary index bottom-up at full
+    /// fill from its sorted run of `(key, row id)` entries — one
+    /// sequential write pass per index instead of one root-to-leaf
+    /// descent per row (see `ri_btree`'s `builder` module).  Returns
+    /// the assigned row ids in input order.
+    ///
+    /// Errors with `InvalidArgument` if the heap or any index already
+    /// holds data (callers fall back to [`Table::insert`] then) or if
+    /// any row has the wrong column count.  Like every bulk load, the
+    /// caller provides quiescence: concurrent DML on the same table
+    /// during the build is unsupported (a lost race surfaces as the
+    /// index builder's clean not-empty error, not as corruption).
+    pub fn bulk_insert(&self, rows: &[impl AsRef<[i64]>]) -> Result<Vec<RowId>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.heap.row_count()? != 0 {
+            return Err(Error::InvalidArgument("bulk_insert requires an empty table".to_string()));
+        }
+        for idx in &self.indexes {
+            if idx.tree.entry_count()? != 0 {
+                return Err(Error::InvalidArgument(format!(
+                    "bulk_insert requires empty indexes, but {} holds entries",
+                    idx.name
+                )));
+            }
+        }
+        for row in rows {
+            if row.as_ref().len() != self.columns.len() {
+                return Err(Error::InvalidArgument(format!(
+                    "row has {} columns, table has {}",
+                    row.as_ref().len(),
+                    self.columns.len()
+                )));
+            }
+        }
+        let mut rids = Vec::with_capacity(rows.len());
+        for row in rows {
+            rids.push(self.heap.insert(row.as_ref())?);
+        }
+        for idx in &self.indexes {
+            let mut entries = Vec::with_capacity(rows.len());
+            for (row, rid) in rows.iter().zip(&rids) {
+                let row = row.as_ref();
+                let mut cols = [0i64; ri_btree::MAX_ARITY];
+                for (slot, &c) in cols.iter_mut().zip(&idx.key_cols) {
+                    *slot = row[c];
+                }
+                entries.push(Entry::new(&cols[..idx.key_cols.len()], rid.raw()));
+            }
+            entries.sort_unstable();
+            idx.tree.bulk_build_into(entries, 1.0)?;
+        }
+        Ok(rids)
     }
 
     /// Deletes a row by id, maintaining every index.
@@ -188,6 +245,38 @@ mod tests {
         assert_eq!(entry.payload, rid.raw());
         let row = t.fetch(crate::heap::RowId::from_raw(entry.payload)).unwrap();
         assert_eq!(row, Some(vec![7, 8, 9]));
+    }
+
+    #[test]
+    fn bulk_insert_fills_every_index_at_full_density() {
+        let db = db_with_indexed_table();
+        let t = db.table("T").unwrap();
+        let rows: Vec<[i64; 3]> = (0..1000i64).map(|i| [i % 10, i, -i]).collect();
+        let rids = t.bulk_insert(&rows).unwrap();
+        assert_eq!(rids.len(), 1000);
+        assert_eq!(t.row_count().unwrap(), 1000);
+        assert_eq!(db.index_stats("T", "AB").unwrap().entries, 1000);
+        assert_eq!(db.index_stats("T", "C").unwrap().entries, 1000);
+        // Fill 1.0 ⇒ each index at its minimum possible page count.
+        use ri_btree::layout::{internal_capacity, leaf_capacity};
+        assert_eq!(
+            db.index_stats("T", "AB").unwrap().pages,
+            ri_btree::predicted_pages(1000, leaf_capacity(2048, 2), internal_capacity(2048, 2))
+        );
+        // Same observable contents as row-at-a-time inserts.
+        let hits = t.index("AB").unwrap().scan_range(&[3, i64::MIN], &[3, i64::MAX]).count();
+        assert_eq!(hits, 100);
+        t.index("AB").unwrap().check_invariants().unwrap();
+        t.index("C").unwrap().check_invariants().unwrap();
+        // Index payloads are the assigned row ids.
+        let entry = t.index("C").unwrap().scan_range(&[0], &[0]).next().unwrap().unwrap();
+        let row = t.fetch(crate::heap::RowId::from_raw(entry.payload)).unwrap();
+        assert_eq!(row, Some(vec![0, 0, 0]));
+        // A second bulk load must be refused — the table is no longer
+        // empty — while ordinary DML continues to work.
+        assert!(t.bulk_insert(&rows).is_err());
+        t.insert(&[99, 99, 99]).unwrap();
+        assert_eq!(t.row_count().unwrap(), 1001);
     }
 
     #[test]

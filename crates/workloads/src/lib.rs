@@ -19,8 +19,10 @@
 
 pub mod query;
 pub mod spec;
+pub mod stream;
 
 pub use query::{queries_for_selectivity, query_length_for_selectivity, sweep_points};
 pub use spec::{DurationDist, StartDist, WorkloadSpec, DOMAIN_MAX};
+pub use stream::IntervalStream;
 
 pub use spec::{d1, d2, d3, d4, restricted_d3};

@@ -154,7 +154,7 @@ impl WorkloadSpec {
     }
 }
 
-fn sample_duration(d: &DurationDist, rng: &mut StdRng) -> i64 {
+pub(crate) fn sample_duration(d: &DurationDist, rng: &mut StdRng) -> i64 {
     match *d {
         DurationDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
         DurationDist::Exponential { mean } => {
@@ -169,11 +169,11 @@ fn sample_duration(d: &DurationDist, rng: &mut StdRng) -> i64 {
 
 /// Exponential distribution with the given mean, via inverse transform.
 /// (Avoids pulling in `rand_distr`; two lines suffice.)
-struct ExpDist {
+pub(crate) struct ExpDist {
     mean: f64,
 }
 
-fn rand_distr_exp(mean: f64) -> ExpDist {
+pub(crate) fn rand_distr_exp(mean: f64) -> ExpDist {
     ExpDist { mean }
 }
 

@@ -1,0 +1,154 @@
+//! Streaming interval generation: seeded workloads one interval at a
+//! time, for datasets too large to materialize.
+//!
+//! [`WorkloadSpec::generate`] returns a `Vec` — fine at the paper's
+//! scale (a few hundred thousand intervals), wasteful beyond it.
+//! [`WorkloadSpec::stream`] yields the same distribution families
+//! (Table 1's D1–D4 and the Figure 15 variant) as a seeded iterator in
+//! `O(1)` memory, so a ten-million-interval build feeds the bulk
+//! loader without ever holding the dataset.
+//!
+//! Determinism: a stream is fully determined by `(spec, seed)` — two
+//! streams with the same parameters yield identical sequences, and a
+//! [`Clone`] of a partially consumed stream replays its remainder.
+//! Note that `stream(seed)` and `generate(seed)` draw from the shared
+//! generator in different orders (the streaming form interleaves each
+//! interval's start and duration draw, the materializing form draws
+//! all starts first), so the two sequences differ for the same seed
+//! even though both follow the spec's distributions.
+
+use crate::spec::{rand_distr_exp, sample_duration, StartDist, WorkloadSpec, DOMAIN_MAX};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded, exact-size iterator of `(lower, upper)` interval bounds
+/// following a [`WorkloadSpec`]'s distributions — see the module docs.
+///
+/// Created by [`WorkloadSpec::stream`].
+#[derive(Clone, Debug)]
+pub struct IntervalStream {
+    rng: StdRng,
+    remaining: usize,
+    start: StartDist,
+    duration: crate::spec::DurationDist,
+    /// Poisson arrival clock: the last start emitted (the process is
+    /// sorted by construction, which suits the bulk loader).
+    arrival: f64,
+    /// Mean inter-arrival gap of the Poisson process.
+    mean_gap: f64,
+}
+
+impl WorkloadSpec {
+    /// Streams the workload's `(lower, upper)` pairs deterministically
+    /// from `seed` without materializing them; all bounding points lie
+    /// in `[0, 2^20 − 1]` exactly as with [`WorkloadSpec::generate`].
+    ///
+    /// ```
+    /// use ri_workloads::{d4, DOMAIN_MAX};
+    ///
+    /// // A million Poisson-arrival intervals in O(1) memory.
+    /// let spec = d4(1_000_000, 2000);
+    /// let mut count = 0u64;
+    /// let mut prev_lower = 0;
+    /// for (lower, upper) in spec.stream(42) {
+    ///     assert!(prev_lower <= lower, "Poisson starts arrive in order");
+    ///     assert!(lower <= upper && upper <= DOMAIN_MAX);
+    ///     prev_lower = lower;
+    ///     count += 1;
+    /// }
+    /// assert_eq!(count, 1_000_000);
+    /// // Same (spec, seed) ⇒ same stream.
+    /// assert_eq!(spec.stream(42).take(3).collect::<Vec<_>>(),
+    ///            spec.stream(42).take(3).collect::<Vec<_>>());
+    /// ```
+    pub fn stream(&self, seed: u64) -> IntervalStream {
+        IntervalStream {
+            rng: StdRng::seed_from_u64(seed),
+            remaining: self.n,
+            start: self.start,
+            duration: self.duration,
+            arrival: 0.0,
+            mean_gap: (DOMAIN_MAX as f64) / (self.n.max(1) as f64),
+        }
+    }
+}
+
+impl Iterator for IntervalStream {
+    type Item = (i64, i64);
+
+    fn next(&mut self) -> Option<(i64, i64)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let s = match self.start {
+            StartDist::Uniform => self.rng.gen_range(0..=DOMAIN_MAX),
+            StartDist::Poisson => {
+                self.arrival += rand_distr_exp(self.mean_gap).sample(&mut self.rng);
+                (self.arrival as i64).min(DOMAIN_MAX)
+            }
+        };
+        let len = sample_duration(&self.duration, &mut self.rng);
+        Some((s, (s + len).min(DOMAIN_MAX)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for IntervalStream {}
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::{d1, d2, d3, d4, DOMAIN_MAX};
+
+    #[test]
+    fn streams_are_deterministic_and_exactly_sized() {
+        let spec = d2(10_000, 2000);
+        let a: Vec<_> = spec.stream(9).collect();
+        let b: Vec<_> = spec.stream(9).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10_000);
+        assert_ne!(a, spec.stream(10).collect::<Vec<_>>());
+        let mut s = spec.stream(9);
+        assert_eq!(s.len(), 10_000);
+        s.next();
+        assert_eq!(s.len(), 9_999);
+    }
+
+    #[test]
+    fn a_cloned_stream_replays_the_remainder() {
+        let mut s = d4(5_000, 2000).stream(3);
+        for _ in 0..2_000 {
+            s.next();
+        }
+        let replay = s.clone();
+        assert_eq!(s.collect::<Vec<_>>(), replay.collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_bounds_stay_in_domain() {
+        for spec in [d1(5000, 2000), d2(5000, 2000), d3(5000, 2000), d4(5000, 2000)] {
+            for (l, u) in spec.stream(7) {
+                assert!(l >= 0 && u <= DOMAIN_MAX && l <= u, "{}: ({l}, {u})", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_matches_the_materializing_generator_statistically() {
+        // Not item-for-item (the draw order differs; module docs) but
+        // the distributions must agree: compare mean durations and the
+        // Poisson process's span.
+        let spec = d3(20_000, 2000);
+        let streamed: Vec<_> = spec.stream(5).collect();
+        let mean: f64 =
+            streamed.iter().map(|(l, u)| (u - l) as f64).sum::<f64>() / streamed.len() as f64;
+        assert!((mean - 2000.0).abs() < 100.0, "mean duration {mean} != ~2000");
+        let starts: Vec<i64> = streamed.iter().map(|&(l, _)| l).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "arrival order");
+        assert!(*starts.last().unwrap() > DOMAIN_MAX / 2, "process spans the domain");
+    }
+}

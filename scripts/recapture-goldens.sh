@@ -9,6 +9,12 @@
 # immediately before a refactor — never edited by hand to make a
 # failing build pass.
 #
+# Scope: the pinned traces exercise the per-key descent write path
+# (create / insert / delete / scan).  The bottom-up bulk loader (PR 7)
+# is deliberately NOT golden-pinned — its page-exact I/O contract is
+# asserted analytically against `predicted_pages` by tests/bulk_load.rs
+# and by the fig21 measured anchors, so it needs no frozen trace here.
+#
 # Usage:
 #   scripts/recapture-goldens.sh           print the freshly captured
 #                                          GOLDEN lines (paste the values
