@@ -332,15 +332,16 @@ impl BufferPool {
         let mut last_seq = 0u64;
         for rec in &log.records[..log.committed] {
             match rec {
-                WalRecord::FirstMod { page, before, delta_off, delta } => {
+                WalRecord::FirstMod { page, before, delta_off, delta, .. } => {
                     let mut img = before.clone();
                     img[*delta_off..*delta_off + delta.len()].copy_from_slice(delta);
                     images.insert(page.raw(), img);
                 }
-                WalRecord::Delta { page, delta_off, delta } => {
-                    // A Delta is always preceded by its page's FirstMod in
-                    // the same generation (the `logged` set guarantees it),
-                    // so a missing image means the log is inconsistent.
+                WalRecord::Delta { page, delta_off, delta, .. } => {
+                    // A Delta is always preceded by its page's FirstMod at
+                    // or above the scan start (the truncation-horizon
+                    // fixpoint guarantees no page run straddles it), so a
+                    // missing image means the log is inconsistent.
                     let img = images.get_mut(&page.raw()).ok_or_else(|| {
                         Error::Corrupt(format!(
                             "WAL delta for page {} without a prior first-mod",
@@ -349,10 +350,10 @@ impl BufferPool {
                     })?;
                     img[*delta_off..*delta_off + delta.len()].copy_from_slice(delta);
                 }
-                WalRecord::Commit { seq } => {
-                    // Sequence numbers are strictly increasing within a
-                    // checkpoint generation; a regression means records
-                    // from different histories got mixed.
+                WalRecord::Commit { seq, .. } => {
+                    // Sequence numbers are strictly increasing within the
+                    // retained log; a regression means records from
+                    // different histories got mixed.
                     if *seq <= last_seq {
                         return Err(Error::Corrupt(format!(
                             "WAL commit sequence regressed: {seq} after {last_seq}"
@@ -361,6 +362,8 @@ impl BufferPool {
                     last_seq = *seq;
                     commits += 1;
                 }
+                // A fuzzy checkpoint marker carries no page state.
+                WalRecord::Checkpoint { .. } => {}
             }
         }
         let pages_redone = images.len();
@@ -369,9 +372,17 @@ impl BufferPool {
         // pre-image is exactly the committed state.  (If the page also has
         // a committed image — possible when it was re-FirstMod'ed after an
         // interleaved checkpoint window — the committed image wins.)
+        let mut tail_txns = std::collections::BTreeSet::new();
         for rec in &log.records[log.committed..] {
-            if let WalRecord::FirstMod { page, before, .. } = rec {
-                images.entry(page.raw()).or_insert_with(|| before.clone());
+            match rec {
+                WalRecord::FirstMod { page, txn, before, .. } => {
+                    images.entry(page.raw()).or_insert_with(|| before.clone());
+                    tail_txns.insert(*txn);
+                }
+                WalRecord::Delta { txn, .. } => {
+                    tail_txns.insert(*txn);
+                }
+                WalRecord::Commit { .. } | WalRecord::Checkpoint { .. } => {}
             }
         }
         let pages_rolled_back = images.len() - pages_redone;
@@ -382,7 +393,9 @@ impl BufferPool {
             self.disk.write_page(PageId(page), img)?;
         }
         self.disk.sync()?;
-        wal.checkpoint()?;
+        // Recovery is single-threaded with nothing in flight, so this
+        // checkpoint always observes the quiescent instant and rewinds.
+        wal.checkpoint(wal.end_lsn())?;
         Ok(Some(RecoveryReport {
             records_scanned: log.records.len(),
             committed_records: log.committed,
@@ -390,6 +403,7 @@ impl BufferPool {
             commits,
             pages_redone,
             pages_rolled_back,
+            txns_rolled_back: tail_txns.len() as u64,
         }))
     }
 

@@ -85,6 +85,12 @@ pub struct CrashPlan {
     /// Die when the global write index reaches this value.  `None` leaves
     /// the clock armed (writes buffer volatile) until [`FaultClock::crash_now`].
     pub crash_at_write: Option<u64>,
+    /// Die when the global sync index reaches this value — the power cut
+    /// lands on a barrier instead of a write (e.g. inside a checkpoint's
+    /// flush-then-anchor window).  The dying sync destages nothing: only
+    /// coin-surviving buffered writes persist, exactly as for a crash
+    /// between syncs.
+    pub crash_at_sync: Option<u64>,
     /// How many leading sectors of the dying write persist (torn write).
     /// `0` means the dying write leaves no trace at all.
     pub torn_sectors: usize,
@@ -97,7 +103,13 @@ pub struct CrashPlan {
 
 impl Default for CrashPlan {
     fn default() -> Self {
-        CrashPlan { crash_at_write: None, torn_sectors: 0, sector_bytes: 512, persist_seed: 0 }
+        CrashPlan {
+            crash_at_write: None,
+            crash_at_sync: None,
+            torn_sectors: 0,
+            sector_bytes: 512,
+            persist_seed: 0,
+        }
     }
 }
 
@@ -212,11 +224,19 @@ impl FaultClock {
         }
     }
 
-    /// Returns `(sync_index, armed, crashed)`.
+    /// Returns `(sync_index, armed, crashed)` — marking the clock dead
+    /// first when this sync is the scheduled crash point.
     fn on_sync(&self) -> (u64, bool, bool) {
         let mut s = self.state.lock();
         let n = s.syncs;
         s.syncs += 1;
+        if !s.crashed {
+            if let Some(p) = &s.crash {
+                if p.crash_at_sync == Some(n) {
+                    s.crashed = true;
+                }
+            }
+        }
         (n, s.crash.is_some(), s.crashed)
     }
 
@@ -583,6 +603,7 @@ mod tests {
             persist_seed: 42,
             // write #1's coin decides whether it survives; either way the
             // recovered state must be one of the two legal outcomes.
+            ..Default::default()
         });
         faulty.write_page(b, &[2u8; 128]).unwrap(); // write #1: volatile
         let err = faulty.write_page(a, &[3u8; 128]).unwrap_err(); // write #2: boom
@@ -599,6 +620,28 @@ mod tests {
         // Write #1 either fully survived or fully vanished — never tore.
         mem.read_page(b, &mut buf).unwrap();
         assert!(buf == [2u8; 128] || buf == [0u8; 128]);
+    }
+
+    #[test]
+    fn crash_at_sync_dies_before_destaging() {
+        let mem = Arc::new(MemDisk::new(128));
+        let faulty = FaultyDisk::new(Arc::clone(&mem), FaultPlan::default());
+        let p = faulty.allocate_page().unwrap();
+        faulty.clock().arm_crash(CrashPlan {
+            crash_at_sync: Some(0),
+            persist_seed: 7,
+            ..Default::default()
+        });
+        faulty.write_page(p, &[9u8; 128]).unwrap(); // write #0: volatile
+        let err = faulty.sync().unwrap_err(); // sync #0: power cut on the barrier
+        assert!(matches!(err, Error::Crashed));
+        // The barrier never completed: the buffered write either
+        // coin-survived in full or vanished — it was not destaged by the
+        // dying sync.
+        let mut raw = [0u8; 128];
+        mem.read_page(p, &mut raw).unwrap();
+        assert!(raw == [9u8; 128] || raw == [0u8; 128]);
+        assert!(matches!(faulty.sync().unwrap_err(), Error::Crashed));
     }
 
     #[test]

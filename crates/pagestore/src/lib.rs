@@ -16,12 +16,14 @@
 //!   late-1990s disk [`LatencyModel`] that converts physical I/O volume into
 //!   a *simulated response time*, making the paper's seconds-scale response
 //!   time plots reproducible on modern hardware,
-//! * [`wal`] — a page-oriented write-ahead log with group commit,
-//!   checkpoint truncation, and redo recovery ([`BufferPool::new_durable`]
-//!   pools stamp frames with page LSNs and enforce WAL-before-data),
+//! * [`wal`] — a page-oriented write-ahead log with group commit, fuzzy
+//!   checkpoint truncation (safe under concurrent DML), and redo recovery
+//!   ([`BufferPool::new_durable`] pools stamp frames with page LSNs and
+//!   enforce WAL-before-data),
 //! * [`faulty`] — a fault-injecting disk wrapper used by the failure tests,
-//!   including crash-point and torn-write (partial-sector) injection on a
-//!   shared [`FaultClock`] for kill-anywhere recovery testing.
+//!   including crash-point, crash-at-sync-barrier, and torn-write
+//!   (partial-sector) injection on a shared [`FaultClock`] for
+//!   kill-anywhere recovery testing.
 //!
 //! All upper layers (the B+-tree, the relational engine, and every access
 //! method compared in the evaluation) perform I/O exclusively through

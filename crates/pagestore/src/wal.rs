@@ -17,15 +17,26 @@
 //! lsn u64 | body_len u32 | kind u8 | checksum u64 | body …
 //! ```
 //!
-//! with the checksum (FNV-1a 64) covering `(lsn, kind, body)`.  Three
+//! with the checksum (FNV-1a 64) covering `(lsn, kind, body)`.  Four
 //! record kinds exist:
 //!
 //! * **FirstMod** — the *first* modification of a page since the last
-//!   checkpoint: the full pre-image of the page plus the byte-range delta
-//!   of this update.  Redo never needs the data device for such a page.
+//!   checkpoint horizon: the full pre-image of the page plus the
+//!   byte-range delta of this update.  Redo never needs the data device
+//!   for such a page.
 //! * **Delta** — a later modification: byte-range delta only.
 //! * **Commit** — a transaction boundary; recovery replays exactly the
 //!   records up to the last durable Commit.
+//! * **CheckpointBegin** — a fuzzy checkpoint marker carrying the
+//!   truncation horizon and the set of in-flight transactions at the
+//!   instant the checkpoint started (see below).
+//!
+//! Update records carry the id of the transaction that appended them.  A
+//! transaction here is a maximal run of one thread's updates between
+//! commit boundaries: [`Wal::log_update`] assigns the calling thread a
+//! fresh id on its first update after a commit, and [`Wal::commit`]
+//! closes *every* in-flight run (commit boundaries of a serialized
+//! history cover everything appended so far — see the caveat at the end).
 //!
 //! Appending buffers bytes in memory; they reach the device when a commit
 //! (or a write-back barrier) forces the log. The partially-filled tail
@@ -53,56 +64,90 @@
 //! fsync**.  [`WalSnapshot`] exposes the exact accounting:
 //! `commits == commit_syncs + group_commits` always holds.
 //!
-//! # Checkpoint and truncation
+//! # Fuzzy checkpoints and truncation
 //!
 //! [`Wal::checkpoint`] (called by `Database::checkpoint` *after* the pool
-//! wrote back every dirty page) syncs the log, then rewrites the anchor
-//! with `base_lsn` = current end of log: the whole generation of records
-//! is truncated and log pages are reused from offset 0.  Stale records
-//! from the previous generation cannot be mistaken for live ones: a
-//! record's embedded LSN must equal its stream position, and every stream
-//! position of the new generation maps to a strictly larger LSN than any
-//! old record stored at the same device offset.
+//! wrote back every dirty page) does **not** require quiescent writers.
+//! The caller samples the *flush fence* — `end_lsn()` — *before* the
+//! write-back pass, so every record below the fence describes an update
+//! whose page has since reached the data device.  The checkpoint then
+//! picks a **truncation horizon**: the oldest of (the fence, the
+//! checkpoint's own begin LSN, the first record LSN of every in-flight
+//! transaction), lowered further until no page's record run straddles it
+//! (a Delta above the horizon must never orphan its FirstMod below it).
+//! A CheckpointBegin record naming the horizon and the in-flight
+//! transactions is appended and flushed, and the anchor's *start* field
+//! — the recovery scan start — advances to the horizon.  Records below
+//! the horizon are thereby truncated logically; they are all committed
+//! and their pages are on the data device, while every in-flight
+//! writer's FirstMod pre-images (all at or above the horizon) survive
+//! for rollback.  The per-generation FirstMod dedup is re-keyed to the
+//! horizon: pages whose records were truncated must log a fresh
+//! pre-image on their next update.
+//!
+//! When the checkpoint observes a **quiescent instant** — no in-flight
+//! transaction, nothing appended past the fence — it instead performs
+//! the full physical rewind: the anchor's `base` and `start` both move
+//! to the end of log and log pages are reused from offset 0.  Stale
+//! records from the previous generation cannot be mistaken for live
+//! ones: a record's embedded LSN must equal its stream position, and
+//! every stream position of the new generation maps to a strictly larger
+//! LSN than any old record stored at the same device offset.  (Under a
+//! fuzzy checkpoint the mapping is untouched, so no stale-byte question
+//! arises.)
 //!
 //! # Recovery
 //!
-//! `Wal::attach` validates the anchor and scans the stream until the
-//! LSN/checksum chain breaks, yielding the valid record prefix.
-//! `BufferPool::recover` then replays all records up to the last Commit
-//! into in-memory page images (FirstMod starts from its pre-image, Delta
-//! applies on top), **rolls back** the uncommitted tail by restoring the
+//! `Wal::attach` validates the anchor and scans the stream from the
+//! anchor's `start` until the LSN/checksum chain breaks, yielding the
+//! valid record prefix.  `BufferPool::recover` then replays all records
+//! up to the last Commit into in-memory page images (FirstMod starts
+//! from its pre-image, Delta applies on top, CheckpointBegin is a
+//! no-op), **rolls back** the uncommitted tail by restoring the
 //! pre-images of pages first modified in the tail, writes every touched
-//! page to the data device, syncs, and checkpoints the log.  Pages never
-//! touched since the last checkpoint are bitwise untouched on the data
-//! device (write-backs happen only after their records are durable, and a
-//! checkpoint only truncates after write-back), so the result equals the
-//! committed prefix of history.
+//! page to the data device, syncs, and checkpoints the log.  Pages whose
+//! records all sit below the scan start are bitwise correct on the data
+//! device (that is exactly what the truncation horizon guarantees), so
+//! the result equals the committed prefix of history.
 //!
 //! Commit atomicity is defined at commit boundaries of a serialized
 //! history: concurrent writers get durability (no committed record is
-//! lost) but crash-atomicity of *interleaved* uncommitted work is the
-//! MVCC roadmap item's business, as is checkpointing concurrently with
-//! active writers.
+//! lost, and no uncommitted update survives a crash — even one flushed
+//! to the data device inside a checkpoint window) but crash-atomicity of
+//! *interleaved* uncommitted work remains the MVCC roadmap item's
+//! business: a Commit record commits everything appended so far,
+//! including other threads' open runs.
 
-use crate::codec::{get_u32, get_u64, put_u16, put_u32, put_u64};
+use crate::codec::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
 use crate::disk::DiskManager;
 use crate::error::{Error, Result};
 use crate::page::PageId;
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, PoisonError};
+use std::thread::ThreadId;
 
 /// Record framing: `lsn u64 | body_len u32 | kind u8 | checksum u64`.
 const REC_HDR: usize = 8 + 4 + 1 + 8;
 const KIND_FIRST_MOD: u8 = 1;
 const KIND_DELTA: u8 = 2;
 const KIND_COMMIT: u8 = 3;
+const KIND_CHECKPOINT: u8 = 4;
 
-/// Anchor page layout: `magic u32 | version u16 | pad u16 | base u64 | crc u64`.
+/// Most in-flight transactions a CheckpointBegin record enumerates.  The
+/// horizon alone is binding for truncation; the list is diagnostic, so
+/// capping it bounds the record size without affecting correctness.
+const MAX_CKPT_TXNS: usize = 4096;
+
+/// Anchor page layout:
+/// `magic u32 | version u16 | pad u16 | base u64 | start u64 | crc u64`.
+/// `base` maps the stream onto the device (stream byte `base` is the first
+/// byte of log page 1); `start` is where recovery scans from — truncation
+/// advances `start`, while `base` moves only on a full physical rewind.
 const WAL_MAGIC: u32 = 0x5249_574C; // "RIWL"
-const WAL_VERSION: u16 = 1;
-const ANCHOR_LEN: usize = 24;
+const WAL_VERSION: u16 = 2;
+const ANCHOR_LEN: usize = 32;
 
 /// Streaming FNV-1a 64 (the repo has no external checksum dependency; a
 /// torn or stale record only needs to be *detected*, not authenticated).
@@ -136,13 +181,18 @@ fn record_checksum(lsn: u64, kind: u8, body_parts: &[&[u8]]) -> u64 {
 /// A decoded log record (crate-internal: consumed by pool recovery).
 #[derive(Debug, Clone)]
 pub(crate) enum WalRecord {
-    /// First modification of `page` since the last checkpoint: full
-    /// pre-image plus this update's byte-range delta.
-    FirstMod { page: PageId, before: Vec<u8>, delta_off: usize, delta: Vec<u8> },
+    /// First modification of `page` since the last checkpoint horizon:
+    /// full pre-image plus this update's byte-range delta.
+    FirstMod { page: PageId, txn: u64, before: Vec<u8>, delta_off: usize, delta: Vec<u8> },
     /// Later modification of `page`: byte-range delta only.
-    Delta { page: PageId, delta_off: usize, delta: Vec<u8> },
-    /// Transaction boundary.
-    Commit { seq: u64 },
+    Delta { page: PageId, txn: u64, delta_off: usize, delta: Vec<u8> },
+    /// Transaction boundary (commits every run appended so far).
+    Commit { seq: u64, txn: u64 },
+    /// Fuzzy checkpoint begin: the truncation horizon and the in-flight
+    /// `(txn, first record LSN)` pairs at checkpoint start.  Replay skips
+    /// it; it exists so the log is self-describing about what straddled
+    /// the checkpoint.
+    Checkpoint { horizon: u64, active: Vec<(u64, u64)> },
 }
 
 /// The valid log contents found at attach time, for `BufferPool::recover`.
@@ -168,6 +218,9 @@ pub struct RecoveryReport {
     pub pages_redone: usize,
     /// Pages restored to their pre-images (first modified in the tail).
     pub pages_rolled_back: usize,
+    /// Distinct in-flight transactions whose tail updates were rolled
+    /// back (0 when the crash caught no open transaction).
+    pub txns_rolled_back: u64,
 }
 
 /// Monotonic WAL counters (atomics, like [`crate::stats::IoStats`]).
@@ -179,6 +232,7 @@ struct WalStats {
     commit_syncs: AtomicU64,
     group_commits: AtomicU64,
     forced_syncs: AtomicU64,
+    checkpoint_syncs: AtomicU64,
     syncs: AtomicU64,
     checkpoints: AtomicU64,
     log_page_writes: AtomicU64,
@@ -189,8 +243,10 @@ struct WalStats {
 /// Invariants (single snapshot, quiescent log):
 /// `commits == commit_syncs + group_commits` (every successful commit
 /// either led one fsync or was covered by someone else's), and
-/// `syncs == commit_syncs + forced_syncs + checkpoints`-led syncs plus
-/// recovery's own checkpoint sync.
+/// `syncs == commit_syncs + forced_syncs + checkpoint_syncs` (every log
+/// device sync is led by exactly one commit, one write-back barrier, or
+/// one checkpoint — checkpoints issue two each, the record flush and the
+/// anchor rewrite).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalSnapshot {
     /// Page-update records appended (FirstMod + Delta, not Commits).
@@ -205,6 +261,9 @@ pub struct WalSnapshot {
     pub group_commits: u64,
     /// Syncs forced by the WAL-before-data barrier (page write-backs).
     pub forced_syncs: u64,
+    /// Syncs issued by checkpoints (two per checkpoint: record flush +
+    /// anchor rewrite), including recovery's own checkpoint.
+    pub checkpoint_syncs: u64,
     /// Device syncs issued on the log device, all causes.
     pub syncs: u64,
     /// Checkpoint truncations performed.
@@ -220,10 +279,19 @@ struct AppendState {
     /// Encoded bytes not yet written to the device; `pending[0]` is the
     /// stream byte at offset `flushed_lsn`.
     pending: Vec<u8>,
-    /// Pages already FirstMod-logged in the current checkpoint generation.
-    logged: HashSet<PageId>,
+    /// Pages FirstMod-logged since the current truncation horizon, with
+    /// the LSNs of their first and latest records — the horizon fixpoint
+    /// needs both ends of each page's record run.
+    logged: HashMap<PageId, (u64, u64)>,
     /// Commit sequence number (monotone across the log's lifetime).
     commit_seq: u64,
+    /// Last transaction id handed out (monotone, reseeded at attach).
+    next_txn: u64,
+    /// The open transaction of each thread mid-run (commit clears all).
+    thread_txns: HashMap<ThreadId, u64>,
+    /// In-flight transactions → LSN of their first record.  Ordered so
+    /// CheckpointBegin records enumerate deterministically.
+    active: BTreeMap<u64, u64>,
 }
 
 /// Group-commit coordination.
@@ -236,8 +304,12 @@ struct IoState {
 
 /// Device-position state, touched only by the current I/O leader.
 struct FlushState {
-    /// Stream offset where the current generation starts (anchor value).
+    /// Stream offset mapping the stream onto the device (anchor `base`).
     base_lsn: u64,
+    /// Logical truncation point / recovery scan start (anchor `start`).
+    /// Invariant: `base_lsn <= start_lsn <= flushed_lsn`, and it only
+    /// moves forward.
+    start_lsn: u64,
     /// Stream bytes `[base_lsn, flushed_lsn)` have been written to device
     /// pages (though they are only *durable* up to the last sync).
     flushed_lsn: u64,
@@ -277,11 +349,11 @@ impl Wal {
                 "WAL device page size {page_size} smaller than the anchor"
             )));
         }
-        let (base_lsn, records, committed, committed_end) = if disk.num_pages() == 0 {
+        let (base_lsn, start_lsn, scan) = if disk.num_pages() == 0 {
             disk.allocate_page()?;
-            write_anchor(&*disk, page_size, 0)?;
+            write_anchor(&*disk, page_size, 0, 0)?;
             disk.sync()?;
-            (0, Vec::new(), 0, 0)
+            (0, 0, ScanResult::empty(0))
         } else {
             let mut anchor = vec![0u8; page_size];
             disk.read_page(PageId(0), &mut anchor)?;
@@ -289,14 +361,25 @@ impl Wal {
                 return Err(Error::Corrupt("WAL anchor magic mismatch".into()));
             }
             let mut h = Fnv::new();
-            h.update(&anchor[..16]);
-            if get_u64(&anchor, 16) != h.finish() {
+            h.update(&anchor[..24]);
+            if get_u64(&anchor, 24) != h.finish() {
                 return Err(Error::Corrupt("WAL anchor checksum mismatch".into()));
             }
+            if get_u16(&anchor, 4) != WAL_VERSION {
+                return Err(Error::Corrupt(format!(
+                    "WAL anchor version {} (expected {WAL_VERSION})",
+                    get_u16(&anchor, 4)
+                )));
+            }
             let base = get_u64(&anchor, 8);
-            let (records, committed, committed_end) = scan_records(&*disk, page_size, base);
-            (base, records, committed, committed_end)
+            let start = get_u64(&anchor, 16);
+            if start < base {
+                return Err(Error::Corrupt("WAL anchor start below base".into()));
+            }
+            let scan = scan_records(&*disk, page_size, base, start);
+            (base, start, scan)
         };
+        let ScanResult { records, committed, committed_end, max_seq, max_txn } = scan;
         // The durable bytes of the page holding the resume position: the
         // prefix every tail-page rewrite must carry.
         let rel = committed_end - base_lsn;
@@ -316,12 +399,22 @@ impl Wal {
             append: Mutex::new(AppendState {
                 end_lsn: committed_end,
                 pending: Vec::new(),
-                logged: HashSet::new(),
-                commit_seq: 0,
+                logged: HashMap::new(),
+                // Resume both monotone sequences above anything the scan
+                // saw, so retained generations never observe a regression.
+                commit_seq: max_seq,
+                next_txn: max_txn,
+                thread_txns: HashMap::new(),
+                active: BTreeMap::new(),
             }),
             io: Mutex::new(IoState { durable_lsn: committed_end, syncing: false }),
             cv: Condvar::new(),
-            flush: Mutex::new(FlushState { base_lsn, flushed_lsn: committed_end, partial }),
+            flush: Mutex::new(FlushState {
+                base_lsn,
+                start_lsn,
+                flushed_lsn: committed_end,
+                partial,
+            }),
             stats: WalStats::default(),
             recovered: Mutex::new(recovered),
         })
@@ -342,6 +435,7 @@ impl Wal {
             commit_syncs: s.commit_syncs.load(Ordering::Acquire),
             group_commits: s.group_commits.load(Ordering::Acquire),
             forced_syncs: s.forced_syncs.load(Ordering::Acquire),
+            checkpoint_syncs: s.checkpoint_syncs.load(Ordering::Acquire),
             syncs: s.syncs.load(Ordering::Acquire),
             checkpoints: s.checkpoints.load(Ordering::Acquire),
             log_page_writes: s.log_page_writes.load(Ordering::Acquire),
@@ -382,12 +476,35 @@ impl Wal {
         let len_bytes = (delta.len() as u32).to_le_bytes();
 
         let mut ap = self.append.lock();
-        let first_mod = ap.logged.insert(page);
         let lsn = ap.end_lsn;
+        // Transaction identity is thread-keyed: the first update after a
+        // commit boundary opens a fresh run for the calling thread.
+        let tid = std::thread::current().id();
+        let txn = match ap.thread_txns.get(&tid) {
+            Some(&txn) => txn,
+            None => {
+                ap.next_txn += 1;
+                let txn = ap.next_txn;
+                ap.thread_txns.insert(tid, txn);
+                txn
+            }
+        };
+        ap.active.entry(txn).or_insert(lsn);
+        let first_mod = match ap.logged.entry(page) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().1 = lsn;
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((lsn, lsn));
+                true
+            }
+        };
+        let txn_bytes = txn.to_le_bytes();
         let (kind, body_parts): (u8, Vec<&[u8]>) = if first_mod {
-            (KIND_FIRST_MOD, vec![&page_bytes, &off_bytes, &len_bytes, old, delta])
+            (KIND_FIRST_MOD, vec![&page_bytes, &txn_bytes, &off_bytes, &len_bytes, old, delta])
         } else {
-            (KIND_DELTA, vec![&page_bytes, &off_bytes, &len_bytes, delta])
+            (KIND_DELTA, vec![&page_bytes, &txn_bytes, &off_bytes, &len_bytes, delta])
         };
         let end = encode_record(&mut ap.pending, lsn, kind, &body_parts);
         ap.end_lsn = end;
@@ -403,10 +520,17 @@ impl Wal {
         let target = {
             let mut ap = self.append.lock();
             ap.commit_seq += 1;
+            let txn = ap.thread_txns.get(&std::thread::current().id()).copied().unwrap_or_default();
             let seq_bytes = ap.commit_seq.to_le_bytes();
+            let txn_bytes = txn.to_le_bytes();
             let lsn = ap.end_lsn;
-            let end = encode_record(&mut ap.pending, lsn, KIND_COMMIT, &[&seq_bytes]);
+            let end = encode_record(&mut ap.pending, lsn, KIND_COMMIT, &[&seq_bytes, &txn_bytes]);
             ap.end_lsn = end;
+            // A commit boundary covers everything appended so far (module
+            // docs), so every in-flight run closes here — no transaction
+            // stays active across it.
+            ap.thread_txns.clear();
+            ap.active.clear();
             self.stats.record_bytes.fetch_add(end - lsn, Ordering::Release);
             end
         };
@@ -467,11 +591,17 @@ impl Wal {
         }
     }
 
-    /// Truncates the log: everything flushed becomes the new generation
-    /// base, log pages are reused from offset 0.  The caller (normally
-    /// `Database::checkpoint`) must have written back every dirty data
-    /// page first — records are unrecoverable after this returns.
-    pub fn checkpoint(&self) -> Result<()> {
+    /// Fuzzy checkpoint: truncates the log down to a horizon that spares
+    /// every in-flight writer's rollback pre-images.  `flushed_fence` is
+    /// the caller's `end_lsn()` sample taken *before* it wrote back dirty
+    /// data pages (normally `Database::checkpoint`): every record below
+    /// the fence describes an update whose page has reached the data
+    /// device, so such records are truncatable once no open transaction
+    /// or straddling page run needs them.  Callers need **not** be
+    /// quiescent — commits, updates, and this checkpoint interleave
+    /// freely; a quiescent instant is merely detected and rewarded with
+    /// the full physical rewind (log pages reused from offset 0).
+    pub fn checkpoint(&self, flushed_fence: u64) -> Result<()> {
         // Become the exclusive I/O leader.
         let mut io = self.io.lock();
         while io.syncing {
@@ -479,7 +609,7 @@ impl Wal {
         }
         io.syncing = true;
         drop(io);
-        let res = self.checkpoint_inner();
+        let res = self.checkpoint_inner(flushed_fence);
         let mut io = self.io.lock();
         io.syncing = false;
         if let Ok(end) = res {
@@ -493,29 +623,96 @@ impl Wal {
     }
 
     /// Leader-context body of [`Wal::checkpoint`].
-    fn checkpoint_inner(&self) -> Result<u64> {
+    fn checkpoint_inner(&self, flushed_fence: u64) -> Result<u64> {
+        // A stale fence (from before a concurrent checkpoint advanced the
+        // start) must never move the start backwards: floor it.
+        let start_floor = self.flush.lock().start_lsn;
+        let eff_fence = flushed_fence.max(start_floor);
+        // Phase 1, under the append lock: pick the truncation horizon,
+        // append a CheckpointBegin if any writer is in flight, and re-key
+        // the FirstMod dedup to the horizon.
+        let horizon = {
+            let mut ap = self.append.lock();
+            let begin = ap.end_lsn;
+            let quiescent_now = ap.active.is_empty() && eff_fence >= begin;
+            let mut h = eff_fence.min(begin);
+            if let Some(&first) = ap.active.values().min() {
+                h = h.min(first);
+            }
+            // No page's record run may straddle the horizon: a surviving
+            // Delta would orphan its truncated FirstMod.  Lower h to the
+            // FirstMod of any straddler until a fixpoint (h only
+            // decreases, bounded by the oldest FirstMod).
+            loop {
+                let straddler = ap
+                    .logged
+                    .values()
+                    .filter(|&&(first, last)| first < h && last >= h)
+                    .map(|&(first, _)| first)
+                    .min();
+                match straddler {
+                    Some(first) => h = first,
+                    None => break,
+                }
+            }
+            debug_assert!(h >= start_floor, "truncation horizon may only move forward");
+            if !quiescent_now {
+                let listed = ap.active.len().min(MAX_CKPT_TXNS);
+                let mut body = Vec::with_capacity(12 + 16 * listed);
+                body.extend_from_slice(&h.to_le_bytes());
+                body.extend_from_slice(&(listed as u32).to_le_bytes());
+                for (&txn, &first) in ap.active.iter().take(listed) {
+                    body.extend_from_slice(&txn.to_le_bytes());
+                    body.extend_from_slice(&first.to_le_bytes());
+                }
+                let end = encode_record(&mut ap.pending, begin, KIND_CHECKPOINT, &[&body]);
+                ap.end_lsn = end;
+                self.stats.record_bytes.fetch_add(end - begin, Ordering::Release);
+            }
+            // Pages whose whole run sits below the horizon are truncated:
+            // their next update must log a fresh pre-image.  (The fixpoint
+            // above guarantees `first >= h` keeps exactly the survivors.)
+            ap.logged.retain(|_, &mut (first, _)| first >= h);
+            h
+        };
         let end = self.flush_and_sync()?;
+        self.stats.checkpoint_syncs.fetch_add(1, Ordering::Release);
         let mut fs = self.flush.lock();
         debug_assert_eq!(fs.flushed_lsn, end);
-        // Persist the new generation base before adopting it: a crash
-        // between the two syncs leaves the old anchor + old records, which
-        // is still a consistent (pre-checkpoint) log.
-        write_anchor(&*self.disk, self.page_size, end)?;
+        // Phase 2: if this is still a quiescent instant — no open
+        // transaction and nothing appended past the fence (in particular
+        // no CheckpointBegin, which is only logged when writers are in
+        // flight) — the whole flushed stream is committed and on the data
+        // device, so the generation physically rewinds.  Otherwise only
+        // the logical start advances to the horizon; the device mapping
+        // (base) and every record at or above the horizon stay put.
+        let rewind = {
+            let ap = self.append.lock();
+            ap.active.is_empty() && ap.end_lsn == end && eff_fence >= end
+        };
+        let (base, start) = if rewind { (end, end) } else { (fs.base_lsn, horizon) };
+        // Persist the new anchor before adopting it: a crash between the
+        // two syncs leaves the old anchor + old records, which is still a
+        // consistent (pre-checkpoint) log.
+        write_anchor(&*self.disk, self.page_size, base, start)?;
         self.disk.sync()?;
-        fs.base_lsn = end;
-        fs.partial.clear();
-        // Pages modify-logged so far must FirstMod again in the new
-        // generation (their old FirstMods were just truncated away).
-        self.append.lock().logged.clear();
+        fs.base_lsn = base;
+        fs.start_lsn = start;
+        if rewind {
+            fs.partial.clear();
+            self.append.lock().logged.clear();
+        }
         self.stats.checkpoints.fetch_add(1, Ordering::Release);
         self.stats.syncs.fetch_add(1, Ordering::Release);
+        self.stats.checkpoint_syncs.fetch_add(1, Ordering::Release);
         Ok(end)
     }
 
     /// Writes all pending stream bytes to log pages and syncs the device.
-    /// Called only with `io.syncing` held by this thread.  On failure the
-    /// pending buffer and `flushed_lsn` are untouched, so nothing is
-    /// published and a retry rewrites the identical bytes.
+    /// Called only with `io.syncing` held by this thread.  On failure —
+    /// including a failed sync *after* the page writes landed — the
+    /// pending buffer, `flushed_lsn`, and `partial` are all untouched, so
+    /// nothing is published and a retry rewrites the identical bytes.
     fn flush_and_sync(&self) -> Result<u64> {
         let mut fs = self.flush.lock();
         let (bytes, target_end) = {
@@ -523,20 +720,24 @@ impl Wal {
             (ap.pending.clone(), ap.end_lsn)
         };
         debug_assert_eq!(fs.flushed_lsn + bytes.len() as u64, target_end);
-        if !bytes.is_empty() {
-            self.write_stream(&mut fs, &bytes)?;
-        }
+        let new_partial =
+            if bytes.is_empty() { None } else { Some(self.write_stream(&fs, &bytes)?) };
         self.disk.sync()?;
         self.stats.syncs.fetch_add(1, Ordering::Release);
         self.append.lock().pending.drain(..bytes.len());
         fs.flushed_lsn = target_end;
+        if let Some(partial) = new_partial {
+            fs.partial = partial;
+        }
         Ok(target_end)
     }
 
     /// Writes `bytes` (the stream range starting at `fs.flushed_lsn`) to
     /// the device, rewriting the partial tail page with its durable
-    /// prefix.  `fs.partial` is updated only on full success.
-    fn write_stream(&self, fs: &mut FlushState, bytes: &[u8]) -> Result<()> {
+    /// prefix.  Returns the new tail page's durable prefix; the caller
+    /// installs it into `fs.partial` only once the device sync succeeds —
+    /// a dying sync must leave the whole flush state untouched.
+    fn write_stream(&self, fs: &FlushState, bytes: &[u8]) -> Result<Vec<u8>> {
         let ps = self.page_size;
         let rel0 = (fs.flushed_lsn - fs.base_lsn) as usize;
         debug_assert_eq!(rel0 % ps, fs.partial.len() % ps);
@@ -560,21 +761,22 @@ impl Wal {
             self.stats.log_page_writes.fetch_add(1, Ordering::Release);
             written += n;
         }
-        // Success: remember the durable prefix of the new tail page.
+        // Success: return the durable prefix of the new tail page.
         let end_rel = rel0 + bytes.len();
         let tail_off = end_rel % ps;
-        if tail_off == 0 {
-            fs.partial.clear();
+        let new_partial = if tail_off == 0 {
+            Vec::new()
         } else {
             let page_start = end_rel - tail_off;
             if page_start >= rel0 {
-                fs.partial.clear();
-                fs.partial.extend_from_slice(&bytes[page_start - rel0..]);
+                bytes[page_start - rel0..].to_vec()
             } else {
-                fs.partial.extend_from_slice(bytes);
+                let mut p = fs.partial.clone();
+                p.extend_from_slice(bytes);
+                p
             }
-        }
-        Ok(())
+        };
+        Ok(new_partial)
     }
 }
 
@@ -592,14 +794,16 @@ fn encode_record(out: &mut Vec<u8>, lsn: u64, kind: u8, body_parts: &[&[u8]]) ->
     lsn + (REC_HDR + body_len) as u64
 }
 
-fn write_anchor(disk: &dyn DiskManager, page_size: usize, base: u64) -> Result<()> {
+fn write_anchor(disk: &dyn DiskManager, page_size: usize, base: u64, start: u64) -> Result<()> {
+    debug_assert!(start >= base);
     let mut page = vec![0u8; page_size];
     put_u32(&mut page, 0, WAL_MAGIC);
     put_u16(&mut page, 4, WAL_VERSION);
     put_u64(&mut page, 8, base);
+    put_u64(&mut page, 16, start);
     let mut h = Fnv::new();
-    h.update(&page[..16]);
-    put_u64(&mut page, 16, h.finish());
+    h.update(&page[..24]);
+    put_u64(&mut page, 24, h.finish());
     disk.write_page(PageId(0), &page)
 }
 
@@ -644,17 +848,41 @@ impl<'a> StreamReader<'a> {
     }
 }
 
-/// Scans the record stream from `base` until the LSN/checksum chain
-/// breaks.  Returns `(records, committed_count, committed_end_lsn)`.
-fn scan_records(disk: &dyn DiskManager, ps: usize, base: u64) -> (Vec<WalRecord>, usize, u64) {
+/// What a log scan found: the valid record prefix plus the high-water
+/// marks of the monotone sequences embedded in it.
+struct ScanResult {
+    records: Vec<WalRecord>,
+    /// Leading records up to and including the last Commit.
+    committed: usize,
+    /// Stream position just past that last Commit (== `start` if none).
+    committed_end: u64,
+    /// Highest commit sequence number seen (0 if none).
+    max_seq: u64,
+    /// Highest transaction id seen (0 if none).
+    max_txn: u64,
+}
+
+impl ScanResult {
+    fn empty(start: u64) -> ScanResult {
+        ScanResult {
+            records: Vec::new(),
+            committed: 0,
+            committed_end: start,
+            max_seq: 0,
+            max_txn: 0,
+        }
+    }
+}
+
+/// Scans the record stream from `start` (device-mapped via `base`) until
+/// the LSN/checksum chain breaks.
+fn scan_records(disk: &dyn DiskManager, ps: usize, base: u64, start: u64) -> ScanResult {
     let mut reader = StreamReader::new(disk, ps, base);
-    let mut records = Vec::new();
-    let mut committed = 0usize;
-    let mut committed_end = base;
-    let mut pos = base;
+    let mut out = ScanResult::empty(start);
+    let mut pos = start;
     let mut hdr = Vec::new();
     let mut body = Vec::new();
-    let max_body = 16 + 2 * ps;
+    let max_body = (24 + 2 * ps).max(12 + 16 * MAX_CKPT_TXNS);
     loop {
         if !reader.read(pos, REC_HDR, &mut hdr) {
             break;
@@ -663,7 +891,8 @@ fn scan_records(disk: &dyn DiskManager, ps: usize, base: u64) -> (Vec<WalRecord>
         let body_len = get_u32(&hdr, 8) as usize;
         let kind = hdr[12];
         let crc = get_u64(&hdr, 13);
-        if lsn != pos || body_len > max_body || !(KIND_FIRST_MOD..=KIND_COMMIT).contains(&kind) {
+        if lsn != pos || body_len > max_body || !(KIND_FIRST_MOD..=KIND_CHECKPOINT).contains(&kind)
+        {
             break;
         }
         if !reader.read(pos + REC_HDR as u64, body_len, &mut body) {
@@ -676,50 +905,84 @@ fn scan_records(disk: &dyn DiskManager, ps: usize, base: u64) -> (Vec<WalRecord>
             break;
         };
         let end = pos + (REC_HDR + body_len) as u64;
+        match &rec {
+            WalRecord::FirstMod { txn, .. } | WalRecord::Delta { txn, .. } => {
+                out.max_txn = out.max_txn.max(*txn);
+            }
+            WalRecord::Commit { seq, txn } => {
+                out.max_seq = out.max_seq.max(*seq);
+                out.max_txn = out.max_txn.max(*txn);
+            }
+            WalRecord::Checkpoint { horizon, active } => {
+                // A horizon past its own record is nonsense: treat it as
+                // the end of the valid chain.
+                if *horizon > lsn {
+                    break;
+                }
+                for &(txn, _) in active {
+                    out.max_txn = out.max_txn.max(txn);
+                }
+            }
+        }
         let is_commit = matches!(rec, WalRecord::Commit { .. });
-        records.push(rec);
+        out.records.push(rec);
         if is_commit {
-            committed = records.len();
-            committed_end = end;
+            out.committed = out.records.len();
+            out.committed_end = end;
         }
         pos = end;
     }
-    (records, committed, committed_end)
+    out
 }
 
 fn decode_body(kind: u8, body: &[u8], ps: usize) -> Option<WalRecord> {
     match kind {
         KIND_COMMIT => {
-            if body.len() != 8 {
+            if body.len() != 16 {
                 return None;
             }
-            Some(WalRecord::Commit { seq: get_u64(body, 0) })
+            Some(WalRecord::Commit { seq: get_u64(body, 0), txn: get_u64(body, 8) })
+        }
+        KIND_CHECKPOINT => {
+            if body.len() < 12 {
+                return None;
+            }
+            let horizon = get_u64(body, 0);
+            let n = get_u32(body, 8) as usize;
+            if n > MAX_CKPT_TXNS || body.len() != 12 + 16 * n {
+                return None;
+            }
+            let active =
+                (0..n).map(|i| (get_u64(body, 12 + 16 * i), get_u64(body, 20 + 16 * i))).collect();
+            Some(WalRecord::Checkpoint { horizon, active })
         }
         KIND_FIRST_MOD | KIND_DELTA => {
-            if body.len() < 16 {
+            if body.len() < 24 {
                 return None;
             }
             let page = PageId(get_u64(body, 0));
-            let delta_off = get_u32(body, 8) as usize;
-            let delta_len = get_u32(body, 12) as usize;
+            let txn = get_u64(body, 8);
+            let delta_off = get_u32(body, 16) as usize;
+            let delta_len = get_u32(body, 20) as usize;
             if delta_off + delta_len > ps {
                 return None;
             }
             if kind == KIND_FIRST_MOD {
-                if body.len() != 16 + ps + delta_len {
+                if body.len() != 24 + ps + delta_len {
                     return None;
                 }
                 Some(WalRecord::FirstMod {
                     page,
-                    before: body[16..16 + ps].to_vec(),
+                    txn,
+                    before: body[24..24 + ps].to_vec(),
                     delta_off,
-                    delta: body[16 + ps..].to_vec(),
+                    delta: body[24 + ps..].to_vec(),
                 })
             } else {
-                if body.len() != 16 + delta_len {
+                if body.len() != 24 + delta_len {
                     return None;
                 }
-                Some(WalRecord::Delta { page, delta_off, delta: body[16..].to_vec() })
+                Some(WalRecord::Delta { page, txn, delta_off, delta: body[24..].to_vec() })
             }
         }
         _ => None,
@@ -764,17 +1027,18 @@ mod tests {
         drop(wal);
 
         // A fresh attach finds the full committed stream.
-        let (records, committed, committed_end) = scan_records(&*disk, 128, 0);
-        assert_eq!(records.len(), 3);
-        assert_eq!(committed, 3);
-        assert_eq!(committed_end, end);
-        assert!(matches!(&records[0],
-            WalRecord::FirstMod { page, before, delta_off, delta }
+        let scan = scan_records(&*disk, 128, 0, 0);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.committed, 3);
+        assert_eq!(scan.committed_end, end);
+        assert_eq!((scan.max_seq, scan.max_txn), (1, 1));
+        assert!(matches!(&scan.records[0],
+            WalRecord::FirstMod { page, txn: 1, before, delta_off, delta }
             if *page == PageId(4) && before == &old && *delta_off == 10 && delta == &vec![7u8; 10]));
-        assert!(matches!(&records[1],
-            WalRecord::Delta { page, delta_off, delta }
+        assert!(matches!(&scan.records[1],
+            WalRecord::Delta { page, txn: 1, delta_off, delta }
             if *page == PageId(4) && *delta_off == 100 && delta == &vec![9u8]));
-        assert!(matches!(&records[2], WalRecord::Commit { seq: 1 }));
+        assert!(matches!(&scan.records[2], WalRecord::Commit { seq: 1, txn: 1 }));
     }
 
     #[test]
@@ -807,7 +1071,7 @@ mod tests {
         new[5] = 5;
         wal.log_update(PageId(9), &old, &new).unwrap();
         wal.commit().unwrap();
-        wal.checkpoint().unwrap();
+        wal.checkpoint(wal.end_lsn()).unwrap();
         assert_eq!(wal.stats().checkpoints, 1);
         drop(wal);
 
@@ -841,10 +1105,10 @@ mod tests {
             prev = next;
         }
         drop(wal);
-        let (records, committed, committed_end) = scan_records(&*disk, 128, 0);
-        assert_eq!(records.len(), 40, "20 mods + 20 commits");
-        assert_eq!(committed, 40);
-        assert_eq!(committed_end, *ends.last().unwrap());
+        let scan = scan_records(&*disk, 128, 0, 0);
+        assert_eq!(scan.records.len(), 40, "20 mods + 20 commits");
+        assert_eq!(scan.committed, 40);
+        assert_eq!(scan.committed_end, *ends.last().unwrap());
     }
 
     #[test]
@@ -863,9 +1127,9 @@ mod tests {
         disk.read_page(victim, &mut page).unwrap();
         page[(end / 2 % 128) as usize] ^= 0xFF;
         disk.write_page(victim, &page).unwrap();
-        let (records, committed, _) = scan_records(&*disk, 128, 0);
-        assert_eq!(records.len(), 0, "checksum break stops the scan");
-        assert_eq!(committed, 0);
+        let scan = scan_records(&*disk, 128, 0, 0);
+        assert_eq!(scan.records.len(), 0, "checksum break stops the scan");
+        assert_eq!(scan.committed, 0);
     }
 
     #[test]
@@ -895,6 +1159,96 @@ mod tests {
         let s = wal.stats();
         assert_eq!(s.commits, 200);
         assert_eq!(s.commit_syncs + s.group_commits, s.commits, "exact commit accounting");
+        assert_eq!(s.syncs, s.commit_syncs + s.forced_syncs + s.checkpoint_syncs);
         assert_eq!(wal.durable_lsn(), wal.end_lsn());
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_spares_the_open_transactions_records() {
+        let (disk, wal) = fresh_wal(128);
+        let old = vec![0u8; 128];
+        let mut v1 = old.clone();
+        v1[0] = 1;
+        // A committed transaction, fully flushed...
+        wal.log_update(PageId(1), &old, &v1).unwrap();
+        wal.commit().unwrap();
+        // ...then an open transaction whose record reaches the device.
+        let lsn = wal.log_update(PageId(2), &old, &v1).unwrap();
+        wal.make_durable(lsn).unwrap();
+        let fence = wal.end_lsn();
+        wal.checkpoint(fence).unwrap();
+        let s = wal.stats();
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.checkpoint_syncs, 2, "record flush + anchor rewrite");
+        assert_eq!(s.syncs, s.commit_syncs + s.forced_syncs + s.checkpoint_syncs);
+        drop(wal);
+
+        // The committed generation was truncated, but the open
+        // transaction's FirstMod pre-image survives for rollback, followed
+        // by the CheckpointBegin naming it.
+        let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        let log = wal2.take_recovered().unwrap();
+        assert_eq!(log.committed, 0, "nothing at or above the horizon is committed");
+        assert_eq!(log.records.len(), 2);
+        assert!(matches!(&log.records[0],
+            WalRecord::FirstMod { page, txn, before, .. }
+            if *page == PageId(2) && *txn == 2 && before == &old));
+        assert!(matches!(&log.records[1],
+            WalRecord::Checkpoint { active, .. } if active.len() == 1 && active[0].0 == 2));
+    }
+
+    #[test]
+    fn fuzzy_then_quiescent_checkpoint_rewinds_the_device() {
+        let (disk, wal) = fresh_wal(128);
+        let old = vec![0u8; 128];
+        let mut v1 = old.clone();
+        v1[3] = 3;
+        // Open transaction at checkpoint time: horizon pins to its first
+        // record (LSN 0), so the start cannot move at all.
+        wal.log_update(PageId(5), &old, &v1).unwrap();
+        wal.checkpoint(wal.end_lsn()).unwrap();
+        assert_eq!(wal.stats().checkpoints, 1);
+        // Commit closes the run; a second checkpoint finds the quiescent
+        // instant and physically rewinds the generation.
+        wal.commit().unwrap();
+        wal.checkpoint(wal.end_lsn()).unwrap();
+        drop(wal);
+        let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        assert!(wal2.take_recovered().is_none(), "rewound log has no records");
+        // Page reuse from offset 0 still works after the fuzzy interlude.
+        let mut v2 = v1.clone();
+        v2[4] = 4;
+        wal2.log_update(PageId(5), &v1, &v2).unwrap();
+        let end = wal2.commit().unwrap();
+        drop(wal2);
+        let wal3 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        let log = wal3.take_recovered().unwrap();
+        assert_eq!(log.committed, 2);
+        assert_eq!(wal3.end_lsn(), end);
+    }
+
+    #[test]
+    fn straddling_page_run_drags_the_horizon_down() {
+        let (disk, wal) = fresh_wal(128);
+        let old = vec![0u8; 128];
+        let mut v1 = old.clone();
+        v1[7] = 7;
+        let mut v2 = v1.clone();
+        v2[8] = 8;
+        // FirstMod below the fence, Delta above it, then a commit: the
+        // fixpoint must refuse to orphan the Delta and keep everything.
+        wal.log_update(PageId(7), &old, &v1).unwrap();
+        let fence = wal.end_lsn();
+        wal.log_update(PageId(7), &v1, &v2).unwrap();
+        wal.commit().unwrap();
+        wal.checkpoint(fence).unwrap();
+        drop(wal);
+        let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        let log = wal2.take_recovered().unwrap();
+        assert_eq!(log.committed, 3, "FirstMod + Delta + Commit all survive");
+        assert!(
+            matches!(&log.records[0], WalRecord::FirstMod { page, .. } if *page == PageId(7)),
+            "the pre-image stayed below the horizon"
+        );
     }
 }

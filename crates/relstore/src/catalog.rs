@@ -124,16 +124,24 @@ impl Database {
     }
 
     /// Flushes all cached pages to the device; on a durable pool this
-    /// then **truncates** the write-ahead log (every page image is on the
-    /// data device, so the log's records are dead weight).  Callers must
-    /// be quiescent: concurrent writers mid-transaction during a
-    /// checkpoint move the crash-rollback horizon with them.
+    /// then **truncates** the write-ahead log down to its fuzzy-checkpoint
+    /// horizon (records whose page images reached the data device are dead
+    /// weight — but any in-flight transaction's rollback pre-images are
+    /// spared).  Callers need **not** be quiescent: the WAL samples the
+    /// end-of-log fence *before* the write-back pass, so commits and
+    /// updates racing this call neither lose durability nor leak
+    /// uncommitted state through a post-checkpoint crash.
     pub fn checkpoint(&self) -> Result<()> {
-        self.pool.flush_all()?;
-        if let Some(wal) = self.pool.wal() {
-            wal.checkpoint()?;
+        match self.pool.wal() {
+            Some(wal) => {
+                // The fence must pre-date the write-back pass: every record
+                // below it provably describes a flushed page.
+                let fence = wal.end_lsn();
+                self.pool.flush_all()?;
+                wal.checkpoint(fence)
+            }
+            None => self.pool.flush_all(),
         }
-        Ok(())
     }
 
     /// Exclusive latch serializing multi-call read-modify-write

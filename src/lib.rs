@@ -60,13 +60,16 @@
 //! crash-safe: [`pagestore::BufferPool::new_durable`] enforces
 //! WAL-before-data via page LSNs, [`relstore::Database::commit`]
 //! group-commits (one log fsync can cover many concurrent committers),
-//! [`relstore::Database::checkpoint`] truncates the log, and
+//! [`relstore::Database::checkpoint`] truncates the log *fuzzily* —
+//! callers need not be quiescent; the truncation horizon spares every
+//! in-flight transaction's rollback before-images — and
 //! [`relstore::Database::open`] replays the committed tail after a
 //! crash.  Pools built without a WAL behave exactly like the original
 //! volatile engine — same goldens, byte for byte.  The contract is
-//! enforced by `tests/crash_recovery.rs`, which kills a workload at
-//! every device-write index (including torn writes) and verifies
-//! recovery each time.
+//! enforced by `tests/crash_recovery.rs`, which kills workloads
+//! (including checkpoints racing open transactions) at every
+//! device-write index and every sync barrier, torn writes included,
+//! and verifies recovery each time.
 //!
 //! ## Bulk load & beyond-paper scale
 //!

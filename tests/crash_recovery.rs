@@ -24,6 +24,9 @@ use ri_tree::pagestore::{
 };
 use ri_tree::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
 
 /// Small pages: more log pages per commit, more crash points per op.
 const PAGE: usize = 1024;
@@ -106,6 +109,7 @@ fn run_workload(rig: &Rig, crash: Option<(u64, usize, u64)>) -> Result<usize, us
             torn_sectors,
             sector_bytes: SECTOR,
             persist_seed,
+            ..Default::default()
         });
     }
 
@@ -140,8 +144,12 @@ fn run_workload(rig: &Rig, crash: Option<(u64, usize, u64)>) -> Result<usize, us
 /// Reboots: settles the dead devices' write caches, reopens the raw
 /// in-memory devices with a fresh durable pool (redo recovery runs in
 /// `Database::open`), and checks the recovered tree op by op against the
-/// oracle.  Returns the recovered row count.
-fn reopen_and_verify(rig: &Rig, committed: usize, ctx: &str) -> usize {
+/// oracle.  `max_in_flight` is the size of the one transaction that may
+/// additionally survive **atomically** (its commit record reached the log
+/// before the crash): the recovered count must be `committed` or
+/// `committed + max_in_flight`, never a partial transaction.  Returns the
+/// recovered row count.
+fn reopen_and_verify(rig: &Rig, committed: usize, max_in_flight: usize, ctx: &str) -> usize {
     rig.data_faulty.settle_crash();
     rig.wal_faulty.settle_crash();
     let pool = Arc::new(
@@ -154,9 +162,9 @@ fn reopen_and_verify(rig: &Rig, committed: usize, ctx: &str) -> usize {
 
     let n = tree.count().unwrap_or_else(|e| panic!("{ctx}: count: {e}")) as usize;
     assert!(
-        n == committed || n == committed + 1,
+        n == committed || n == committed + max_in_flight,
         "{ctx}: recovered {n} ops, but {committed} committed before the crash \
-         (at most the one in-flight op may additionally survive)"
+         (only the whole {max_in_flight}-op in-flight transaction may additionally survive)"
     );
 
     // The oracle: ids and intervals of the first `n` ops, exactly.
@@ -228,7 +236,7 @@ fn kill_at_every_write_index_and_recover() {
                 }
             };
             let ctx = format!("write {rel}/{span} variant {variant} (torn {torn})");
-            let recovered = reopen_and_verify(&rig, committed, &ctx);
+            let recovered = reopen_and_verify(&rig, committed, 1, &ctx);
             if recovered == committed + 1 {
                 in_flight_survived += 1;
             }
@@ -249,6 +257,313 @@ fn kill_at_every_write_index_and_recover() {
     );
 }
 
+/// Two-insert transactions in the checkpoint-race workload.
+const RACE_TXNS: usize = 24;
+/// Every this many transactions, a checkpoint runs **between** the two
+/// inserts — i.e. with the transaction open and its first row's records
+/// in the truncation candidate range.
+const RACE_CHECKPOINT_EVERY: usize = 3;
+
+/// Where to kill the checkpoint-race workload.
+enum RaceCrash {
+    /// Die at the `rel`-th post-setup device write, tearing `torn`
+    /// leading sectors of the dying write.
+    Write { rel: u64, torn: usize, seed: u64 },
+    /// Die at the `rel`-th post-setup sync barrier (the dying sync
+    /// destages nothing — the whole cache settles by seeded coin).
+    Sync { rel: u64, seed: u64 },
+}
+
+/// Workload where checkpoints race open transactions *by construction*:
+/// every transaction inserts two intervals, and every
+/// [`RACE_CHECKPOINT_EVERY`]-th transaction issues `Database::checkpoint`
+/// between them.  A fuzzy checkpoint must then spare the open
+/// transaction's log records; truncating them is exactly the bug the
+/// regression test below pins down.  Returns committed op counts (always
+/// even — two per transaction).
+fn run_checkpoint_race_workload(rig: &Rig, crash: Option<RaceCrash>) -> Result<usize, usize> {
+    let pool = Arc::new(
+        BufferPool::new_durable(
+            Arc::clone(&rig.data_faulty),
+            pool_config(),
+            Arc::clone(&rig.wal_faulty),
+        )
+        .expect("durable pool on fresh devices"),
+    );
+    let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
+    let tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
+    db.commit().expect("setup commit");
+    db.checkpoint().expect("setup checkpoint");
+
+    match crash {
+        Some(RaceCrash::Write { rel, torn, seed }) => rig.clock.arm_crash(CrashPlan {
+            crash_at_write: Some(rig.clock.writes() + rel),
+            torn_sectors: torn,
+            sector_bytes: SECTOR,
+            persist_seed: seed,
+            ..Default::default()
+        }),
+        Some(RaceCrash::Sync { rel, seed }) => rig.clock.arm_crash(CrashPlan {
+            crash_at_sync: Some(rig.clock.syncs() + rel),
+            persist_seed: seed,
+            ..Default::default()
+        }),
+        None => {}
+    }
+
+    let mut committed = 0usize;
+    for t in 0..RACE_TXNS {
+        let step = (|| -> ri_tree::core::Result<()> {
+            tree.insert(op_interval(2 * t), (2 * t) as i64)?;
+            if t % RACE_CHECKPOINT_EVERY == 0 {
+                db.checkpoint()?;
+            }
+            tree.insert(op_interval(2 * t + 1), (2 * t + 1) as i64)?;
+            db.commit()?;
+            Ok(())
+        })();
+        if let Err(err) = step {
+            assert!(
+                err.to_string().contains("crash"),
+                "txn {t}: only the simulated crash may fail the workload, got: {err}"
+            );
+            return Err(committed);
+        }
+        committed += 2;
+    }
+    Ok(committed)
+}
+
+/// Verifies one checkpoint-race crash point: the recovered count must be
+/// a whole number of transactions — an odd count means a checkpoint
+/// truncated half of an uncommitted transaction's log tail and recovery
+/// resurrected the other half.
+fn verify_race_crash_point(rig: &Rig, committed: usize, ctx: &str) -> usize {
+    let recovered = reopen_and_verify(rig, committed, 2, ctx);
+    assert_eq!(
+        recovered % 2,
+        0,
+        "{ctx}: recovered {recovered} ops — a partial transaction survived"
+    );
+    recovered
+}
+
+/// The kill-anywhere matrix extended with a concurrent-writer-during-
+/// checkpoint workload: the machine dies at every post-setup device
+/// write index (clean and torn) while checkpoints race open
+/// transactions, and recovery must restore a whole number of committed
+/// transactions at every single index.
+#[test]
+fn kill_at_every_write_index_with_checkpoint_racing_dml() {
+    let dry = Rig::new();
+    let before = {
+        let pool = Arc::new(
+            BufferPool::new_durable(
+                Arc::clone(&dry.data_faulty),
+                pool_config(),
+                Arc::clone(&dry.wal_faulty),
+            )
+            .expect("durable pool"),
+        );
+        let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
+        let _tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
+        db.commit().expect("commit");
+        db.checkpoint().expect("checkpoint");
+        dry.clock.writes()
+    };
+    let dry = Rig::new();
+    assert_eq!(run_checkpoint_race_workload(&dry, None), Ok(2 * RACE_TXNS));
+    let total = dry.clock.writes();
+    assert!(total > before, "workload must write");
+    let span = total - before;
+
+    let mut crash_points = 0u64;
+    let mut in_flight_survived = 0u64;
+    for rel in 0..span {
+        for (variant, torn) in
+            [(0u64, 0usize), (1, 1 + (rel as usize % 3)), (2, 1 + ((rel as usize + 1) % 3))]
+        {
+            let rig = Rig::new();
+            let seed = rel * 0xC0FFEE + variant;
+            let committed = match run_checkpoint_race_workload(
+                &rig,
+                Some(RaceCrash::Write { rel, torn, seed }),
+            ) {
+                Err(committed) => committed,
+                Ok(done) => {
+                    assert_eq!(done, 2 * RACE_TXNS);
+                    rig.clock.crash_now();
+                    done
+                }
+            };
+            let ctx = format!("ckpt-race write {rel}/{span} variant {variant} (torn {torn})");
+            if verify_race_crash_point(&rig, committed, &ctx) == committed + 2 {
+                in_flight_survived += 1;
+            }
+            crash_points += 1;
+        }
+    }
+    assert!(crash_points >= 500, "the sweep must cover >= 500 crash points, got {crash_points}");
+    assert!(
+        in_flight_survived > 0,
+        "no crash point ever made the in-flight transaction durable — sweep too coarse"
+    );
+    eprintln!(
+        "ckpt-race kill-anywhere: {crash_points} crash points over {span} write indices, \
+         in-flight transaction survived {in_flight_survived} times"
+    );
+}
+
+/// Same workload, but the kill lands on every post-setup **sync
+/// barrier** instead of every write: the power cut strikes exactly when
+/// the mid-transaction checkpoint flushes its log, syncs the data
+/// device, or rewrites the anchor — the narrow windows the fuzzy
+/// protocol's ordering argument lives on.
+#[test]
+fn kill_at_every_sync_index_with_checkpoint_racing_dml() {
+    let dry = Rig::new();
+    let before = {
+        let pool = Arc::new(
+            BufferPool::new_durable(
+                Arc::clone(&dry.data_faulty),
+                pool_config(),
+                Arc::clone(&dry.wal_faulty),
+            )
+            .expect("durable pool"),
+        );
+        let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
+        let _tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
+        db.commit().expect("commit");
+        db.checkpoint().expect("checkpoint");
+        dry.clock.syncs()
+    };
+    let dry = Rig::new();
+    assert_eq!(run_checkpoint_race_workload(&dry, None), Ok(2 * RACE_TXNS));
+    let total = dry.clock.syncs();
+    assert!(total > before, "workload must sync");
+    let span = total - before;
+
+    let mut crash_points = 0u64;
+    for rel in 0..span {
+        for seed_salt in 0..4u64 {
+            let rig = Rig::new();
+            let seed = rel * 0x51C2 + seed_salt;
+            let committed =
+                match run_checkpoint_race_workload(&rig, Some(RaceCrash::Sync { rel, seed })) {
+                    Err(committed) => committed,
+                    Ok(done) => {
+                        assert_eq!(done, 2 * RACE_TXNS);
+                        rig.clock.crash_now();
+                        done
+                    }
+                };
+            let ctx = format!("ckpt-race sync {rel}/{span} seed {seed}");
+            verify_race_crash_point(&rig, committed, &ctx);
+            crash_points += 1;
+        }
+    }
+    eprintln!("ckpt-race sync sweep: {crash_points} crash points over {span} sync barriers");
+}
+
+/// Regression (the fuzzy-checkpoint bug): a writer parked **mid-
+/// transaction** while `Database::checkpoint` runs must still roll back
+/// cleanly after a crash.
+///
+/// The rendezvous is deterministic: the writer inserts its first
+/// uncommitted row, then the main thread starts a checkpoint whose
+/// data-device sync parks on a sync hook; while parked, the writer is
+/// released to insert its *second* uncommitted row (DML truly interleaves
+/// inside the checkpoint window), finishes, and the checkpoint resumes.
+/// The machine then dies with the transaction still open.
+///
+/// Before the fix, the checkpoint flushed the writer's first-row page
+/// images to the data device and truncated their before-images out of the
+/// log, so recovery resurrected half a transaction that was never
+/// committed.  With fuzzy checkpoints the truncation horizon stops below
+/// the open transaction's first record and recovery rolls both rows back.
+#[test]
+fn checkpoint_racing_open_transaction_rolls_back_cleanly() {
+    const SETUP_OPS: usize = 3;
+    let rig = Rig::new();
+    let pool = Arc::new(
+        BufferPool::new_durable(
+            Arc::clone(&rig.data_faulty),
+            // Roomy pool: no evictions, so the only data-device sync after
+            // setup is the checkpoint's own flush — the hook below parks
+            // exactly the checkpoint window.
+            BufferPoolConfig::with_capacity(64),
+            Arc::clone(&rig.wal_faulty),
+        )
+        .expect("durable pool"),
+    );
+    let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
+    let tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
+    for i in 0..SETUP_OPS {
+        tree.insert(op_interval(i), i as i64).expect("setup insert");
+    }
+    db.commit().expect("setup commit");
+    db.checkpoint().expect("setup checkpoint");
+    rig.clock.arm_crash(CrashPlan { crash_at_write: None, ..Default::default() });
+
+    let first_insert_done = Arc::new(AtomicBool::new(false));
+    let writer_may_continue = Arc::new(AtomicBool::new(false));
+    let writer_done = Arc::new(AtomicBool::new(false));
+    {
+        // Park the first post-setup data-device sync (the checkpoint's
+        // flush) until the writer has squeezed its second uncommitted
+        // insert into the window.
+        let armed = Arc::new(AtomicBool::new(true));
+        let writer_may_continue = Arc::clone(&writer_may_continue);
+        let writer_done = Arc::clone(&writer_done);
+        rig.data_faulty.set_sync_hook(Some(Arc::new(move |_idx| {
+            if armed.swap(false, Ordering::SeqCst) {
+                writer_may_continue.store(true, Ordering::SeqCst);
+                while !writer_done.load(Ordering::SeqCst) {
+                    thread::sleep(Duration::from_millis(1));
+                }
+            }
+        })));
+    }
+
+    thread::scope(|s| {
+        let writer = {
+            let tree = &tree;
+            let first_insert_done = Arc::clone(&first_insert_done);
+            let writer_may_continue = Arc::clone(&writer_may_continue);
+            let writer_done = Arc::clone(&writer_done);
+            s.spawn(move || {
+                // First uncommitted row, before the checkpoint starts.
+                tree.insert(op_interval(100), 100).expect("in-flight insert 1");
+                first_insert_done.store(true, Ordering::SeqCst);
+                while !writer_may_continue.load(Ordering::SeqCst) {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                // Second uncommitted row, inside the checkpoint window.
+                tree.insert(op_interval(101), 101).expect("in-flight insert 2");
+                writer_done.store(true, Ordering::SeqCst);
+                // The transaction never commits: the crash below must roll
+                // back both rows.
+            })
+        };
+        // The writer owns the only open transaction; checkpoint once its
+        // first insert is logged.
+        while !first_insert_done.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        db.checkpoint().expect("checkpoint racing the open transaction");
+        writer.join().expect("writer thread");
+    });
+    rig.data_faulty.set_sync_hook(None);
+    rig.clock.crash_now();
+    drop((tree, db, pool));
+
+    let n = reopen_and_verify(&rig, SETUP_OPS, 0, "checkpoint vs open transaction");
+    assert_eq!(
+        n, SETUP_OPS,
+        "the open transaction never committed; no part of it may survive the crash"
+    );
+}
+
 /// A power cut with *no* dying write — the machine stops between device
 /// operations with an arbitrary unsynced write-cache subset — recovers
 /// to exactly the committed prefix.
@@ -261,6 +576,7 @@ fn power_cut_between_writes_recovers_committed_prefix() {
             torn_sectors: 0,
             sector_bytes: SECTOR,
             persist_seed: seed,
+            ..Default::default()
         });
         let pool = Arc::new(
             BufferPool::new_durable(
@@ -280,6 +596,6 @@ fn power_cut_between_writes_recovers_committed_prefix() {
         }
         rig.clock.crash_now();
         drop((tree, db, pool));
-        reopen_and_verify(&rig, committed, &format!("power cut, seed {seed}"));
+        reopen_and_verify(&rig, committed, 0, &format!("power cut, seed {seed}"));
     }
 }
