@@ -1,0 +1,14 @@
+//! Mean commit latency vs committing writer threads: inline first-flush
+//! against the background WAL flusher, over small and large transactions
+//! (our durability experiment; see `ri_bench::commit_latency` for the
+//! deterministic flush-policy model).
+//!
+//! Usage: `fig22_commit_latency [--quick] [--json PATH]`
+//!
+//! `--json PATH` additionally writes the deterministic snapshot consumed
+//! by CI (conventionally `BENCH_commit_latency.json`).
+
+fn main() {
+    let (quick, json) = ri_bench::snapshot_args("BENCH_commit_latency.json");
+    ri_bench::commit_latency::run(quick, json.as_deref());
+}

@@ -1,0 +1,513 @@
+//! The commit-latency experiment (ours, not the paper's): mean commit
+//! latency versus committing writer threads, inline first-flush against
+//! the background WAL flusher — the price of paying the log backlog
+//! write inside the commit critical path.
+//!
+//! # Methodology
+//!
+//! Like `fig20`, the experiment prices concurrency *deterministically*.
+//! Two real single-writer durable runs execute first, both under
+//! `FlushPolicy::Off` (so their WAL counters are exactly reproducible):
+//! a **small-transaction** workload (1 insert per commit) and a
+//! **large-transaction** workload ([`LARGE_TXN_INSERTS`] inserts per
+//! commit).  The traced facts — stream bytes appended per commit, hence
+//! full log pages per commit — feed a discrete-event simulation in
+//! **integer nanoseconds** that prices two flush policies over `T`
+//! writers doing the identical per-commit work:
+//!
+//! * **inline** — today's `FlushPolicy::Off`: the group-commit leader
+//!   writes every unflushed log page of the covered commits (the whole
+//!   backlog since the last flush), then the tail page, then fsyncs.
+//!   Large transactions stall their leader on megabytes of backlog.
+//! * **flusher-ahead** — `FlushPolicy::Background`: a flusher thread
+//!   spends device idle time writing buffered pages FIFO as they are
+//!   appended, so at commit time the leader usually finds the backlog
+//!   already on the device and writes only the tail page before the
+//!   fsync.  The modelled flusher yields to an arriving commit (it
+//!   never starts a page write that would delay a pending sync) — the
+//!   optimistic variant, deterministic by construction.
+//!
+//! Both policies share the group-commit rule of `fig20` (a starting
+//! fsync covers every request issued at or before its start, lowest
+//! writer index first), so the snapshot (`BENCH_commit_latency.json`)
+//! is byte-stable across runs and machines.  Device costs are the
+//! paper-era disk: [`T_SYNC_NS`] per fsync, [`T_PAGE_WRITE_NS`] per
+//! 2 KB log page (~10 MB/s sequential).
+//!
+//! Alongside the model, the experiment *actually runs* a
+//! `FlushPolicy::Background` database and reports its flusher counters
+//! plus the WAL's absolute sync-accounting identity.  Those counters
+//! depend on thread scheduling, so they are printed as `#` comments and
+//! excluded from the JSON.
+
+use crate::harness::{f, section};
+use ri_pagestore::{BufferPool, BufferPoolConfig, FlushPolicy, MemDisk, WalConfig, WalSnapshot};
+use ri_relstore::{Database, TableDef};
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::sync::Arc;
+
+/// Committing writer thread counts evaluated.
+pub const THREAD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Simulated fsync latency (~10 ms seek + rotation + settle).
+pub const T_SYNC_NS: u64 = 10_000_000;
+
+/// Sequential write of one 2 KB log page on the paper-era disk
+/// (~10 MB/s): the unit of backlog the inline leader pays per page.
+pub const T_PAGE_WRITE_NS: u64 = 200_000;
+
+/// Fixed per-commit CPU floor before the append-derived cost is added.
+pub const T_OP_BASE_NS: u64 = 100_000;
+
+/// Per-byte cost of encoding + appending WAL records (think time).
+pub const T_OP_PER_BYTE_NS: u64 = 40;
+
+/// Log page size of the traced configuration.
+pub const PAGE_BYTES: u64 = 2048;
+
+/// Inserts per commit in the large-transaction workload.
+pub const LARGE_TXN_INSERTS: u64 = 256;
+
+/// The deterministic facts read off one traced single-writer run.
+#[derive(Clone, Copy, Debug)]
+pub struct Trace {
+    /// Committed transactions in the traced run.
+    pub commits: u64,
+    /// Inserts per transaction.
+    pub inserts_per_commit: u64,
+    /// Stream bytes the run appended (records + commits).
+    pub wal_record_bytes: u64,
+}
+
+impl Trace {
+    /// Integer stream bytes per commit (rounded up), the model's input.
+    pub fn bytes_per_commit(&self) -> u64 {
+        self.wal_record_bytes.div_ceil(self.commits.max(1))
+    }
+
+    /// Whole log pages a commit's records fill — the backlog the
+    /// flusher can write ahead.  The partial tail page is always paid
+    /// at commit (it only fills when the commit record lands).
+    pub fn full_pages_per_commit(&self) -> u64 {
+        self.bytes_per_commit() / PAGE_BYTES
+    }
+
+    /// Simulated nanoseconds a writer computes between commits.
+    pub fn t_think_ns(&self) -> u64 {
+        T_OP_BASE_NS + self.bytes_per_commit() * T_OP_PER_BYTE_NS
+    }
+}
+
+/// One simulated policy outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct SimResult {
+    /// Total commits performed (always `threads x commits_per_writer`).
+    pub commits: u64,
+    /// Log fsyncs issued.
+    pub fsyncs: u64,
+    /// Sum over commits of (durable instant - commit request instant).
+    pub total_latency_ns: u64,
+    /// End-to-end simulated nanoseconds.
+    pub makespan_ns: u64,
+    /// Largest group a single fsync covered.
+    pub max_group: u64,
+}
+
+impl SimResult {
+    /// Mean commit latency — the figure's y-axis.
+    pub fn mean_latency_ns(&self) -> u64 {
+        self.total_latency_ns / self.commits.max(1)
+    }
+}
+
+/// Discrete-event simulation of `threads` writers each committing
+/// `commits_per_writer` transactions of `full_pages` whole log pages
+/// (+ a partial tail page), thinking `t_think` ns per transaction.
+///
+/// The device serializes everything.  With `flusher` off, the
+/// group-commit leader writes all covered backlog pages plus one tail
+/// page, then fsyncs; with it on, a background drain writes buffered
+/// pages FIFO during device idle gaps (page-granular; it yields rather
+/// than delay a pending commit), and the leader pays only the
+/// still-unwritten residual plus the tail page and the fsync.  Ties
+/// break on lowest writer index.
+pub fn simulate(
+    threads: usize,
+    commits_per_writer: u64,
+    full_pages: u64,
+    t_think: u64,
+    flusher: bool,
+) -> SimResult {
+    // Commit-request instant of each writer's current transaction.
+    let mut ready: Vec<u64> = vec![t_think; threads];
+    let mut remaining: Vec<u64> = vec![commits_per_writer; threads];
+    // Whole pages of the current transaction not yet on the device.
+    let mut unflushed: Vec<u64> = vec![full_pages; threads];
+    // Writers with unflushed pages, FIFO by transaction start (the
+    // append order the flusher drains in).  Entries whose pages were
+    // consumed by a leader are dropped lazily.
+    let mut queue: VecDeque<(u64, usize)> =
+        if flusher { (0..threads).map(|i| (0u64, i)).collect() } else { VecDeque::new() };
+    let mut device_free = 0u64;
+    let mut fsyncs = 0u64;
+    let mut commits = 0u64;
+    let mut total_latency = 0u64;
+    let mut makespan = 0u64;
+    let mut max_group = 0u64;
+    while let Some((req, _)) =
+        (0..threads).filter(|&i| remaining[i] > 0).map(|i| (ready[i], i)).min()
+    {
+        let start = device_free.max(req);
+        if flusher {
+            // Background drain: spend the idle gap [device_free, start)
+            // writing available pages, never past the sync start.
+            while let Some(&(avail, w)) = queue.front() {
+                if unflushed[w] == 0 {
+                    queue.pop_front();
+                    continue;
+                }
+                let page_start = device_free.max(avail);
+                if page_start + T_PAGE_WRITE_NS > start {
+                    break;
+                }
+                device_free = page_start + T_PAGE_WRITE_NS;
+                unflushed[w] -= 1;
+            }
+        }
+        let covered: Vec<usize> =
+            (0..threads).filter(|&i| remaining[i] > 0 && ready[i] <= start).collect();
+        let residual: u64 = covered.iter().map(|&i| unflushed[i]).sum();
+        let service = (residual + 1) * T_PAGE_WRITE_NS + T_SYNC_NS;
+        let done = start + service;
+        fsyncs += 1;
+        max_group = max_group.max(covered.len() as u64);
+        for &i in &covered {
+            unflushed[i] = 0;
+            commits += 1;
+            total_latency += done - ready[i];
+            remaining[i] -= 1;
+            if remaining[i] > 0 {
+                // The next transaction starts immediately: its appends
+                // become flushable at `done`, its commit after `t_think`.
+                unflushed[i] = full_pages;
+                ready[i] = done + t_think;
+                if flusher && full_pages > 0 {
+                    queue.push_back((done, i));
+                }
+            }
+        }
+        device_free = done;
+        makespan = done;
+    }
+    SimResult { commits, fsyncs, total_latency_ns: total_latency, makespan_ns: makespan, max_group }
+}
+
+/// One figure row: both flush policies at one thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Committing writer threads.
+    pub threads: usize,
+    /// Today's inline first-flush (`FlushPolicy::Off`).
+    pub inline: SimResult,
+    /// The background flusher (`FlushPolicy::Background`).
+    pub ahead: SimResult,
+}
+
+impl Row {
+    /// Inline mean latency over flusher-ahead mean latency (>1 = win).
+    pub fn latency_ratio(&self) -> f64 {
+        self.inline.mean_latency_ns() as f64 / self.ahead.mean_latency_ns().max(1) as f64
+    }
+}
+
+/// One workload's traced facts plus its simulated figure rows.
+pub struct Workload {
+    /// `"small"` or `"large"`.
+    pub label: &'static str,
+    /// The traced single-writer facts.
+    pub trace: Trace,
+    /// One entry per thread count.
+    pub rows: Vec<Row>,
+}
+
+/// Everything the experiment produced, ready for printing / JSON.
+pub struct Report {
+    /// Commits each simulated writer performs.
+    pub commits_per_writer: u64,
+    /// The small- and large-transaction workloads.
+    pub workloads: Vec<Workload>,
+}
+
+/// A fresh WAL-backed database on in-memory devices, paper-sized pool.
+fn durable_db(wal_config: WalConfig) -> Database {
+    let pool = Arc::new(
+        BufferPool::new_durable_with(
+            MemDisk::new(PAGE_BYTES as usize),
+            BufferPoolConfig::with_capacity(200),
+            MemDisk::new(PAGE_BYTES as usize),
+            wal_config,
+        )
+        .expect("durable pool"),
+    );
+    let db = Database::create(pool).expect("create");
+    db.create_table(TableDef { name: "T".into(), columns: vec!["a".into(), "b".into()] })
+        .expect("ddl");
+    db
+}
+
+fn wal_stats(db: &Database) -> WalSnapshot {
+    db.pool().wal().expect("durable pool").stats()
+}
+
+/// Runs the real single-writer `FlushPolicy::Off` workload and reads
+/// the WAL's counters: `commits` transactions of `inserts_per_commit`
+/// inserts each, one fsync per commit (nobody to follow).
+fn trace_txn(inserts_per_commit: u64, commits: u64) -> Trace {
+    let db = durable_db(WalConfig::default());
+    let t = db.table("T").expect("table");
+    for c in 0..commits as i64 {
+        for k in 0..inserts_per_commit as i64 {
+            let id = c * inserts_per_commit as i64 + k;
+            t.insert(&[id, (id * 37) % 1000]).expect("insert");
+        }
+        db.commit().expect("commit");
+    }
+    let stats = wal_stats(&db);
+    assert_eq!(stats.commits, commits, "one commit per transaction");
+    assert_eq!(stats.commit_syncs, commits, "single-threaded: every commit leads");
+    assert_eq!(stats.flusher_writes, 0, "FlushPolicy::Off never flushes in the background");
+    Trace { commits, inserts_per_commit, wal_record_bytes: stats.record_bytes }
+}
+
+/// Really runs a `FlushPolicy::Background` database and reports its
+/// (scheduling-dependent) flusher counters; asserts the absolute sync
+/// identity, which must hold on any schedule.
+fn report_real_flusher_run(inserts_per_commit: u64, commits: u64) {
+    let db = durable_db(WalConfig {
+        flush_policy: FlushPolicy::Background { watermark_bytes: 2 * PAGE_BYTES as usize },
+        ..WalConfig::default()
+    });
+    let t = db.table("T").expect("table");
+    for c in 0..commits as i64 {
+        for k in 0..inserts_per_commit as i64 {
+            let id = c * inserts_per_commit as i64 + k;
+            t.insert(&[id, id % 7]).expect("insert");
+        }
+        db.commit().expect("commit");
+    }
+    let s = wal_stats(&db);
+    assert_eq!(
+        s.syncs,
+        s.commit_syncs + s.forced_syncs + s.checkpoint_syncs,
+        "sync accounting identity must hold with the flusher racing commits: {s:?}"
+    );
+    println!(
+        "# real: background flusher, {} commits x {} inserts: {} flusher writes \
+         ({} bytes ahead), {} segments created, {} syncs ({} commit-led)",
+        commits,
+        inserts_per_commit,
+        s.flusher_writes,
+        s.flusher_bytes,
+        s.segments_created,
+        s.syncs,
+        s.commit_syncs
+    );
+    db.close().expect("close");
+}
+
+/// Runs the experiment; when `json_path` is set, also writes the
+/// deterministic snapshot there (the CI artifact).
+pub fn run(quick: bool, json_path: Option<&std::path::Path>) -> Report {
+    section("Figure 22: mean commit latency, inline first-flush vs background flusher");
+    let commits_per_writer: u64 = if quick { 50 } else { 200 };
+    let small_commits: u64 = if quick { 400 } else { 2_000 };
+    let large_commits: u64 = if quick { 8 } else { 40 };
+    let mut workloads = Vec::new();
+    for (label, ipc, traced) in
+        [("small", 1, small_commits), ("large", LARGE_TXN_INSERTS, large_commits)]
+    {
+        let trace = trace_txn(ipc, traced);
+        let full_pages = trace.full_pages_per_commit();
+        let t_think = trace.t_think_ns();
+        println!(
+            "# trace[{label}]: {} commits x {} inserts, {} stream bytes \
+             ({} B/commit, {} full pages), t_think = {} ns",
+            trace.commits,
+            trace.inserts_per_commit,
+            trace.wal_record_bytes,
+            trace.bytes_per_commit(),
+            full_pages,
+            t_think
+        );
+        println!(
+            "{label}: threads,mean_latency_ms_inline,mean_latency_ms_ahead,latency_ratio,\
+             fsyncs_inline,fsyncs_ahead,max_group_ahead"
+        );
+        let mut rows = Vec::new();
+        for &threads in &THREAD_COUNTS {
+            let inline = simulate(threads, commits_per_writer, full_pages, t_think, false);
+            let ahead = simulate(threads, commits_per_writer, full_pages, t_think, true);
+            let row = Row { threads, inline, ahead };
+            println!(
+                "{threads},{},{},{},{},{},{}",
+                f(inline.mean_latency_ns() as f64 / 1e6),
+                f(ahead.mean_latency_ns() as f64 / 1e6),
+                f(row.latency_ratio()),
+                inline.fsyncs,
+                ahead.fsyncs,
+                ahead.max_group
+            );
+            rows.push(row);
+        }
+        workloads.push(Workload { label, trace, rows });
+    }
+
+    // Correctness of the real background-flusher path (counters depend
+    // on scheduling; informational only, the identity is what must hold).
+    report_real_flusher_run(LARGE_TXN_INSERTS, if quick { 4 } else { 16 });
+
+    println!("# model: inline leaders rewrite the whole covered backlog inside the");
+    println!("# commit critical path; the flusher writes it during think-time device");
+    println!("# idle gaps, so large-transaction commits pay only the tail page + fsync.");
+    println!("# Small transactions fill no whole page, so both policies coincide.");
+    let report = Report { commits_per_writer, workloads };
+    if let Some(path) = json_path {
+        write_json(&report, path, quick).expect("write bench snapshot");
+        println!("# wrote {}", path.display());
+    }
+    report
+}
+
+/// Serializes the deterministic part of the report as JSON (hand-rolled,
+/// like the other snapshots; the workspace is offline and needs no serde).
+fn write_json(report: &Report, path: &std::path::Path, quick: bool) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"fig22_commit_latency\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(
+        "  \"protocol\": \"group-commit leaders under two flush policies: inline \
+         (the leader writes every unflushed log page of the covered commits, then \
+         the tail page, then fsyncs) vs flusher-ahead (a background drain writes \
+         buffered pages during device idle gaps, so the leader pays only the \
+         still-unwritten residual + tail page + fsync). Identical per-commit work, \
+         traced from real FlushPolicy::Off runs\",\n",
+    );
+    out.push_str(&format!("  \"runner_cores\": {},\n", crate::harness::runner_cores()));
+    out.push_str(&format!("  \"commits_per_writer\": {},\n", report.commits_per_writer));
+    out.push_str("  \"model\": {\n");
+    out.push_str(&format!(
+        "    \"t_sync_ns\": {T_SYNC_NS},\n    \"t_page_write_ns\": {T_PAGE_WRITE_NS},\n    \"page_bytes\": {PAGE_BYTES}\n  }},\n"
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (wi, w) in report.workloads.iter().enumerate() {
+        out.push_str(&format!("    {{\"label\": \"{}\",\n", w.label));
+        out.push_str(&format!(
+            "     \"trace\": {{\"commits\": {}, \"inserts_per_commit\": {}, \"wal_record_bytes\": {}, \"bytes_per_commit\": {}, \"full_pages_per_commit\": {}, \"t_think_ns\": {}}},\n",
+            w.trace.commits,
+            w.trace.inserts_per_commit,
+            w.trace.wal_record_bytes,
+            w.trace.bytes_per_commit(),
+            w.trace.full_pages_per_commit(),
+            w.trace.t_think_ns()
+        ));
+        out.push_str("     \"results\": [\n");
+        for (i, r) in w.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "       {{\"threads\": {}, \"commits\": {}, \"mean_latency_ns_inline\": {}, \"mean_latency_ns_ahead\": {}, \"latency_ratio\": {:.4}, \"fsyncs_inline\": {}, \"fsyncs_ahead\": {}, \"makespan_ns_inline\": {}, \"makespan_ns_ahead\": {}, \"max_group_ahead\": {}}}{}\n",
+                r.threads,
+                r.ahead.commits,
+                r.inline.mean_latency_ns(),
+                r.ahead.mean_latency_ns(),
+                r.latency_ratio(),
+                r.inline.fsyncs,
+                r.ahead.fsyncs,
+                r.inline.makespan_ns,
+                r.ahead.makespan_ns,
+                r.ahead.max_group,
+                if i + 1 == w.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "     ]}}{}\n",
+            if wi + 1 == report.workloads.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T_THINK: u64 = 500_000;
+
+    #[test]
+    fn both_policies_commit_everything() {
+        for &t in &THREAD_COUNTS {
+            for flusher in [false, true] {
+                let r = simulate(t, 30, 6, T_THINK, flusher);
+                assert_eq!(r.commits, t as u64 * 30);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_backlog_makes_the_policies_coincide() {
+        // A transaction that fills no whole page leaves the flusher
+        // nothing to write ahead: identical latency, fsyncs, makespan.
+        for &t in &THREAD_COUNTS {
+            let a = simulate(t, 30, 0, T_THINK, false);
+            let b = simulate(t, 30, 0, T_THINK, true);
+            assert_eq!(a.total_latency_ns, b.total_latency_ns);
+            assert_eq!(a.fsyncs, b.fsyncs);
+            assert_eq!(a.makespan_ns, b.makespan_ns);
+        }
+    }
+
+    #[test]
+    fn flusher_ahead_beats_inline_on_backlogged_commits() {
+        for &t in &THREAD_COUNTS {
+            let inline = simulate(t, 30, 6, T_THINK, false);
+            let ahead = simulate(t, 30, 6, T_THINK, true);
+            assert!(
+                ahead.mean_latency_ns() < inline.mean_latency_ns(),
+                "{t} writers: flusher-ahead ({}) must beat inline ({})",
+                ahead.mean_latency_ns(),
+                inline.mean_latency_ns()
+            );
+            assert!(ahead.makespan_ns <= inline.makespan_ns);
+        }
+    }
+
+    #[test]
+    fn quick_run_is_deterministic_and_meets_the_bar() {
+        let a = run(true, None);
+        let b = run(true, None);
+        for (wa, wb) in a.workloads.iter().zip(&b.workloads) {
+            assert_eq!(
+                wa.trace.wal_record_bytes, wb.trace.wal_record_bytes,
+                "trace must be repeatable"
+            );
+            for (ra, rb) in wa.rows.iter().zip(&wb.rows) {
+                assert_eq!(ra.ahead.total_latency_ns, rb.ahead.total_latency_ns);
+                assert_eq!(ra.inline.fsyncs, rb.inline.fsyncs);
+            }
+        }
+        let large = a.workloads.iter().find(|w| w.label == "large").unwrap();
+        assert!(
+            large.trace.full_pages_per_commit() >= 1,
+            "the large workload must actually backlog whole pages"
+        );
+        for r in &large.rows {
+            assert!(
+                r.ahead.mean_latency_ns() < r.inline.mean_latency_ns(),
+                "{} writers: flusher-ahead must beat inline on large transactions",
+                r.threads
+            );
+        }
+    }
+}

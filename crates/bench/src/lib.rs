@@ -7,6 +7,7 @@
 //! block accesses* and *response time* (simulated via the disk latency
 //! model plus per-row executor cost, see `ri_pagestore::LatencyModel`).
 
+pub mod commit_latency;
 pub mod concurrency;
 pub mod figures;
 pub mod group_commit;

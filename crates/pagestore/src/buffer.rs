@@ -83,13 +83,23 @@
 //! (invoked by `Database::open`) can always rebuild the committed state.
 //! Pools built without a WAL are bit-for-bit the seed pool — the
 //! golden-pinned figures never pay for durability they don't use.
+//!
+//! A durable pool built with [`BufferPool::new_durable_with`] and
+//! [`FlushPolicy::Background`] additionally owns the WAL's **background
+//! flusher thread**: spawned at construction, it drains the append buffer
+//! to the log device whenever the buffered backlog crosses the watermark,
+//! so commit-time [`Wal::make_durable`] calls usually find their bytes
+//! already written and only pay the fsync.  The thread is joined by
+//! [`BufferPool::stop_flusher`] (called by `Database::close` and by the
+//! pool's `Drop`); it never syncs the device, so the WAL's sync-accounting
+//! identities and the WAL-before-data barrier are untouched.
 
 use crate::disk::DiskManager;
 use crate::error::{Error, Result};
 use crate::latch::LatchManager;
 use crate::page::PageId;
 use crate::stats::{IoStats, PoolStats};
-use crate::wal::{RecoveryReport, Wal, WalRecord};
+use crate::wal::{FlushPolicy, RecoveryReport, Wal, WalConfig, WalRecord};
 use parking_lot::{Mutex, MutexGuard};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -218,7 +228,12 @@ pub struct BufferPool {
     page_size: usize,
     capacity: usize,
     /// Write-ahead log on its own device; `None` for volatile pools.
-    wal: Option<Wal>,
+    /// Shared with the background flusher thread when one is running.
+    wal: Option<Arc<Wal>>,
+    /// Join handle of the background flusher thread, when
+    /// [`FlushPolicy::Background`] is active.  Taken (joined) exactly once
+    /// by [`BufferPool::stop_flusher`].
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl BufferPool {
@@ -273,6 +288,7 @@ impl BufferPool {
             page_size,
             capacity: config.capacity,
             wal: None,
+            flusher: Mutex::new(None),
         }
     }
 
@@ -292,6 +308,24 @@ impl BufferPool {
         D: DiskManager + 'static,
         W: DiskManager + 'static,
     {
+        Self::new_durable_with(disk, config, wal_disk, WalConfig::default())
+    }
+
+    /// [`BufferPool::new_durable`] with an explicit [`WalConfig`]: segment
+    /// size and [`FlushPolicy`].  With [`FlushPolicy::Background`] the pool
+    /// spawns — and owns — the WAL's background flusher thread; call
+    /// [`BufferPool::stop_flusher`] (or let `Drop` do it) to join it.  The
+    /// default config is behaviorally identical to [`BufferPool::new_durable`].
+    pub fn new_durable_with<D, W>(
+        disk: D,
+        config: BufferPoolConfig,
+        wal_disk: W,
+        wal_config: WalConfig,
+    ) -> Result<Self>
+    where
+        D: DiskManager + 'static,
+        W: DiskManager + 'static,
+    {
         if wal_disk.page_size() != disk.page_size() {
             return Err(Error::InvalidArgument(format!(
                 "WAL device page size {} != data device page size {}",
@@ -299,15 +333,39 @@ impl BufferPool {
                 disk.page_size()
             )));
         }
-        let wal = Wal::attach(Box::new(wal_disk))?;
+        let wal = Arc::new(Wal::attach_with(Box::new(wal_disk), wal_config)?);
         let mut pool = Self::new(disk, config);
+        if matches!(wal_config.flush_policy, FlushPolicy::Background { .. }) {
+            let runner = Arc::clone(&wal);
+            let handle = std::thread::Builder::new()
+                .name("wal-flusher".into())
+                .spawn(move || runner.flusher_run())
+                .map_err(Error::Io)?;
+            *pool.flusher.lock() = Some(handle);
+        }
         pool.wal = Some(wal);
         Ok(pool)
     }
 
     /// The pool's write-ahead log, if built with [`BufferPool::new_durable`].
     pub fn wal(&self) -> Option<&Wal> {
-        self.wal.as_ref()
+        self.wal.as_deref()
+    }
+
+    /// Stops and joins the background flusher thread, if one is running.
+    ///
+    /// Idempotent and cheap when there is nothing to stop.  Buffered log
+    /// bytes are *not* lost — they simply go back to being flushed inline
+    /// by the next commit or checkpoint, exactly as under
+    /// [`FlushPolicy::Off`].
+    pub fn stop_flusher(&self) {
+        let handle = self.flusher.lock().take();
+        if let Some(handle) = handle {
+            if let Some(wal) = &self.wal {
+                wal.flusher_stop();
+            }
+            let _ = handle.join();
+        }
     }
 
     /// Replays the log tail found at attach time against the data device:
@@ -836,6 +894,7 @@ impl Drop for BufferPool {
         // Best-effort write-back so file-backed databases persist without an
         // explicit flush; errors are ignored as in most destructors.
         let _ = self.flush_all();
+        self.stop_flusher();
     }
 }
 

@@ -32,7 +32,14 @@
 //! Several devices (e.g. the data disk and the WAL disk) can share one
 //! `FaultClock`, so a single global write index enumerates every crash
 //! point of a workload across all devices — the basis of the
-//! kill-anywhere suite in `tests/crash_recovery.rs`.
+//! kill-anywhere suite in `tests/crash_recovery.rs`.  That enumeration is
+//! *thread-blind by design*: the WAL's background flusher thread and the
+//! segment-rollover path (header + anchor writes) issue ordinary device
+//! writes on the same clock, so sweeping `crash_at_write` over a workload
+//! automatically lands kills **inside flusher drains and mid-rollover** —
+//! no separate flusher-aware plumbing is needed, the flusher-enabled
+//! sweeps in `tests/crash_recovery.rs` just run a `FlushPolicy::Background`
+//! pool against the same advancing clock.
 //!
 //! Page allocation is modelled as immediately durable (it only extends the
 //! device; a crash can at worst leak zeroed pages, never tear data).

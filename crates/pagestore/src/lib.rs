@@ -47,7 +47,7 @@ pub use faulty::{CrashPlan, FaultClock, FaultPlan, FaultyDisk, ReadHook, SyncHoo
 pub use latch::{LatchGuard, LatchManager, LatchSnapshot, LatchStats};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use stats::{IoSnapshot, IoStats, LatencyModel, MissSnapshot, PoolStats};
-pub use wal::{RecoveryReport, Wal, WalSnapshot};
+pub use wal::{FlushPolicy, RecoveryReport, Wal, WalConfig, WalSnapshot};
 
 #[cfg(test)]
 mod tests {

@@ -2,16 +2,37 @@
 //!
 //! The WAL lives on its **own block device** beside the data device, so
 //! the data file keeps the exact layout the paper experiments were
-//! calibrated against (header at page 0, etc.).  Page 0 of the log device
-//! is an **anchor** naming the current log generation; pages 1.. hold a
+//! calibrated against (header at page 0, etc.).  Device pages 0 and 1 are
+//! a pair of alternating **anchors** naming the current log generation;
+//! the rest of the device is carved into fixed-size **segments** holding a
 //! byte stream of physical redo records.
 //!
-//! # Log stream and LSNs
+//! # Log stream, LSNs, and segments
 //!
 //! An LSN is a logical byte offset into the append-only record stream.
-//! The anchor's `base_lsn` maps the stream onto the device: stream byte
-//! `s` lives at offset `(s − base_lsn) % page_size` of log page
-//! `1 + (s − base_lsn) / page_size`.  Each record is framed as
+//! The stream is cut into size-bounded segments of
+//! `payload = (segment_pages − 1) × page_size` bytes each: stream byte
+//! `s` belongs to segment `s / payload` at segment offset `s % payload`.
+//! The anchor carries a **segment map** — a run of consecutive segment
+//! numbers starting at `first_seg`, each mapped to a device *slot* (slot
+//! `k` owns device pages `2 + k·segment_pages ..`, the first of which is
+//! a self-checksummed segment header naming the segment's `first_lsn`).
+//! Because the payload size is a whole number of pages, LSN multiples of
+//! `page_size` always fall on device page boundaries, exactly as in the
+//! pre-segment layout.
+//!
+//! Appending past the end of the mapped region **rolls over**: the lowest
+//! retired slot (or a freshly allocated one) gets a new segment header
+//! and the anchor gains a map entry — usually with no device sync,
+//! because losing an unsynced rollover merely ends the recovery scan at
+//! the segment boundary, which only ever discards unsynced bytes.  At
+//! most **one** anchor write may be outstanding, though: anchor writes
+//! alternate between device pages 0 and 1, so a second unsynced rewrite
+//! would land on the page holding the only *durable* anchor, and tearing
+//! it (while the intermediate anchor was never destaged) could lose both
+//! copies.  A rollover that follows another unsynced anchor write
+//! therefore syncs the device first (see `write_anchor_guarded`).  Each
+//! record is framed as
 //!
 //! ```text
 //! lsn u64 | body_len u32 | kind u8 | checksum u64 | body …
@@ -39,11 +60,29 @@
 //! history cover everything appended so far — see the caveat at the end).
 //!
 //! Appending buffers bytes in memory; they reach the device when a commit
-//! (or a write-back barrier) forces the log. The partially-filled tail
-//! page is append-rewritten: every rewrite carries the identical durable
-//! prefix, so under the torn-write model (prefix of sectors persists) a
-//! torn tail rewrite can only damage bytes past the last sync — exactly
-//! the bytes recovery discards anyway when the checksum chain breaks.
+//! (or a write-back barrier) forces the log, or earlier when the
+//! **background flusher** drains them (see below). The partially-filled
+//! tail page is append-rewritten: every rewrite carries the identical
+//! previously-written prefix, so under the torn-write model (prefix of
+//! sectors persists) a torn tail rewrite can only damage bytes past the
+//! last sync — exactly the bytes recovery discards anyway when the
+//! checksum chain breaks.
+//!
+//! # The background flusher
+//!
+//! With [`FlushPolicy::Background`], a flusher thread (owned by the
+//! durable [`crate::buffer::BufferPool`]) drains the append buffer to the
+//! device ahead of commits: [`Wal::log_update`] wakes it whenever the
+//! buffered bytes reach the policy's watermark, and the flusher writes
+//! the backlog out **without syncing** while committers are still
+//! computing.  A group-commit leader then usually finds its target bytes
+//! already on the device and only pays the fsync, instead of rewriting
+//! megabytes of backlog inline.  The flusher serializes on the same
+//! flush-state lock as the commit path, never touches `durable_lsn`, and
+//! never issues a device sync — so the WAL-before-data invariant and the
+//! sync accounting identity below are untouched by it.  With the default
+//! [`FlushPolicy::Off`] the thread does not exist and the commit path is
+//! bit-for-bit the pre-flusher behavior.
 //!
 //! # The WAL-before-data invariant
 //!
@@ -85,21 +124,24 @@
 //! horizon: pages whose records were truncated must log a fresh
 //! pre-image on their next update.
 //!
-//! When the checkpoint observes a **quiescent instant** — no in-flight
-//! transaction, nothing appended past the fence — it instead performs
-//! the full physical rewind: the anchor's `base` and `start` both move
-//! to the end of log and log pages are reused from offset 0.  Stale
-//! records from the previous generation cannot be mistaken for live
-//! ones: a record's embedded LSN must equal its stream position, and
-//! every stream position of the new generation maps to a strictly larger
-//! LSN than any old record stored at the same device offset.  (Under a
-//! fuzzy checkpoint the mapping is untouched, so no stale-byte question
-//! arises.)
+//! Truncation reclaims the device by **retiring whole segments**: every
+//! segment lying wholly below the new `start` is dropped from the front
+//! of the anchor's map and its slot returned to a free list that the
+//! next rollover reuses — no quiescent instant required, unlike the old
+//! whole-device rewind.  Stale bytes in a recycled slot cannot be
+//! mistaken for live records: segment LSN ranges are disjoint, the
+//! reader validates each segment header's `first_lsn` before trusting
+//! its pages, and a record's embedded LSN must equal its stream
+//! position.
 //!
 //! # Recovery
 //!
-//! `Wal::attach` validates the anchor and scans the stream from the
-//! anchor's `start` until the LSN/checksum chain breaks, yielding the
+//! `Wal::attach` reads both anchor pages and adopts the valid one with
+//! the higher sequence number (anchor writes alternate between pages 0
+//! and 1, so the page being overwritten always holds the *older* anchor
+//! — a torn anchor write can never lose both).  It then scans the stream
+//! from the anchor's `start` until the LSN/checksum chain breaks or the
+//! mapped segments end, yielding the
 //! valid record prefix.  `BufferPool::recover` then replays all records
 //! up to the last Commit into in-memory page images (FirstMod starts
 //! from its pre-image, Delta applies on top, CheckpointBegin is a
@@ -123,7 +165,7 @@ use crate::disk::DiskManager;
 use crate::error::{Error, Result};
 use crate::page::PageId;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, PoisonError};
 use std::thread::ThreadId;
@@ -140,14 +182,63 @@ const KIND_CHECKPOINT: u8 = 4;
 /// capping it bounds the record size without affecting correctness.
 const MAX_CKPT_TXNS: usize = 4096;
 
-/// Anchor page layout:
-/// `magic u32 | version u16 | pad u16 | base u64 | start u64 | crc u64`.
-/// `base` maps the stream onto the device (stream byte `base` is the first
-/// byte of log page 1); `start` is where recovery scans from — truncation
-/// advances `start`, while `base` moves only on a full physical rewind.
+/// Anchor layout (device page `anchor_seq & 1`, so writes alternate and
+/// the previous anchor survives a torn rewrite):
+/// `magic u32 | version u16 | pad u16 | anchor_seq u64 | start u64 |
+///  seg_pages u32 | count u32 | first_seg u64 | count × slot u32 | crc u64`
+/// with the crc (FNV-1a 64) covering everything before it.  `start` is
+/// where recovery scans from; the map assigns device slots to the
+/// consecutive segments `first_seg .. first_seg + count`.
 const WAL_MAGIC: u32 = 0x5249_574C; // "RIWL"
-const WAL_VERSION: u16 = 2;
-const ANCHOR_LEN: usize = 32;
+const WAL_VERSION: u16 = 3;
+const ANCHOR_HDR: usize = 40;
+
+/// Segment header page layout (first page of every slot):
+/// `magic u32 | pad u32 | first_lsn u64 | crc u64`.
+const SEG_MAGIC: u32 = 0x5249_5347; // "RISG"
+
+/// Default device pages per segment (header + 255 payload pages).
+const DEFAULT_SEGMENT_PAGES: u32 = 256;
+
+/// Map entries an anchor page can carry: header + entries + trailing crc.
+fn anchor_capacity(page_size: usize) -> usize {
+    page_size.saturating_sub(ANCHOR_HDR + 8) / 4
+}
+
+/// When (if ever) buffered log bytes are written to the device ahead of
+/// the commit path's own flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// No background writer: bytes reach the device only when a commit,
+    /// write-back barrier, or checkpoint flushes them — bit-for-bit the
+    /// pre-flusher behavior.
+    #[default]
+    Off,
+    /// A background flusher thread drains the append buffer (without
+    /// syncing) whenever it holds at least `watermark_bytes`.
+    Background {
+        /// Buffered-byte threshold that wakes the flusher.
+        watermark_bytes: usize,
+    },
+}
+
+/// Log storage configuration, fixed when the log is attached (see
+/// [`crate::buffer::BufferPool::new_durable_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Device pages per log segment, including the segment header page.
+    /// Applies when initializing an empty device; an existing log's
+    /// segment size is read back from its anchor.
+    pub segment_pages: u32,
+    /// Background flusher policy (default: [`FlushPolicy::Off`]).
+    pub flush_policy: FlushPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { segment_pages: DEFAULT_SEGMENT_PAGES, flush_policy: FlushPolicy::Off }
+    }
+}
 
 /// Streaming FNV-1a 64 (the repo has no external checksum dependency; a
 /// torn or stale record only needs to be *detected*, not authenticated).
@@ -236,6 +327,10 @@ struct WalStats {
     syncs: AtomicU64,
     checkpoints: AtomicU64,
     log_page_writes: AtomicU64,
+    flusher_writes: AtomicU64,
+    flusher_bytes: AtomicU64,
+    segments_created: AtomicU64,
+    segments_retired: AtomicU64,
 }
 
 /// Point-in-time copy of the WAL counters.
@@ -244,9 +339,13 @@ struct WalStats {
 /// `commits == commit_syncs + group_commits` (every successful commit
 /// either led one fsync or was covered by someone else's), and
 /// `syncs == commit_syncs + forced_syncs + checkpoint_syncs` (every log
-/// device sync is led by exactly one commit, one write-back barrier, or
-/// one checkpoint — checkpoints issue two each, the record flush and the
-/// anchor rewrite).
+/// device sync is led by exactly one commit, one forced barrier, or one
+/// checkpoint — checkpoints issue two each, the record flush and the
+/// anchor rewrite, plus a third when relieving a full segment map).  The
+/// background flusher writes pages without syncing — except for the
+/// anchor-guard sync a back-to-back rollover forces, counted under
+/// `forced_syncs` — so both identities hold exactly with it racing group
+/// commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalSnapshot {
     /// Page-update records appended (FirstMod + Delta, not Commits).
@@ -259,17 +358,30 @@ pub struct WalSnapshot {
     pub commit_syncs: u64,
     /// Commits served by another thread's sync — the group-commit win.
     pub group_commits: u64,
-    /// Syncs forced by the WAL-before-data barrier (page write-backs).
+    /// Syncs forced by a durability barrier that is not a commit: the
+    /// WAL-before-data barrier (page write-backs) and the anchor guard a
+    /// rollover issues when the previous anchor write is still unsynced.
     pub forced_syncs: u64,
     /// Syncs issued by checkpoints (two per checkpoint: record flush +
-    /// anchor rewrite), including recovery's own checkpoint.
+    /// anchor rewrite, plus one more when a full segment map forces an
+    /// early retirement pass), including recovery's own checkpoint.
     pub checkpoint_syncs: u64,
     /// Device syncs issued on the log device, all causes.
     pub syncs: u64,
     /// Checkpoint truncations performed.
     pub checkpoints: u64,
-    /// Physical page writes issued on the log device.
+    /// Physical payload-page writes issued on the log device (segment
+    /// headers and anchor rewrites are not counted here).
     pub log_page_writes: u64,
+    /// Background-flusher drain passes that wrote at least one page.
+    pub flusher_writes: u64,
+    /// Stream bytes written to the device by the background flusher.
+    pub flusher_bytes: u64,
+    /// Segments opened by rollover (including the very first one).
+    pub segments_created: u64,
+    /// Whole segments retired below `start_lsn` by checkpoints; their
+    /// slots are recycled by later rollovers.
+    pub segments_retired: u64,
 }
 
 /// Where appends go before they are flushed.
@@ -302,20 +414,97 @@ struct IoState {
     syncing: bool,
 }
 
-/// Device-position state, touched only by the current I/O leader.
+/// The anchor's segment map: consecutive segments `first_seg ..
+/// first_seg + slots.len()`, each owning the device pages of its slot.
+#[derive(Debug, Clone)]
+struct SegMap {
+    /// Device pages per slot, including the segment header page.
+    seg_pages: u64,
+    /// Segment number of `slots[0]`.
+    first_seg: u64,
+    /// Device slot of each mapped segment, oldest first.
+    slots: VecDeque<u32>,
+}
+
+impl SegMap {
+    /// Stream bytes each segment holds.
+    fn payload_bytes(&self, ps: usize) -> u64 {
+        (self.seg_pages - 1) * ps as u64
+    }
+
+    /// First device page of `slot` (its segment header).
+    fn header_page(&self, slot: u32) -> PageId {
+        PageId(2 + u64::from(slot) * self.seg_pages)
+    }
+
+    /// Pops every leading segment lying wholly below stream position
+    /// `start`, returning the freed slots (an emptied map is re-based at
+    /// `start`'s segment).  Callers persist the shrunk map in an anchor
+    /// before recycling the slots.
+    fn retire_below(&mut self, start: u64, ps: usize) -> Vec<u32> {
+        let payload = self.payload_bytes(ps);
+        let mut retired = Vec::new();
+        while let Some(&slot) = self.slots.front() {
+            if (self.first_seg + 1) * payload <= start {
+                self.slots.pop_front();
+                self.first_seg += 1;
+                retired.push(slot);
+            } else {
+                break;
+            }
+        }
+        if self.slots.is_empty() {
+            self.first_seg = start / payload;
+        }
+        retired
+    }
+
+    /// Device page holding stream byte `lsn` plus its offset in the page,
+    /// or `None` if the byte's segment is not mapped.
+    fn locate(&self, lsn: u64, ps: usize) -> Option<(PageId, usize)> {
+        let payload = self.payload_bytes(ps);
+        let idx = (lsn / payload).checked_sub(self.first_seg)?;
+        let slot = *self.slots.get(usize::try_from(idx).ok()?)?;
+        let off = (lsn % payload) as usize;
+        let page = self.header_page(slot).raw() + 1 + (off / ps) as u64;
+        Some((PageId(page), off % ps))
+    }
+}
+
+/// Device-position state, touched only under the flush lock (by the
+/// current I/O leader or the background flusher).
 struct FlushState {
-    /// Stream offset mapping the stream onto the device (anchor `base`).
-    base_lsn: u64,
     /// Logical truncation point / recovery scan start (anchor `start`).
-    /// Invariant: `base_lsn <= start_lsn <= flushed_lsn`, and it only
-    /// moves forward.
+    /// Invariant: `start_lsn <= flushed_lsn`, and it only moves forward.
     start_lsn: u64,
-    /// Stream bytes `[base_lsn, flushed_lsn)` have been written to device
+    /// Stream bytes `[.., flushed_lsn)` have been written to device
     /// pages (though they are only *durable* up to the last sync).
     flushed_lsn: u64,
     /// Bytes of the partially-filled tail page already written to the
     /// device: every rewrite of that page must repeat them verbatim.
     partial: Vec<u8>,
+    /// Sequence number of the current anchor; the anchor lives on device
+    /// page `anchor_seq & 1` and every rewrite bumps the sequence.
+    anchor_seq: u64,
+    /// Highest anchor sequence covered by a device sync.  Rollovers write
+    /// anchors unsynced, but only one such write may be outstanding: the
+    /// *next* rewrite lands on the latest durable anchor's page (parities
+    /// alternate), so [`Wal::write_anchor_guarded`] pre-syncs whenever
+    /// `anchor_seq != synced_anchor_seq`.
+    synced_anchor_seq: u64,
+    /// The current segment map, as persisted in the anchor.
+    map: SegMap,
+    /// Retired slots available for rollover reuse (lowest first).
+    free: BTreeSet<u32>,
+    /// Slots physically carved out of the device so far.
+    num_slots: u64,
+}
+
+/// Wakeup/shutdown flags for the background flusher thread.
+#[derive(Default)]
+struct FlusherCtl {
+    wake: bool,
+    shutdown: bool,
 }
 
 /// Append-only page-redo log on a dedicated block device.  Created via
@@ -324,10 +513,16 @@ struct FlushState {
 pub struct Wal {
     disk: Box<dyn DiskManager>,
     page_size: usize,
+    /// Device pages per segment slot (fixed at attach, from the anchor).
+    seg_pages: u64,
+    /// `Some(watermark_bytes)` under [`FlushPolicy::Background`].
+    watermark: Option<usize>,
     append: Mutex<AppendState>,
     io: Mutex<IoState>,
     cv: Condvar,
     flush: Mutex<FlushState>,
+    flusher: Mutex<FlusherCtl>,
+    flusher_cv: Condvar,
     stats: WalStats,
     recovered: Mutex<Option<RecoveredLog>>,
 }
@@ -338,64 +533,81 @@ enum SyncCause {
 }
 
 impl Wal {
+    /// Opens (or initializes) the log on `disk` with default settings
+    /// (default segment size, [`FlushPolicy::Off`]).
+    #[cfg(test)]
+    pub(crate) fn attach(disk: Box<dyn DiskManager>) -> Result<Wal> {
+        Wal::attach_with(disk, WalConfig::default())
+    }
+
     /// Opens (or initializes) the log on `disk`.  A non-empty device must
     /// carry a valid anchor; the record stream is scanned up to the first
     /// torn/stale record and the result parked for `BufferPool::recover`.
     /// Appends resume at the last commit boundary.
-    pub(crate) fn attach(disk: Box<dyn DiskManager>) -> Result<Wal> {
+    pub(crate) fn attach_with(disk: Box<dyn DiskManager>, config: WalConfig) -> Result<Wal> {
         let page_size = disk.page_size();
-        if page_size < ANCHOR_LEN {
+        if anchor_capacity(page_size) < 1 {
             return Err(Error::InvalidArgument(format!(
                 "WAL device page size {page_size} smaller than the anchor"
             )));
         }
-        let (base_lsn, start_lsn, scan) = if disk.num_pages() == 0 {
+        if config.segment_pages < 2 {
+            return Err(Error::InvalidArgument(
+                "WAL segment_pages must be at least 2 (header page + payload)".into(),
+            ));
+        }
+        let (anchor, scan) = if disk.num_pages() == 0 {
             disk.allocate_page()?;
-            write_anchor(&*disk, page_size, 0, 0)?;
+            disk.allocate_page()?;
+            let map = SegMap {
+                seg_pages: u64::from(config.segment_pages),
+                first_seg: 0,
+                slots: VecDeque::new(),
+            };
+            write_anchor(&*disk, page_size, 0, 0, &map)?;
             disk.sync()?;
-            (0, 0, ScanResult::empty(0))
+            (Anchor { seq: 0, start: 0, map }, ScanResult::empty(0))
         } else {
-            let mut anchor = vec![0u8; page_size];
-            disk.read_page(PageId(0), &mut anchor)?;
-            if get_u32(&anchor, 0) != WAL_MAGIC {
-                return Err(Error::Corrupt("WAL anchor magic mismatch".into()));
+            let mut anchor = read_best_anchor(&*disk, page_size)?;
+            if anchor.map.slots.is_empty() {
+                // An empty map pins its origin to the scan start so the
+                // next rollover maps exactly the segment being written.
+                anchor.map.first_seg = anchor.start / anchor.map.payload_bytes(page_size);
             }
-            let mut h = Fnv::new();
-            h.update(&anchor[..24]);
-            if get_u64(&anchor, 24) != h.finish() {
-                return Err(Error::Corrupt("WAL anchor checksum mismatch".into()));
-            }
-            if get_u16(&anchor, 4) != WAL_VERSION {
-                return Err(Error::Corrupt(format!(
-                    "WAL anchor version {} (expected {WAL_VERSION})",
-                    get_u16(&anchor, 4)
-                )));
-            }
-            let base = get_u64(&anchor, 8);
-            let start = get_u64(&anchor, 16);
-            if start < base {
-                return Err(Error::Corrupt("WAL anchor start below base".into()));
-            }
-            let scan = scan_records(&*disk, page_size, base, start);
-            (base, start, scan)
+            let scan = scan_records(&*disk, page_size, &anchor.map, anchor.start);
+            (anchor, scan)
         };
         let ScanResult { records, committed, committed_end, max_seq, max_txn } = scan;
-        // The durable bytes of the page holding the resume position: the
-        // prefix every tail-page rewrite must carry.
-        let rel = committed_end - base_lsn;
-        let tail_off = (rel % page_size as u64) as usize;
+        // The already-written bytes of the page holding the resume
+        // position: the prefix every tail-page rewrite must carry.
+        let tail_off = (committed_end % page_size as u64) as usize;
         let mut partial = Vec::new();
         if tail_off > 0 {
-            let page = PageId(1 + rel / page_size as u64);
+            let Some((page, off)) = anchor.map.locate(committed_end, page_size) else {
+                return Err(Error::Corrupt("WAL anchor maps no segment for the log tail".into()));
+            };
+            debug_assert_eq!(off, tail_off);
             let mut buf = vec![0u8; page_size];
             disk.read_page(page, &mut buf)?;
             partial.extend_from_slice(&buf[..tail_off]);
         }
+        let seg_pages = anchor.map.seg_pages;
+        let num_slots = disk.num_pages().saturating_sub(2) / seg_pages;
+        let used: HashSet<u32> = anchor.map.slots.iter().copied().collect();
+        let free: BTreeSet<u32> = (0..num_slots)
+            .filter_map(|s| u32::try_from(s).ok())
+            .filter(|s| !used.contains(s))
+            .collect();
         let recovered =
             if records.is_empty() { None } else { Some(RecoveredLog { records, committed }) };
         Ok(Wal {
             disk,
             page_size,
+            seg_pages,
+            watermark: match config.flush_policy {
+                FlushPolicy::Off => None,
+                FlushPolicy::Background { watermark_bytes } => Some(watermark_bytes.max(1)),
+            },
             append: Mutex::new(AppendState {
                 end_lsn: committed_end,
                 pending: Vec::new(),
@@ -410,11 +622,20 @@ impl Wal {
             io: Mutex::new(IoState { durable_lsn: committed_end, syncing: false }),
             cv: Condvar::new(),
             flush: Mutex::new(FlushState {
-                base_lsn,
-                start_lsn,
+                start_lsn: anchor.start,
                 flushed_lsn: committed_end,
                 partial,
+                anchor_seq: anchor.seq,
+                // The adopted anchor is on the device (fresh init synced
+                // it; a reopened one was read back), so it is the durable
+                // baseline the first rollover may overwrite-the-twin of.
+                synced_anchor_seq: anchor.seq,
+                map: anchor.map,
+                free,
+                num_slots,
             }),
+            flusher: Mutex::new(FlusherCtl::default()),
+            flusher_cv: Condvar::new(),
             stats: WalStats::default(),
             recovered: Mutex::new(recovered),
         })
@@ -439,6 +660,10 @@ impl Wal {
             syncs: s.syncs.load(Ordering::Acquire),
             checkpoints: s.checkpoints.load(Ordering::Acquire),
             log_page_writes: s.log_page_writes.load(Ordering::Acquire),
+            flusher_writes: s.flusher_writes.load(Ordering::Acquire),
+            flusher_bytes: s.flusher_bytes.load(Ordering::Acquire),
+            segments_created: s.segments_created.load(Ordering::Acquire),
+            segments_retired: s.segments_retired.load(Ordering::Acquire),
         }
     }
 
@@ -508,9 +733,77 @@ impl Wal {
         };
         let end = encode_record(&mut ap.pending, lsn, kind, &body_parts);
         ap.end_lsn = end;
+        let wake = self.watermark.is_some_and(|w| ap.pending.len() >= w);
+        drop(ap);
         self.stats.records.fetch_add(1, Ordering::Release);
         self.stats.record_bytes.fetch_add(end - lsn, Ordering::Release);
+        if wake {
+            self.wake_flusher();
+        }
         Ok(end)
+    }
+
+    /// Nudges the background flusher (no-op when none is configured).
+    fn wake_flusher(&self) {
+        let mut ctl = self.flusher.lock();
+        if !ctl.wake {
+            ctl.wake = true;
+            self.flusher_cv.notify_all();
+        }
+    }
+
+    /// Body of the background flusher thread, run by the buffer pool's
+    /// spawned thread under [`FlushPolicy::Background`]: wait for a
+    /// watermark wakeup, drain the append buffer to the device, repeat
+    /// until [`Wal::flusher_stop`].  Errors are swallowed — the commit
+    /// path re-attempts the identical write and reports them.
+    pub(crate) fn flusher_run(&self) {
+        loop {
+            {
+                let mut ctl = self.flusher.lock();
+                while !ctl.wake && !ctl.shutdown {
+                    ctl = self.flusher_cv.wait(ctl).unwrap_or_else(PoisonError::into_inner);
+                }
+                if ctl.shutdown {
+                    return;
+                }
+                ctl.wake = false;
+            }
+            let _ = self.flush_ahead();
+        }
+    }
+
+    /// Signals the flusher thread to exit (the owner joins the handle).
+    pub(crate) fn flusher_stop(&self) {
+        let mut ctl = self.flusher.lock();
+        ctl.shutdown = true;
+        self.flusher_cv.notify_all();
+    }
+
+    /// One background drain pass: write every currently-buffered stream
+    /// byte to the device **without syncing** and publish the advance.
+    /// Nothing here touches `durable_lsn` or the sync ledger; commits
+    /// that arrive later find their bytes written and only pay the fsync.
+    fn flush_ahead(&self) -> Result<()> {
+        let mut fs = self.flush.lock();
+        let (bytes, target_end) = {
+            let ap = self.append.lock();
+            (ap.pending.clone(), ap.end_lsn)
+        };
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        debug_assert_eq!(fs.flushed_lsn + bytes.len() as u64, target_end);
+        let new_partial = self.write_stream(&mut fs, &bytes)?;
+        // Publish only after every page write succeeded, mirroring
+        // `flush_and_sync`: a failed pass leaves the pending buffer and
+        // flush state untouched so the retry rewrites identical bytes.
+        self.append.lock().pending.drain(..bytes.len());
+        fs.flushed_lsn = target_end;
+        fs.partial = new_partial;
+        self.stats.flusher_writes.fetch_add(1, Ordering::Release);
+        self.stats.flusher_bytes.fetch_add(bytes.len() as u64, Ordering::Release);
+        Ok(())
     }
 
     /// Appends a Commit record and group-commits it: returns once the
@@ -599,8 +892,15 @@ impl Wal {
     /// device, so such records are truncatable once no open transaction
     /// or straddling page run needs them.  Callers need **not** be
     /// quiescent — commits, updates, and this checkpoint interleave
-    /// freely; a quiescent instant is merely detected and rewarded with
-    /// the full physical rewind (log pages reused from offset 0).
+    /// freely.  Truncation reclaims the device by retiring every segment
+    /// lying wholly below the new scan start: the slots go back on the
+    /// free list for rollover reuse, so a steady checkpoint cadence
+    /// bounds the log's size without ever waiting for a quiescent
+    /// instant.  When the segment map is full *and* the pending backlog
+    /// needs a rollover, retirement runs once more **before** the record
+    /// flush, so the flush itself can reuse the freed slots instead of
+    /// wedging on a map-full error (which only truncation could have
+    /// relieved).
     pub fn checkpoint(&self, flushed_fence: u64) -> Result<()> {
         // Become the exclusive I/O leader.
         let mut io = self.io.lock();
@@ -628,10 +928,19 @@ impl Wal {
         // start) must never move the start backwards: floor it.
         let start_floor = self.flush.lock().start_lsn;
         let eff_fence = flushed_fence.max(start_floor);
+        // Sampled outside the append lock (lock order: flush → append); a
+        // stale (lower) value only makes the early-retirement pass below
+        // more conservative.
+        let flushed_floor = self.flush.lock().flushed_lsn;
         // Phase 1, under the append lock: pick the truncation horizon,
         // append a CheckpointBegin if any writer is in flight, and re-key
-        // the FirstMod dedup to the horizon.
-        let horizon = {
+        // the FirstMod dedup to the horizon.  `pre_horizon` is the same
+        // horizon additionally capped at the flushed position and re-run
+        // through the straddle fixpoint — the furthest the scan start may
+        // advance *before* the pending backlog is flushed.  It must be
+        // computed here: the retain below forgets the runs wholly under
+        // `h`, so the fixpoint cannot be re-derived later.
+        let (horizon, pre_horizon) = {
             let mut ap = self.append.lock();
             let begin = ap.end_lsn;
             let quiescent_now = ap.active.is_empty() && eff_fence >= begin;
@@ -643,19 +952,9 @@ impl Wal {
             // Delta would orphan its truncated FirstMod.  Lower h to the
             // FirstMod of any straddler until a fixpoint (h only
             // decreases, bounded by the oldest FirstMod).
-            loop {
-                let straddler = ap
-                    .logged
-                    .values()
-                    .filter(|&&(first, last)| first < h && last >= h)
-                    .map(|&(first, _)| first)
-                    .min();
-                match straddler {
-                    Some(first) => h = first,
-                    None => break,
-                }
-            }
+            h = straddle_floor(&ap.logged, h);
             debug_assert!(h >= start_floor, "truncation horizon may only move forward");
+            let pre = straddle_floor(&ap.logged, h.min(flushed_floor));
             if !quiescent_now {
                 let listed = ap.active.len().min(MAX_CKPT_TXNS);
                 let mut body = Vec::with_capacity(12 + 16 * listed);
@@ -673,34 +972,65 @@ impl Wal {
             // their next update must log a fresh pre-image.  (The fixpoint
             // above guarantees `first >= h` keeps exactly the survivors.)
             ap.logged.retain(|_, &mut (first, _)| first >= h);
-            h
+            (h, pre)
         };
+        // Phase 1.5: a full segment map plus a pending backlog needing a
+        // rollover would wedge — the flush below fails with the same
+        // map-full error the appenders see, and only this routine can
+        // retire segments.  Retire below the pre-flush horizon *first* so
+        // the flush finds free slots.  Skipped unless the flush would
+        // actually hit the map-full error, keeping the common checkpoint
+        // at exactly two syncs.  (If nothing below `pre_horizon` is
+        // retirable — e.g. one giant open transaction pins the whole map
+        // — the flush still fails and the error propagates; truncation
+        // cannot spare records a rollback may need.)
+        {
+            let mut fs = self.flush.lock();
+            let payload = fs.map.payload_bytes(self.page_size);
+            let target_end = self.append.lock().end_lsn;
+            let mapped_end = (fs.map.first_seg + fs.map.slots.len() as u64) * payload;
+            if fs.map.slots.len() >= anchor_capacity(self.page_size) && target_end > mapped_end {
+                let start = pre_horizon.max(fs.start_lsn);
+                let mut map = fs.map.clone();
+                let retired = map.retire_below(start, self.page_size);
+                if !retired.is_empty() {
+                    self.write_anchor_guarded(&mut fs, start, &map)?;
+                    self.disk.sync()?;
+                    fs.synced_anchor_seq = fs.anchor_seq;
+                    self.stats.syncs.fetch_add(1, Ordering::Release);
+                    self.stats.checkpoint_syncs.fetch_add(1, Ordering::Release);
+                    fs.start_lsn = start;
+                    fs.map = map;
+                    self.stats.segments_retired.fetch_add(retired.len() as u64, Ordering::Release);
+                    for slot in retired {
+                        fs.free.insert(slot);
+                    }
+                }
+            }
+        }
         let end = self.flush_and_sync()?;
         self.stats.checkpoint_syncs.fetch_add(1, Ordering::Release);
         let mut fs = self.flush.lock();
-        debug_assert_eq!(fs.flushed_lsn, end);
-        // Phase 2: if this is still a quiescent instant — no open
-        // transaction and nothing appended past the fence (in particular
-        // no CheckpointBegin, which is only logged when writers are in
-        // flight) — the whole flushed stream is committed and on the data
-        // device, so the generation physically rewinds.  Otherwise only
-        // the logical start advances to the horizon; the device mapping
-        // (base) and every record at or above the horizon stay put.
-        let rewind = {
-            let ap = self.append.lock();
-            ap.active.is_empty() && ap.end_lsn == end && eff_fence >= end
-        };
-        let (base, start) = if rewind { (end, end) } else { (fs.base_lsn, horizon) };
-        // Persist the new anchor before adopting it: a crash between the
-        // two syncs leaves the old anchor + old records, which is still a
-        // consistent (pre-checkpoint) log.
-        write_anchor(&*self.disk, self.page_size, base, start)?;
+        // The background flusher may have drained appends newer than this
+        // checkpoint's own flush target by now; it only ever advances.
+        debug_assert!(fs.flushed_lsn >= end);
+        // Phase 2: advance the scan start to the horizon and retire every
+        // segment lying wholly below it — their records are all committed
+        // and on the data device, so the slots go back on the free list
+        // for rollover reuse.  Persist the new anchor before adopting it:
+        // a crash between the two syncs leaves the old anchor + old
+        // records, which is still a consistent (pre-checkpoint) log.
+        let start = horizon.max(fs.start_lsn);
+        let mut map = fs.map.clone();
+        let retired = map.retire_below(start, self.page_size);
+        self.write_anchor_guarded(&mut fs, start, &map)?;
         self.disk.sync()?;
-        fs.base_lsn = base;
+        fs.synced_anchor_seq = fs.anchor_seq;
         fs.start_lsn = start;
-        if rewind {
-            fs.partial.clear();
-            self.append.lock().logged.clear();
+        fs.map = map;
+        self.stats.segments_retired.fetch_add(retired.len() as u64, Ordering::Release);
+        for slot in retired {
+            fs.free.insert(slot);
         }
         self.stats.checkpoints.fetch_add(1, Ordering::Release);
         self.stats.syncs.fetch_add(1, Ordering::Release);
@@ -721,9 +1051,11 @@ impl Wal {
         };
         debug_assert_eq!(fs.flushed_lsn + bytes.len() as u64, target_end);
         let new_partial =
-            if bytes.is_empty() { None } else { Some(self.write_stream(&fs, &bytes)?) };
+            if bytes.is_empty() { None } else { Some(self.write_stream(&mut fs, &bytes)?) };
         self.disk.sync()?;
         self.stats.syncs.fetch_add(1, Ordering::Release);
+        // The sync also destaged any rollover anchor written above.
+        fs.synced_anchor_seq = fs.anchor_seq;
         self.append.lock().pending.drain(..bytes.len());
         fs.flushed_lsn = target_end;
         if let Some(partial) = new_partial {
@@ -733,20 +1065,26 @@ impl Wal {
     }
 
     /// Writes `bytes` (the stream range starting at `fs.flushed_lsn`) to
-    /// the device, rewriting the partial tail page with its durable
-    /// prefix.  Returns the new tail page's durable prefix; the caller
-    /// installs it into `fs.partial` only once the device sync succeeds —
-    /// a dying sync must leave the whole flush state untouched.
-    fn write_stream(&self, fs: &FlushState, bytes: &[u8]) -> Result<Vec<u8>> {
+    /// the device, rewriting the partial tail page with its
+    /// already-written prefix and rolling over into a fresh segment
+    /// whenever the stream outgrows the mapped ones.  Returns the new
+    /// tail page's written prefix; the caller installs it into
+    /// `fs.partial` (and advances `flushed_lsn`) only once every write
+    /// succeeded — a dying write or sync must leave the published flush
+    /// state untouched so a retry rewrites the identical bytes.
+    fn write_stream(&self, fs: &mut FlushState, bytes: &[u8]) -> Result<Vec<u8>> {
         let ps = self.page_size;
-        let rel0 = (fs.flushed_lsn - fs.base_lsn) as usize;
-        debug_assert_eq!(rel0 % ps, fs.partial.len() % ps);
+        let payload = (self.seg_pages - 1) * ps as u64;
+        debug_assert_eq!((fs.flushed_lsn % ps as u64) as usize, fs.partial.len());
         let mut scratch = vec![0u8; ps];
         let mut written = 0usize;
         while written < bytes.len() {
-            let rel = rel0 + written;
-            let page_index = 1 + (rel / ps) as u64;
-            let off = rel % ps;
+            let pos = fs.flushed_lsn + written as u64;
+            self.ensure_segment(fs, pos / payload)?;
+            let (page, off) =
+                fs.map.locate(pos, ps).expect("ensure_segment mapped the segment being written");
+            // The payload size is a whole number of pages, so a page's
+            // bytes never straddle a segment boundary.
             let n = (ps - off).min(bytes.len() - written);
             scratch.fill(0);
             if off > 0 {
@@ -754,29 +1092,122 @@ impl Wal {
                 scratch[..off].copy_from_slice(&fs.partial);
             }
             scratch[off..off + n].copy_from_slice(&bytes[written..written + n]);
-            while self.disk.num_pages() <= page_index {
-                self.disk.allocate_page()?;
-            }
-            self.disk.write_page(PageId(page_index), &scratch)?;
+            self.disk.write_page(page, &scratch)?;
             self.stats.log_page_writes.fetch_add(1, Ordering::Release);
             written += n;
         }
-        // Success: return the durable prefix of the new tail page.
-        let end_rel = rel0 + bytes.len();
-        let tail_off = end_rel % ps;
+        // Success: return the written prefix of the new tail page.
+        let tail_off = ((fs.flushed_lsn + bytes.len() as u64) % ps as u64) as usize;
         let new_partial = if tail_off == 0 {
             Vec::new()
+        } else if tail_off <= bytes.len() {
+            bytes[bytes.len() - tail_off..].to_vec()
         } else {
-            let page_start = end_rel - tail_off;
-            if page_start >= rel0 {
-                bytes[page_start - rel0..].to_vec()
-            } else {
-                let mut p = fs.partial.clone();
-                p.extend_from_slice(bytes);
-                p
-            }
+            let mut p = fs.partial.clone();
+            p.extend_from_slice(bytes);
+            p
         };
         Ok(new_partial)
+    }
+
+    /// Maps segment `seg` if the stream has outgrown the mapped region:
+    /// recycles the lowest retired slot (or carves a new one out of the
+    /// device), writes its segment header, and persists the grown map in
+    /// the next anchor — without a sync when the previous anchor is
+    /// durable (an unsynced rollover can only be lost together with the
+    /// unsynced bytes behind it); a rollover following another unsynced
+    /// anchor write pre-syncs via [`Wal::write_anchor_guarded`] so it
+    /// cannot overwrite the only durable anchor.
+    fn ensure_segment(&self, fs: &mut FlushState, seg: u64) -> Result<()> {
+        if fs.map.slots.is_empty() {
+            fs.map.first_seg = seg;
+        }
+        debug_assert!(seg >= fs.map.first_seg, "log writes only move forward");
+        if seg < fs.map.first_seg + fs.map.slots.len() as u64 {
+            return Ok(());
+        }
+        debug_assert_eq!(
+            seg,
+            fs.map.first_seg + fs.map.slots.len() as u64,
+            "log writes are sequential: only the next segment ever rolls over"
+        );
+        let cap = anchor_capacity(self.page_size);
+        if fs.map.slots.len() >= cap {
+            return Err(Error::InvalidArgument(format!(
+                "WAL segment map full ({cap} segments of {} pages); \
+                 checkpoint to retire old segments",
+                self.seg_pages
+            )));
+        }
+        let slot = match fs.free.iter().next().copied() {
+            Some(slot) => slot,
+            None => {
+                // Carve a fresh slot out of the device.  Allocation is
+                // durable-immediate; if the header or anchor write below
+                // fails, the slot stays on the free list for the retry.
+                let slot = u32::try_from(fs.num_slots).map_err(|_| {
+                    Error::InvalidArgument("WAL device exceeds 2^32 segment slots".into())
+                })?;
+                let target = 2 + (fs.num_slots + 1) * self.seg_pages;
+                while self.disk.num_pages() < target {
+                    self.disk.allocate_page()?;
+                }
+                fs.num_slots += 1;
+                fs.free.insert(slot);
+                slot
+            }
+        };
+        let payload = (self.seg_pages - 1) * self.page_size as u64;
+        write_segment_header(&*self.disk, self.page_size, &fs.map, slot, seg * payload)?;
+        let mut grown = fs.map.clone();
+        grown.slots.push_back(slot);
+        let start = fs.start_lsn;
+        self.write_anchor_guarded(fs, start, &grown)?;
+        fs.map = grown;
+        fs.free.remove(&slot);
+        self.stats.segments_created.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Persists a new anchor (sequence `fs.anchor_seq + 1`, carrying
+    /// `start` and `map`) and bumps `fs.anchor_seq` — **pre-syncing the
+    /// device when the previous anchor write is still unsynced**.  Anchor
+    /// parities alternate, so with an intermediate anchor outstanding
+    /// this write lands on the page holding the latest *durable* anchor;
+    /// tearing it in a crash while the intermediate write was never
+    /// destaged would lose both copies, and recovery would fall back to
+    /// a stale anchor whose map can exclude segments holding
+    /// already-synced commits.  The guard sync destages the intermediate
+    /// anchor first, keeping at least one intact current-or-newer anchor
+    /// durable at every instant; it is attributed to `forced_syncs` in
+    /// the sync ledger.
+    fn write_anchor_guarded(&self, fs: &mut FlushState, start: u64, map: &SegMap) -> Result<()> {
+        if fs.anchor_seq != fs.synced_anchor_seq {
+            self.disk.sync()?;
+            self.stats.syncs.fetch_add(1, Ordering::Release);
+            self.stats.forced_syncs.fetch_add(1, Ordering::Release);
+            fs.synced_anchor_seq = fs.anchor_seq;
+        }
+        write_anchor(&*self.disk, self.page_size, fs.anchor_seq + 1, start, map)?;
+        fs.anchor_seq += 1;
+        Ok(())
+    }
+}
+
+/// Lowers `h` to the FirstMod LSN of any page whose record run straddles
+/// it, until a fixpoint: truncating at the result orphans no Delta from
+/// its pre-image.  Monotone decreasing, bounded by the oldest FirstMod.
+fn straddle_floor(logged: &HashMap<PageId, (u64, u64)>, mut h: u64) -> u64 {
+    loop {
+        let straddler = logged
+            .values()
+            .filter(|&&(first, last)| first < h && last >= h)
+            .map(|&(first, _)| first)
+            .min();
+        match straddler {
+            Some(first) => h = first,
+            None => break h,
+        }
     }
 }
 
@@ -794,54 +1225,200 @@ fn encode_record(out: &mut Vec<u8>, lsn: u64, kind: u8, body_parts: &[&[u8]]) ->
     lsn + (REC_HDR + body_len) as u64
 }
 
-fn write_anchor(disk: &dyn DiskManager, page_size: usize, base: u64, start: u64) -> Result<()> {
-    debug_assert!(start >= base);
+/// Persists the anchor carrying `map` as sequence `seq`, on the anchor
+/// page of `seq`'s parity — the page holding the *older* of the two
+/// anchors, so a torn write cannot lose both **provided the twin page's
+/// anchor is durable** ([`Wal::write_anchor_guarded`] enforces that).
+fn write_anchor(
+    disk: &dyn DiskManager,
+    page_size: usize,
+    seq: u64,
+    start: u64,
+    map: &SegMap,
+) -> Result<()> {
+    debug_assert!(map.slots.len() <= anchor_capacity(page_size));
     let mut page = vec![0u8; page_size];
     put_u32(&mut page, 0, WAL_MAGIC);
     put_u16(&mut page, 4, WAL_VERSION);
-    put_u64(&mut page, 8, base);
+    put_u64(&mut page, 8, seq);
     put_u64(&mut page, 16, start);
+    put_u32(&mut page, 24, map.seg_pages as u32);
+    put_u32(&mut page, 28, map.slots.len() as u32);
+    put_u64(&mut page, 32, map.first_seg);
+    for (i, &slot) in map.slots.iter().enumerate() {
+        put_u32(&mut page, ANCHOR_HDR + 4 * i, slot);
+    }
+    let crc_off = ANCHOR_HDR + 4 * map.slots.len();
     let mut h = Fnv::new();
-    h.update(&page[..24]);
-    put_u64(&mut page, 24, h.finish());
-    disk.write_page(PageId(0), &page)
+    h.update(&page[..crc_off]);
+    put_u64(&mut page, crc_off, h.finish());
+    disk.write_page(PageId(seq & 1), &page)
 }
 
-/// Sequential page-at-a-time reader over the log stream.
+/// Writes the self-checksummed header page of `slot`, opening the
+/// segment whose stream range starts at `first_lsn`.
+fn write_segment_header(
+    disk: &dyn DiskManager,
+    page_size: usize,
+    map: &SegMap,
+    slot: u32,
+    first_lsn: u64,
+) -> Result<()> {
+    let mut page = vec![0u8; page_size];
+    put_u32(&mut page, 0, SEG_MAGIC);
+    put_u64(&mut page, 8, first_lsn);
+    let mut h = Fnv::new();
+    h.update(&page[..16]);
+    put_u64(&mut page, 16, h.finish());
+    disk.write_page(map.header_page(slot), &page)
+}
+
+/// A decoded, validated anchor.
+struct Anchor {
+    seq: u64,
+    start: u64,
+    map: SegMap,
+}
+
+/// Decodes one anchor page.  `Ok(None)` means "not a valid anchor"
+/// (zeroed, torn, or checksum-broken — fall back to the twin page);
+/// `Err` means a structurally recognizable anchor of the wrong version.
+fn parse_anchor(page: &[u8], page_size: usize) -> Result<Option<Anchor>> {
+    if get_u32(page, 0) != WAL_MAGIC {
+        return Ok(None);
+    }
+    let version = get_u16(page, 4);
+    if version != WAL_VERSION {
+        return Err(Error::Corrupt(format!(
+            "WAL anchor version {version} (expected {WAL_VERSION})"
+        )));
+    }
+    let seg_pages = u64::from(get_u32(page, 24));
+    let count = get_u32(page, 28) as usize;
+    if seg_pages < 2 || count > anchor_capacity(page_size) {
+        return Ok(None);
+    }
+    let crc_off = ANCHOR_HDR + 4 * count;
+    let mut h = Fnv::new();
+    h.update(&page[..crc_off]);
+    if get_u64(page, crc_off) != h.finish() {
+        return Ok(None);
+    }
+    let slots = (0..count).map(|i| get_u32(page, ANCHOR_HDR + 4 * i)).collect();
+    Ok(Some(Anchor {
+        seq: get_u64(page, 8),
+        start: get_u64(page, 16),
+        map: SegMap { seg_pages, first_seg: get_u64(page, 32), slots },
+    }))
+}
+
+/// Reads both anchor pages and adopts the valid one with the higher
+/// sequence number.
+fn read_best_anchor(disk: &dyn DiskManager, page_size: usize) -> Result<Anchor> {
+    let mut best: Option<Anchor> = None;
+    let mut err: Option<Error> = None;
+    let mut buf = vec![0u8; page_size];
+    for page in 0..2u64 {
+        if page >= disk.num_pages() {
+            continue;
+        }
+        disk.read_page(PageId(page), &mut buf)?;
+        match parse_anchor(&buf, page_size) {
+            Ok(Some(a)) => {
+                if best.as_ref().is_none_or(|b| a.seq > b.seq) {
+                    best = Some(a);
+                }
+            }
+            Ok(None) => {}
+            Err(e) => err = Some(e),
+        }
+    }
+    match best {
+        Some(a) => Ok(a),
+        None => Err(err.unwrap_or_else(|| Error::Corrupt("no valid WAL anchor".into()))),
+    }
+}
+
+/// Sequential page-at-a-time reader over the segment-mapped log stream.
+/// Each segment's header is validated once before its pages are trusted,
+/// so a slot the anchor maps but whose header write never persisted (a
+/// crash mid-rollover) cleanly ends the stream at the boundary.
 struct StreamReader<'a> {
     disk: &'a dyn DiskManager,
     ps: usize,
-    base: u64,
+    map: &'a SegMap,
+    verified: HashSet<u64>,
     cached_index: u64,
     cache: Vec<u8>,
 }
 
 impl<'a> StreamReader<'a> {
-    fn new(disk: &'a dyn DiskManager, ps: usize, base: u64) -> Self {
-        StreamReader { disk, ps, base, cached_index: 0, cache: vec![0u8; ps] }
+    fn new(disk: &'a dyn DiskManager, ps: usize, map: &'a SegMap) -> Self {
+        StreamReader {
+            disk,
+            ps,
+            map,
+            verified: HashSet::new(),
+            cached_index: 0,
+            cache: vec![0u8; ps],
+        }
+    }
+
+    /// Checks segment `seg`'s header once: mapped, on-device, magic,
+    /// `first_lsn`, checksum.
+    fn verify_segment(&mut self, seg: u64) -> bool {
+        if self.verified.contains(&seg) {
+            return true;
+        }
+        let Some(idx) = seg.checked_sub(self.map.first_seg) else {
+            return false;
+        };
+        let Some(&slot) = self.map.slots.get(idx as usize) else {
+            return false;
+        };
+        let header = self.map.header_page(slot);
+        if header.raw() + self.map.seg_pages > self.disk.num_pages() {
+            return false;
+        }
+        let mut buf = vec![0u8; self.ps];
+        if self.disk.read_page(header, &mut buf).is_err() {
+            return false;
+        }
+        let mut h = Fnv::new();
+        h.update(&buf[..16]);
+        if get_u32(&buf, 0) != SEG_MAGIC
+            || get_u64(&buf, 8) != seg * self.map.payload_bytes(self.ps)
+            || get_u64(&buf, 16) != h.finish()
+        {
+            return false;
+        }
+        self.verified.insert(seg);
+        true
     }
 
     /// Reads `len` stream bytes at `pos` into `out`; `false` if the range
-    /// runs past the device (i.e. the stream ends here).
+    /// runs off the mapped, validated segments (the stream ends here).
     fn read(&mut self, pos: u64, len: usize, out: &mut Vec<u8>) -> bool {
         out.clear();
-        let mut rel = (pos - self.base) as usize;
+        let payload = self.map.payload_bytes(self.ps);
+        let mut pos = pos;
         let mut remaining = len;
         while remaining > 0 {
-            let page_index = 1 + (rel / self.ps) as u64;
-            let off = rel % self.ps;
-            if page_index >= self.disk.num_pages() {
+            if !self.verify_segment(pos / payload) {
                 return false;
             }
-            if self.cached_index != page_index {
-                if self.disk.read_page(PageId(page_index), &mut self.cache).is_err() {
+            let Some((page, off)) = self.map.locate(pos, self.ps) else {
+                return false;
+            };
+            if self.cached_index != page.raw() {
+                if self.disk.read_page(page, &mut self.cache).is_err() {
                     return false;
                 }
-                self.cached_index = page_index;
+                self.cached_index = page.raw();
             }
             let n = (self.ps - off).min(remaining);
             out.extend_from_slice(&self.cache[off..off + n]);
-            rel += n;
+            pos += n as u64;
             remaining -= n;
         }
         true
@@ -874,10 +1451,11 @@ impl ScanResult {
     }
 }
 
-/// Scans the record stream from `start` (device-mapped via `base`) until
-/// the LSN/checksum chain breaks.
-fn scan_records(disk: &dyn DiskManager, ps: usize, base: u64, start: u64) -> ScanResult {
-    let mut reader = StreamReader::new(disk, ps, base);
+/// Scans the record stream from `start` (device-mapped via the anchor's
+/// segment map) until the LSN/checksum chain breaks or the mapped
+/// segments end.
+fn scan_records(disk: &dyn DiskManager, ps: usize, map: &SegMap, start: u64) -> ScanResult {
+    let mut reader = StreamReader::new(disk, ps, map);
     let mut out = ScanResult::empty(start);
     let mut pos = start;
     let mut hdr = Vec::new();
@@ -1001,6 +1579,18 @@ mod tests {
         (disk, wal)
     }
 
+    fn fresh_wal_with(ps: usize, config: WalConfig) -> (Arc<MemDisk>, Wal) {
+        let disk = Arc::new(MemDisk::new(ps));
+        let wal = Wal::attach_with(Box::new(Arc::clone(&disk)), config).unwrap();
+        (disk, wal)
+    }
+
+    /// Scans a device the way a fresh attach would: via its best anchor.
+    fn scan_fresh(disk: &dyn DiskManager, ps: usize) -> ScanResult {
+        let anchor = read_best_anchor(disk, ps).unwrap();
+        scan_records(disk, ps, &anchor.map, anchor.start)
+    }
+
     #[test]
     fn identical_images_log_nothing() {
         let (_d, wal) = fresh_wal(128);
@@ -1027,7 +1617,7 @@ mod tests {
         drop(wal);
 
         // A fresh attach finds the full committed stream.
-        let scan = scan_records(&*disk, 128, 0, 0);
+        let scan = scan_fresh(&*disk, 128);
         assert_eq!(scan.records.len(), 3);
         assert_eq!(scan.committed, 3);
         assert_eq!(scan.committed_end, end);
@@ -1077,8 +1667,8 @@ mod tests {
 
         let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
         assert!(wal2.take_recovered().is_none(), "truncated log has no records");
-        // The new generation reuses pages from offset 0 without tripping
-        // over the stale record bytes still physically present.
+        // Appends resume past the truncated region without tripping over
+        // the stale record bytes still physically present below `start`.
         let mut v2 = new.clone();
         v2[6] = 6;
         wal2.log_update(PageId(9), &new, &v2).unwrap();
@@ -1105,7 +1695,7 @@ mod tests {
             prev = next;
         }
         drop(wal);
-        let scan = scan_records(&*disk, 128, 0, 0);
+        let scan = scan_fresh(&*disk, 128);
         assert_eq!(scan.records.len(), 40, "20 mods + 20 commits");
         assert_eq!(scan.committed, 40);
         assert_eq!(scan.committed_end, *ends.last().unwrap());
@@ -1122,12 +1712,14 @@ mod tests {
         let end = wal.end_lsn();
         drop(wal);
         // Corrupt one byte in the middle of the committed record's body.
-        let victim = PageId(1 + (end / 2) / 128);
+        // Segment 0 lives in slot 0: header on device page 2, payload
+        // pages from 3.
+        let victim = PageId(3 + (end / 2) / 128);
         let mut page = vec![0u8; 128];
         disk.read_page(victim, &mut page).unwrap();
         page[(end / 2 % 128) as usize] ^= 0xFF;
         disk.write_page(victim, &page).unwrap();
-        let scan = scan_records(&*disk, 128, 0, 0);
+        let scan = scan_fresh(&*disk, 128);
         assert_eq!(scan.records.len(), 0, "checksum break stops the scan");
         assert_eq!(scan.committed, 0);
     }
@@ -1198,7 +1790,7 @@ mod tests {
     }
 
     #[test]
-    fn fuzzy_then_quiescent_checkpoint_rewinds_the_device() {
+    fn fuzzy_then_idle_checkpoint_truncates_everything() {
         let (disk, wal) = fresh_wal(128);
         let old = vec![0u8; 128];
         let mut v1 = old.clone();
@@ -1208,14 +1800,15 @@ mod tests {
         wal.log_update(PageId(5), &old, &v1).unwrap();
         wal.checkpoint(wal.end_lsn()).unwrap();
         assert_eq!(wal.stats().checkpoints, 1);
-        // Commit closes the run; a second checkpoint finds the quiescent
-        // instant and physically rewinds the generation.
+        // Commit closes the run; a second checkpoint moves `start` to the
+        // very end, so the whole log is logically empty.
         wal.commit().unwrap();
         wal.checkpoint(wal.end_lsn()).unwrap();
         drop(wal);
         let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
-        assert!(wal2.take_recovered().is_none(), "rewound log has no records");
-        // Page reuse from offset 0 still works after the fuzzy interlude.
+        assert!(wal2.take_recovered().is_none(), "truncated log has no records");
+        // Appending past the truncated prefix still works after the fuzzy
+        // interlude.
         let mut v2 = v1.clone();
         v2[4] = 4;
         wal2.log_update(PageId(5), &v1, &v2).unwrap();
@@ -1250,5 +1843,303 @@ mod tests {
             matches!(&log.records[0], WalRecord::FirstMod { page, .. } if *page == PageId(7)),
             "the pre-image stayed below the horizon"
         );
+    }
+
+    #[test]
+    fn log_rolls_over_into_new_segments() {
+        // seg_pages = 2 at ps = 128 leaves a single 128-byte payload page
+        // per segment, so every commit straddles several rollovers.
+        let config = WalConfig { segment_pages: 2, flush_policy: FlushPolicy::Off };
+        let (disk, wal) = fresh_wal_with(128, config);
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[9] = 9;
+        for _ in 0..8 {
+            wal.log_update(PageId(9), &old, &new).unwrap();
+            wal.commit().unwrap();
+        }
+        let s = wal.stats();
+        assert!(s.segments_created >= 6, "tiny segments must force rollovers: {s:?}");
+        let end = wal.end_lsn();
+        drop(wal);
+        // A fresh attach reads seg_pages back from the anchor, walks the
+        // segment map, and finds every committed record.
+        let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        let log = wal2.take_recovered().unwrap();
+        assert_eq!(log.committed, 16, "8 FirstMods + 8 Commits span the segment chain");
+        assert_eq!(wal2.end_lsn(), end);
+    }
+
+    #[test]
+    fn checkpoint_retires_whole_segments_and_recycles_their_slots() {
+        let config = WalConfig { segment_pages: 2, flush_policy: FlushPolicy::Off };
+        let (disk, wal) = fresh_wal_with(128, config);
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[1] = 1;
+        for _ in 0..6 {
+            wal.log_update(PageId(4), &old, &new).unwrap();
+            wal.commit().unwrap();
+        }
+        wal.checkpoint(wal.end_lsn()).unwrap();
+        let s = wal.stats();
+        assert!(s.segments_retired >= 4, "segments wholly below start must retire: {s:?}");
+        // Keep writing through more checkpoints: retired slots are
+        // recycled, so the device ends up with fewer slots than segments
+        // ever created.
+        for _ in 0..6 {
+            wal.log_update(PageId(4), &old, &new).unwrap();
+            wal.commit().unwrap();
+            wal.checkpoint(wal.end_lsn()).unwrap();
+        }
+        let s2 = wal.stats();
+        assert!(s2.segments_created > s.segments_created, "the tail kept rolling over");
+        let device_slots = (disk.num_pages() - 2) / 2;
+        assert!(
+            device_slots < s2.segments_created,
+            "recycling must reuse slots: {} slots on device, {} segments created",
+            device_slots,
+            s2.segments_created
+        );
+    }
+
+    #[test]
+    fn torn_anchor_write_falls_back_to_the_other_anchor() {
+        // Enough traffic for at least one rollover, then a checkpoint with
+        // fence 0: it rewrites the anchor (same map, same start) without
+        // retiring anything, so the two on-device anchors describe the
+        // same committed stream.
+        let config = WalConfig { segment_pages: 4, flush_policy: FlushPolicy::Off };
+        let (disk, wal) = fresh_wal_with(128, config);
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[5] = 5;
+        for _ in 0..4 {
+            wal.log_update(PageId(8), &old, &new).unwrap();
+            wal.commit().unwrap();
+        }
+        wal.checkpoint(0).unwrap();
+        assert!(wal.stats().segments_created >= 2, "need at least one rollover");
+        drop(wal);
+
+        // Torch the page holding the *newest* anchor, as a torn anchor
+        // rewrite would: recovery must fall back to the older twin.
+        let best = read_best_anchor(&*disk, 128).unwrap();
+        disk.write_page(PageId(best.seq & 1), &[0xAA; 128]).unwrap();
+
+        let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        let log = wal2.take_recovered().unwrap();
+        assert_eq!(log.committed, 8, "the fallback anchor still maps every segment");
+        // The survivor is fully operational: new appends commit and
+        // survive yet another attach.
+        wal2.log_update(PageId(8), &new, &old).unwrap();
+        let end = wal2.commit().unwrap();
+        drop(wal2);
+        let wal3 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        assert_eq!(wal3.end_lsn(), end);
+        assert_eq!(wal3.take_recovered().unwrap().committed, 10);
+    }
+
+    #[test]
+    fn full_segment_map_reports_a_clean_error() {
+        // ps = 128 caps the anchor at (128 - 48) / 4 = 20 slots; with
+        // 128-byte segments and no checkpoints the map must fill up.
+        let config = WalConfig { segment_pages: 2, flush_policy: FlushPolicy::Off };
+        let (_d, wal) = fresh_wal_with(128, config);
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[2] = 2;
+        let mut hit = None;
+        for _ in 0..200 {
+            if let Err(e) = wal.log_update(PageId(3), &old, &new).and_then(|_| wal.commit()) {
+                hit = Some(e);
+                break;
+            }
+        }
+        match hit {
+            Some(Error::InvalidArgument(msg)) => {
+                assert!(msg.contains("segment map full"), "unexpected message: {msg}")
+            }
+            other => panic!("expected a segment-map-full error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn background_flusher_drains_ahead_of_commit() {
+        let config = WalConfig {
+            segment_pages: 4,
+            flush_policy: FlushPolicy::Background { watermark_bytes: 64 },
+        };
+        let disk = Arc::new(MemDisk::new(128));
+        let wal = Arc::new(Wal::attach_with(Box::new(Arc::clone(&disk)), config).unwrap());
+        let runner = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || wal.flusher_run())
+        };
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[6] = 6;
+        for _ in 0..4 {
+            wal.log_update(PageId(6), &old, &new).unwrap();
+        }
+        // Each append crossed the 64-byte watermark, so the flusher was
+        // woken; wait for it to drain at least once.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while wal.stats().flusher_writes == 0 {
+            assert!(std::time::Instant::now() < deadline, "flusher never drained the buffer");
+            std::thread::yield_now();
+        }
+        assert!(wal.stats().flusher_bytes > 0);
+        // Commit still waits for its own durability (the flusher never
+        // syncs), and the sync ledger stays exact.
+        let end = wal.commit().unwrap();
+        assert_eq!(wal.durable_lsn(), end, "commit returns only once durable");
+        let s = wal.stats();
+        assert_eq!(s.syncs, s.commit_syncs + s.forced_syncs + s.checkpoint_syncs);
+        wal.flusher_stop();
+        runner.join().unwrap();
+        drop(wal);
+        let wal2 = Wal::attach(Box::new(Arc::clone(&disk))).unwrap();
+        let log = wal2.take_recovered().unwrap();
+        assert_eq!(log.committed, 5, "FirstMod + three Deltas + Commit all recovered");
+    }
+
+    #[test]
+    fn double_rollover_in_one_flush_pre_syncs_the_anchor() {
+        // seg_pages = 2 at ps = 128: a single 211-byte commit flush spans
+        // segments 0 and 1, so two anchor rewrites happen inside one
+        // flush.  The second lands on the page of the only durable anchor
+        // (parities alternate) and must be preceded by a guard sync —
+        // otherwise a torn write there, with the first rollover's anchor
+        // never destaged, would leave no usable anchor at all.
+        let config = WalConfig { segment_pages: 2, flush_policy: FlushPolicy::Off };
+        let (disk, wal) = fresh_wal_with(128, config);
+        let old = vec![0u8; 128];
+        let mut new = old.clone();
+        new[9] = 9;
+        wal.log_update(PageId(9), &old, &new).unwrap();
+        let end = wal.commit().unwrap();
+        let s = wal.stats();
+        assert_eq!(s.segments_created, 2, "the flush must straddle one rollover: {s:?}");
+        assert_eq!(
+            (s.commit_syncs, s.forced_syncs, s.syncs),
+            (1, 1, 2),
+            "the second rollover's anchor guard must sync once, attributed as forced: {s:?}"
+        );
+        assert_eq!(s.syncs, s.commit_syncs + s.forced_syncs + s.checkpoint_syncs);
+        assert_eq!(wal.durable_lsn(), end);
+        drop(wal);
+        let scan = scan_fresh(&*disk, 128);
+        assert_eq!(scan.committed, 2, "FirstMod + Commit recovered across the rollovers");
+    }
+
+    #[test]
+    fn kill_at_every_write_with_tiny_segments_keeps_every_durable_commit() {
+        use crate::disk::MemDisk;
+        use crate::faulty::{CrashPlan, FaultClock, FaultPlan, FaultyDisk};
+        // seg_pages = 2 at ps = 128: every commit's flush crosses one or
+        // more rollovers, so anchor rewrites outnumber syncs — the
+        // geometry where an unsynced rollover anchor write can land on
+        // the page holding the only durable anchor.  Kill the machine at
+        // every global write index, torn and clean, across persistence
+        // seeds: whatever survives, a reattach must find an intact
+        // anchor mapping every commit that returned before the cut.
+        const COMMITS: usize = 6;
+        let config = WalConfig { segment_pages: 2, flush_policy: FlushPolicy::Off };
+        let old = vec![0u8; 128];
+        for torn in [0usize, 1] {
+            for seed in [1u64, 7, 23, 41] {
+                let mut crash_at = 0u64;
+                loop {
+                    let mem = Arc::new(MemDisk::new(128));
+                    let clock = FaultClock::new();
+                    let faulty = Arc::new(FaultyDisk::with_clock(
+                        Arc::clone(&mem),
+                        FaultPlan::default(),
+                        Arc::clone(&clock),
+                    ));
+                    let wal = Wal::attach_with(Box::new(Arc::clone(&faulty)), config).unwrap();
+                    // The clock counts from device creation, so index the
+                    // sweep past the writes the attach already consumed.
+                    let base = faulty.writes_attempted();
+                    clock.arm_crash(CrashPlan {
+                        crash_at_write: Some(base + crash_at),
+                        torn_sectors: torn,
+                        sector_bytes: 32,
+                        persist_seed: seed,
+                        ..CrashPlan::default()
+                    });
+                    let mut survived = 0usize;
+                    for i in 0..COMMITS {
+                        let mut img = old.clone();
+                        img[i] = i as u8 + 1;
+                        let res =
+                            wal.log_update(PageId(i as u64), &old, &img).and_then(|_| wal.commit());
+                        match res {
+                            Ok(_) => survived = i + 1,
+                            Err(_) => break,
+                        }
+                    }
+                    let done = !clock.crashed();
+                    drop(wal);
+                    faulty.settle_crash();
+                    if done {
+                        break; // crash index past the whole workload: sweep over
+                    }
+                    let ctx = format!("crash at write {crash_at} (torn {torn}, seed {seed})");
+                    let wal2 = Wal::attach(Box::new(Arc::clone(&mem)))
+                        .unwrap_or_else(|e| panic!("{ctx}: reattach failed: {e:?}"));
+                    let committed = wal2.take_recovered().map_or(0, |log| log.committed);
+                    assert!(
+                        committed >= 2 * survived,
+                        "{ctx}: {survived} commits returned but only {committed} committed \
+                         records recovered — a durable anchor was destroyed"
+                    );
+                    assert_eq!(committed % 2, 0, "{ctx}: half a transaction recovered");
+                    crash_at += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_relieves_a_full_segment_map() {
+        // ps = 128 caps the anchor map at 20 slots; distinct pages keep
+        // every FirstMod run short, so nothing pins the horizon.  Fill
+        // the map until an append wedges on "segment map full" with the
+        // failed commit's bytes stuck in the pending backlog — then a
+        // checkpoint must retire the flushed segments *before* its own
+        // record flush, drain the backlog into the freed slots, and
+        // leave the log fully operational.
+        let config = WalConfig { segment_pages: 2, flush_policy: FlushPolicy::Off };
+        let (disk, wal) = fresh_wal_with(128, config);
+        let old = vec![0u8; 128];
+        let mut wedged = false;
+        for i in 0..200u64 {
+            let mut img = old.clone();
+            img[(i % 128) as usize] = 1;
+            if wal.log_update(PageId(i), &old, &img).and_then(|_| wal.commit()).is_err() {
+                wedged = true;
+                break;
+            }
+        }
+        assert!(wedged, "the tiny anchor map must fill up");
+        // Pre-fix, this checkpoint died on the very map-full error it was
+        // advised to fix: its record flush ran before any retirement.
+        wal.checkpoint(wal.end_lsn()).expect("checkpoint must relieve the full map");
+        let s = wal.stats();
+        assert!(s.segments_retired > 0, "relief must retire segments: {s:?}");
+        // The log is unwedged: fresh commits append and survive attach.
+        for i in 0..4u64 {
+            let mut img = old.clone();
+            img[1] = i as u8 + 1;
+            wal.log_update(PageId(1000 + i), &old, &img).unwrap();
+            wal.commit().unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.syncs, s.commit_syncs + s.forced_syncs + s.checkpoint_syncs);
+        drop(wal);
+        let scan = scan_fresh(&*disk, 128);
+        assert_eq!(scan.committed, 8, "the four post-relief commits all recovered");
     }
 }

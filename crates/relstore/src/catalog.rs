@@ -100,6 +100,11 @@ impl Database {
     /// against the data device (committed records redone, the uncommitted
     /// tail rolled back), so the catalog — and everything it points to —
     /// is read from the recovered, committed state.
+    ///
+    /// A pool built with `FlushPolicy::Background` already owns a running
+    /// WAL flusher thread at this point; `open` needs no extra steering.
+    /// Pair it with [`Database::close`] to stop the flusher cleanly (the
+    /// pool's `Drop` also does, for the crash-test paths that never close).
     pub fn open(pool: Arc<BufferPool>) -> Result<Database> {
         pool.recover()?;
         let catalog = pool.with_page(HEADER_PAGE, decode_catalog)??;
@@ -142,6 +147,19 @@ impl Database {
             }
             None => self.pool.flush_all(),
         }
+    }
+
+    /// Orderly shutdown: takes a final [`Database::checkpoint`] (flushing
+    /// every dirty page and truncating the log down to retired segments),
+    /// then stops and joins the WAL's background flusher thread, if the
+    /// pool runs one.  Call before dropping a database you intend to
+    /// re-open; skipping it is *safe* — recovery replays the log — just
+    /// slower on the next [`Database::open`].  No-op on volatile pools
+    /// beyond the page flush.
+    pub fn close(&self) -> Result<()> {
+        self.checkpoint()?;
+        self.pool.stop_flusher();
+        Ok(())
     }
 
     /// Exclusive latch serializing multi-call read-modify-write

@@ -7,10 +7,12 @@
 use ri_tree::btree::layout::{internal_capacity, leaf_capacity};
 use ri_tree::btree::{predicted_pages, BTree, Entry};
 use ri_tree::core::BULK_BATCH_MIN;
+mod common;
+
+use common::{durable_file_pool, TempDir};
 use ri_tree::pagestore::{CrashPlan, FaultClock, FaultPlan, FaultyDisk};
 use ri_tree::prelude::*;
 use ri_tree::workloads::d4;
-use std::path::{Path, PathBuf};
 
 /// One million intervals: an order of magnitude past the paper's
 /// largest experiment (Figure 14 stops at n = 100,000).
@@ -195,40 +197,6 @@ mod equivalence {
             prop_assert_eq!(bulk.delete(iv, id).unwrap(), false);
         }
     }
-}
-
-struct TempDir {
-    path: PathBuf,
-}
-
-impl TempDir {
-    fn new(tag: &str) -> TempDir {
-        let path = std::env::temp_dir().join(format!("ri-tree-bulk-{}-{tag}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&path);
-        std::fs::create_dir_all(&path).unwrap();
-        TempDir { path }
-    }
-
-    fn file(&self, name: &str) -> PathBuf {
-        self.path.join(name)
-    }
-}
-
-impl Drop for TempDir {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.path);
-    }
-}
-
-fn durable_file_pool(data: &Path, wal: &Path) -> Arc<BufferPool> {
-    Arc::new(
-        BufferPool::new_durable(
-            FileDisk::open(data, DEFAULT_PAGE_SIZE).unwrap(),
-            BufferPoolConfig::with_capacity(64),
-            FileDisk::open(wal, DEFAULT_PAGE_SIZE).unwrap(),
-        )
-        .unwrap(),
-    )
 }
 
 /// A bulk-loaded tree is ordinary durable state: the build's page

@@ -1,0 +1,55 @@
+//! Helpers shared by the file-backed integration suites.
+//!
+//! Each `tests/*.rs` file is its own crate, so anything here is pulled
+//! in with `mod common;` and only the items a suite uses are linked —
+//! hence the file-wide `dead_code` allowance.
+#![allow(dead_code)]
+
+use ri_tree::pagestore::WalConfig;
+use ri_tree::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// A per-test scratch directory removed when the test ends (pass or
+/// fail-with-unwind); earlier revisions leaked one directory per run.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("ri-tree-it-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir { path }
+    }
+
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// A durable pool over two file-backed devices (data + WAL), default
+/// WAL configuration.
+pub fn durable_file_pool(data: &Path, wal: &Path) -> Arc<BufferPool> {
+    durable_file_pool_with(data, wal, WalConfig::default())
+}
+
+/// [`durable_file_pool`] with an explicit [`WalConfig`] (segment size,
+/// flush policy).
+pub fn durable_file_pool_with(data: &Path, wal: &Path, config: WalConfig) -> Arc<BufferPool> {
+    Arc::new(
+        BufferPool::new_durable_with(
+            FileDisk::open(data, DEFAULT_PAGE_SIZE).unwrap(),
+            BufferPoolConfig::with_capacity(64),
+            FileDisk::open(wal, DEFAULT_PAGE_SIZE).unwrap(),
+            config,
+        )
+        .unwrap(),
+    )
+}

@@ -20,7 +20,8 @@
 //! exercises a different surviving subset of the volatile write cache.
 
 use ri_tree::pagestore::{
-    BufferPool, BufferPoolConfig, CrashPlan, FaultClock, FaultPlan, FaultyDisk, MemDisk,
+    BufferPool, BufferPoolConfig, CrashPlan, FaultClock, FaultPlan, FaultyDisk, FlushPolicy,
+    MemDisk, WalConfig,
 };
 use ri_tree::prelude::*;
 use std::collections::BTreeMap;
@@ -85,16 +86,56 @@ fn pool_config() -> BufferPoolConfig {
     BufferPoolConfig::with_capacity(FRAMES)
 }
 
+/// The background-flusher configuration the `flusher_*` sweeps run
+/// under: a low watermark keeps the flusher draining concurrently with
+/// the workload, so — the shared [`FaultClock`] being thread-blind —
+/// crash indices land inside its drains just like anyone else's writes.
+fn flusher_config() -> WalConfig {
+    WalConfig {
+        flush_policy: FlushPolicy::Background { watermark_bytes: 512 },
+        ..WalConfig::default()
+    }
+}
+
+/// Counts the global device writes and sync barriers that setup alone
+/// (create + DDL + commit + checkpoint) costs under `wal_config`, so
+/// sweeps can skip killing the pre-workload phase.
+fn setup_spans(wal_config: WalConfig) -> (u64, u64) {
+    let rig = Rig::new();
+    {
+        let pool = Arc::new(
+            BufferPool::new_durable_with(
+                Arc::clone(&rig.data_faulty),
+                pool_config(),
+                Arc::clone(&rig.wal_faulty),
+                wal_config,
+            )
+            .expect("durable pool"),
+        );
+        let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
+        let _tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
+        db.commit().expect("commit");
+        db.checkpoint().expect("checkpoint");
+        // The pool drop joins any flusher thread before we read the clock.
+    }
+    (rig.clock.writes(), rig.clock.syncs())
+}
+
 /// Runs setup + the seeded workload on the rig's faulty devices.  When
 /// `crash` is set, the clock is armed `rel_write` global writes after
 /// setup finishes.  Returns `Ok(committed)` if the workload completed,
 /// `Err(committed_before_crash)` if the simulated machine died.
-fn run_workload(rig: &Rig, crash: Option<(u64, usize, u64)>) -> Result<usize, usize> {
+fn run_workload(
+    rig: &Rig,
+    wal_config: WalConfig,
+    crash: Option<(u64, usize, u64)>,
+) -> Result<usize, usize> {
     let pool = Arc::new(
-        BufferPool::new_durable(
+        BufferPool::new_durable_with(
             Arc::clone(&rig.data_faulty),
             pool_config(),
             Arc::clone(&rig.wal_faulty),
+            wal_config,
         )
         .expect("durable pool on fresh devices"),
     );
@@ -189,27 +230,11 @@ fn reopen_and_verify(rig: &Rig, committed: usize, max_in_flight: usize, ctx: &st
 /// each kill.
 #[test]
 fn kill_at_every_write_index_and_recover() {
+    // Setup writes are not crash candidates (the database exists once
+    // the workload starts); count the span the workload covers.
+    let before = setup_spans(WalConfig::default()).0;
     let dry = Rig::new();
-    let before = {
-        // Setup writes are not crash candidates (the database exists once
-        // the workload starts); count the span the workload covers.
-        let pool = Arc::new(
-            BufferPool::new_durable(
-                Arc::clone(&dry.data_faulty),
-                pool_config(),
-                Arc::clone(&dry.wal_faulty),
-            )
-            .expect("durable pool"),
-        );
-        let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
-        let _tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
-        db.commit().expect("commit");
-        db.checkpoint().expect("checkpoint");
-        dry.clock.writes()
-    };
-    // Fresh rig for the actual dry run (the probe above consumed one).
-    let dry = Rig::new();
-    assert_eq!(run_workload(&dry, None), Ok(OPS));
+    assert_eq!(run_workload(&dry, WalConfig::default(), None), Ok(OPS));
     let total = dry.clock.writes();
     assert!(total > before, "workload must write");
     let span = total - before;
@@ -224,7 +249,8 @@ fn kill_at_every_write_index_and_recover() {
         {
             let rig = Rig::new();
             let seed = rel * 0x9E37 + variant;
-            let committed = match run_workload(&rig, Some((rel, torn, seed))) {
+            let committed = match run_workload(&rig, WalConfig::default(), Some((rel, torn, seed)))
+            {
                 Err(committed) => committed,
                 Ok(done) => {
                     // The workload finished before write index `rel` was
@@ -281,12 +307,17 @@ enum RaceCrash {
 /// transaction's log records; truncating them is exactly the bug the
 /// regression test below pins down.  Returns committed op counts (always
 /// even — two per transaction).
-fn run_checkpoint_race_workload(rig: &Rig, crash: Option<RaceCrash>) -> Result<usize, usize> {
+fn run_checkpoint_race_workload(
+    rig: &Rig,
+    wal_config: WalConfig,
+    crash: Option<RaceCrash>,
+) -> Result<usize, usize> {
     let pool = Arc::new(
-        BufferPool::new_durable(
+        BufferPool::new_durable_with(
             Arc::clone(&rig.data_faulty),
             pool_config(),
             Arc::clone(&rig.wal_faulty),
+            wal_config,
         )
         .expect("durable pool on fresh devices"),
     );
@@ -355,24 +386,16 @@ fn verify_race_crash_point(rig: &Rig, committed: usize, ctx: &str) -> usize {
 /// transactions at every single index.
 #[test]
 fn kill_at_every_write_index_with_checkpoint_racing_dml() {
+    race_write_sweep(WalConfig::default(), "ckpt-race");
+}
+
+/// Shared body of the write-index race sweeps: measures the workload's
+/// post-setup write span under `wal_config`, then kills at every index
+/// (clean and torn) and verifies whole-transaction recovery.
+fn race_write_sweep(wal_config: WalConfig, tag: &str) {
+    let before = setup_spans(wal_config).0;
     let dry = Rig::new();
-    let before = {
-        let pool = Arc::new(
-            BufferPool::new_durable(
-                Arc::clone(&dry.data_faulty),
-                pool_config(),
-                Arc::clone(&dry.wal_faulty),
-            )
-            .expect("durable pool"),
-        );
-        let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
-        let _tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
-        db.commit().expect("commit");
-        db.checkpoint().expect("checkpoint");
-        dry.clock.writes()
-    };
-    let dry = Rig::new();
-    assert_eq!(run_checkpoint_race_workload(&dry, None), Ok(2 * RACE_TXNS));
+    assert_eq!(run_checkpoint_race_workload(&dry, wal_config, None), Ok(2 * RACE_TXNS));
     let total = dry.clock.writes();
     assert!(total > before, "workload must write");
     let span = total - before;
@@ -387,6 +410,7 @@ fn kill_at_every_write_index_with_checkpoint_racing_dml() {
             let seed = rel * 0xC0FFEE + variant;
             let committed = match run_checkpoint_race_workload(
                 &rig,
+                wal_config,
                 Some(RaceCrash::Write { rel, torn, seed }),
             ) {
                 Err(committed) => committed,
@@ -396,7 +420,7 @@ fn kill_at_every_write_index_with_checkpoint_racing_dml() {
                     done
                 }
             };
-            let ctx = format!("ckpt-race write {rel}/{span} variant {variant} (torn {torn})");
+            let ctx = format!("{tag} write {rel}/{span} variant {variant} (torn {torn})");
             if verify_race_crash_point(&rig, committed, &ctx) == committed + 2 {
                 in_flight_survived += 1;
             }
@@ -404,12 +428,19 @@ fn kill_at_every_write_index_with_checkpoint_racing_dml() {
         }
     }
     assert!(crash_points >= 500, "the sweep must cover >= 500 crash points, got {crash_points}");
-    assert!(
-        in_flight_survived > 0,
-        "no crash point ever made the in-flight transaction durable — sweep too coarse"
-    );
+    // The reach check is only meaningful when the write schedule is
+    // deterministic: with the background flusher racing, which write
+    // index carries the commit record varies per run, so whether any
+    // kill lands in the commit-durable-but-not-returned window is a
+    // coin toss the sweep must tolerate either way.
+    if wal_config.flush_policy == FlushPolicy::Off {
+        assert!(
+            in_flight_survived > 0,
+            "no crash point ever made the in-flight transaction durable — sweep too coarse"
+        );
+    }
     eprintln!(
-        "ckpt-race kill-anywhere: {crash_points} crash points over {span} write indices, \
+        "{tag} kill-anywhere: {crash_points} crash points over {span} write indices, \
          in-flight transaction survived {in_flight_survived} times"
     );
 }
@@ -421,24 +452,15 @@ fn kill_at_every_write_index_with_checkpoint_racing_dml() {
 /// protocol's ordering argument lives on.
 #[test]
 fn kill_at_every_sync_index_with_checkpoint_racing_dml() {
+    race_sync_sweep(WalConfig::default(), "ckpt-race");
+}
+
+/// Shared body of the sync-barrier race sweeps (see the write sweep's
+/// twin above): the power cut strikes at every post-setup sync barrier.
+fn race_sync_sweep(wal_config: WalConfig, tag: &str) {
+    let before = setup_spans(wal_config).1;
     let dry = Rig::new();
-    let before = {
-        let pool = Arc::new(
-            BufferPool::new_durable(
-                Arc::clone(&dry.data_faulty),
-                pool_config(),
-                Arc::clone(&dry.wal_faulty),
-            )
-            .expect("durable pool"),
-        );
-        let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
-        let _tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
-        db.commit().expect("commit");
-        db.checkpoint().expect("checkpoint");
-        dry.clock.syncs()
-    };
-    let dry = Rig::new();
-    assert_eq!(run_checkpoint_race_workload(&dry, None), Ok(2 * RACE_TXNS));
+    assert_eq!(run_checkpoint_race_workload(&dry, wal_config, None), Ok(2 * RACE_TXNS));
     let total = dry.clock.syncs();
     assert!(total > before, "workload must sync");
     let span = total - before;
@@ -448,21 +470,84 @@ fn kill_at_every_sync_index_with_checkpoint_racing_dml() {
         for seed_salt in 0..4u64 {
             let rig = Rig::new();
             let seed = rel * 0x51C2 + seed_salt;
-            let committed =
-                match run_checkpoint_race_workload(&rig, Some(RaceCrash::Sync { rel, seed })) {
-                    Err(committed) => committed,
-                    Ok(done) => {
-                        assert_eq!(done, 2 * RACE_TXNS);
-                        rig.clock.crash_now();
-                        done
-                    }
-                };
-            let ctx = format!("ckpt-race sync {rel}/{span} seed {seed}");
+            let committed = match run_checkpoint_race_workload(
+                &rig,
+                wal_config,
+                Some(RaceCrash::Sync { rel, seed }),
+            ) {
+                Err(committed) => committed,
+                Ok(done) => {
+                    assert_eq!(done, 2 * RACE_TXNS);
+                    rig.clock.crash_now();
+                    done
+                }
+            };
+            let ctx = format!("{tag} sync {rel}/{span} seed {seed}");
             verify_race_crash_point(&rig, committed, &ctx);
             crash_points += 1;
         }
     }
-    eprintln!("ckpt-race sync sweep: {crash_points} crash points over {span} sync barriers");
+    eprintln!("{tag} sync sweep: {crash_points} crash points over {span} sync barriers");
+}
+
+/// Satellite sweep: the write-index race matrix re-run with the
+/// background flusher on.  Its drains interleave with commits, group
+/// commits, and checkpoints on the shared clock, so a slice of these
+/// kills lands mid-flusher-write; recovery must be indistinguishable
+/// from the `FlushPolicy::Off` sweep (the flusher never syncs, so it
+/// can only move bytes *earlier*, never make an uncommitted record
+/// durable-and-replayed).
+#[test]
+fn flusher_kill_at_every_write_index_with_checkpoint_racing_dml() {
+    race_write_sweep(flusher_config(), "flusher-race");
+}
+
+/// Sync-barrier twin of the sweep above, flusher on: the flusher adds
+/// no barriers of its own, so every kill still lands on a commit,
+/// write-back, or checkpoint sync — now with flusher-drained bytes in
+/// the cache ahead of it.
+#[test]
+fn flusher_kill_at_every_sync_index_with_checkpoint_racing_dml() {
+    race_sync_sweep(flusher_config(), "flusher-race");
+}
+
+/// Satellite sweep: segment rollovers straddling open transactions.
+/// Four-page segments leave 3 KB of payload per segment at this page
+/// size, so nearly every two-insert transaction spills across a
+/// rollover (header + anchor rewrite mid-transaction), and checkpoints
+/// keep retiring and recycling the slots behind it — all with the
+/// flusher racing.  Every post-setup write index is killed clean and
+/// torn, and recovery must restore whole transactions only.
+#[test]
+fn flusher_kill_across_segment_rollovers_with_open_transactions() {
+    let config = WalConfig { segment_pages: 4, ..flusher_config() };
+    // Prove the geometry does what the sweep needs: a handful of
+    // two-insert transactions must already span several segments.
+    {
+        let rig = Rig::new();
+        let pool = Arc::new(
+            BufferPool::new_durable_with(
+                Arc::clone(&rig.data_faulty),
+                pool_config(),
+                Arc::clone(&rig.wal_faulty),
+                config,
+            )
+            .expect("durable pool"),
+        );
+        let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
+        let tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
+        for t in 0..4usize {
+            tree.insert(op_interval(2 * t), (2 * t) as i64).expect("insert");
+            tree.insert(op_interval(2 * t + 1), (2 * t + 1) as i64).expect("insert");
+            db.commit().expect("commit");
+        }
+        let s = pool.wal().unwrap().stats();
+        assert!(
+            s.segments_created >= 3,
+            "3 KB segments must roll over within a few transactions: {s:?}"
+        );
+    }
+    race_write_sweep(config, "rollover");
 }
 
 /// Regression (the fuzzy-checkpoint bug): a writer parked **mid-

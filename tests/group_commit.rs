@@ -5,7 +5,8 @@
 //! after the last commit returns.
 
 use ri_tree::pagestore::{
-    BufferPool, BufferPoolConfig, FaultClock, FaultPlan, FaultyDisk, MemDisk,
+    BufferPool, BufferPoolConfig, FaultClock, FaultPlan, FaultyDisk, FlushPolicy, MemDisk,
+    WalConfig,
 };
 use ri_tree::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -212,5 +213,114 @@ fn concurrent_commits_share_fsyncs_and_lose_nothing() {
     assert_eq!(got, want, "recovered rows diverge from the committed set");
     for &id in &want {
         assert!(tree.stab(iv(id).lower).expect("stab").contains(&id));
+    }
+}
+
+/// The background flusher racing group commit: with
+/// `FlushPolicy::Background` the flusher demonstrably drains a large
+/// transaction's backlog ahead of its commit, the absolute sync ledger
+/// (`syncs == commit_syncs + forced_syncs + checkpoint_syncs`) still
+/// balances exactly — the flusher writes but never syncs — and a power
+/// cut right after the last commit loses nothing.
+#[test]
+fn flusher_races_group_commit_without_breaking_the_sync_ledger() {
+    const BIG_TXN_ROWS: i64 = 200;
+    let data = Arc::new(MemDisk::new(PAGE));
+    let wal_mem = Arc::new(MemDisk::new(PAGE));
+    let clock = FaultClock::new();
+    let data_faulty = Arc::new(FaultyDisk::with_clock(
+        Arc::clone(&data),
+        FaultPlan::default(),
+        Arc::clone(&clock),
+    ));
+    let wal_faulty = Arc::new(FaultyDisk::with_clock(
+        Arc::clone(&wal_mem),
+        FaultPlan::default(),
+        Arc::clone(&clock),
+    ));
+    let pool = Arc::new(
+        BufferPool::new_durable_with(
+            Arc::clone(&data_faulty),
+            BufferPoolConfig::with_capacity(200),
+            Arc::clone(&wal_faulty),
+            WalConfig {
+                flush_policy: FlushPolicy::Background { watermark_bytes: 1024 },
+                ..WalConfig::default()
+            },
+        )
+        .expect("durable pool with flusher"),
+    );
+    let db = Arc::new(Database::create(Arc::clone(&pool)).expect("create"));
+    let tree = RiTree::create(Arc::clone(&db), "t").expect("ddl");
+    db.commit().expect("setup commit");
+    let wal = pool.wal().expect("durable pool has a WAL");
+
+    // One large open transaction: every insert crosses the 1 KB
+    // watermark, so the flusher must drain the backlog while the commit
+    // is still far away.
+    for id in 0..BIG_TXN_ROWS {
+        tree.insert(iv(id), id).expect("insert");
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while wal.stats().flusher_writes == 0 {
+        assert!(std::time::Instant::now() < deadline, "flusher never drained the backlog");
+        thread::yield_now();
+    }
+    assert!(wal.stats().flusher_bytes > 0, "the drain must cover actual stream bytes");
+
+    // Concurrent committers + a racing checkpointer on top of the
+    // still-running flusher, then the ledger must balance absolutely.
+    thread::scope(|s| {
+        for t in 1..=THREADS as i64 {
+            let tree = &tree;
+            let db = &db;
+            s.spawn(move || {
+                for k in 0..FREE_COMMITS as i64 {
+                    let id = t * 1000 + k;
+                    tree.insert(iv(id), id).expect("insert");
+                    db.commit().expect("commit");
+                }
+            });
+        }
+        let db = &db;
+        s.spawn(move || {
+            for _ in 0..3 {
+                db.checkpoint().expect("checkpoint racing flusher and committers");
+                thread::sleep(Duration::from_millis(1));
+            }
+        });
+    });
+    db.commit().expect("commit of the big transaction");
+
+    let end = wal.stats();
+    assert_eq!(
+        end.commit_syncs + end.group_commits,
+        end.commits,
+        "every commit is exactly a leader or a follower: {end:?}"
+    );
+    assert_eq!(
+        end.syncs,
+        end.commit_syncs + end.forced_syncs + end.checkpoint_syncs,
+        "sync accounting identity broken with the flusher racing commits: {end:?}"
+    );
+    assert_eq!(wal.durable_lsn(), wal.end_lsn(), "commit returns only once durable");
+
+    // Power cut: the flusher thread dies with the machine; every commit
+    // that returned must survive recovery.
+    clock.crash_now();
+    drop((tree, db, pool));
+    data_faulty.settle_crash();
+    wal_faulty.settle_crash();
+
+    let pool = Arc::new(
+        BufferPool::new_durable(data, BufferPoolConfig::with_capacity(200), wal_mem)
+            .expect("reopen"),
+    );
+    let db = Arc::new(Database::open(pool).expect("recovery"));
+    let tree = RiTree::open(Arc::clone(&db), "t").expect("tree open");
+    let total_rows = BIG_TXN_ROWS as u64 + THREADS as u64 * FREE_COMMITS as u64;
+    assert_eq!(tree.count().expect("count"), total_rows, "no committed insert may be lost");
+    for id in (0..BIG_TXN_ROWS).step_by(13) {
+        assert!(tree.stab(iv(id).lower).expect("stab").contains(&id), "big-txn row {id} lost");
     }
 }

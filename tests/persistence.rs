@@ -3,34 +3,11 @@
 //! and — with a WAL attached — committed work that was never
 //! checkpointed.
 
+mod common;
+
+use common::{durable_file_pool, TempDir};
 use ri_tree::pagestore::{CrashPlan, FaultClock, FaultPlan, FaultyDisk};
 use ri_tree::prelude::*;
-use std::path::{Path, PathBuf};
-
-/// A per-test scratch directory removed when the test ends (pass or
-/// fail-with-unwind); earlier revisions leaked one directory per run.
-struct TempDir {
-    path: PathBuf,
-}
-
-impl TempDir {
-    fn new(tag: &str) -> TempDir {
-        let path = std::env::temp_dir().join(format!("ri-tree-it-{}-{tag}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&path);
-        std::fs::create_dir_all(&path).unwrap();
-        TempDir { path }
-    }
-
-    fn file(&self, name: &str) -> PathBuf {
-        self.path.join(name)
-    }
-}
-
-impl Drop for TempDir {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.path);
-    }
-}
 
 #[test]
 fn ritree_survives_reopen() {
@@ -98,17 +75,6 @@ fn unflushed_changes_are_lost_but_db_stays_consistent() {
     // Structure passes the engine's own consistency checks: all 500 rows
     // reachable via queries.
     assert_eq!(tree.intersection(Interval::new(0, 1000).unwrap()).unwrap().len(), 500);
-}
-
-fn durable_file_pool(data: &Path, wal: &Path) -> Arc<BufferPool> {
-    Arc::new(
-        BufferPool::new_durable(
-            FileDisk::open(data, DEFAULT_PAGE_SIZE).unwrap(),
-            BufferPoolConfig::with_capacity(64),
-            FileDisk::open(wal, DEFAULT_PAGE_SIZE).unwrap(),
-        )
-        .unwrap(),
-    )
 }
 
 /// The WAL counterpart of `unflushed_changes_are_lost...`: with a log
