@@ -1,0 +1,14 @@
+//! The HINT hot tier: simulated comparison counts for naive scan vs
+//! interval tree vs HINT, then physical buffer-pool reads saved by a
+//! read-through tier over the RI-tree under Zipf skew × interval budget
+//! (our main-memory experiment; see `ri_bench::hot_tier` for the model).
+//!
+//! Usage: `fig23_hot_tier [--quick] [--json PATH]`
+//!
+//! `--json PATH` additionally writes the deterministic snapshot consumed
+//! by CI (conventionally `BENCH_hint.json`).
+
+fn main() {
+    let (quick, json) = ri_bench::snapshot_args("BENCH_hint.json");
+    ri_bench::hot_tier::run(quick, json.as_deref());
+}

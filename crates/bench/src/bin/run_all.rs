@@ -1,4 +1,6 @@
-//! Runs every table/figure experiment in sequence.
+//! Runs every table/figure experiment in sequence, driven by
+//! `ri_bench::figures::REGISTRY` — one table lists all figures, so a new
+//! figure registered there is automatically part of this regeneration.
 //!
 //! Default is full (paper-sized) mode; pass `--quick` for a 10x smaller
 //! smoke run.
@@ -6,17 +8,12 @@
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     eprintln!(
-        "regenerating all tables and figures ({} mode)...",
+        "regenerating all {} tables and figures ({} mode)...",
+        ri_bench::figures::REGISTRY.len(),
         if quick { "quick" } else { "full" }
     );
-    ri_bench::figures::table1::run(quick);
-    ri_bench::figures::fig10::run(quick);
-    ri_bench::figures::fig12::run(quick);
-    ri_bench::figures::fig13::run(quick);
-    ri_bench::figures::fig14::run(quick);
-    ri_bench::figures::fig15::run(quick);
-    ri_bench::figures::fig16::run(quick);
-    ri_bench::figures::fig17::run(quick);
-    ri_bench::figures::table_windowlist::run(quick);
-    ri_bench::figures::table_tindex_tuning::run(quick);
+    for (name, run) in ri_bench::figures::REGISTRY {
+        eprintln!("--- {name} ---");
+        run(quick);
+    }
 }

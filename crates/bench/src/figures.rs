@@ -386,6 +386,61 @@ pub mod table1 {
     }
 }
 
+/// A figure entry point: takes `quick` and prints its tables.
+pub type FigureFn = fn(bool);
+
+/// Every figure/table experiment in the suite, in run order — the one
+/// table `run_all` iterates, so a figure added here is automatically
+/// part of the full regeneration and cannot be forgotten.  Names match
+/// the standalone binaries in `src/bin/`.
+///
+/// The snapshot figures (fig18 onward) wrap their module's
+/// `run(quick, json_path)` entry point with `json_path = None`; the
+/// byte-stable JSON artifacts are produced by the dedicated binaries,
+/// which CI double-runs and diffs.
+pub const REGISTRY: &[(&str, FigureFn)] = &[
+    ("table1", table1::run),
+    ("fig10_plan", fig10::run),
+    ("fig12_storage", fig12::run),
+    ("fig13_selectivity", fig13::run),
+    ("fig14_scaleup", fig14::run),
+    ("fig15_granularity", fig15::run),
+    ("fig16_duration", fig16::run),
+    ("fig17_sweep", fig17::run),
+    ("table_windowlist", table_windowlist::run),
+    ("table_tindex_tuning", table_tindex_tuning::run),
+    ("fig18_concurrency", fig18),
+    ("fig19_write_concurrency", fig19),
+    ("fig20_group_commit", fig20),
+    ("fig21_scaleup", fig21),
+    ("fig22_commit_latency", fig22),
+    ("fig23_hot_tier", fig23),
+];
+
+fn fig18(quick: bool) {
+    let _ = crate::concurrency::run(quick, None);
+}
+
+fn fig19(quick: bool) {
+    let _ = crate::write_concurrency::run(quick, None);
+}
+
+fn fig20(quick: bool) {
+    let _ = crate::group_commit::run(quick, None);
+}
+
+fn fig21(quick: bool) {
+    let _ = crate::scaleup::run(quick, None);
+}
+
+fn fig22(quick: bool) {
+    let _ = crate::commit_latency::run(quick, None);
+}
+
+fn fig23(quick: bool) {
+    let _ = crate::hot_tier::run(quick, None);
+}
+
 #[cfg(test)]
 mod tests {
     /// Every figure runs end-to-end in quick mode (smoke test for the whole
@@ -395,5 +450,15 @@ mod tests {
         super::fig10::run(true);
         super::table1::run(true);
         super::table_tindex_tuning::run(true);
+    }
+
+    /// The registry stays in sync with the binaries: distinct names, and
+    /// one entry per `src/bin/` figure (run_all itself excluded).
+    #[test]
+    fn registry_names_are_distinct() {
+        let mut names: Vec<&str> = super::REGISTRY.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), super::REGISTRY.len());
     }
 }

@@ -12,6 +12,7 @@ pub mod concurrency;
 pub mod figures;
 pub mod group_commit;
 pub mod harness;
+pub mod hot_tier;
 pub mod scaleup;
 pub mod write_concurrency;
 

@@ -1,0 +1,689 @@
+//! A read-through in-memory hot tier over the paged [`RiTree`].
+//!
+//! The RI-tree pays a relational B-tree descent — buffer-pool page
+//! accesses — on every query, even when the working set is a handful of
+//! hot domain regions.  [`HotTier`] puts a [`HintIndex`] (the
+//! hierarchical comparison-free interval index from `ri-mem`) in front
+//! of the tree: queries that land entirely on *resident* domain blocks
+//! are answered from memory without touching the pool at all.
+//!
+//! # Block-grained read-through caching
+//!
+//! The configured domain (default: the paper's `[0, 2^20)`) splits into
+//! equal *blocks* of `2^block_bits` values.  The unit of admission and
+//! eviction is the block, not the interval: a block is *resident* when
+//! every live interval intersecting it is present in the HINT, so a
+//! query whose span touches only resident blocks can be answered
+//! exactly from memory.  On a miss, the tier runs the query against the
+//! tree (one block-aligned fetch covering the query's span), returns
+//! the filtered answer, and *may* install the fetched blocks:
+//!
+//! * **Admission is 2Q-style with a frequency gate**: a block is
+//!   admitted on its second miss while on the ghost list, so one-off
+//!   probes into cold regions don't thrash the budget — only
+//!   re-referenced blocks earn residency.  Once the tier is at budget,
+//!   a candidate must additionally be touched more often (per a
+//!   TinyLFU-style decaying counter) than the weakest resident block:
+//!   under a skewed stream the steady tail would otherwise keep
+//!   re-qualifying via the ghost list and churn hot blocks out.
+//! * **Eviction is lowest-frequency-first** on the same decaying
+//!   counters the gate uses: when the cached-interval budget is
+//!   exceeded, the least-touched resident block goes (ties broken by
+//!   block number, keeping runs deterministic).  Using one metric for
+//!   both decisions means an admitted block displaces exactly the
+//!   block it beat at the gate — admission and eviction can never
+//!   disagree and churn each other.  Intervals are refcounted by the
+//!   number of resident blocks they intersect and leave the HINT when
+//!   the last one goes.
+//!
+//! # Coherence: the write path, not vacuum
+//!
+//! PR 5's B-link deletes never reclaim pages, so there is no vacuum
+//! pass to hang invalidation on — and none is needed.  All DML must go
+//! through the tier's [`HotTier::insert`] / [`HotTier::delete`]
+//! wrappers (that is the contract; use [`HotTier::invalidate_all`]
+//! after any out-of-band write).  A writer first applies the tree
+//! operation, then — under the tier lock — bumps an *epoch counter* and
+//! updates the HINT in place: inserts land in the cache immediately
+//! when they intersect a resident block, deletes remove the cached
+//! entry.  Admissions read the epoch before their unlocked tree fetch
+//! and install only if it is unchanged, so a fetch that raced a writer
+//! is discarded (the query still returns its — valid at fetch time —
+//! answer).  Hits are served entirely under the same lock the writers
+//! update through, so a query through the tier can never return a
+//! deleted interval or miss a committed insert; `tests/hot_tier.rs`
+//! stress-tests exactly that contract under concurrent DML.
+//!
+//! Open-ended intervals (Section 4.6's `now`/∞) have query-dependent
+//! bounds and are never cached; while any are stored, every query
+//! bypasses the tier.  Intervals reaching outside the configured
+//! domain are cached with their bounds clamped to it — equivalent for
+//! every in-domain query, and queries outside the domain bypass.
+
+use crate::interval::Interval;
+use crate::tree::{OpenEnd, RiTree};
+use ri_mem::HintIndex;
+use ri_pagestore::Result;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Mutex;
+
+/// Every this many block touches, all frequency counters halve (the
+/// TinyLFU aging step keeping the admission gate adaptive).
+const FREQ_DECAY_PERIOD: u64 = 2048;
+
+/// Geometry and budget of a [`HotTier`].
+#[derive(Clone, Copy, Debug)]
+pub struct HotTierConfig {
+    /// Lowest cacheable domain value.
+    pub domain_lower: i64,
+    /// The cacheable domain spans `2^domain_bits` values (default 20,
+    /// the paper's data space).
+    pub domain_bits: u32,
+    /// Blocks — the admission/eviction grain — span `2^block_bits`
+    /// values (default 14: 64 blocks over the paper domain).
+    pub block_bits: u32,
+    /// Maximum cached intervals; lowest-frequency blocks are evicted
+    /// beyond it.
+    pub capacity: usize,
+    /// Ghost-list length for 2Q admission: how many recently-missed
+    /// blocks are remembered as admission candidates.
+    pub ghost_capacity: usize,
+}
+
+impl Default for HotTierConfig {
+    fn default() -> HotTierConfig {
+        HotTierConfig {
+            domain_lower: 0,
+            domain_bits: 20,
+            block_bits: 14,
+            capacity: 32_768,
+            ghost_capacity: 32,
+        }
+    }
+}
+
+impl HotTierConfig {
+    /// Default geometry with an explicit interval budget.
+    pub fn with_capacity(capacity: usize) -> HotTierConfig {
+        HotTierConfig { capacity, ..HotTierConfig::default() }
+    }
+}
+
+/// Counters describing a [`HotTier`]'s behaviour so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotTierStats {
+    /// Queries answered entirely from the HINT.
+    pub hits: u64,
+    /// Queries that went to the tree (span not fully resident).
+    pub misses: u64,
+    /// Queries that skipped the tier (open intervals stored, or the
+    /// query leaves the configured domain).
+    pub bypasses: u64,
+    /// Blocks admitted to residency.
+    pub admissions: u64,
+    /// Admissions discarded because a writer raced the fetch.
+    pub aborted_admissions: u64,
+    /// Blocks evicted over budget (lowest frequency first).
+    pub evicted_blocks: u64,
+    /// Cached entries removed by write-path deletes.
+    pub invalidations: u64,
+    /// Intervals currently cached.
+    pub cached_intervals: usize,
+    /// Blocks currently resident.
+    pub resident_blocks: usize,
+}
+
+struct TierState {
+    hint: HintIndex,
+    /// Resident blocks.
+    resident: HashSet<u64>,
+    /// 2Q ghost list: recently missed, not (yet) admitted blocks.
+    ghosts: VecDeque<u64>,
+    /// TinyLFU-style decaying touch counters per block (hits and
+    /// misses alike); at budget, admission requires a candidate to be
+    /// touched more often than the weakest resident block.
+    freq: HashMap<u64, u32>,
+    /// Block touches since the last halving of `freq`.
+    freq_touches: u64,
+    /// Cached triple → number of resident blocks it intersects.
+    refcount: HashMap<(i64, i64, i64), u32>,
+    /// Bumped by every write; admissions installing across an epoch
+    /// change are discarded.
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+    admissions: u64,
+    aborted_admissions: u64,
+    evicted_blocks: u64,
+    invalidations: u64,
+}
+
+/// The read-through hot tier; see the module docs for the design.
+///
+/// All methods take `&self`; the tier is `Sync` and meant to be shared
+/// (e.g. in an `Arc`) between reader and writer threads.  **Contract:**
+/// every insert/delete against the underlying tree goes through
+/// [`HotTier::insert`] / [`HotTier::delete`] (or is followed by
+/// [`HotTier::invalidate_all`]), and each `(interval, id)` pair is live
+/// at most once — the same uniqueness the RI-tree's disjoint query
+/// branches already assume.
+pub struct HotTier {
+    tree: RiTree,
+    cfg: HotTierConfig,
+    state: Mutex<TierState>,
+}
+
+impl HotTier {
+    /// Wraps `tree` with an empty tier.
+    ///
+    /// # Panics
+    /// Panics on a degenerate geometry (`block_bits > domain_bits`,
+    /// `domain_bits` outside `[1, 40]`, or a zero capacity).
+    pub fn new(tree: RiTree, cfg: HotTierConfig) -> HotTier {
+        assert!(cfg.block_bits <= cfg.domain_bits, "blocks wider than the domain");
+        assert!(cfg.capacity > 0, "zero interval budget");
+        let hint = HintIndex::new(cfg.domain_lower, cfg.domain_bits);
+        HotTier {
+            tree,
+            cfg,
+            state: Mutex::new(TierState {
+                hint,
+                resident: HashSet::new(),
+                ghosts: VecDeque::new(),
+                freq: HashMap::new(),
+                freq_touches: 0,
+                refcount: HashMap::new(),
+                epoch: 0,
+                hits: 0,
+                misses: 0,
+                bypasses: 0,
+                admissions: 0,
+                aborted_admissions: 0,
+                evicted_blocks: 0,
+                invalidations: 0,
+            }),
+        }
+    }
+
+    /// The wrapped tree (read-only access; route DML through the tier).
+    pub fn tree(&self) -> &RiTree {
+        &self.tree
+    }
+
+    /// Unwraps the tier, returning the tree.
+    pub fn into_tree(self) -> RiTree {
+        self.tree
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> HotTierStats {
+        let st = self.state.lock().unwrap();
+        HotTierStats {
+            hits: st.hits,
+            misses: st.misses,
+            bypasses: st.bypasses,
+            admissions: st.admissions,
+            aborted_admissions: st.aborted_admissions,
+            evicted_blocks: st.evicted_blocks,
+            invalidations: st.invalidations,
+            cached_intervals: st.refcount.len(),
+            resident_blocks: st.resident.len(),
+        }
+    }
+
+    /// Drops every cached entry (and all residency) in one step — the
+    /// escape hatch after out-of-band writes to the underlying tree.
+    pub fn invalidate_all(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.epoch += 1;
+        st.hint = HintIndex::new(self.cfg.domain_lower, self.cfg.domain_bits);
+        st.resident.clear();
+        st.ghosts.clear();
+        st.freq.clear();
+        st.freq_touches = 0;
+        st.refcount.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Write path: tree first, then the cache under the epoch
+    // ------------------------------------------------------------------
+
+    /// Inserts through the tier: the tree operation, then the cache
+    /// update (the interval lands in the HINT immediately if it
+    /// intersects a resident block).
+    pub fn insert(&self, iv: Interval, id: i64) -> Result<()> {
+        self.tree.insert(iv, id)?;
+        let mut st = self.state.lock().unwrap();
+        st.epoch += 1;
+        if let Some((cl, cu)) = self.clamp(iv) {
+            let k = self.resident_overlaps(&st, cl, cu);
+            if k > 0 {
+                // `insert` returns the previous value: an occupied entry
+                // means an admission raced us and already cached the
+                // triple — overwriting with the recomputed count restores
+                // the refcount invariant without a duplicate HINT entry.
+                if st.refcount.insert((cl, cu, id), k).is_none() {
+                    st.hint.insert(cl, cu, id);
+                }
+                self.evict_over_budget(&mut st);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes through the tier: the tree operation, then cache
+    /// invalidation of the exact entry.
+    pub fn delete(&self, iv: Interval, id: i64) -> Result<bool> {
+        let deleted = self.tree.delete(iv, id)?;
+        if deleted {
+            let mut st = self.state.lock().unwrap();
+            st.epoch += 1;
+            if let Some((cl, cu)) = self.clamp(iv) {
+                if st.refcount.remove(&(cl, cu, id)).is_some() {
+                    st.hint.delete(cl, cu, id);
+                    st.invalidations += 1;
+                }
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Inserts an open-ended interval (never cached; while any are
+    /// stored every query bypasses the tier).
+    pub fn insert_open(&self, lower: i64, end: OpenEnd, id: i64) -> Result<()> {
+        self.tree.insert_open(lower, end, id)?;
+        self.state.lock().unwrap().epoch += 1;
+        Ok(())
+    }
+
+    /// Deletes an open-ended interval.
+    pub fn delete_open(&self, lower: i64, end: OpenEnd, id: i64) -> Result<bool> {
+        let deleted = self.tree.delete_open(lower, end, id)?;
+        if deleted {
+            self.state.lock().unwrap().epoch += 1;
+        }
+        Ok(deleted)
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Intersection query through the tier; identical results to
+    /// [`RiTree::intersection`], minus the page accesses on a hit.
+    pub fn intersection(&self, q: Interval) -> Result<Vec<i64>> {
+        let (dom_lo, dom_hi) = self.domain();
+        if q.lower < dom_lo || q.upper > dom_hi || self.tree.has_open_intervals() {
+            self.state.lock().unwrap().bypasses += 1;
+            return self.tree.intersection(q);
+        }
+        let first = self.block_of(q.lower);
+        let last = self.block_of(q.upper);
+        let (epoch0, admit) = {
+            let mut st = self.state.lock().unwrap();
+            for b in first..=last {
+                Self::touch_freq(&mut st, b);
+            }
+            if (first..=last).all(|b| st.resident.contains(&b)) {
+                st.hits += 1;
+                return Ok(st.hint.intersection(q.lower, q.upper));
+            }
+            st.misses += 1;
+            // 2Q admission: a missing block is admitted only if it is on
+            // the ghost list (second miss); otherwise it becomes a ghost.
+            let mut admit = Vec::new();
+            for b in first..=last {
+                if st.resident.contains(&b) {
+                    continue;
+                }
+                if let Some(pos) = st.ghosts.iter().position(|&g| g == b) {
+                    st.ghosts.remove(pos);
+                    admit.push(b);
+                } else {
+                    if st.ghosts.len() >= self.cfg.ghost_capacity {
+                        st.ghosts.pop_front();
+                    }
+                    st.ghosts.push_back(b);
+                }
+            }
+            // TinyLFU-style gate: once admitting would push the tier
+            // over budget, a candidate must beat the weakest resident
+            // block's touch count by a margin of 2 — otherwise Zipf-tail
+            // traffic steadily churns hot blocks out, and blocks of
+            // near-equal frequency at the budget boundary keep swapping
+            // (each swap costs a span fetch and gains nothing; the
+            // margin is hysteresis against exactly that).  A rejected
+            // candidate goes back on the ghost list, so a block that
+            // keeps missing accumulates frequency and eventually wins
+            // the gate.
+            if !admit.is_empty() && !st.resident.is_empty() {
+                let per_block = st.refcount.len() / st.resident.len();
+                if st.refcount.len() + per_block * admit.len() > self.cfg.capacity {
+                    let weakest = st
+                        .resident
+                        .iter()
+                        .map(|b| st.freq.get(b).copied().unwrap_or(0))
+                        .min()
+                        .unwrap_or(0);
+                    let st = &mut *st;
+                    admit.retain(|b| {
+                        if st.freq.get(b).copied().unwrap_or(0) > weakest.saturating_add(1) {
+                            return true;
+                        }
+                        if st.ghosts.len() >= self.cfg.ghost_capacity {
+                            st.ghosts.pop_front();
+                        }
+                        st.ghosts.push_back(*b);
+                        false
+                    });
+                }
+            }
+            if admit.is_empty() {
+                drop(st);
+                return self.tree.intersection(q);
+            }
+            (st.epoch, admit)
+        };
+        // Fetch outside the lock: one block-aligned, index-only tree
+        // query covering the span ([`RiTree::span_snapshot`] joins the
+        // two composite indexes instead of probing the heap per row),
+        // so the admitted blocks become fully resident.
+        let span = Interval { lower: self.block_lo(first), upper: self.block_hi(last) };
+        let fetched = self.tree.span_snapshot(span)?;
+        let mut triples = Vec::with_capacity(fetched.len());
+        let mut ids = Vec::new();
+        for (iv, id) in fetched {
+            if iv.lower <= q.upper && q.lower <= iv.upper {
+                ids.push(id);
+            }
+            triples.push((iv.lower.max(dom_lo), iv.upper.min(dom_hi), id));
+        }
+        ids.sort_unstable();
+        let mut st = self.state.lock().unwrap();
+        if st.epoch != epoch0 {
+            // A writer raced the fetch; the answer (valid at fetch time)
+            // stands, the installation does not.
+            st.aborted_admissions += 1;
+            return Ok(ids);
+        }
+        for &b in &admit {
+            st.resident.insert(b);
+        }
+        st.admissions += admit.len() as u64;
+        for &(cl, cu, id) in &triples {
+            let k =
+                admit.iter().filter(|&&b| self.block_lo(b) <= cu && cl <= self.block_hi(b)).count()
+                    as u32;
+            if k == 0 {
+                continue; // intersects only already-resident span blocks: cached
+            }
+            match st.refcount.entry((cl, cu, id)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += k,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(k);
+                    st.hint.insert(cl, cu, id);
+                }
+            }
+        }
+        self.evict_over_budget(&mut st);
+        Ok(ids)
+    }
+
+    /// Stabbing query through the tier.
+    pub fn stab(&self, p: i64) -> Result<Vec<i64>> {
+        self.intersection(Interval::point(p))
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry + eviction
+    // ------------------------------------------------------------------
+
+    fn domain(&self) -> (i64, i64) {
+        (self.cfg.domain_lower, self.cfg.domain_lower + (1i64 << self.cfg.domain_bits) - 1)
+    }
+
+    fn block_of(&self, v: i64) -> u64 {
+        ((v - self.cfg.domain_lower) >> self.cfg.block_bits) as u64
+    }
+
+    fn block_lo(&self, b: u64) -> i64 {
+        self.cfg.domain_lower + ((b as i64) << self.cfg.block_bits)
+    }
+
+    fn block_hi(&self, b: u64) -> i64 {
+        self.block_lo(b) + (1i64 << self.cfg.block_bits) - 1
+    }
+
+    /// Clamps an interval to the domain; `None` if disjoint from it
+    /// (such intervals can never affect an in-domain, non-bypassed
+    /// query, so they are simply not cached).
+    fn clamp(&self, iv: Interval) -> Option<(i64, i64)> {
+        let (lo, hi) = self.domain();
+        if iv.upper < lo || iv.lower > hi {
+            return None;
+        }
+        Some((iv.lower.max(lo), iv.upper.min(hi)))
+    }
+
+    /// Bumps a block's decaying touch counter; every
+    /// [`FREQ_DECAY_PERIOD`] touches all counters halve, so frequency
+    /// reflects the recent past and a workload shift can displace old
+    /// residents.
+    fn touch_freq(st: &mut TierState, b: u64) {
+        st.freq_touches += 1;
+        if st.freq_touches % FREQ_DECAY_PERIOD == 0 {
+            st.freq.retain(|_, v| {
+                *v /= 2;
+                *v > 0
+            });
+        }
+        *st.freq.entry(b).or_insert(0) += 1;
+    }
+
+    /// Number of resident blocks intersecting `[cl, cu]` (domain-clamped).
+    fn resident_overlaps(&self, st: &TierState, cl: i64, cu: i64) -> u32 {
+        (self.block_of(cl)..=self.block_of(cu)).filter(|b| st.resident.contains(b)).count() as u32
+    }
+
+    /// Lowest-frequency-first eviction until the interval budget holds
+    /// (ties broken by block number: the victim order is deterministic
+    /// even though residency is hashed).
+    fn evict_over_budget(&self, st: &mut TierState) {
+        while st.refcount.len() > self.cfg.capacity {
+            let Some(b) = st
+                .resident
+                .iter()
+                .min_by_key(|b| (st.freq.get(b).copied().unwrap_or(0), **b))
+                .copied()
+            else {
+                break;
+            };
+            st.resident.remove(&b);
+            st.evicted_blocks += 1;
+            for (cl, cu, id) in st.hint.intersecting_triples(self.block_lo(b), self.block_hi(b)) {
+                let count = st.refcount.get_mut(&(cl, cu, id)).expect("cached triple refcount");
+                *count -= 1;
+                if *count == 0 {
+                    st.refcount.remove(&(cl, cu, id));
+                    st.hint.delete(cl, cu, id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ri_pagestore::{BufferPool, BufferPoolConfig, MemDisk, DEFAULT_PAGE_SIZE};
+    use ri_relstore::Database;
+    use std::sync::Arc;
+
+    fn fresh_tier(cfg: HotTierConfig) -> HotTier {
+        let pool = Arc::new(BufferPool::new(
+            MemDisk::new(DEFAULT_PAGE_SIZE),
+            BufferPoolConfig::with_capacity(200),
+        ));
+        let db = Arc::new(Database::create(pool).unwrap());
+        HotTier::new(RiTree::create(db, "hot").unwrap(), cfg)
+    }
+
+    fn iv(l: i64, u: i64) -> Interval {
+        Interval::new(l, u).unwrap()
+    }
+
+    #[test]
+    fn second_identical_query_hits_and_matches() {
+        let tier = fresh_tier(HotTierConfig::default());
+        for i in 0..500 {
+            tier.insert(iv(i * 100, i * 100 + 250), i).unwrap();
+        }
+        let q = iv(10_000, 12_000);
+        let direct = tier.tree().intersection(q).unwrap();
+        let first = tier.intersection(q).unwrap();
+        let second = tier.intersection(q).unwrap(); // ghost promoted
+        let third = tier.intersection(q).unwrap(); // resident now
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+        assert_eq!(third, direct);
+        let stats = tier.stats();
+        assert!(stats.hits >= 1, "stats {stats:?}");
+        assert!(stats.admissions >= 1, "stats {stats:?}");
+    }
+
+    #[test]
+    fn writes_update_a_resident_block() {
+        let tier = fresh_tier(HotTierConfig::default());
+        for i in 0..200 {
+            tier.insert(iv(i * 50, i * 50 + 120), i).unwrap();
+        }
+        let q = iv(3_000, 4_000);
+        // Two misses admit the block span, third query hits.
+        for _ in 0..3 {
+            tier.intersection(q).unwrap();
+        }
+        assert!(tier.stats().hits >= 1);
+        // Mutate through the tier: a new interval and a delete, both
+        // inside the resident span, must be visible on the next (hit)
+        // query with no extra misses.
+        tier.insert(iv(3_500, 3_600), 9_000).unwrap();
+        assert!(tier.delete(iv(3_000, 3_120), 60).unwrap());
+        let hits_before = tier.stats().hits;
+        let got = tier.intersection(q).unwrap();
+        assert_eq!(got, tier.tree().intersection(q).unwrap());
+        assert!(got.contains(&9_000));
+        assert!(!got.contains(&60));
+        assert_eq!(tier.stats().hits, hits_before + 1, "must stay a hit");
+    }
+
+    #[test]
+    fn eviction_respects_the_budget_and_sweeps_do_not_thrash() {
+        let cfg = HotTierConfig { capacity: 64, ghost_capacity: 64, ..HotTierConfig::default() };
+        let tier = fresh_tier(cfg);
+        for i in 0..1_000 {
+            tier.insert(iv(i * 1000, i * 1000 + 400), i).unwrap();
+        }
+        // Sweep queries across the domain twice: the second pass turns
+        // every block into an admission candidate, but once the budget
+        // is full the frequency gate rejects equally-cold candidates —
+        // a scan must not churn the cache.
+        for pass in 0..2 {
+            for b in 0..60 {
+                let lo = b * 16_384;
+                let q = iv(lo, lo + 1_000);
+                let got = tier.intersection(q).unwrap();
+                assert_eq!(got, tier.tree().intersection(q).unwrap(), "pass {pass} block {b}");
+            }
+        }
+        let after_sweeps = tier.stats();
+        assert!(after_sweeps.admissions > 0, "stats {after_sweeps:?}");
+        assert_eq!(after_sweeps.evicted_blocks, 0, "a sweep must not evict: {after_sweeps:?}");
+        // A genuinely hot region accumulates frequency, wins the gate,
+        // and displaces the sweep-admitted residents.
+        for _ in 0..6 {
+            for b in 40..44 {
+                let lo = b * 16_384;
+                let q = iv(lo, lo + 1_000);
+                assert_eq!(tier.intersection(q).unwrap(), tier.tree().intersection(q).unwrap());
+            }
+        }
+        let stats = tier.stats();
+        assert!(stats.evicted_blocks > 0, "hot blocks must displace cold ones: {stats:?}");
+        assert!(stats.cached_intervals <= 64 + 40, "budget wildly exceeded: {stats:?}");
+    }
+
+    #[test]
+    fn open_intervals_force_bypass() {
+        let tier = fresh_tier(HotTierConfig::default());
+        for i in 0..50 {
+            tier.insert(iv(i * 10, i * 10 + 30), i).unwrap();
+        }
+        tier.insert_open(100, OpenEnd::Infinity, 777).unwrap();
+        let q = iv(90, 200);
+        for _ in 0..3 {
+            let got = tier.intersection(q).unwrap();
+            assert!(got.contains(&777));
+        }
+        let stats = tier.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.bypasses, 3, "stats {stats:?}");
+        // Removing the open interval re-enables the tier.
+        assert!(tier.delete_open(100, OpenEnd::Infinity, 777).unwrap());
+        for _ in 0..3 {
+            assert_eq!(tier.intersection(q).unwrap(), tier.tree().intersection(q).unwrap());
+        }
+        assert!(tier.stats().hits >= 1);
+    }
+
+    #[test]
+    fn out_of_domain_data_and_queries() {
+        let cfg = HotTierConfig { domain_bits: 10, block_bits: 7, ..HotTierConfig::default() };
+        let tier = fresh_tier(cfg); // domain [0, 1024)
+        tier.insert(iv(-500, 100), 1).unwrap(); // straddles the lower edge
+        tier.insert(iv(1_000, 5_000), 2).unwrap(); // straddles the upper edge
+        tier.insert(iv(2_000, 3_000), 3).unwrap(); // fully outside
+        tier.insert(iv(200, 300), 4).unwrap(); // inside
+        for _ in 0..3 {
+            assert_eq!(tier.intersection(iv(0, 1023)).unwrap(), vec![1, 2, 4]);
+            assert_eq!(tier.intersection(iv(50, 250)).unwrap(), vec![1, 4]);
+            // Out-of-domain query: bypassed, still correct.
+            assert_eq!(tier.intersection(iv(1_500, 2_500)).unwrap(), vec![2, 3]);
+        }
+        assert!(tier.stats().hits >= 2);
+        assert!(tier.stats().bypasses >= 3);
+        // Deleting an edge-straddling interval invalidates its clamped copy.
+        assert!(tier.delete(iv(-500, 100), 1).unwrap());
+        assert_eq!(tier.intersection(iv(0, 1023)).unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    fn invalidate_all_survives_out_of_band_writes() {
+        let tier = fresh_tier(HotTierConfig::default());
+        for i in 0..100 {
+            tier.insert(iv(i * 20, i * 20 + 50), i).unwrap();
+        }
+        let q = iv(500, 800);
+        for _ in 0..3 {
+            tier.intersection(q).unwrap();
+        }
+        // Out-of-band write, breaking the contract on purpose...
+        tier.tree().insert(iv(600, 610), 5_000).unwrap();
+        // ...then the escape hatch.
+        tier.invalidate_all();
+        assert_eq!(tier.stats().resident_blocks, 0);
+        assert!(tier.intersection(q).unwrap().contains(&5_000));
+    }
+
+    #[test]
+    fn stab_goes_through_the_tier() {
+        let tier = fresh_tier(HotTierConfig::default());
+        for i in 0..100 {
+            tier.insert(iv(i * 10, i * 10 + 25), i).unwrap();
+        }
+        for _ in 0..3 {
+            assert_eq!(tier.stab(105).unwrap(), tier.tree().stab(105).unwrap());
+        }
+        assert!(tier.stats().hits >= 1);
+    }
+}

@@ -43,12 +43,14 @@
 //! ```
 
 pub mod allen;
+pub mod hot_tier;
 pub mod interval;
 pub mod skeleton;
 pub mod tree;
 pub mod vtree;
 
 pub use allen::AllenRelation;
+pub use hot_tier::{HotTier, HotTierConfig, HotTierStats};
 pub use interval::Interval;
 pub use skeleton::SkeletonDirectory;
 pub use tree::{

@@ -911,6 +911,64 @@ impl RiTree {
         self.db.execute(&plan, &mut stats)
     }
 
+    /// Index-only bulk fetch of every *closed* stored interval
+    /// intersecting `q`, **with bounds**: scans the full node partitions
+    /// along the query paths in *both* composite indexes and joins them
+    /// on `(node, id)` — each table row has one entry per index at the
+    /// same `node`, so `(lower, upper)` reconstructs from a handful of
+    /// sequential leaf scans instead of one random heap probe per
+    /// candidate ([`RiTree::fetch_bounds`]'s cost).  This is the hot
+    /// tier's block-admission path, where the fetch spans whole cache
+    /// blocks and heap-probe amplification would dwarf the reads the
+    /// tier exists to save.
+    ///
+    /// The scans drop the plan's bound filters (whole partitions are
+    /// read, then filtered exactly), which is correct because the
+    /// left-path, covered and right-path node sets are disjoint — the
+    /// same Section 4.2 argument that makes the id plan duplicate-free.
+    /// Open-ended intervals are skipped (callers bypass the tier while
+    /// any are stored), and ids must be distinct, as everywhere on the
+    /// query path.
+    pub(crate) fn span_snapshot(&self, q: Interval) -> Result<Vec<(Interval, i64)>> {
+        let p = self.load_params()?;
+        let nodes = p.query_nodes(q.lower, q.upper);
+        let mut ranges: Vec<Row> = nodes.left.iter().map(|&(a, b)| vec![a, b]).collect();
+        ranges.extend(nodes.right.iter().map(|&w| vec![w, w]));
+        let scan = |index: &str| -> Result<Vec<Row>> {
+            let plan = Plan::NestedLoops {
+                outer: Box::new(Plan::CollectionIterator {
+                    name: "SPAN_NODES".into(),
+                    rows: ranges.clone(),
+                }),
+                inner: Box::new(Plan::IndexRangeScan {
+                    table: self.table_name.clone(),
+                    index: index.to_string(),
+                    lo: vec![BoundExpr::Outer(0), BoundExpr::NegInf, BoundExpr::NegInf],
+                    hi: vec![BoundExpr::Outer(1), BoundExpr::PosInf, BoundExpr::PosInf],
+                }),
+            };
+            self.db.execute(&plan, &mut ExecStats::default())
+        };
+        let lowers = scan(&self.lower_index)?;
+        let uppers = scan(&self.upper_index)?;
+        let mut upper_of: std::collections::HashMap<(i64, i64), i64> =
+            std::collections::HashMap::with_capacity(uppers.len());
+        for r in &uppers {
+            upper_of.insert((r[0], r[2]), r[1]);
+        }
+        let mut out = Vec::with_capacity(lowers.len());
+        for r in &lowers {
+            let Some(&upper) = upper_of.get(&(r[0], r[2])) else { continue };
+            if upper >= UPPER_NOW {
+                continue;
+            }
+            if r[1] <= q.upper && q.lower <= upper {
+                out.push((Interval { lower: r[1], upper }, r[2]));
+            }
+        }
+        Ok(out)
+    }
+
     /// Whether any open-ended (`now`/∞) intervals are currently stored.
     pub fn has_open_intervals(&self) -> bool {
         self.counter("n_inf") > 0 || self.counter("n_now") > 0

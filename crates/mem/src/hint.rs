@@ -1,0 +1,482 @@
+//! HINT: a hierarchical main-memory interval index (Christodoulou,
+//! Bouros & Mamoulis; see PAPERS.md).
+//!
+//! The domain `[offset, offset + 2^m)` is partitioned hierarchically:
+//! level `l` (`0 <= l <= m`) divides it into `2^l` equal partitions.
+//! Every stored interval is decomposed into its *canonical prefix
+//! blocks* — the at-most-two maximal partitions per level that tile it
+//! exactly (the iterative segment-tree cover).  Within a partition the
+//! intervals split into **originals** (the one block of the tiling that
+//! contains the interval's lower bound) and **replicas** (every other
+//! block), the paper's `O`/`R` split.
+//!
+//! The split buys *comparison-free* queries on this discrete domain:
+//!
+//! * **Stabbing** `p`: walk the one partition per level whose range
+//!   contains `p` and report everything in it.  Every interval stored
+//!   there covers its whole partition, hence `p` — no endpoint is ever
+//!   compared, and the tiling's disjointness means no duplicates.
+//! * **Intersection** `[ql, qu]`: per level, report the *first*
+//!   relevant partition (the one containing `ql`) in full and only the
+//!   originals of the partitions strictly after it up to the one
+//!   containing `qu`.  Each result surfaces exactly once (originals are
+//!   unique, and at most one tiling block can contain `ql`), again
+//!   without a single endpoint comparison.
+//!
+//! Partitions live in per-level `BTreeMap`s keyed by partition index,
+//! so only non-empty partitions cost memory and the per-level range
+//! scan visits exactly the relevant non-empty ones.  Updates are O(log)
+//! — an insert or delete touches just the interval's own blocks — which
+//! is what lets the hot tier in `ritree-core` keep a HINT coherent
+//! under concurrent DML.
+//!
+//! Space: an interval of length `L` owns at most two blocks on each of
+//! the bottom `log2(L) + 2` levels, so replication is `O(log L)` per
+//! interval (cf. [`HintIndex::replica_count`]), not `O(log domain)`.
+
+use crate::index::QueryCost;
+use std::collections::BTreeMap;
+
+/// One partition's interval lists (the paper's `O`/`R` split).
+#[derive(Debug, Default)]
+struct Partition {
+    /// Intervals whose tiling *starts* here (block contains `lower`).
+    originals: Vec<(i64, i64, i64)>,
+    /// Intervals tiled through here from an earlier block.
+    replicas: Vec<(i64, i64, i64)>,
+}
+
+impl Partition {
+    fn is_empty(&self) -> bool {
+        self.originals.is_empty() && self.replicas.is_empty()
+    }
+}
+
+/// Hierarchical interval index over a fixed discrete domain.
+///
+/// Stores `(lower, upper, id)` triples of `i64` with closed-interval
+/// semantics, like every structure in this crate.  Unlike its static
+/// siblings the HINT is dynamic — [`HintIndex::insert`] and
+/// [`HintIndex::delete`] are native `O(log)` operations — but the
+/// domain is fixed at construction: endpoints must lie inside it.
+#[derive(Debug)]
+pub struct HintIndex {
+    /// Lowest domain value.
+    offset: i64,
+    /// Bottom level: the domain spans `2^m` values, level `l` has `2^l`
+    /// partitions of width `2^(m-l)`.
+    m: u32,
+    /// `levels[l]`: partition index → partition, non-empty only.
+    levels: Vec<BTreeMap<u64, Partition>>,
+    len: usize,
+    replicas: usize,
+}
+
+impl HintIndex {
+    /// An empty index over the domain `[offset, offset + 2^bits)`.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or exceeds 40 (the hierarchy is dense in
+    /// levels, not partitions, so 2^40 values cost nothing — but the
+    /// guard keeps `offset + 2^bits` comfortably inside `i64`).
+    pub fn new(offset: i64, bits: u32) -> HintIndex {
+        assert!((1..=40).contains(&bits), "domain bits {bits} out of range 1..=40");
+        assert!(
+            offset.checked_add(1i64 << bits).is_some(),
+            "domain [{offset}, {offset} + 2^{bits}) overflows i64"
+        );
+        HintIndex {
+            offset,
+            m: bits,
+            levels: (0..=bits).map(|_| BTreeMap::new()).collect(),
+            len: 0,
+            replicas: 0,
+        }
+    }
+
+    /// Builds an index from `(lower, upper, id)` triples, sizing the
+    /// domain to the data's extent (empty input gets `[0, 2)`).
+    ///
+    /// # Panics
+    /// Panics if any triple has `lower > upper`.
+    pub fn build(items: &[(i64, i64, i64)]) -> HintIndex {
+        let Some(min) = items.iter().map(|&(l, _, _)| l).min() else {
+            return HintIndex::new(0, 1);
+        };
+        let max = items.iter().map(|&(_, u, _)| u).max().unwrap();
+        let span = (max - min + 1) as u64;
+        let bits = (64 - span.leading_zeros()).clamp(1, 40);
+        let mut index = HintIndex::new(min, bits);
+        for &(l, u, id) in items {
+            index.insert(l, u, id);
+        }
+        index
+    }
+
+    /// The inclusive domain `[lower, upper]` this index covers.
+    pub fn domain(&self) -> (i64, i64) {
+        (self.offset, self.offset + (1i64 << self.m) - 1)
+    }
+
+    /// Number of hierarchy levels (`m + 1`).
+    pub fn level_count(&self) -> usize {
+        self.m as usize + 1
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total replica registrations — the space the prefix decomposition
+    /// pays over one entry per interval (`O(log length)` each).
+    pub fn replica_count(&self) -> usize {
+        self.replicas
+    }
+
+    /// Inserts `(lower, upper, id)`.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` or the interval leaves the domain.
+    pub fn insert(&mut self, lower: i64, upper: i64, id: i64) {
+        let (a, b) = self.to_domain(lower, upper);
+        let mut blocks = 0usize;
+        for_each_block(self.m, a, b, |level, idx, original| {
+            let p = self.levels[level as usize].entry(idx).or_default();
+            if original {
+                p.originals.push((lower, upper, id));
+            } else {
+                p.replicas.push((lower, upper, id));
+            }
+            blocks += 1;
+        });
+        self.len += 1;
+        self.replicas += blocks - 1;
+    }
+
+    /// Removes one exact `(lower, upper, id)` occurrence from every
+    /// block of its decomposition; `false` if the triple is not stored.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` or the interval leaves the domain.
+    pub fn delete(&mut self, lower: i64, upper: i64, id: i64) -> bool {
+        let (a, b) = self.to_domain(lower, upper);
+        let t = (lower, upper, id);
+        // Presence check on the original block alone: every stored copy
+        // registers its original exactly once.
+        let mut present = false;
+        for_each_block(self.m, a, b, |level, idx, original| {
+            if original {
+                present =
+                    self.levels[level as usize].get(&idx).is_some_and(|p| p.originals.contains(&t));
+            }
+        });
+        if !present {
+            return false;
+        }
+        let mut blocks = 0usize;
+        for_each_block(self.m, a, b, |level, idx, original| {
+            let map = &mut self.levels[level as usize];
+            let p = map.get_mut(&idx).expect("present triple registers every block");
+            let list = if original { &mut p.originals } else { &mut p.replicas };
+            let pos = list.iter().position(|&x| x == t).expect("registered copy");
+            list.swap_remove(pos);
+            if p.is_empty() {
+                map.remove(&idx);
+            }
+            blocks += 1;
+        });
+        self.len -= 1;
+        self.replicas -= blocks - 1;
+        true
+    }
+
+    /// Sorted ids of intervals containing `p` — the comparison-free
+    /// fast path: one partition per level, reported verbatim.
+    pub fn stab(&self, p: i64) -> Vec<i64> {
+        let (lo, hi) = self.domain();
+        if p < lo || p > hi || self.len == 0 {
+            return Vec::new();
+        }
+        let pa = (p - self.offset) as u64;
+        let mut out = Vec::new();
+        for (l, map) in self.levels.iter().enumerate() {
+            if let Some(part) = map.get(&(pa >> (self.m - l as u32))) {
+                out.extend(part.originals.iter().map(|&(_, _, id)| id));
+                out.extend(part.replicas.iter().map(|&(_, _, id)| id));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Sorted ids of intervals intersecting `[ql, qu]` (closed).
+    pub fn intersection(&self, ql: i64, qu: i64) -> Vec<i64> {
+        self.intersection_with_cost(ql, qu).0
+    }
+
+    /// [`HintIndex::intersection`] plus its work counters.  The
+    /// `comparisons` counter is always zero — the structural claim the
+    /// `fig23_hot_tier` experiment prices against the interval tree.
+    pub fn intersection_with_cost(&self, ql: i64, qu: i64) -> (Vec<i64>, QueryCost) {
+        let mut cost = QueryCost::default();
+        let mut out = Vec::new();
+        self.scan(ql, qu, &mut cost, |&(_, _, id)| out.push(id));
+        out.sort_unstable();
+        (out, cost)
+    }
+
+    /// The stored `(lower, upper, id)` triples intersecting `[ql, qu]`,
+    /// in traversal order — each exactly once.  The hot tier's eviction
+    /// path uses this to find a block's cached entries.
+    pub fn intersecting_triples(&self, ql: i64, qu: i64) -> Vec<(i64, i64, i64)> {
+        let mut cost = QueryCost::default();
+        let mut out = Vec::new();
+        self.scan(ql, qu, &mut cost, |&t| out.push(t));
+        out
+    }
+
+    /// The exactly-once relevant-partition walk shared by the query
+    /// paths: per level, the whole first relevant partition plus the
+    /// originals of the rest.
+    fn scan(&self, ql: i64, qu: i64, cost: &mut QueryCost, mut emit: impl FnMut(&(i64, i64, i64))) {
+        assert!(ql <= qu, "invalid query [{ql}, {qu}]");
+        let (lo, hi) = self.domain();
+        let (ql, qu) = (ql.max(lo), qu.min(hi));
+        if ql > qu || self.len == 0 {
+            return; // entirely outside the domain, hence the data
+        }
+        let qa = (ql - self.offset) as u64;
+        let qb = (qu - self.offset) as u64;
+        for (l, map) in self.levels.iter().enumerate() {
+            if map.is_empty() {
+                continue;
+            }
+            let shift = self.m - l as u32;
+            let first = qa >> shift;
+            let last = qb >> shift;
+            if let Some(p) = map.get(&first) {
+                cost.nodes += 1;
+                cost.entries += (p.originals.len() + p.replicas.len()) as u64;
+                p.originals.iter().for_each(&mut emit);
+                p.replicas.iter().for_each(&mut emit);
+            }
+            if last > first {
+                for (_, p) in map.range(first + 1..=last) {
+                    cost.nodes += 1;
+                    cost.entries += p.originals.len() as u64;
+                    p.originals.iter().for_each(&mut emit);
+                }
+            }
+        }
+    }
+
+    /// Maps a closed interval into domain units, validating bounds.
+    fn to_domain(&self, lower: i64, upper: i64) -> (u64, u64) {
+        assert!(lower <= upper, "invalid interval [{lower}, {upper}]");
+        let (lo, hi) = self.domain();
+        assert!(
+            lower >= lo && upper <= hi,
+            "interval [{lower}, {upper}] outside the domain [{lo}, {hi}]"
+        );
+        ((lower - self.offset) as u64, (upper - self.offset) as u64)
+    }
+}
+
+/// Canonical prefix decomposition of `[lo, hi]` (inclusive, in domain
+/// units) over an `m`-level hierarchy: calls `f(level, index, original)`
+/// for each maximal block, at most two per level, tiling the interval
+/// exactly.  `original` marks the one block containing `lo`.
+fn for_each_block(m: u32, lo: u64, hi: u64, mut f: impl FnMut(u32, u64, bool)) {
+    let mut a = lo;
+    let mut b = hi + 1; // half-open
+    let mut level = m;
+    while a < b {
+        if a & 1 == 1 {
+            f(level, a, lo >> (m - level) == a);
+            a += 1;
+        }
+        if b & 1 == 1 {
+            b -= 1;
+            f(level, b, lo >> (m - level) == b);
+        }
+        a >>= 1;
+        b >>= 1;
+        if level == 0 {
+            break;
+        }
+        level -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveIntervalSet;
+
+    fn pseudo_items(n: usize, seed: u64) -> Vec<(i64, i64, i64)> {
+        let mut x = seed;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let l = (x % 4000) as i64;
+                let len = ((x >> 32) % 400) as i64;
+                (l, (l + len).min(4095), i as i64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_index() {
+        let h = HintIndex::build(&[]);
+        assert!(h.is_empty());
+        assert_eq!(h.stab(0), Vec::<i64>::new());
+        assert_eq!(h.intersection(-100, 100), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn decomposition_tiles_exactly() {
+        // Every decomposition must tile the interval: disjoint blocks,
+        // exact cover, exactly one original (the block containing lo).
+        for (lo, hi) in [(0, 0), (0, 31), (3, 17), (5, 5), (1, 30), (16, 16), (0, 30), (7, 24)] {
+            let mut covered = [false; 32];
+            let mut originals = 0;
+            for_each_block(5, lo, hi, |level, idx, original| {
+                let width = 1u64 << (5 - level);
+                for v in idx * width..(idx + 1) * width {
+                    assert!(!covered[v as usize], "block overlap at {v} for [{lo}, {hi}]");
+                    covered[v as usize] = true;
+                }
+                if original {
+                    assert!((idx * width..(idx + 1) * width).contains(&lo));
+                    originals += 1;
+                }
+            });
+            for v in 0..32u64 {
+                assert_eq!(covered[v as usize], (lo..=hi).contains(&v), "cover at {v}");
+            }
+            assert_eq!(originals, 1, "[{lo}, {hi}] must have exactly one original block");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_data() {
+        let items = pseudo_items(1200, 0x51AB);
+        let h = HintIndex::build(&items);
+        let naive = NaiveIntervalSet::from_triples(items.iter().copied());
+        for (ql, qu) in [(0, 4095), (100, 180), (2000, 2000), (-50, 60), (4000, 9000), (1, 4094)] {
+            assert_eq!(h.intersection(ql, qu), naive.intersection(ql, qu), "[{ql}, {qu}]");
+        }
+        for p in (-5..4200).step_by(31) {
+            assert_eq!(h.stab(p), naive.stab(p), "stab {p}");
+        }
+    }
+
+    #[test]
+    fn queries_are_comparison_free() {
+        let items = pseudo_items(800, 0xC0);
+        let h = HintIndex::build(&items);
+        for (ql, qu) in [(0, 4095), (700, 900), (1234, 1234)] {
+            let (ids, cost) = h.intersection_with_cost(ql, qu);
+            assert_eq!(cost.comparisons, 0, "HINT never compares endpoints");
+            assert_eq!(cost.entries, ids.len() as u64, "every touched entry is a result");
+        }
+    }
+
+    #[test]
+    fn dynamic_updates_match_naive() {
+        let mut h = HintIndex::new(0, 12);
+        let mut naive = NaiveIntervalSet::new();
+        let items = pseudo_items(600, 0xDE13);
+        for &(l, u, id) in &items {
+            h.insert(l, u, id);
+            naive.insert(l, u, id);
+        }
+        for (i, &(l, u, id)) in items.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(h.delete(l, u, id));
+                assert!(naive.delete(l, u, id));
+            }
+        }
+        assert_eq!(h.len(), naive.len());
+        for p in (0..4200).step_by(53) {
+            assert_eq!(h.stab(p), naive.stab(p), "stab {p}");
+        }
+        assert_eq!(h.intersection(0, 4095), naive.intersection(0, 4095));
+        assert!(!h.delete(0, 1, -99), "absent triple");
+    }
+
+    #[test]
+    fn delete_everything_empties_every_partition() {
+        let items = pseudo_items(300, 7);
+        let mut h = HintIndex::build(&items);
+        for &(l, u, id) in &items {
+            assert!(h.delete(l, u, id));
+        }
+        assert!(h.is_empty());
+        assert_eq!(h.replica_count(), 0);
+        assert!(h.levels.iter().all(BTreeMap::is_empty), "no partition may linger");
+    }
+
+    #[test]
+    fn duplicates_are_a_multiset() {
+        let mut h = HintIndex::new(0, 8);
+        h.insert(3, 9, 7);
+        h.insert(3, 9, 7);
+        assert_eq!(h.stab(5), vec![7, 7]);
+        assert!(h.delete(3, 9, 7));
+        assert_eq!(h.stab(5), vec![7]);
+    }
+
+    #[test]
+    fn boundary_touching_and_full_domain() {
+        let mut h = HintIndex::new(0, 10);
+        h.insert(0, 1023, 1); // full domain
+        h.insert(0, 0, 2);
+        h.insert(1023, 1023, 3);
+        h.insert(100, 200, 4);
+        assert_eq!(h.intersection(0, 0), vec![1, 2]);
+        assert_eq!(h.intersection(1023, 1023), vec![1, 3]);
+        assert_eq!(h.intersection(200, 200), vec![1, 4], "closed upper endpoint");
+        assert_eq!(h.intersection(201, 1022), vec![1]);
+        assert_eq!(h.intersection(0, 1023), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn replication_is_logarithmic_in_length() {
+        let items = pseudo_items(2000, 0xACE);
+        let h = HintIndex::build(&items);
+        let per_interval = h.replica_count() as f64 / items.len() as f64;
+        // lengths < 400 ⇒ at most ~2·log2(400) blocks each.
+        assert!(per_interval < 2.0 * 9.0, "replicas per interval {per_interval}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the domain")]
+    fn rejects_out_of_domain() {
+        HintIndex::new(0, 8).insert(-1, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn rejects_reversed_bounds() {
+        HintIndex::new(0, 8).insert(5, 1, 0);
+    }
+
+    #[test]
+    fn negative_offset_domain() {
+        let items = vec![(-100, -50, 1), (-60, 20, 2), (10, 30, 3)];
+        let h = HintIndex::build(&items);
+        let naive = NaiveIntervalSet::from_triples(items);
+        for (ql, qu) in [(-55, -52), (0, 9), (15, 100), (25, 100), (-200, 200)] {
+            assert_eq!(h.intersection(ql, qu), naive.intersection(ql, qu), "[{ql}, {qu}]");
+        }
+    }
+}

@@ -22,6 +22,9 @@ pub struct IntervalTree {
     /// Node id -> secondary structure, only for non-empty nodes
     /// (the paper's tertiary structure links exactly these).
     nodes: std::collections::HashMap<i64, NodeLists>,
+    /// The raw input, kept so [`crate::IntervalIndex`] updates can
+    /// rebuild (this structure is static; see the trait docs).
+    items: Vec<(i64, i64, i64)>,
     len: usize,
 }
 
@@ -40,7 +43,13 @@ impl IntervalTree {
     /// Panics if any triple has `lower > upper`.
     pub fn build(items: &[(i64, i64, i64)]) -> IntervalTree {
         if items.is_empty() {
-            return IntervalTree { root: 0, offset: 0, nodes: Default::default(), len: 0 };
+            return IntervalTree {
+                root: 0,
+                offset: 0,
+                nodes: Default::default(),
+                items: Vec::new(),
+                len: 0,
+            };
         }
         let min = items.iter().map(|&(l, _, _)| l).min().unwrap();
         let max = items.iter().map(|&(_, u, _)| u).max().unwrap();
@@ -60,7 +69,12 @@ impl IntervalTree {
             lists.lower.sort_unstable();
             lists.upper.sort_unstable_by(|a, b| b.cmp(a));
         }
-        IntervalTree { root, offset, nodes, len: items.len() }
+        IntervalTree { root, offset, nodes, items: items.to_vec(), len: items.len() }
+    }
+
+    /// All stored triples (unordered).
+    pub fn triples(&self) -> &[(i64, i64, i64)] {
+        &self.items
     }
 
     /// Number of stored intervals.
@@ -84,6 +98,24 @@ impl IntervalTree {
     /// for path nodes left of the query, `L(w)` for path nodes right of it,
     /// and reporting whole nodes covered by the query.
     pub fn intersection(&self, ql: i64, qu: i64) -> Vec<i64> {
+        self.intersection_impl(ql, qu, &mut crate::QueryCost::default())
+    }
+
+    /// [`IntervalTree::intersection`] plus its work counters.
+    ///
+    /// Cost model for `fig23_hot_tier`: one endpoint comparison per
+    /// `U(w)`/`L(w)` entry examined (including the one that stops each
+    /// scan); covered nodes report their lists wholesale, and the
+    /// directory pass that finds them stands in for the tertiary
+    /// structure's range links (a range scan in the relational
+    /// version), so it is charged as visited nodes, not comparisons.
+    pub fn intersection_with_cost(&self, ql: i64, qu: i64) -> (Vec<i64>, crate::QueryCost) {
+        let mut cost = crate::QueryCost::default();
+        let ids = self.intersection_impl(ql, qu, &mut cost);
+        (ids, cost)
+    }
+
+    fn intersection_impl(&self, ql: i64, qu: i64, cost: &mut crate::QueryCost) -> Vec<i64> {
         assert!(ql <= qu);
         if self.len == 0 {
             return Vec::new();
@@ -95,9 +127,12 @@ impl IntervalTree {
         // in-memory version we enumerate from the node directory.
         let mut visit = |w: i64| {
             let Some(lists) = self.nodes.get(&w) else { return };
+            cost.nodes += 1;
             if w < l {
                 // scan U(w) descending while upper >= ql
                 for &(up, id) in &lists.upper {
+                    cost.comparisons += 1;
+                    cost.entries += 1;
                     if up < ql {
                         break;
                     }
@@ -106,12 +141,15 @@ impl IntervalTree {
             } else if w > u {
                 // scan L(w) ascending while lower <= qu
                 for &(lo, id) in &lists.lower {
+                    cost.comparisons += 1;
+                    cost.entries += 1;
                     if lo > qu {
                         break;
                     }
                     out.push(id);
                 }
             } else {
+                cost.entries += lists.lower.len() as u64;
                 out.extend(lists.lower.iter().map(|&(_, id)| id));
             }
         };
@@ -141,6 +179,8 @@ impl IntervalTree {
         // structure's range links.)
         for (&w, lists) in &self.nodes {
             if w >= l && w <= u && !on_path.contains(&w) {
+                cost.nodes += 1;
+                cost.entries += lists.lower.len() as u64;
                 out.extend(lists.lower.iter().map(|&(_, id)| id));
             }
         }

@@ -62,6 +62,26 @@ impl NaiveIntervalSet {
         ids
     }
 
+    /// [`NaiveIntervalSet::intersection`] plus its work counters: one
+    /// endpoint comparison for the `l <= qu` test on every item and a
+    /// second for `ql <= u` whenever the first passes — the cost model
+    /// the `fig23_hot_tier` experiment prices the scan baseline with.
+    pub fn intersection_with_cost(&self, ql: i64, qu: i64) -> (Vec<i64>, crate::QueryCost) {
+        let mut cost = crate::QueryCost { entries: self.items.len() as u64, ..Default::default() };
+        let mut ids = Vec::new();
+        for &(l, u, id) in &self.items {
+            cost.comparisons += 1;
+            if l <= qu {
+                cost.comparisons += 1;
+                if ql <= u {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        (ids, cost)
+    }
+
     /// Sorted ids of intervals containing the point `p`.
     pub fn stab(&self, p: i64) -> Vec<i64> {
         self.intersection(p, p)

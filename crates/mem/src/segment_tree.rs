@@ -15,6 +15,12 @@ pub struct SegmentTree {
     /// node lists the ids whose canonical cover includes it.
     node_ids: Vec<Vec<i64>>,
     leaves: usize,
+    /// `(lower, id)` sorted ascending — lets intersection reduce to a
+    /// stab plus a start-range report (see [`SegmentTree::intersection`]).
+    starts: Vec<(i64, i64)>,
+    /// The raw input, kept so [`crate::IntervalIndex`] updates can
+    /// rebuild (this structure is static; see the trait docs).
+    items: Vec<(i64, i64, i64)>,
     len: usize,
     /// Total id registrations — the redundancy the paper avoids.
     registrations: usize,
@@ -27,10 +33,14 @@ impl SegmentTree {
         coords.sort_unstable();
         coords.dedup();
         let leaves = coords.len().next_power_of_two().max(1);
+        let mut starts: Vec<(i64, i64)> = items.iter().map(|&(l, _, id)| (l, id)).collect();
+        starts.sort_unstable();
         let mut tree = SegmentTree {
             coords,
             node_ids: vec![Vec::new(); 2 * leaves],
             leaves,
+            starts,
+            items: items.to_vec(),
             len: items.len(),
             registrations: 0,
         };
@@ -80,6 +90,28 @@ impl SegmentTree {
     /// factor (Θ(log n) worst case).
     pub fn registrations(&self) -> usize {
         self.registrations
+    }
+
+    /// All stored triples (unordered).
+    pub fn triples(&self) -> &[(i64, i64, i64)] {
+        &self.items
+    }
+
+    /// Sorted ids of intervals intersecting `[ql, qu]`.
+    ///
+    /// The segment tree's native query is stabbing; intersection is the
+    /// textbook reduction: intervals containing `ql` (a stab) plus
+    /// intervals *starting* inside `(ql, qu]` (a range report over the
+    /// sorted start list).  The two sets are disjoint — a start in
+    /// `(ql, qu]` means the interval cannot contain `ql`.
+    pub fn intersection(&self, ql: i64, qu: i64) -> Vec<i64> {
+        assert!(ql <= qu, "invalid query [{ql}, {qu}]");
+        let mut out = self.stab(ql);
+        let from = self.starts.partition_point(|&(l, _)| l <= ql);
+        let to = self.starts.partition_point(|&(l, _)| l <= qu);
+        out.extend(self.starts[from..to].iter().map(|&(_, id)| id));
+        out.sort_unstable();
+        out
     }
 
     /// Sorted ids of intervals containing `p` (the segment tree's native
@@ -137,6 +169,26 @@ mod tests {
         let naive = NaiveIntervalSet::from_triples(items);
         for p in (-10..2150).step_by(13) {
             assert_eq!(tree.stab(p), naive.stab(p), "stab {p}");
+        }
+    }
+
+    #[test]
+    fn intersection_matches_naive() {
+        let mut x = 91u64;
+        let items: Vec<(i64, i64, i64)> = (0..600)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let l = (x % 2000) as i64;
+                let len = ((x >> 30) % 100) as i64;
+                (l, l + len, i)
+            })
+            .collect();
+        let tree = SegmentTree::build(&items);
+        let naive = NaiveIntervalSet::from_triples(items);
+        for (ql, qu) in [(0, 2100), (500, 520), (1999, 1999), (-40, 5), (2090, 4000)] {
+            assert_eq!(tree.intersection(ql, qu), naive.intersection(ql, qu), "[{ql}, {qu}]");
         }
     }
 

@@ -34,6 +34,9 @@ pub struct IntervalSkipList {
     node_markers: Vec<Vec<i64>>,
     /// `(lower, id)` sorted — for the range part of intersection queries.
     starts: Vec<(i64, i64)>,
+    /// The raw input, kept so [`crate::IntervalIndex`] updates can
+    /// rebuild (this structure is static; see the trait docs).
+    items: Vec<(i64, i64, i64)>,
     len: usize,
 }
 
@@ -83,6 +86,7 @@ impl IntervalSkipList {
             edge_markers: Default::default(),
             node_markers: vec![Vec::new(); n],
             starts: items.iter().map(|&(l, _, id)| (l, id)).collect(),
+            items: items.to_vec(),
             len: items.len(),
         };
         list.starts.sort_unstable();
@@ -125,6 +129,11 @@ impl IntervalSkipList {
     /// Whether the list is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// All stored triples (unordered).
+    pub fn triples(&self) -> &[(i64, i64, i64)] {
+        &self.items
     }
 
     /// Total markers placed — O(n log n) expected, the structure's space

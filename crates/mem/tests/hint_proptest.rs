@@ -1,0 +1,180 @@
+//! Property tests: HINT must answer exactly like the naive oracle under
+//! arbitrary data, arbitrary queries, boundary-touching queries,
+//! duplicate endpoints, point intervals, stabbing, and interleaved
+//! deletes — and must do it without a single endpoint comparison.
+
+use proptest::prelude::*;
+use ri_mem::{HintIndex, NaiveIntervalSet};
+
+/// Domain used by every test: `HintIndex::new(-1024, 12)` covers
+/// `[-1024, 3071]`, and the strategies below stay well inside it.
+fn hint() -> HintIndex {
+    HintIndex::new(-1024, 12)
+}
+
+fn interval_strategy() -> impl Strategy<Value = (i64, i64)> {
+    (-1000i64..1000, 0i64..400).prop_map(|(l, len)| (l, l + len))
+}
+
+fn data_strategy(max_n: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec(interval_strategy(), 1..max_n)
+}
+
+/// Builds both structures over the same `(lower, upper, index-as-id)`
+/// triples.
+fn build_both(data: &[(i64, i64)]) -> (HintIndex, NaiveIntervalSet) {
+    let mut h = hint();
+    let mut n = NaiveIntervalSet::new();
+    for (id, &(l, u)) in data.iter().enumerate() {
+        h.insert(l, u, id as i64);
+        n.insert(l, u, id as i64);
+    }
+    (h, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Arbitrary data, arbitrary range queries: identical sorted ids.
+    #[test]
+    fn intersection_matches_naive(
+        data in data_strategy(120),
+        query in interval_strategy(),
+    ) {
+        let (h, n) = build_both(&data);
+        let (ql, qu) = query;
+        prop_assert_eq!(h.intersection(ql, qu), n.intersection(ql, qu));
+    }
+
+    /// Queries whose endpoints coincide exactly with stored endpoints —
+    /// the closed-interval boundary cases (`q.upper == lower`,
+    /// `q.lower == upper`) where an off-by-one in the prefix
+    /// decomposition would show first.
+    #[test]
+    fn boundary_touching_queries_match_naive(
+        data in data_strategy(60),
+        i in 0usize..1000,
+        j in 0usize..1000,
+    ) {
+        let (h, n) = build_both(&data);
+        let a = data[i % data.len()];
+        let b = data[j % data.len()];
+        for &(ql, qu) in &[
+            (a.1.min(b.0), a.1.max(b.0)), // an upper meets a lower
+            (a.0, b.0.max(a.0)),          // both ends on stored lowers
+            (b.1.min(a.1), a.1.max(b.1)), // both ends on stored uppers
+        ] {
+            prop_assert_eq!(h.intersection(ql, qu), n.intersection(ql, qu));
+        }
+    }
+
+    /// Endpoints drawn from a tiny pool, so many intervals share exact
+    /// lowers and uppers (and many are duplicates up to id).
+    #[test]
+    fn duplicate_endpoints_match_naive(
+        pairs in prop::collection::vec((0i64..8, 0i64..8), 1..80),
+        query in (0i64..8, 0i64..8),
+    ) {
+        let mut h = hint();
+        let mut n = NaiveIntervalSet::new();
+        for (id, &(a, b)) in pairs.iter().enumerate() {
+            let (l, u) = (a.min(b), a.max(b));
+            h.insert(l, u, id as i64);
+            n.insert(l, u, id as i64);
+        }
+        let (ql, qu) = (query.0.min(query.1), query.0.max(query.1));
+        prop_assert_eq!(h.intersection(ql, qu), n.intersection(ql, qu));
+    }
+
+    /// Interleaved deletes: delete outcomes agree with the oracle (both
+    /// for stored and never-stored triples), and queries agree after
+    /// every delete.
+    #[test]
+    fn deletes_match_naive(
+        data in data_strategy(60),
+        victims in prop::collection::vec(0usize..1000, 1..30),
+        query in interval_strategy(),
+    ) {
+        let (mut h, mut n) = build_both(&data);
+        let (ql, qu) = query;
+        for &v in &victims {
+            let id = (v % data.len()) as i64;
+            let (l, u) = data[id as usize];
+            prop_assert_eq!(h.delete(l, u, id), n.delete(l, u, id));
+            // A triple that was never inserted (wrong id) is refused.
+            prop_assert!(!h.delete(l, u, -1));
+            prop_assert_eq!(h.intersection(ql, qu), n.intersection(ql, qu));
+            prop_assert_eq!(h.len(), n.len());
+        }
+    }
+
+    /// Degenerate point intervals (`lower == upper`) against point and
+    /// range queries.
+    #[test]
+    fn point_intervals_match_naive(
+        points in prop::collection::vec(-1000i64..1000, 1..100),
+        query in interval_strategy(),
+        stab_at in -1000i64..1000,
+    ) {
+        let mut h = hint();
+        let mut n = NaiveIntervalSet::new();
+        for (id, &p) in points.iter().enumerate() {
+            h.insert(p, p, id as i64);
+            n.insert(p, p, id as i64);
+        }
+        let (ql, qu) = query;
+        prop_assert_eq!(h.intersection(ql, qu), n.intersection(ql, qu));
+        prop_assert_eq!(h.stab(stab_at), n.stab(stab_at));
+    }
+
+    /// Stabbing queries (the one-partition-per-level fast path),
+    /// including points just outside the domain.
+    #[test]
+    fn stab_matches_naive(
+        data in data_strategy(120),
+        p in -1500i64..1500,
+    ) {
+        let (h, n) = build_both(&data);
+        prop_assert_eq!(h.stab(p), n.stab(p));
+        prop_assert!(h.stab(-2000).is_empty(), "outside the domain");
+    }
+
+    /// `intersecting_triples` (the hot tier's admission fetch) returns
+    /// exactly the intersecting triples, each once.
+    #[test]
+    fn intersecting_triples_match_naive(
+        data in data_strategy(120),
+        query in interval_strategy(),
+    ) {
+        let (h, n) = build_both(&data);
+        let (ql, qu) = query;
+        let mut got = h.intersecting_triples(ql, qu);
+        got.sort_unstable();
+        let mut want: Vec<(i64, i64, i64)> = n
+            .triples()
+            .iter()
+            .copied()
+            .filter(|&(l, u, _)| l <= qu && ql <= u)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The comparison-free property itself: HINT's query cost reports
+    /// zero endpoint comparisons and touches exactly one entry per
+    /// result, while the oracle pays ~2 comparisons per stored interval.
+    #[test]
+    fn hint_queries_are_comparison_free(
+        data in data_strategy(120),
+        query in interval_strategy(),
+    ) {
+        let (h, n) = build_both(&data);
+        let (ql, qu) = query;
+        let (ids, cost) = h.intersection_with_cost(ql, qu);
+        prop_assert_eq!(cost.comparisons, 0);
+        prop_assert_eq!(cost.entries, ids.len() as u64);
+        let (nids, ncost) = n.intersection_with_cost(ql, qu);
+        prop_assert_eq!(ids, nids);
+        prop_assert!(ncost.comparisons >= data.len() as u64);
+    }
+}

@@ -16,13 +16,18 @@
 //! the respective interval database" (Section 6.3): query starting points
 //! use the dataset's start distribution and query durations are sized for a
 //! target *selectivity* — the fraction of the database a query intersects.
+//!
+//! Beyond Table 1, [`zipf`] adds a Zipf-skewed start distribution
+//! ([`spec::ZipfCells`]) for the hot-tier experiments: the paper's
+//! workloads are uniform, but a read-through cache is only interesting
+//! under skew.
 
 pub mod query;
 pub mod spec;
 pub mod stream;
 
 pub use query::{queries_for_selectivity, query_length_for_selectivity, sweep_points};
-pub use spec::{DurationDist, StartDist, WorkloadSpec, DOMAIN_MAX};
+pub use spec::{DurationDist, StartDist, StartSampler, WorkloadSpec, ZipfCells, DOMAIN_MAX};
 pub use stream::IntervalStream;
 
-pub use spec::{d1, d2, d3, d4, restricted_d3};
+pub use spec::{d1, d2, d3, d4, restricted_d3, zipf};

@@ -18,7 +18,8 @@ pub fn query_length_for_selectivity(spec: &WorkloadSpec, sel: f64) -> i64 {
 }
 
 /// Generates `count` query intervals with expected selectivity `sel`,
-/// start-compatible with `spec` (Section 6.3's methodology).
+/// start-compatible with `spec` (Section 6.3's methodology).  A Zipf
+/// spec yields Zipf-skewed queries — the hot-tier experiment's stream.
 pub fn queries_for_selectivity(
     spec: &WorkloadSpec,
     sel: f64,
@@ -27,9 +28,10 @@ pub fn queries_for_selectivity(
 ) -> Vec<(i64, i64)> {
     let len = query_length_for_selectivity(spec, sel);
     let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = spec.start_sampler();
     (0..count)
         .map(|_| {
-            let start = spec.sample_start(&mut rng).min(DOMAIN_MAX - len);
+            let start = sampler.sample(&mut rng).min(DOMAIN_MAX - len);
             (start.max(0), (start.max(0) + len).min(DOMAIN_MAX))
         })
         .collect()
@@ -45,7 +47,7 @@ pub fn sweep_points(count: usize, max_distance: i64) -> Vec<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{d1, d4};
+    use crate::spec::{d1, d4, zipf};
 
     #[test]
     fn length_scales_with_selectivity() {
@@ -87,6 +89,19 @@ mod tests {
         assert_eq!(pts[0], DOMAIN_MAX);
         assert!(pts.windows(2).all(|w| w[0] > w[1]));
         assert!(*pts.last().unwrap() >= DOMAIN_MAX - 200_000);
+    }
+
+    #[test]
+    fn zipf_spec_yields_skewed_queries() {
+        let spec = zipf(100_000, 2000, 1.0);
+        let queries = queries_for_selectivity(&spec, 0.005, 2000, 8);
+        let width = (DOMAIN_MAX + 1) / 64;
+        let mut counts = [0u32; 64];
+        for &(l, _) in &queries {
+            counts[(l / width) as usize] += 1;
+        }
+        let top = f64::from(*counts.iter().max().unwrap()) / queries.len() as f64;
+        assert!(top > 0.15, "top-cell query share {top} not skewed");
     }
 
     #[test]

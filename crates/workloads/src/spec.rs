@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 /// intervals lie in the domain of [0, 2^20 − 1]" (Section 6.1).
 pub const DOMAIN_MAX: i64 = (1 << 20) - 1;
 
-/// Starting-point distribution (Table 1).
+/// Starting-point distribution (Table 1, plus the skewed extension).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum StartDist {
     /// Uniform over the domain.
@@ -16,6 +16,18 @@ pub enum StartDist {
     /// Arrival times of a Poisson process spanning the domain: exponential
     /// inter-arrival times with mean `domain / n`, sorted by construction.
     Poisson,
+    /// Zipf-skewed over `cells` equal domain slices (see [`ZipfCells`]):
+    /// slice popularity follows rank^(-s), positions within a slice stay
+    /// uniform.  Not part of the paper's Table 1 — added for the hot-tier
+    /// experiment (`fig23_hot_tier`), where skew is the whole point.
+    Zipf {
+        /// Skew exponent; `0.0` degenerates to uniform-over-cells,
+        /// `1.0` is classic Zipf.
+        s: f64,
+        /// Number of equal-width domain slices popularity is assigned
+        /// to; must be a power of two.
+        cells: u32,
+    },
 }
 
 /// Duration distribution (Table 1).
@@ -89,6 +101,22 @@ pub fn d4(n: usize, d: i64) -> WorkloadSpec {
     }
 }
 
+/// `Zipf(n, d, s)`: Zipf-skewed starts over 64 domain slices with
+/// exponent `s`, uniform durations in `[0, 2d]` (the D1 durations).
+///
+/// 64 slices over the `2^20` domain gives 16384-wide hot spots — the
+/// same granularity the hot tier's default blocks use, so a skewed
+/// query stream exercises block-level locality rather than smearing
+/// every slice across many cache blocks.
+pub fn zipf(n: usize, d: i64, s: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Zipf",
+        n,
+        start: StartDist::Zipf { s, cells: 64 },
+        duration: DurationDist::Uniform { lo: 0, hi: 2 * d },
+    }
+}
+
 /// The Figure 15 variant: `D3(n, 2k)` with the duration domain restricted
 /// from `[0, 4k]` to `[min_len, 4k − min_len]`.
 pub fn restricted_d3(n: usize, min_len: i64) -> WorkloadSpec {
@@ -128,6 +156,10 @@ impl WorkloadSpec {
     fn generate_starts(&self, rng: &mut StdRng) -> Vec<i64> {
         match self.start {
             StartDist::Uniform => (0..self.n).map(|_| rng.gen_range(0..=DOMAIN_MAX)).collect(),
+            StartDist::Zipf { s, cells } => {
+                let z = ZipfCells::new(s, cells);
+                (0..self.n).map(|_| z.sample(rng)).collect()
+            }
             StartDist::Poisson => {
                 // Exponential inter-arrival times with mean chosen so the
                 // expected n-th arrival lands at DOMAIN_MAX.
@@ -146,11 +178,106 @@ impl WorkloadSpec {
 
     /// A starting point drawn from this workload's start distribution —
     /// used to make query workloads "compatible" with the data.
+    ///
+    /// For repeated sampling prefer [`WorkloadSpec::start_sampler`],
+    /// which builds the Zipf popularity table once.
     pub fn sample_start(&self, rng: &mut StdRng) -> i64 {
-        // For query generation both Uniform and Poisson starts are
-        // effectively uniform over the domain (a Poisson process has
-        // uniform arrival positions conditioned on the count).
-        rng.gen_range(0..=DOMAIN_MAX)
+        self.start_sampler().sample(rng)
+    }
+
+    /// A reusable sampler for this workload's start distribution.
+    pub fn start_sampler(&self) -> StartSampler {
+        match self.start {
+            // For query generation both Uniform and Poisson starts are
+            // effectively uniform over the domain (a Poisson process has
+            // uniform arrival positions conditioned on the count).
+            StartDist::Uniform | StartDist::Poisson => StartSampler::Uniform,
+            StartDist::Zipf { s, cells } => StartSampler::Zipf(ZipfCells::new(s, cells)),
+        }
+    }
+}
+
+/// Reusable start-position sampler (see [`WorkloadSpec::start_sampler`]).
+#[derive(Clone, Debug)]
+pub enum StartSampler {
+    /// Uniform over the domain.
+    Uniform,
+    /// Zipf-over-cells with a prebuilt popularity table.
+    Zipf(ZipfCells),
+}
+
+impl StartSampler {
+    /// Draws one start position in `[0, DOMAIN_MAX]`.
+    pub fn sample(&self, rng: &mut StdRng) -> i64 {
+        match self {
+            StartSampler::Uniform => rng.gen_range(0..=DOMAIN_MAX),
+            StartSampler::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+/// Zipf-over-cells position sampler.
+///
+/// The domain splits into `cells` equal slices.  Popularity rank `r`
+/// (0-based) carries weight `(r + 1)^(-s)`; ranks map to slice positions
+/// through a fixed odd-multiplier bijection so the popular slices are
+/// scattered across the domain instead of piling up at its low end
+/// (spatial locality inside a slice, none between slices).  Within a
+/// slice, positions are uniform.  Sampling is inverse-CDF over the
+/// `cells`-entry table: O(cells) to build, O(log cells) per draw, fully
+/// deterministic for a seeded `StdRng`.
+#[derive(Clone, Debug)]
+pub struct ZipfCells {
+    /// Cumulative normalized weights by rank, last entry 1.0.
+    cdf: Vec<f64>,
+    cell_width: i64,
+    mask: u64,
+}
+
+impl ZipfCells {
+    /// Builds the popularity table for `cells` slices with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics unless `cells` is a power of two in `[2, 65536]` and
+    /// `s >= 0`.
+    pub fn new(s: f64, cells: u32) -> ZipfCells {
+        assert!(
+            cells.is_power_of_two() && (2..=65536).contains(&cells),
+            "cells {cells} must be a power of two in [2, 65536]"
+        );
+        assert!(s >= 0.0, "negative skew exponent {s}");
+        let weights: Vec<f64> = (0..cells).map(|r| (f64::from(r) + 1.0).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        *cdf.last_mut().unwrap() = 1.0; // absorb rounding
+        ZipfCells {
+            cdf,
+            cell_width: (DOMAIN_MAX + 1) / i64::from(cells),
+            mask: u64::from(cells) - 1,
+        }
+    }
+
+    /// Draws one position in `[0, DOMAIN_MAX]`.
+    pub fn sample(&self, rng: &mut StdRng) -> i64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        // Fixed odd multiplier: a bijection on the power-of-two cell
+        // index space, scattering popular ranks across the domain.
+        let cell = ((rank as u64).wrapping_mul(0x9E37_79B1) & self.mask) as i64;
+        cell * self.cell_width + rng.gen_range(0..self.cell_width)
+    }
+
+    /// The domain slice (cell index) a rank maps to — exposed so tests
+    /// and figures can locate the hot cells.
+    pub fn cell_of_rank(&self, rank: u32) -> u32 {
+        (u64::from(rank).wrapping_mul(0x9E37_79B1) & self.mask) as u32
     }
 }
 
@@ -244,6 +371,49 @@ mod tests {
             }
             assert!((spec.mean_duration() - 2000.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn zipf_generation_is_deterministic_and_in_domain() {
+        let spec = zipf(5000, 2000, 1.0);
+        assert_eq!(spec.generate(42), spec.generate(42));
+        assert_ne!(spec.generate(42), spec.generate(43));
+        for (l, u) in spec.generate(7) {
+            assert!(l >= 0 && u <= DOMAIN_MAX && l <= u, "({l}, {u})");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass() {
+        // Count draws per cell at increasing skew: the top cell's share
+        // must grow monotonically, and s=0 must look uniform.
+        let shares: Vec<f64> = [0.0, 0.5, 1.0, 1.5]
+            .map(|s| {
+                let z = ZipfCells::new(s, 64);
+                let mut rng = StdRng::seed_from_u64(9);
+                let mut counts = [0u32; 64];
+                for _ in 0..20_000 {
+                    counts[(z.sample(&mut rng) / z.cell_width) as usize] += 1;
+                }
+                f64::from(*counts.iter().max().unwrap()) / 20_000.0
+            })
+            .to_vec();
+        assert!(shares.windows(2).all(|w| w[0] < w[1]), "shares {shares:?} must increase");
+        assert!(shares[0] < 0.03, "s=0 top-cell share {} should be ~1/64", shares[0]);
+        assert!(shares[2] > 0.15, "s=1 top-cell share {} should dominate", shares[2]);
+    }
+
+    #[test]
+    fn zipf_hot_cell_matches_rank_mapping() {
+        let z = ZipfCells::new(1.5, 64);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 64];
+        for _ in 0..20_000 {
+            counts[(z.sample(&mut rng) / z.cell_width) as usize] += 1;
+        }
+        let hottest =
+            counts.iter().enumerate().max_by_key(|&(_, c)| c).map(|(i, _)| i as u32).unwrap();
+        assert_eq!(hottest, z.cell_of_rank(0), "rank 0 must land in the hottest cell");
     }
 
     #[test]

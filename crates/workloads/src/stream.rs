@@ -17,7 +17,9 @@
 //! all starts first), so the two sequences differ for the same seed
 //! even though both follow the spec's distributions.
 
-use crate::spec::{rand_distr_exp, sample_duration, StartDist, WorkloadSpec, DOMAIN_MAX};
+use crate::spec::{
+    rand_distr_exp, sample_duration, StartDist, WorkloadSpec, ZipfCells, DOMAIN_MAX,
+};
 use rand::distributions::Distribution;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +39,9 @@ pub struct IntervalStream {
     arrival: f64,
     /// Mean inter-arrival gap of the Poisson process.
     mean_gap: f64,
+    /// Prebuilt popularity table for Zipf starts — the one `O(cells)`
+    /// piece of state a skewed stream carries.
+    zipf: Option<ZipfCells>,
 }
 
 impl WorkloadSpec {
@@ -70,6 +75,10 @@ impl WorkloadSpec {
             duration: self.duration,
             arrival: 0.0,
             mean_gap: (DOMAIN_MAX as f64) / (self.n.max(1) as f64),
+            zipf: match self.start {
+                StartDist::Zipf { s, cells } => Some(ZipfCells::new(s, cells)),
+                _ => None,
+            },
         }
     }
 }
@@ -84,6 +93,9 @@ impl Iterator for IntervalStream {
         self.remaining -= 1;
         let s = match self.start {
             StartDist::Uniform => self.rng.gen_range(0..=DOMAIN_MAX),
+            StartDist::Zipf { .. } => {
+                self.zipf.as_ref().expect("built with the spec").sample(&mut self.rng)
+            }
             StartDist::Poisson => {
                 self.arrival += rand_distr_exp(self.mean_gap).sample(&mut self.rng);
                 (self.arrival as i64).min(DOMAIN_MAX)
@@ -102,7 +114,7 @@ impl ExactSizeIterator for IntervalStream {}
 
 #[cfg(test)]
 mod tests {
-    use crate::spec::{d1, d2, d3, d4, DOMAIN_MAX};
+    use crate::spec::{d1, d2, d3, d4, zipf, DOMAIN_MAX};
 
     #[test]
     fn streams_are_deterministic_and_exactly_sized() {
@@ -129,8 +141,26 @@ mod tests {
     }
 
     #[test]
+    fn zipf_streams_are_deterministic_and_skewed() {
+        let spec = zipf(20_000, 2000, 1.0);
+        let a: Vec<_> = spec.stream(4).collect();
+        assert_eq!(a, spec.stream(4).collect::<Vec<_>>());
+        assert_eq!(a.len(), 20_000);
+        // The hottest 1/64th slice must hold far more than 1/64 ≈ 1.6%.
+        let width = (DOMAIN_MAX + 1) / 64;
+        let mut counts = [0u32; 64];
+        for &(l, _) in &a {
+            counts[(l / width) as usize] += 1;
+        }
+        let top = f64::from(*counts.iter().max().unwrap()) / a.len() as f64;
+        assert!(top > 0.15, "top-cell share {top} not skewed");
+    }
+
+    #[test]
     fn stream_bounds_stay_in_domain() {
-        for spec in [d1(5000, 2000), d2(5000, 2000), d3(5000, 2000), d4(5000, 2000)] {
+        for spec in
+            [d1(5000, 2000), d2(5000, 2000), d3(5000, 2000), d4(5000, 2000), zipf(5000, 2000, 1.0)]
+        {
             for (l, u) in spec.stream(7) {
                 assert!(l >= 0 && u <= DOMAIN_MAX && l <= u, "{}: ({l}, {u})", spec.name);
             }
